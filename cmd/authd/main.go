@@ -1,0 +1,106 @@
+// Command authd runs the authoritative DNS server on real UDP and TCP
+// sockets — the role NSD played on the paper's AWS deployments.
+//
+// Serve a zone file:
+//
+//	authd -addr 127.0.0.1:5300 -zone ./zones/ourtestdomain.nl.zone -identity fra1
+//
+// Or serve the built-in measurement zone for a site (the per-site TXT
+// identity the paper's experiment relies on):
+//
+//	authd -addr 127.0.0.1:5300 -combo 2C -site FRA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/measure"
+	"ritw/internal/zone"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5300", "listen address (UDP and TCP)")
+	zoneFile := flag.String("zone", "", "zone file to serve (master format)")
+	origin := flag.String("origin", "", "default origin for the zone file")
+	identity := flag.String("identity", "", "CHAOS hostname.bind identity")
+	comboID := flag.String("combo", "", "serve the built-in measurement zone for this Table-1 combination")
+	site := flag.String("site", "", "site code for the built-in zone (with -combo)")
+	rrlRate := flag.Float64("rrl", 0, "response rate limit per source in responses/sec (0 = off)")
+	verbose := flag.Bool("v", false, "log every query")
+	flag.Parse()
+
+	var zones []*zone.Zone
+	switch {
+	case *zoneFile != "":
+		f, err := os.Open(*zoneFile)
+		if err != nil {
+			log.Fatalf("authd: %v", err)
+		}
+		def := dnswire.Root
+		if *origin != "" {
+			n, err := dnswire.ParseName(*origin)
+			if err != nil {
+				log.Fatalf("authd: bad origin: %v", err)
+			}
+			def = n
+		}
+		z, err := zone.Parse(f, def)
+		f.Close()
+		if err != nil {
+			log.Fatalf("authd: parsing %s: %v", *zoneFile, err)
+		}
+		zones = append(zones, z)
+	case *comboID != "" && *site != "":
+		combo, err := measure.CombinationByID(*comboID)
+		if err != nil {
+			log.Fatalf("authd: %v", err)
+		}
+		z, err := zone.ParseString(measure.ZoneText(combo, *site), dnswire.Root)
+		if err != nil {
+			log.Fatalf("authd: built-in zone: %v", err)
+		}
+		zones = append(zones, z)
+		if *identity == "" {
+			*identity = *site
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "authd: need -zone FILE or -combo ID -site CODE")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := authserver.Config{Zones: zones, Identity: *identity}
+	if *rrlRate > 0 {
+		start := time.Now()
+		cfg.RRL = &authserver.RRLConfig{RatePerSec: *rrlRate, SlipRatio: 2}
+		cfg.Now = func() time.Duration { return time.Since(start) }
+	}
+	if *verbose {
+		cfg.OnQuery = func(qi authserver.QueryInfo) {
+			log.Printf("query from %s: %s -> %s", qi.Src, qi.Question, qi.RCode)
+		}
+	}
+	srv := authserver.NewServer(authserver.NewEngine(cfg))
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("authd: %v", err)
+	}
+	for _, z := range zones {
+		log.Printf("serving %s (%d records) on %s", z.Origin(), z.NumRecords(), srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Close()
+	st := srv.Engine.Stats()
+	log.Printf("served %d queries (%d CHAOS, %d dropped)", st.Queries, st.Chaos, st.Dropped)
+}

@@ -1,0 +1,177 @@
+// Command dnsq is a dig-like DNS query client for exercising authd and
+// resolvd over real sockets.
+//
+// Usage:
+//
+//	dnsq -server 127.0.0.1:5353 probe-1.ourtestdomain.nl TXT
+//	dnsq -server 127.0.0.1:5353 -chaos hostname.bind
+//	dnsq -server 127.0.0.1:5353 -tcp big.example.nl TXT
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"ritw/internal/axfr"
+	"ritw/internal/dnswire"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:53", "server address (host:port)")
+	useTCP := flag.Bool("tcp", false, "query over TCP instead of UDP")
+	doAXFR := flag.Bool("axfr", false, "perform a full zone transfer of <name> and print the zone")
+	chaos := flag.Bool("chaos", false, "send a CHAOS-class TXT query (hostname.bind style)")
+	recurse := flag.Bool("rd", true, "set the recursion-desired flag")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	edns := flag.Bool("edns", true, "advertise EDNS0")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dnsq [flags] <name> [type]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	name, err := dnswire.ParseName(flag.Arg(0))
+	if err != nil {
+		fatal("bad name: %v", err)
+	}
+	if *doAXFR {
+		z, err := axfr.Fetch(*server, name, *timeout)
+		if err != nil {
+			fatal("axfr: %v", err)
+		}
+		fmt.Printf(";; transferred %d records\n%s", z.NumRecords(), z.String())
+		return
+	}
+	qtype := dnswire.TypeTXT
+	if flag.NArg() >= 2 {
+		qtype, err = dnswire.ParseType(flag.Arg(1))
+		if err != nil {
+			fatal("bad type: %v", err)
+		}
+	}
+
+	id := uint16(rand.New(rand.NewSource(time.Now().UnixNano())).Intn(1 << 16))
+	var q *dnswire.Message
+	if *chaos {
+		q = dnswire.NewChaosQuery(id, name)
+	} else {
+		q = dnswire.NewQuery(id, name, qtype)
+		q.RecursionDesired = *recurse
+		if *edns {
+			q.SetEDNS0(dnswire.DefaultEDNSSize, false)
+		}
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		fatal("pack: %v", err)
+	}
+
+	start := time.Now()
+	var respWire []byte
+	if *useTCP {
+		respWire, err = queryTCP(*server, wire, *timeout)
+	} else {
+		respWire, err = queryUDP(*server, wire, *timeout)
+	}
+	if err != nil {
+		fatal("query: %v", err)
+	}
+	rtt := time.Since(start)
+
+	resp, err := dnswire.Unpack(respWire)
+	if err != nil {
+		fatal("bad response: %v", err)
+	}
+	if resp.ID != id {
+		fatal("response ID %d does not match query %d", resp.ID, id)
+	}
+	printResponse(resp, rtt, len(respWire))
+}
+
+func queryUDP(server string, wire []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func queryTCP(server string, wire []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	resp := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func printResponse(resp *dnswire.Message, rtt time.Duration, size int) {
+	fmt.Printf(";; status: %s, id: %d, flags:", resp.RCode, resp.ID)
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{resp.Response, "qr"}, {resp.Authoritative, "aa"}, {resp.Truncated, "tc"},
+		{resp.RecursionDesired, "rd"}, {resp.RecursionAvailable, "ra"},
+	} {
+		if f.on {
+			fmt.Printf(" %s", f.name)
+		}
+	}
+	fmt.Printf("\n;; query time: %v, size: %d bytes\n", rtt.Round(time.Microsecond), size)
+	if q, ok := resp.Question(); ok {
+		fmt.Printf("\n;; QUESTION\n;%s\n", q)
+	}
+	sections := []struct {
+		name string
+		rrs  []dnswire.RR
+	}{
+		{"ANSWER", resp.Answers}, {"AUTHORITY", resp.Authority}, {"ADDITIONAL", resp.Additional},
+	}
+	for _, sec := range sections {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Printf("\n;; %s\n", sec.name)
+		for _, rr := range sec.rrs {
+			fmt.Println(rr.String())
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dnsq: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command resolvd runs the recursive resolver on a real UDP socket,
+// with a selectable authoritative-selection policy — the behaviours
+// whose aggregate the paper measures in the wild.
+//
+//	resolvd -addr 127.0.0.1:5301 -policy bindlike \
+//	        -upstream "ourtestdomain.nl=127.0.0.2:5300,127.0.0.3:5300"
+//
+// Clients are distinguished by IP only (one stub per IP at a time), a
+// documented limitation of the research daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/resolver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5301", "listen address (UDP)")
+	policyName := flag.String("policy", "bindlike",
+		"selection policy: bindlike, unboundlike, weightedrtt, uniform, roundrobin, sticky")
+	infraTTL := flag.Duration("infra-ttl", 10*time.Minute, "infrastructure-cache TTL (0 = never expire)")
+	decayKeep := flag.Bool("decay-keep", true, "keep stale latency estimates instead of forgetting them")
+	timeout := flag.Duration("timeout", 800*time.Millisecond, "upstream query timeout")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
+	var upstreams multiFlag
+	flag.Var(&upstreams, "upstream", "zone=host:port[,host:port...] (repeatable)")
+	flag.Parse()
+
+	kind, err := parsePolicy(*policyName)
+	if err != nil {
+		log.Fatalf("resolvd: %v", err)
+	}
+	if len(upstreams) == 0 {
+		fmt.Fprintln(os.Stderr, "resolvd: at least one -upstream required")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv, err := resolver.NewUDPServer(*addr)
+	if err != nil {
+		log.Fatalf("resolvd: %v", err)
+	}
+
+	var zones []resolver.ZoneServers
+	for _, spec := range upstreams {
+		zs, err := parseUpstream(spec, srv)
+		if err != nil {
+			log.Fatalf("resolvd: %v", err)
+		}
+		zones = append(zones, zs)
+	}
+
+	retention := resolver.HardExpire
+	if *decayKeep {
+		retention = resolver.DecayKeep
+	}
+	eng := resolver.NewEngine(resolver.Config{
+		Policy:    resolver.NewPolicy(kind),
+		Infra:     resolver.NewInfraCache(*infraTTL, retention),
+		Cache:     resolver.NewRecordCache(),
+		Zones:     zones,
+		Transport: srv,
+		Clock:     &resolver.RealClock{},
+		RNG:       rand.New(rand.NewSource(*seed)),
+		Timeout:   *timeout,
+	})
+	go srv.Serve(eng)
+	log.Printf("resolving with policy %s on %s (%d zones)", kind, srv.Addr(), len(zones))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	st := eng.Stats()
+	log.Printf("stats: %d client queries, %d cache hits, %d upstream, %d timeouts, %d servfail",
+		st.ClientQueries, st.CacheHits, st.UpstreamQueries, st.Timeouts, st.ServFails)
+}
+
+// parsePolicy maps a policy name to its kind.
+func parsePolicy(name string) (resolver.PolicyKind, error) {
+	kinds := []resolver.PolicyKind{
+		resolver.KindBINDLike, resolver.KindUnboundLike, resolver.KindWeightedRTT,
+		resolver.KindUniform, resolver.KindRoundRobin, resolver.KindSticky,
+	}
+	for _, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
+}
+
+// parseUpstream parses "zone=host:port,host:port" and registers routes.
+func parseUpstream(spec string, srv *resolver.UDPServer) (resolver.ZoneServers, error) {
+	zoneName, list, ok := strings.Cut(spec, "=")
+	if !ok {
+		return resolver.ZoneServers{}, fmt.Errorf("bad upstream %q (want zone=host:port,...)", spec)
+	}
+	origin, err := dnswire.ParseName(zoneName)
+	if err != nil {
+		return resolver.ZoneServers{}, err
+	}
+	var servers []netip.Addr
+	for _, hp := range strings.Split(list, ",") {
+		ap, err := netip.ParseAddrPort(strings.TrimSpace(hp))
+		if err != nil {
+			return resolver.ZoneServers{}, fmt.Errorf("bad server %q: %w", hp, err)
+		}
+		srv.Route(ap.Addr(), ap.Port())
+		servers = append(servers, ap.Addr())
+	}
+	if len(servers) == 0 {
+		return resolver.ZoneServers{}, fmt.Errorf("upstream %q has no servers", spec)
+	}
+	return resolver.ZoneServers{Zone: origin, Servers: servers}, nil
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ";") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

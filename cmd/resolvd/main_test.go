@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/resolver"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]resolver.PolicyKind{
+		"bindlike":    resolver.KindBINDLike,
+		"unboundlike": resolver.KindUnboundLike,
+		"weightedrtt": resolver.KindWeightedRTT,
+		"uniform":     resolver.KindUniform,
+		"roundrobin":  resolver.KindRoundRobin,
+		"sticky":      resolver.KindSticky,
+	}
+	for name, want := range cases {
+		got, err := parsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parsePolicy("nonsense"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestParseUpstream(t *testing.T) {
+	srv, err := resolver.NewUDPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	zs, err := parseUpstream("ourtestdomain.nl=192.0.2.1:5300, 192.0.2.2:5300", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zs.Zone.Equal(dnswire.MustParseName("ourtestdomain.nl")) {
+		t.Errorf("zone = %v", zs.Zone)
+	}
+	if len(zs.Servers) != 2 {
+		t.Errorf("servers = %v", zs.Servers)
+	}
+
+	for _, bad := range []string{
+		"no-equals-sign",
+		"zone.nl=notanaddr",
+		"zone.nl=192.0.2.1", // missing port
+		"bad..zone=192.0.2.1:53",
+	} {
+		if _, err := parseUpstream(bad, srv); err == nil {
+			t.Errorf("parseUpstream(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	if err := m.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m.String() != "a;b" {
+		t.Errorf("multiFlag = %v / %q", m, m.String())
+	}
+}

@@ -1,0 +1,444 @@
+// Command ritw regenerates every table and figure of "Recursives in
+// the Wild: Engineering Authoritative DNS Servers" (IMC 2017) from the
+// simulated measurement fabric.
+//
+//	ritw -scale small table1      # Table 1: combinations and VPs
+//	ritw fig2                     # queries to probe all authoritatives
+//	ritw -combo 2C fig3           # query share vs median RTT
+//	ritw fig4                     # preference bands for 2A/2B/2C
+//	ritw table2                   # continent x site shares and RTTs
+//	ritw fig5                     # RTT sensitivity of 2B
+//	ritw fig6                     # probing-interval sweep of 2C
+//	ritw fig7root | fig7nl        # production rank bands
+//	ritw middlebox | ipv6 | hardening
+//	ritw planner                  # §7 deployment evaluation
+//	ritw all                      # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ritw/internal/atlas"
+
+	"ritw/internal/analysis"
+	"ritw/internal/core"
+	"ritw/internal/geo"
+	"ritw/internal/measure"
+)
+
+var (
+	seed     = flag.Int64("seed", 42, "experiment seed")
+	scaleStr = flag.String("scale", "small", "population scale: small, medium, full")
+	comboID  = flag.String("combo", "2C", "combination for fig3")
+	outFile  = flag.String("out", "", "also write the dataset CSV here (single-combo commands)")
+	plotDir  = flag.String("plotdir", "", "write SVG figures into this directory")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	scale, err := parseScale(*scaleStr)
+	check(err)
+
+	cmds := map[string]func(core.Scale) error{
+		"table1":    cmdTable1,
+		"fig2":      cmdFig2,
+		"fig3":      cmdFig3,
+		"fig4":      cmdFig4,
+		"table2":    cmdTable2,
+		"fig5":      cmdFig5,
+		"fig6":      cmdFig6,
+		"fig7root":  cmdFig7Root,
+		"fig7nl":    cmdFig7NL,
+		"middlebox": cmdMiddlebox,
+		"ipv6":      cmdIPv6,
+		"hardening": cmdHardening,
+		"planner":   cmdPlanner,
+		"outage":    cmdOutage,
+		"openres":   cmdOpenResolver,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
+			"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
+			"outage", "openres"}
+		for _, n := range order {
+			fmt.Printf("==== %s ====\n", n)
+			check(cmds[n](scale))
+			fmt.Println()
+		}
+		return
+	}
+	cmd, ok := cmds[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ritw: unknown command %q\n", name)
+		os.Exit(2)
+	}
+	check(cmd(scale))
+}
+
+func parseScale(s string) (core.Scale, error) {
+	switch s {
+	case "small":
+		return core.ScaleSmall, nil
+	case "medium":
+		return core.ScaleMedium, nil
+	case "full":
+		return core.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ritw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runAll executes all seven combinations once and caches the result
+// across subcommands of `ritw all`.
+var table1Cache map[string]*measure.Dataset
+
+func allDatasets(scale core.Scale) (map[string]*measure.Dataset, error) {
+	if table1Cache != nil {
+		return table1Cache, nil
+	}
+	ds, err := core.RunTable1(*seed, scale)
+	if err == nil {
+		table1Cache = ds
+	}
+	return ds, err
+}
+
+func maybeWriteOut(ds *measure.Dataset) error {
+	if *outFile == "" {
+		return nil
+	}
+	f, err := os.Create(*outFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ds.WriteCSV(f)
+}
+
+func cmdTable1(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: combinations of authoritatives and the VPs they see")
+	fmt.Printf("%-4s %-25s %8s %9s\n", "ID", "locations", "VPs", "queries")
+	for _, combo := range measure.Table1() {
+		ds := dss[combo.ID]
+		fmt.Printf("%-4s %-25s %8d %9d\n", combo.ID, strings.Join(combo.Sites, ", "),
+			ds.ActiveProbes, len(ds.Records))
+	}
+	return nil
+}
+
+func cmdFig2(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 2: queries to probe all authoritatives, after the first query")
+	fmt.Printf("%-10s %9s %6s %6s %6s %6s %6s\n", "combo(%all)", "VPs", "p10", "q1", "med", "q3", "p90")
+	for _, combo := range measure.Table1() {
+		res := analysis.ProbeAll(dss[combo.ID])
+		fmt.Printf("%-3s(%4.1f%%) %9d %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+			res.ComboID, res.PercentAll, res.VPs,
+			res.Box.P10, res.Box.Q1, res.Box.Median, res.Box.Q3, res.Box.P90)
+	}
+	return plotFig2(dss)
+}
+
+func cmdFig3(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: median RTT (top) and query share (bottom) per authoritative")
+	for _, combo := range measure.Table1() {
+		shares := analysis.ShareVsRTT(dss[combo.ID])
+		fmt.Printf("%s:", combo.ID)
+		for _, s := range shares {
+			fmt.Printf("  %s rtt=%.0fms share=%.2f", s.Site, s.MedianRTT, s.Share)
+		}
+		fmt.Println()
+	}
+	if err := plotFig3(dss); err != nil {
+		return err
+	}
+	if ds, ok := dss[*comboID]; ok {
+		return maybeWriteOut(ds)
+	}
+	return nil
+}
+
+func cmdFig4(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4: per-recursive preference (VPs with >=50ms RTT gap)")
+	fmt.Printf("%-5s %10s %20s %20s\n", "combo", "qualified", "weak [95%CI]", "strong [95%CI]")
+	for _, id := range []string{"2A", "2B", "2C"} {
+		p := analysis.Preference(dss[id])
+		weak, strong, err := analysis.PreferenceCI(dss[id], 300, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s %10d %6.1f%% [%4.1f-%4.1f] %6.1f%% [%4.1f-%4.1f]\n",
+			id, p.QualifiedVPs,
+			100*p.WeakFrac, 100*weak.Lo, 100*weak.Hi,
+			100*p.StrongFrac, 100*strong.Lo, 100*strong.Hi)
+	}
+	fmt.Println("(paper: weak 61/59/69%, strong 10/12/37% for 2A/2B/2C)")
+	return plotFig4(dss)
+}
+
+func cmdTable2(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2: query share (%) and median RTT (ms) per continent")
+	for _, id := range []string{"2A", "2B", "2C"} {
+		ds := dss[id]
+		t2 := analysis.Table2(ds)
+		fmt.Printf("config %s (%s/%s):\n", id, ds.Sites[0], ds.Sites[1])
+		fmt.Printf("  %-4s", "cont")
+		for _, site := range ds.Sites {
+			fmt.Printf(" %14s", site)
+		}
+		fmt.Println()
+		for _, cont := range geo.Continents() {
+			cells, ok := t2[cont]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-4s", cont)
+			for _, site := range ds.Sites {
+				c := cells[site]
+				fmt.Printf("  %3.0f%% %6.0fms", c.SharePct, c.MedianRTT)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdFig5(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: RTT sensitivity of 2B (fraction of queries vs median RTT)")
+	for _, p := range analysis.RTTSensitivity(dss["2B"]) {
+		fmt.Printf("  %s -> %s: rtt=%.0fms fraction=%.2f (VPs=%d)\n",
+			p.Continent, p.Site, p.MedianRTT, p.Fraction, p.VPs)
+	}
+	return plotFig5(dss)
+}
+
+func cmdFig6(scale core.Scale) error {
+	fmt.Println("Figure 6: fraction of queries to FRA (config 2C) vs probing interval")
+	dss, err := core.RunIntervalSweep(*seed, scale, core.Figure6Intervals())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s", "interval")
+	for _, cont := range geo.Continents() {
+		fmt.Printf(" %6s", cont)
+	}
+	fmt.Println()
+	for _, ds := range dss {
+		shares := analysis.SiteShareByContinent(ds, "FRA")
+		fmt.Printf("%-9s", ds.Interval)
+		for _, cont := range geo.Continents() {
+			fmt.Printf(" %6.2f", shares[cont])
+		}
+		fmt.Println()
+	}
+	return plotFig6(dss)
+}
+
+func cmdFig7Root(scale core.Scale) error {
+	trace, rb, err := core.RunRootTrace(*seed, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7 (top): root letters, recursives with >=250 queries/hour")
+	fmt.Printf("  captured: %d queries from %d recursives at %d letters\n",
+		trace.TotalQueries, trace.Recursives, len(trace.Observed))
+	fmt.Printf("  busy recursives: %d\n", rb.Recursives)
+	fmt.Printf("  query one letter only: %.1f%% (paper ~20%%)\n", 100*rb.OnlyOne)
+	fmt.Printf("  query >=6 letters:     %.1f%% (paper ~60%%)\n", 100*rb.AtLeast6)
+	fmt.Printf("  query all 10 letters:  %.1f%% (paper ~2%%)\n", 100*rb.All)
+	fmt.Printf("  mean top-letter share: %.2f\n", rb.MeanTopShare)
+	return plotFig7("fig7_root.svg", "Root letters: per-recursive rank bands", trace, 250)
+}
+
+func cmdFig7NL(scale core.Scale) error {
+	trace, rb, err := core.RunNLTrace(*seed, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7 (bottom): .nl, 4 of 8 authoritatives observed")
+	fmt.Printf("  captured: %d queries from %d recursives\n", trace.TotalQueries, trace.Recursives)
+	fmt.Printf("  busy recursives: %d\n", rb.Recursives)
+	fmt.Printf("  query one NS only: %.1f%%\n", 100*rb.OnlyOne)
+	fmt.Printf("  query all 4 NSes:  %.1f%% (paper: the majority)\n", 100*rb.All)
+	return plotFig7("fig7_nl.svg", ".nl: per-recursive rank bands", trace, 125)
+}
+
+func cmdMiddlebox(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	ds := dss["2A"]
+	p := analysis.Preference(ds)
+	aw, as, n := analysis.AuthSidePreference(ds, 5)
+	fmt.Println("§3.1 middlebox check: client-side vs authoritative-side view (2A)")
+	fmt.Printf("  client side: weak=%.2f strong=%.2f (%d qualified VPs)\n",
+		p.WeakFrac, p.StrongFrac, p.QualifiedVPs)
+	fmt.Printf("  auth side:   weak=%.2f strong=%.2f (%d recursives >=5 queries)\n", aw, as, n)
+	return nil
+}
+
+func cmdIPv6(scale core.Scale) error {
+	combo, err := measure.CombinationByID("2B")
+	if err != nil {
+		return err
+	}
+	run := func(v6 bool, seedOff int64) (analysis.PreferenceResult, int, error) {
+		cfg := measure.DefaultRunConfig(combo, *seed+seedOff)
+		cfg.Population.NumProbes = scale.Probes()
+		cfg.IPv6Subset = v6
+		ds, err := measure.Run(cfg)
+		if err != nil {
+			return analysis.PreferenceResult{}, 0, err
+		}
+		return analysis.Preference(ds), ds.ActiveProbes, nil
+	}
+	full, nFull, err := run(false, 0)
+	if err != nil {
+		return err
+	}
+	sub, nSub, err := run(true, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§3.1 IPv6 check: strategies match on the IPv6-capable subset (2B)")
+	fmt.Printf("  all probes (%5d): weak=%.2f strong=%.2f\n", nFull, full.WeakFrac, full.StrongFrac)
+	fmt.Printf("  IPv6 subset (%4d): weak=%.2f strong=%.2f\n", nSub, sub.WeakFrac, sub.StrongFrac)
+	return nil
+}
+
+func cmdHardening(scale core.Scale) error {
+	dss, err := allDatasets(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§4.3: weak preferences harden over the hour")
+	for _, id := range []string{"2A", "2B", "2C"} {
+		h := analysis.PreferenceHardening(dss[id])
+		fmt.Printf("  %s: first half %.3f -> second half %.3f (%d weak VPs)\n",
+			id, h.FirstHalf, h.SecondHalf, h.VPs)
+	}
+	return nil
+}
+
+func cmdPlanner(core.Scale) error {
+	fmt.Println("§7 planner: worst-case latency is limited by the least anycast authoritative")
+	cfg := core.DefaultPlannerConfig()
+	reports := []core.Deployment{core.NLCurrent(), core.NLAllAnycast()}
+	var evaluated []core.PlanReport
+	for _, d := range reports {
+		rep, err := core.Evaluate(d, cfg)
+		if err != nil {
+			return err
+		}
+		evaluated = append(evaluated, rep)
+		fmt.Print(rep.String())
+	}
+	naShare, err := core.QueriesFromRegionShare(core.NLCurrent(), "ns1", geo.NorthAmerica, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("case study: %.0f%% of queries at a unicast Dutch NS come from North America (paper: 23%% from the US)\n", 100*naShare)
+	sort.Slice(evaluated, func(i, j int) bool { return evaluated[i].MeanLatency < evaluated[j].MeanLatency })
+	fmt.Printf("recommendation: %q wins (mean %.1fms)\n", evaluated[0].Deployment, evaluated[0].MeanLatency)
+	return nil
+}
+
+// cmdOutage injects a 20-minute failure of FRA into 2B and reports the
+// failover behaviour (§7 "Other Considerations").
+func cmdOutage(scale core.Scale) error {
+	combo, err := measure.CombinationByID("2B")
+	if err != nil {
+		return err
+	}
+	start, end := 20*time.Minute, 40*time.Minute
+	cfg := measure.DefaultRunConfig(combo, *seed)
+	pc := atlasConfig(scale)
+	cfg.Population = pc
+	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
+	ds, err := measure.Run(cfg)
+	if err != nil {
+		return err
+	}
+	impact := analysis.OutageImpactOf(ds, "FRA", start, end)
+	fmt.Println("failure injection: FRA down 20-40min during a 2B run")
+	for _, row := range []struct {
+		name string
+		w    analysis.WindowStats
+	}{{"before", impact.Before}, {"during", impact.During}, {"after", impact.After}} {
+		fmt.Printf("  %-7s queries=%6d FRA-share=%4.0f%% fail=%4.1f%% medianRTT=%4.0fms\n",
+			row.name, row.w.Queries, 100*row.w.SiteShare, 100*row.w.FailRate, row.w.MedianRTT)
+	}
+	return nil
+}
+
+// cmdOpenResolver runs the open-resolver scan variant (the paper's
+// stated future work) and compares its preference bands to the
+// probe-based measurement.
+func cmdOpenResolver(scale core.Scale) error {
+	combo, err := measure.CombinationByID("2C")
+	if err != nil {
+		return err
+	}
+	cfg := measure.DefaultOpenResolverConfig(combo, *seed)
+	cfg.NumResolvers = scale.Probes() / 4
+	ds, err := measure.RunOpenResolvers(cfg)
+	if err != nil {
+		return err
+	}
+	p := analysis.Preference(ds)
+	fmt.Printf("open-resolver scan of 2C: %d resolvers, %d records\n",
+		ds.ActiveProbes, len(ds.Records))
+	fmt.Printf("  qualified=%d weak=%.1f%% strong=%.1f%%\n",
+		p.QualifiedVPs, 100*p.WeakFrac, 100*p.StrongFrac)
+	shares := analysis.SiteShareByContinent(ds, "FRA")
+	fmt.Printf("  EU share to FRA: %.2f (probe-based measurement agrees)\n", shares[geo.Europe])
+	return nil
+}
+
+// atlasConfig builds the scaled population config.
+func atlasConfig(scale core.Scale) atlas.Config {
+	pc := atlas.DefaultConfig(*seed)
+	pc.NumProbes = scale.Probes()
+	return pc
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"ritw/internal/core"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]core.Scale{
+		"small":  core.ScaleSmall,
+		"medium": core.ScaleMedium,
+		"full":   core.ScaleFull,
+	}
+	for name, want := range cases {
+		got, err := parseScale(name)
+		if err != nil || got != want {
+			t.Errorf("parseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseScale("planetary"); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestCommandTableCoversAll(t *testing.T) {
+	// The "all" ordering must reference only registered commands, and
+	// every registered command should be reachable from "all" except
+	// none (keep them in sync when adding subcommands).
+	cmds := map[string]func(core.Scale) error{
+		"table1": cmdTable1, "fig2": cmdFig2, "fig3": cmdFig3,
+		"fig4": cmdFig4, "table2": cmdTable2, "fig5": cmdFig5,
+		"fig6": cmdFig6, "fig7root": cmdFig7Root, "fig7nl": cmdFig7NL,
+		"middlebox": cmdMiddlebox, "ipv6": cmdIPv6, "hardening": cmdHardening,
+		"planner": cmdPlanner, "outage": cmdOutage, "openres": cmdOpenResolver,
+	}
+	order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
+		"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
+		"outage", "openres"}
+	if len(order) != len(cmds) {
+		t.Fatalf("all-order has %d entries, command table %d", len(order), len(cmds))
+	}
+	for _, name := range order {
+		if cmds[name] == nil {
+			t.Errorf("ordering references unknown command %q", name)
+		}
+	}
+}

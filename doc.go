@@ -1,0 +1,12 @@
+// Package ritw reproduces "Recursives in the Wild: Engineering
+// Authoritative DNS Servers" (Müller, Moura, Schmidt, Heidemann,
+// IMC 2017) as a self-contained Go system: a DNS wire codec, an
+// authoritative server, a recursive resolver with the selection
+// behaviours the paper measures, a discrete-event Internet simulator,
+// the RIPE-Atlas-style measurement fabric, production-trace synthesis,
+// and the analyses that regenerate every table and figure.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for measured
+// vs. published results, cmd/ritw for the experiment runner, and
+// bench_test.go for the per-figure benchmark harness.
+package ritw

@@ -1,0 +1,176 @@
+// The livewire example runs the whole stack on real loopback sockets:
+// two authoritative servers with different injected latencies (a
+// nearby "FRA" and a faraway "SYD"), a recursive resolver with a
+// selectable policy, and a stub client. It then shows how the
+// latency-aware policy concentrates queries on the fast site while a
+// uniform policy splits evenly — the paper's §4 contrast, live.
+//
+// It binds 127.0.0.1 (resolver/client), 127.0.0.2 and 127.0.0.3
+// (authoritatives); all of 127/8 is loopback on Linux.
+//
+//	go run ./examples/livewire
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/netip"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/measure"
+	"ritw/internal/resolver"
+	"ritw/internal/zone"
+)
+
+// delayedAuth is a minimal UDP front end that injects one-way latency
+// before handing queries to an authoritative engine, turning loopback
+// into a two-site world.
+type delayedAuth struct {
+	engine *authserver.Engine
+	delay  time.Duration
+	conn   *net.UDPConn
+}
+
+func startAuth(addr, site string, delay time.Duration) (*delayedAuth, netip.AddrPort, error) {
+	combo, err := measure.CombinationByID("2C")
+	if err != nil {
+		return nil, netip.AddrPort{}, err
+	}
+	z, err := zone.ParseString(measure.ZoneText(combo, site), dnswire.Root)
+	if err != nil {
+		return nil, netip.AddrPort{}, err
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, netip.AddrPort{}, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, netip.AddrPort{}, err
+	}
+	a := &delayedAuth{
+		engine: authserver.NewEngine(authserver.Config{Zones: []*zone.Zone{z}, Identity: site}),
+		delay:  delay,
+		conn:   conn,
+	}
+	go a.serve()
+	local := conn.LocalAddr().(*net.UDPAddr)
+	ap := netip.AddrPortFrom(netip.MustParseAddr(local.IP.String()), uint16(local.Port))
+	return a, ap, nil
+}
+
+func (a *delayedAuth) serve() {
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		src, _ := netip.AddrFromSlice(raddr.IP)
+		go func(raddr *net.UDPAddr) {
+			time.Sleep(a.delay) // one-way "distance"
+			if resp := a.engine.HandleQuery(src.Unmap(), pkt, 0); len(resp) > 0 {
+				time.Sleep(a.delay)
+				a.conn.WriteToUDP(resp, raddr)
+			}
+		}(raddr)
+	}
+}
+
+func main() {
+	fra, fraAP, err := startAuth("127.0.0.2:0", "FRA", 5*time.Millisecond)
+	if err != nil {
+		log.Fatalf("livewire: FRA auth: %v (does this system allow binding 127.0.0.2?)", err)
+	}
+	defer fra.conn.Close()
+	syd, sydAP, err := startAuth("127.0.0.3:0", "SYD", 80*time.Millisecond)
+	if err != nil {
+		log.Fatalf("livewire: SYD auth: %v", err)
+	}
+	defer syd.conn.Close()
+	fmt.Printf("authoritatives: FRA at %s (~10ms RTT), SYD at %s (~160ms RTT)\n\n", fraAP, sydAP)
+
+	for _, kind := range []resolver.PolicyKind{resolver.KindBINDLike, resolver.KindUniform} {
+		counts, err := runResolver(kind, fraAP, sydAP, 40)
+		if err != nil {
+			log.Fatalf("livewire: %v", err)
+		}
+		fmt.Printf("policy %-9s -> FRA %2d queries, SYD %2d queries\n",
+			kind, counts["FRA"], counts["SYD"])
+	}
+	fmt.Println("\nThe latency-aware resolver concentrates on the fast site;")
+	fmt.Println("the uniform one spreads evenly — over real UDP sockets.")
+}
+
+// runResolver stands up resolvd's engine on a fresh socket, issues n
+// stub queries through it, and tallies which site answered each.
+func runResolver(kind resolver.PolicyKind, fra, syd netip.AddrPort, n int) (map[string]int, error) {
+	srv, err := resolver.NewUDPServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	srv.Route(fra.Addr(), fra.Port())
+	srv.Route(syd.Addr(), syd.Port())
+
+	eng := resolver.NewEngine(resolver.Config{
+		Policy: resolver.NewPolicy(kind),
+		Infra:  resolver.NewInfraCache(10*time.Minute, resolver.DecayKeep),
+		Cache:  resolver.NewRecordCache(),
+		Zones: []resolver.ZoneServers{{
+			Zone:    measure.TestDomain,
+			Servers: []netip.Addr{fra.Addr(), syd.Addr()},
+		}},
+		Transport: srv,
+		Clock:     &resolver.RealClock{},
+		RNG:       rand.New(rand.NewSource(7)),
+		Timeout:   time.Second,
+	})
+	go srv.Serve(eng)
+
+	client, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	counts := map[string]int{}
+	buf := make([]byte, 4096)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("live-%s-%d", kind, i)
+		qname, err := measure.TestDomain.Child(label)
+		if err != nil {
+			return nil, err
+		}
+		q := dnswire.NewQuery(uint16(i), qname, dnswire.TypeTXT)
+		wire, err := q.Pack()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := client.Write(wire); err != nil {
+			return nil, err
+		}
+		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		m, err := client.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		resp, err := dnswire.Unpack(buf[:m])
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Answers) == 1 {
+			if txt, ok := resp.Answers[0].Data.(dnswire.TXT); ok {
+				site := txt.Joined()
+				counts[site[len("site="):]]++
+			}
+		}
+	}
+	return counts, nil
+}

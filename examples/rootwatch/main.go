@@ -1,0 +1,93 @@
+// The rootwatch example synthesizes a DITL-style hour of Root DNS
+// traffic (the paper's §5 validation) and prints how production
+// recursives spread their queries across the root letters — the
+// Figure 7 picture: many recursives concentrate on few letters, a
+// notable group uses exactly one, and almost nobody uses all of them.
+//
+//	go run ./examples/rootwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ritw/internal/core"
+)
+
+func main() {
+	fmt.Println("Synthesizing one hour of root-letter traffic (10 of 13 letters observed)...")
+	trace, bands, err := core.RunRootTrace(99, core.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d queries from %d recursives\n\n", trace.TotalQueries, trace.Recursives)
+
+	// Aggregate letter popularity.
+	type letterCount struct {
+		name string
+		n    int
+	}
+	var letters []letterCount
+	for name, byRec := range trace.Counts {
+		total := 0
+		for _, n := range byRec {
+			total += n
+		}
+		letters = append(letters, letterCount{name, total})
+	}
+	sort.Slice(letters, func(i, j int) bool { return letters[i].n > letters[j].n })
+	fmt.Println("Letter popularity (captured queries):")
+	for _, lc := range letters {
+		fmt.Printf("  %-7s %7d\n", lc.name, lc.n)
+	}
+
+	fmt.Printf("\nBusy recursives (>=250 queries/hour): %d\n", bands.Recursives)
+	fmt.Printf("  use exactly one letter: %5.1f%%   (paper: ~20%%)\n", 100*bands.OnlyOne)
+	fmt.Printf("  use at least 6 letters: %5.1f%%   (paper: ~60%%)\n", 100*bands.AtLeast6)
+	fmt.Printf("  use all 10 letters:     %5.1f%%   (paper: ~2%%)\n", 100*bands.All)
+	fmt.Printf("  mean top-letter share:  %5.2f\n", bands.MeanTopShare)
+
+	// The per-recursive rank bands of Figure 7, as a text "plot": the
+	// mean share of each rank among busy recursives.
+	per := trace.PerRecursive()
+	rankSums := make([]float64, len(trace.Observed))
+	busy := 0
+	for _, byServer := range per {
+		total := 0
+		var counts []int
+		for _, n := range byServer {
+			total += n
+			counts = append(counts, n)
+		}
+		if total < 250 {
+			continue
+		}
+		busy++
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		for i, n := range counts {
+			if i < len(rankSums) {
+				rankSums[i] += float64(n) / float64(total)
+			}
+		}
+	}
+	if busy > 0 {
+		fmt.Println("\nMean query share by letter rank (Figure 7's bands):")
+		for i, s := range rankSums {
+			share := s / float64(busy)
+			if share < 0.005 {
+				break
+			}
+			bar := int(share * 60)
+			fmt.Printf("  rank %2d %5.1f%% %s\n", i+1, 100*share, repeat('#', bar))
+		}
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module ritw
+
+go 1.22

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"ritw/internal/measure"
+	"ritw/internal/stats"
+)
+
+// WindowStats summarizes client-observed behaviour within a time
+// window of a run.
+type WindowStats struct {
+	// Queries is the number of client queries sent in the window.
+	Queries int
+	// FailRate is the fraction that got no answer (client timeout,
+	// typically after the resolver exhausted its retries).
+	FailRate float64
+	// SiteShare is the failed-site share among answered queries.
+	SiteShare float64
+	// MedianRTT is the median client RTT over answered queries —
+	// failover retries show up here as extra latency.
+	MedianRTT float64
+}
+
+// OutageImpact quantifies a site-failure window (measure.Outage): the
+// failed site's traffic share and the client failure rate before,
+// during and after the outage. The paper's §7 motivates multiple
+// authoritatives and anycast with exactly this resilience argument.
+type OutageImpact struct {
+	Site                  string
+	Before, During, After WindowStats
+}
+
+// OutageImpactOf computes the impact of an outage of site during
+// [start, end) on a dataset.
+func OutageImpactOf(ds *measure.Dataset, site string, start, end time.Duration) OutageImpact {
+	impact := OutageImpact{Site: site}
+	windows := []struct {
+		lo, hi time.Duration
+		out    *WindowStats
+	}{
+		{0, start, &impact.Before},
+		{start, end, &impact.During},
+		{end, ds.Duration + time.Hour, &impact.After},
+	}
+	for _, w := range windows {
+		var answered, toSite int
+		var rtts []float64
+		for _, r := range ds.Records {
+			if r.SentAt < w.lo || r.SentAt >= w.hi {
+				continue
+			}
+			w.out.Queries++
+			if !r.OK {
+				continue
+			}
+			answered++
+			rtts = append(rtts, r.RTTms)
+			if r.Site == site {
+				toSite++
+			}
+		}
+		if w.out.Queries > 0 {
+			w.out.FailRate = 1 - float64(answered)/float64(w.out.Queries)
+		}
+		if answered > 0 {
+			w.out.SiteShare = float64(toSite) / float64(answered)
+		}
+		if m := stats.Median(rtts); !math.IsNaN(m) {
+			w.out.MedianRTT = m
+		}
+	}
+	return impact
+}

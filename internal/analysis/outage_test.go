@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/measure"
+)
+
+func TestOutageImpact(t *testing.T) {
+	combo, err := measure.CombinationByID("2B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := measure.DefaultRunConfig(combo, 37)
+	pc := atlas.DefaultConfig(37)
+	pc.NumProbes = 400
+	cfg.Population = pc
+	start, end := 20*time.Minute, 40*time.Minute
+	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
+	ds, err := measure.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	impact := OutageImpactOf(ds, "FRA", start, end)
+	if impact.Before.Queries == 0 || impact.During.Queries == 0 || impact.After.Queries == 0 {
+		t.Fatalf("windows missing traffic: %+v", impact)
+	}
+	if impact.During.SiteShare != 0 {
+		t.Errorf("failed site served %.2f of answered queries while down", impact.During.SiteShare)
+	}
+	if impact.Before.SiteShare == 0 {
+		t.Error("failed site should have served traffic beforehand")
+	}
+	if impact.During.FailRate <= impact.Before.FailRate {
+		t.Errorf("outage should raise the failure rate: before=%.3f during=%.3f",
+			impact.Before.FailRate, impact.During.FailRate)
+	}
+	if impact.During.FailRate > 0.3 {
+		t.Errorf("failover should bound the damage: fail rate %.2f", impact.During.FailRate)
+	}
+	// Retries cost latency: median RTT during the outage is not lower
+	// than before.
+	if impact.During.MedianRTT < impact.Before.MedianRTT-5 {
+		t.Errorf("median RTT dropped during outage: %.1f -> %.1f",
+			impact.Before.MedianRTT, impact.During.MedianRTT)
+	}
+	// After recovery the failure rate returns to baseline-ish.
+	if impact.After.FailRate > impact.During.FailRate {
+		t.Errorf("failure rate should recover: during=%.3f after=%.3f",
+			impact.During.FailRate, impact.After.FailRate)
+	}
+}
+
+func TestOutageImpactEmptyDataset(t *testing.T) {
+	ds := &measure.Dataset{ComboID: "X", Sites: []string{"FRA", "DUB"}, Duration: time.Hour}
+	impact := OutageImpactOf(ds, "FRA", 10*time.Minute, 20*time.Minute)
+	if impact.Before.Queries != 0 || impact.During.FailRate != 0 || impact.After.MedianRTT != 0 {
+		t.Errorf("empty dataset impact = %+v", impact)
+	}
+}

@@ -1,0 +1,201 @@
+package atlas
+
+import (
+	"testing"
+	"time"
+
+	"ritw/internal/geo"
+	"ritw/internal/resolver"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	pop, err := Generate(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pop.Summarize()
+	if st.Probes != 9700 {
+		t.Errorf("probes = %d", st.Probes)
+	}
+	// The paper: ~3,300 ASes for ~9,700 probes.
+	if st.ASes < 2300 || st.ASes > 4600 {
+		t.Errorf("ASes = %d, want paper-like ~3300", st.ASes)
+	}
+	if st.Resolvers < 2000 {
+		t.Errorf("resolvers = %d, want thousands", st.Resolvers)
+	}
+	// European skew.
+	eu := float64(st.ByContinent[geo.Europe]) / float64(st.Probes)
+	if eu < 0.5 || eu > 0.75 {
+		t.Errorf("EU share = %.2f", eu)
+	}
+	// All continents populated.
+	for _, c := range geo.Continents() {
+		if st.ByContinent[c] == 0 {
+			t.Errorf("continent %v empty", c)
+		}
+	}
+	// IPv6 capability ~31%.
+	v6 := float64(st.IPv6Capable) / float64(st.Probes)
+	if v6 < 0.25 || v6 > 0.40 {
+		t.Errorf("IPv6 share = %.2f", v6)
+	}
+	// Multi-resolver probes exist (the paper's VP definition depends
+	// on them).
+	if st.MultiResolver == 0 || st.PublicUsers == 0 {
+		t.Errorf("multi=%d public=%d", st.MultiResolver, st.PublicUsers)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Probes) != len(b.Probes) || len(a.Resolvers) != len(b.Resolvers) {
+		t.Fatal("sizes differ across identical seeds")
+	}
+	for i := range a.Probes {
+		if a.Probes[i].Loc != b.Probes[i].Loc || a.Probes[i].ASN != b.Probes[i].ASN {
+			t.Fatalf("probe %d differs", i)
+		}
+	}
+	c, err := Generate(DefaultConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Probes {
+		if a.Probes[i].Loc != c.Probes[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateMixShares(t *testing.T) {
+	pop, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pop.Summarize()
+	total := 0
+	for _, n := range st.ByPolicy {
+		total += n
+	}
+	if total != st.Resolvers {
+		t.Fatalf("policy counts %d != resolvers %d", total, st.Resolvers)
+	}
+	// Every behaviour in the default mix is represented, roughly in
+	// proportion (loose bands; the AS pooling adds variance).
+	for _, m := range DefaultMix() {
+		frac := float64(st.ByPolicy[m.Kind]) / float64(total)
+		if frac < m.Share*0.5 || frac > m.Share*1.8 {
+			t.Errorf("%v share = %.3f, configured %.3f", m.Kind, frac, m.Share)
+		}
+	}
+}
+
+func TestGenerateCustomMix(t *testing.T) {
+	cfg := Config{
+		NumProbes: 500,
+		Seed:      3,
+		Mix: []PolicyShare{
+			{Kind: resolver.KindUniform, Share: 1, InfraTTL: time.Minute},
+		},
+		PublicDNSShare: 0, // all AS resolvers uniform
+	}
+	pop, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pop.Resolvers {
+		if r.Public {
+			continue // public sites exclude sticky but may pick any non-sticky
+		}
+		if r.Kind != resolver.KindUniform {
+			t.Fatalf("unexpected kind %v", r.Kind)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumProbes: 0}); err == nil {
+		t.Error("zero probes should fail")
+	}
+	if _, err := Generate(Config{NumProbes: 10, Mix: []PolicyShare{{Kind: resolver.KindUniform, Share: -1}}}); err == nil {
+		t.Error("negative share should fail")
+	}
+	if _, err := Generate(Config{NumProbes: 10, Mix: []PolicyShare{{Kind: resolver.KindUniform, Share: 0}}}); err == nil {
+		t.Error("zero-total mixture should fail")
+	}
+}
+
+func TestProbeResolverIndices(t *testing.T) {
+	pop, err := Generate(DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pop.Probes {
+		if len(p.Resolvers) == 0 {
+			t.Fatalf("probe %d has no resolver", p.ID)
+		}
+		for _, idx := range p.Resolvers {
+			if PublicMarker(idx) {
+				continue
+			}
+			if idx < 0 || idx >= len(pop.Resolvers) {
+				t.Fatalf("probe %d has bad resolver index %d", p.ID, idx)
+			}
+		}
+	}
+	if len(pop.PublicSites) == 0 {
+		t.Fatal("no public sites")
+	}
+	for _, idx := range pop.PublicSites {
+		if !pop.Resolvers[idx].Public {
+			t.Errorf("index %d not marked public", idx)
+		}
+		if pop.Resolvers[idx].Kind == resolver.KindSticky {
+			t.Error("public DNS should not be sticky")
+		}
+	}
+}
+
+func TestScatterStaysNearAndInRange(t *testing.T) {
+	pop, err := Generate(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pop.Probes {
+		if p.Loc.Lat < -90 || p.Loc.Lat > 90 || p.Loc.Lon < -180 || p.Loc.Lon > 180 {
+			t.Fatalf("probe %d at invalid coordinate %+v", p.ID, p.Loc)
+		}
+		if d := p.Loc.DistanceKm(p.Site.Coord); d > 700 {
+			t.Fatalf("probe %d scattered %f km from its region", p.ID, d)
+		}
+	}
+}
+
+func TestLastMilePopulated(t *testing.T) {
+	pop, err := Generate(DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, p := range pop.Probes {
+		if p.LastMileMs == 0 {
+			zero++
+		}
+	}
+	if zero > len(pop.Probes)/100 {
+		t.Errorf("too many probes with zero last-mile: %d", zero)
+	}
+}

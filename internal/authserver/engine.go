@@ -1,0 +1,303 @@
+// Package authserver implements the authoritative DNS server used as
+// the paper's measurement instrument (the role NSD 4.1.7 played on the
+// AWS deployments). Each instance serves one or more zones, answers
+// CHAOS identity queries with its site identity, and exposes per-query
+// instrumentation so experiments can observe traffic from the
+// authoritative side, as the paper does for its middlebox check.
+//
+// The core Engine is a pure request→response function, so the same
+// code serves simulated datagrams (internal/netsim) and real UDP/TCP
+// sockets (Server in this package, cmd/authd).
+package authserver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// QueryInfo describes one handled query for instrumentation.
+type QueryInfo struct {
+	Src      netip.Addr
+	Question dnswire.Question
+	RCode    dnswire.RCode
+}
+
+// Stats aggregates server activity.
+type Stats struct {
+	Queries     int
+	Responses   int
+	ByType      map[dnswire.Type]int
+	ByRCode     map[dnswire.RCode]int
+	Chaos       int
+	Dropped     int
+	RateLimited int
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Zones this server is authoritative for.
+	Zones []*zone.Zone
+	// Identity is the site identity string answered for CHAOS
+	// hostname.bind / id.server queries (e.g. "fra1.ourtestdomain.nl").
+	Identity string
+	// OnQuery, if set, observes every valid query (for measurement
+	// capture at the authoritative side).
+	OnQuery func(QueryInfo)
+	// OnNotify, if set, receives RFC 1996 NOTIFY messages (a secondary
+	// wires this to its refresh trigger). Without it, NOTIFY gets
+	// NOTIMP like any other unsupported opcode.
+	OnNotify func(origin dnswire.Name, src netip.Addr)
+	// RRL enables response rate limiting. It requires Now.
+	RRL *RRLConfig
+	// Now supplies time for rate limiting (virtual in the simulator,
+	// wall-clock in socket servers). Required when RRL is set.
+	Now func() time.Duration
+}
+
+// Engine answers DNS queries authoritatively.
+type Engine struct {
+	mu    sync.Mutex
+	cfg   Config
+	rrl   *rrlState
+	stats Stats
+}
+
+// NewEngine builds an authoritative engine. It panics if RRL is
+// configured without a time source — a static misconfiguration.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{
+		cfg: cfg,
+		stats: Stats{
+			ByType:  make(map[dnswire.Type]int),
+			ByRCode: make(map[dnswire.RCode]int),
+		},
+	}
+	if cfg.RRL != nil {
+		if cfg.Now == nil {
+			panic("authserver: RRL requires Config.Now")
+		}
+		e.rrl = newRRL(*cfg.RRL)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.ByType = make(map[dnswire.Type]int, len(e.stats.ByType))
+	for k, v := range e.stats.ByType {
+		st.ByType[k] = v
+	}
+	st.ByRCode = make(map[dnswire.RCode]int, len(e.stats.ByRCode))
+	for k, v := range e.stats.ByRCode {
+		st.ByRCode[k] = v
+	}
+	return st
+}
+
+// Identity returns the configured site identity.
+func (e *Engine) Identity() string { return e.cfg.Identity }
+
+// HandleQuery processes one wire-format query from src and returns the
+// wire-format response, or nil when the input must be dropped
+// (garbage, or a response packet — servers never answer responses).
+// maxUDP is the size limit for the response (0 means the classic 512);
+// responses that do not fit are truncated with TC set.
+func (e *Engine) HandleQuery(src netip.Addr, payload []byte, maxUDP int) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	query, err := dnswire.Unpack(payload)
+	if err != nil || query.Response {
+		e.stats.Dropped++
+		return nil
+	}
+	e.stats.Queries++
+
+	resp, err := dnswire.NewResponse(query)
+	if err != nil {
+		// No question: FORMERR with a bare header.
+		e.stats.Dropped++
+		bare := &dnswire.Message{Header: dnswire.Header{
+			ID: query.ID, Response: true, Opcode: query.Opcode, RCode: dnswire.RCodeFormErr,
+		}}
+		wire, err := bare.Pack()
+		if err != nil {
+			return nil
+		}
+		return wire
+	}
+	q := resp.Questions[0]
+	e.stats.ByType[q.Type]++
+
+	// Respect the client's EDNS0 advertised size.
+	if opt, ok := query.OPT(); ok {
+		resp.SetEDNS0(dnswire.DefaultEDNSSize, false)
+		if int(opt.UDPSize) > maxUDP {
+			maxUDP = int(opt.UDPSize)
+		}
+	}
+	if maxUDP <= 0 {
+		maxUDP = dnswire.MaxUDPSize
+	}
+
+	switch {
+	case query.Opcode == dnswire.OpcodeNotify && e.cfg.OnNotify != nil:
+		// Acknowledge and hand off to the refresh trigger (RFC 1996).
+		resp.Authoritative = true
+		e.cfg.OnNotify(q.Name, src)
+	case query.Opcode != dnswire.OpcodeQuery:
+		resp.RCode = dnswire.RCodeNotImp
+	case q.Class == dnswire.ClassCHAOS:
+		e.answerChaos(resp, q)
+	default:
+		e.answerAuthoritative(resp, q)
+	}
+
+	e.stats.ByRCode[resp.RCode]++
+	if e.cfg.OnQuery != nil {
+		e.cfg.OnQuery(QueryInfo{Src: src, Question: q, RCode: resp.RCode})
+	}
+
+	if e.rrl != nil {
+		switch e.rrl.check(src, e.cfg.Now()) {
+		case rrlDrop:
+			e.stats.RateLimited++
+			return nil
+		case rrlSlip:
+			e.stats.RateLimited++
+			if wire := slipResponse(query); wire != nil {
+				e.stats.Responses++
+				return wire
+			}
+			return nil
+		}
+	}
+
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	if len(wire) > maxUDP {
+		wire = e.truncate(resp, maxUDP)
+	}
+	if wire != nil {
+		e.stats.Responses++
+	}
+	return wire
+}
+
+// answerChaos serves hostname.bind / id.server from the site identity.
+// The paper's measurement deliberately avoids CHAOS (a recursive
+// answers it itself); we serve it so the contrast is demonstrable.
+func (e *Engine) answerChaos(resp *dnswire.Message, q dnswire.Question) {
+	name := q.Name.Key()
+	if q.Type == dnswire.TypeTXT && (name == "hostname.bind." || name == "id.server.") && e.cfg.Identity != "" {
+		e.stats.Chaos++
+		resp.Authoritative = true
+		resp.Answers = []dnswire.RR{{
+			Name:  q.Name,
+			Class: dnswire.ClassCHAOS,
+			TTL:   0,
+			Data:  dnswire.TXT{Strings: []string{e.cfg.Identity}},
+		}}
+		return
+	}
+	resp.RCode = dnswire.RCodeRefused
+}
+
+// answerAuthoritative resolves an Internet-class question against the
+// configured zones.
+func (e *Engine) answerAuthoritative(resp *dnswire.Message, q dnswire.Question) {
+	z := e.zoneFor(q.Name)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return
+	}
+	resp.Authoritative = true
+	res := z.Lookup(q.Name, q.Type)
+	switch res.Kind {
+	case zone.Success:
+		resp.Answers = res.Records
+		resp.Authority = res.Authority
+		e.addGlue(resp, z)
+	case zone.NoData:
+		resp.Authority = res.Authority
+	case zone.NXDomain:
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authority = res.Authority
+	case zone.Delegation:
+		resp.Authority = res.Authority
+	}
+}
+
+// Zone returns the configured zone whose origin is the longest suffix
+// of qname, for callers that need direct zone access (zone transfer).
+func (e *Engine) Zone(qname dnswire.Name) (*zone.Zone, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	z := e.zoneFor(qname)
+	return z, z != nil
+}
+
+// zoneFor returns the zone with the longest origin matching qname.
+func (e *Engine) zoneFor(qname dnswire.Name) *zone.Zone {
+	var best *zone.Zone
+	bestLabels := -1
+	for _, z := range e.cfg.Zones {
+		if qname.IsSubdomainOf(z.Origin()) && z.Origin().NumLabels() > bestLabels {
+			best = z
+			bestLabels = z.Origin().NumLabels()
+		}
+	}
+	return best
+}
+
+// addGlue fills the additional section with addresses for NS targets
+// named in the authority section.
+func (e *Engine) addGlue(resp *dnswire.Message, z *zone.Zone) {
+	seen := make(map[string]bool)
+	for _, rr := range resp.Authority {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok || seen[ns.Host.Key()] {
+			continue
+		}
+		seen[ns.Host.Key()] = true
+		for _, typ := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+			res := z.Lookup(ns.Host, typ)
+			if res.Kind == zone.Success {
+				resp.Additional = append(resp.Additional, res.Records...)
+			}
+		}
+	}
+}
+
+// truncate rebuilds the response with TC set and sections emptied
+// until it fits maxUDP, per RFC 2181 §9.
+func (e *Engine) truncate(resp *dnswire.Message, maxUDP int) []byte {
+	resp.Truncated = true
+	resp.Additional = nil
+	for {
+		wire, err := resp.Pack()
+		if err != nil {
+			return nil
+		}
+		if len(wire) <= maxUDP {
+			return wire
+		}
+		switch {
+		case len(resp.Answers) > 0:
+			resp.Answers = resp.Answers[:len(resp.Answers)-1]
+		case len(resp.Authority) > 0:
+			resp.Authority = resp.Authority[:len(resp.Authority)-1]
+		default:
+			return wire[:0] // cannot shrink further; drop
+		}
+	}
+}

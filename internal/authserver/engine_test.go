@@ -1,0 +1,373 @@
+package authserver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+var clientAddr = netip.MustParseAddr("203.0.113.5")
+
+const testZoneText = `
+$ORIGIN ourtestdomain.nl.
+$TTL 3600
+@   IN SOA ns1 hostmaster 2017032301 7200 3600 604800 300
+    IN NS ns1
+    IN NS ns2
+ns1 IN A 192.0.2.1
+ns2 IN A 192.0.2.2
+ns2 IN AAAA 2001:db8::2
+*   5 IN TXT "site=FRA"
+`
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(Config{
+		Zones:    []*zone.Zone{z},
+		Identity: "fra1.ourtestdomain.nl",
+	})
+}
+
+// ask runs one query through the engine and parses the response.
+func ask(t *testing.T, e *Engine, q *dnswire.Message) *dnswire.Message {
+	t.Helper()
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.HandleQuery(clientAddr, wire, 0)
+	if out == nil {
+		t.Fatal("engine dropped a valid query")
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestWildcardTXTIdentity(t *testing.T) {
+	e := testEngine(t)
+	q := dnswire.NewQuery(1, dnswire.MustParseName("probe-1-xyz.ourtestdomain.nl"), dnswire.TypeTXT)
+	resp := ask(t, e, q)
+	if !resp.Authoritative || resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+	txt := resp.Answers[0].Data.(dnswire.TXT)
+	if txt.Joined() != "site=FRA" {
+		t.Errorf("TXT = %q", txt.Joined())
+	}
+	if resp.Answers[0].TTL != 5 {
+		t.Errorf("TTL = %d, want the paper's 5 s", resp.Answers[0].TTL)
+	}
+	if !resp.Answers[0].Name.Equal(q.Questions[0].Name) {
+		t.Error("wildcard answer must carry the query name")
+	}
+}
+
+func TestPositiveAnswerCarriesNSAndGlue(t *testing.T) {
+	e := testEngine(t)
+	resp := ask(t, e, dnswire.NewQuery(2, dnswire.MustParseName("ns1.ourtestdomain.nl"), dnswire.TypeA))
+	if len(resp.Answers) != 1 || len(resp.Authority) != 2 {
+		t.Fatalf("an=%d ns=%d", len(resp.Answers), len(resp.Authority))
+	}
+	// Glue for ns1 (A) and ns2 (A+AAAA) = 3 additional records.
+	if len(resp.Additional) != 3 {
+		t.Errorf("glue = %d, want 3: %+v", len(resp.Additional), resp.Additional)
+	}
+}
+
+func TestNXDomainVsNoData(t *testing.T) {
+	e := testEngine(t)
+	// ns1 exists but has no TXT: NODATA (NOERROR, no answers, SOA).
+	resp := ask(t, e, dnswire.NewQuery(3, dnswire.MustParseName("ns1.ourtestdomain.nl"), dnswire.TypeTXT))
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) != 0 {
+		t.Fatalf("NODATA wrong: %+v", resp.Header)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type() != dnswire.TypeSOA {
+		t.Errorf("NODATA should carry SOA: %+v", resp.Authority)
+	}
+	// The wildcard makes *.ourtestdomain.nl exist for any name, so a
+	// real NXDOMAIN needs an out-of-zone query... which is REFUSED
+	// instead. NXDOMAIN is reachable for names under a zone without a
+	// wildcard:
+	z, err := zone.ParseString("$ORIGIN plain.nl.\n@ IN SOA ns hm 1 2 3 4 60\n", dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(Config{Zones: []*zone.Zone{z}})
+	resp = ask(t, e2, dnswire.NewQuery(4, dnswire.MustParseName("missing.plain.nl"), dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].TTL != 60 {
+		t.Errorf("negative TTL should clamp to SOA minimum: %+v", resp.Authority)
+	}
+}
+
+func TestRefusedOutOfZone(t *testing.T) {
+	e := testEngine(t)
+	resp := ask(t, e, dnswire.NewQuery(5, dnswire.MustParseName("example.com"), dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestChaosIdentity(t *testing.T) {
+	e := testEngine(t)
+	resp := ask(t, e, dnswire.NewChaosQuery(6, dnswire.MustParseName("hostname.bind")))
+	if len(resp.Answers) != 1 {
+		t.Fatalf("chaos answers = %d", len(resp.Answers))
+	}
+	txt := resp.Answers[0].Data.(dnswire.TXT)
+	if txt.Joined() != "fra1.ourtestdomain.nl" {
+		t.Errorf("identity = %q", txt.Joined())
+	}
+	if resp.Answers[0].Class != dnswire.ClassCHAOS {
+		t.Error("CHAOS answer should be CH class")
+	}
+	// id.server works too.
+	resp = ask(t, e, dnswire.NewChaosQuery(7, dnswire.MustParseName("id.server")))
+	if len(resp.Answers) != 1 {
+		t.Error("id.server should be answered")
+	}
+	// Unknown CHAOS names are refused.
+	resp = ask(t, e, dnswire.NewChaosQuery(8, dnswire.MustParseName("version.bind")))
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("version.bind rcode = %v", resp.RCode)
+	}
+	// A server with no identity refuses hostname.bind as well.
+	e2 := NewEngine(Config{})
+	resp = ask(t, e2, dnswire.NewChaosQuery(9, dnswire.MustParseName("hostname.bind")))
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("no-identity rcode = %v", resp.RCode)
+	}
+}
+
+func TestNotImpForNonQueryOpcodes(t *testing.T) {
+	e := testEngine(t)
+	q := dnswire.NewQuery(10, dnswire.MustParseName("x.ourtestdomain.nl"), dnswire.TypeTXT)
+	q.Opcode = dnswire.OpcodeUpdate
+	resp := ask(t, e, q)
+	if resp.RCode != dnswire.RCodeNotImp {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestDropGarbageAndResponses(t *testing.T) {
+	e := testEngine(t)
+	if out := e.HandleQuery(clientAddr, []byte{0xde, 0xad}, 0); out != nil {
+		t.Error("garbage should be dropped")
+	}
+	r := dnswire.NewQuery(11, dnswire.MustParseName("x.nl"), dnswire.TypeA)
+	r.Response = true
+	wire, _ := r.Pack()
+	if out := e.HandleQuery(clientAddr, wire, 0); out != nil {
+		t.Error("responses should be dropped, not answered")
+	}
+	if e.Stats().Dropped != 2 {
+		t.Errorf("dropped = %d", e.Stats().Dropped)
+	}
+}
+
+func TestFormErrNoQuestion(t *testing.T) {
+	e := testEngine(t)
+	m := &dnswire.Message{Header: dnswire.Header{ID: 77}}
+	wire, _ := m.Pack()
+	out := e.HandleQuery(clientAddr, wire, 0)
+	if out == nil {
+		t.Fatal("no FORMERR response")
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeFormErr || resp.ID != 77 {
+		t.Errorf("resp = %+v", resp.Header)
+	}
+}
+
+func TestEDNSEchoAndSize(t *testing.T) {
+	e := testEngine(t)
+	q := dnswire.NewQuery(12, dnswire.MustParseName("y.ourtestdomain.nl"), dnswire.TypeTXT)
+	q.SetEDNS0(4096, false)
+	resp := ask(t, e, q)
+	if _, ok := resp.OPT(); !ok {
+		t.Error("EDNS query should get EDNS response")
+	}
+	// Non-EDNS query gets no OPT back.
+	resp = ask(t, e, dnswire.NewQuery(13, dnswire.MustParseName("z.ourtestdomain.nl"), dnswire.TypeTXT))
+	if _, ok := resp.OPT(); ok {
+		t.Error("plain query should not get OPT")
+	}
+}
+
+func TestTruncationOver512(t *testing.T) {
+	// Build a zone whose TXT answer exceeds 512 bytes.
+	var sb strings.Builder
+	sb.WriteString("$ORIGIN big.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT")
+	for i := 0; i < 5; i++ {
+		sb.WriteString(" \"")
+		sb.WriteString(strings.Repeat("x", 200))
+		sb.WriteString("\"")
+	}
+	sb.WriteString("\n")
+	z, err := zone.ParseString(sb.String(), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Config{Zones: []*zone.Zone{z}})
+	q := dnswire.NewQuery(14, dnswire.MustParseName("t.big.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	out := e.HandleQuery(clientAddr, wire, 0)
+	if len(out) > 512 {
+		t.Fatalf("response %d bytes exceeds 512", len(out))
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Error("oversize answer must set TC")
+	}
+	// With a big EDNS buffer, the full answer fits and TC is clear.
+	q2 := dnswire.NewQuery(15, dnswire.MustParseName("t.big.nl"), dnswire.TypeTXT)
+	q2.SetEDNS0(4096, false)
+	wire2, _ := q2.Pack()
+	out2 := e.HandleQuery(clientAddr, wire2, 0)
+	resp2, err := dnswire.Unpack(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Truncated || len(resp2.Answers) != 1 {
+		t.Errorf("EDNS response: tc=%v an=%d", resp2.Truncated, len(resp2.Answers))
+	}
+}
+
+func TestMultipleZonesLongestMatch(t *testing.T) {
+	parent, err := zone.ParseString("$ORIGIN nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT \"parent\"\n", dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := zone.ParseString("$ORIGIN sub.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT \"child\"\n", dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Config{Zones: []*zone.Zone{parent, child}})
+	resp := ask(t, e, dnswire.NewQuery(16, dnswire.MustParseName("t.sub.nl"), dnswire.TypeTXT))
+	if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "child" {
+		t.Errorf("longest match lost: %q", got)
+	}
+	resp = ask(t, e, dnswire.NewQuery(17, dnswire.MustParseName("t.nl"), dnswire.TypeTXT))
+	if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "parent" {
+		t.Errorf("parent zone broken: %q", got)
+	}
+}
+
+func TestOnQueryInstrumentation(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []QueryInfo
+	e := NewEngine(Config{
+		Zones:   []*zone.Zone{z},
+		OnQuery: func(qi QueryInfo) { got = append(got, qi) },
+	})
+	q := dnswire.NewQuery(20, dnswire.MustParseName("abc.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	e.HandleQuery(clientAddr, wire, 0)
+	if len(got) != 1 {
+		t.Fatalf("OnQuery calls = %d", len(got))
+	}
+	if got[0].Src != clientAddr || got[0].RCode != dnswire.RCodeNoError {
+		t.Errorf("info = %+v", got[0])
+	}
+	if got[0].Question.Type != dnswire.TypeTXT {
+		t.Errorf("question = %+v", got[0].Question)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 3; i++ {
+		ask(t, e, dnswire.NewQuery(uint16(i), dnswire.MustParseName("s.ourtestdomain.nl"), dnswire.TypeTXT))
+	}
+	ask(t, e, dnswire.NewChaosQuery(99, dnswire.MustParseName("hostname.bind")))
+	st := e.Stats()
+	if st.Queries != 4 || st.Responses != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByType[dnswire.TypeTXT] != 4 {
+		t.Errorf("TXT count = %d", st.ByType[dnswire.TypeTXT])
+	}
+	if st.Chaos != 1 {
+		t.Errorf("chaos = %d", st.Chaos)
+	}
+	if st.ByRCode[dnswire.RCodeNoError] != 4 {
+		t.Errorf("rcode counts = %+v", st.ByRCode)
+	}
+	// Snapshot isolation: mutating the copy must not corrupt the engine.
+	st.ByType[dnswire.TypeTXT] = 999
+	if e.Stats().ByType[dnswire.TypeTXT] != 4 {
+		t.Error("Stats() must return a copy")
+	}
+}
+
+func BenchmarkHandleWildcardTXT(b *testing.B) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(Config{Zones: []*zone.Zone{z}, Identity: "fra1"})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("bench.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := e.HandleQuery(clientAddr, wire, 0); out == nil {
+			b.Fatal("dropped")
+		}
+	}
+}
+
+func TestNotifyHandoff(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotOrigin dnswire.Name
+	var gotSrc netip.Addr
+	e := NewEngine(Config{
+		Zones: []*zone.Zone{z},
+		OnNotify: func(origin dnswire.Name, src netip.Addr) {
+			gotOrigin, gotSrc = origin, src
+		},
+	})
+	q := dnswire.NewQuery(31, dnswire.MustParseName("ourtestdomain.nl"), dnswire.TypeSOA)
+	q.Opcode = dnswire.OpcodeNotify
+	q.RecursionDesired = false
+	resp := ask(t, e, q)
+	if resp.RCode != dnswire.RCodeNoError || !resp.Authoritative {
+		t.Errorf("notify response = %+v", resp.Header)
+	}
+	if !gotOrigin.Equal(dnswire.MustParseName("ourtestdomain.nl")) || gotSrc != clientAddr {
+		t.Errorf("handoff = %v from %v", gotOrigin, gotSrc)
+	}
+	// Without the hook, NOTIFY is NOTIMP.
+	e2 := testEngine(t)
+	resp = ask(t, e2, q)
+	if resp.RCode != dnswire.RCodeNotImp {
+		t.Errorf("unhooked notify rcode = %v", resp.RCode)
+	}
+}

@@ -1,0 +1,109 @@
+package authserver
+
+import (
+	"net/netip"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// RRLConfig enables response rate limiting, the NSD/BIND defence
+// against DNS amplification floods: per source address, responses
+// above the configured rate are dropped, except that every SlipRatio-th
+// limited response goes out truncated (TC set) so legitimate clients
+// behind a spoofed address can fall back to TCP.
+type RRLConfig struct {
+	// RatePerSec is the sustained responses-per-second allowance per
+	// source address.
+	RatePerSec float64
+	// Burst is the bucket depth (instantaneous allowance). Defaults to
+	// 2×RatePerSec.
+	Burst float64
+	// SlipRatio sends every n-th limited response as a truncated
+	// reply instead of dropping it (0 disables slip; NSD defaults 2).
+	SlipRatio int
+	// MaxSources bounds the tracking table (default 100000).
+	MaxSources int
+}
+
+// rrlState is the per-engine limiter.
+type rrlState struct {
+	cfg     RRLConfig
+	buckets map[netip.Addr]*rrlBucket
+	slip    int
+}
+
+type rrlBucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+func newRRL(cfg RRLConfig) *rrlState {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 2 * cfg.RatePerSec
+	}
+	if cfg.MaxSources <= 0 {
+		cfg.MaxSources = 100000
+	}
+	return &rrlState{
+		cfg:     cfg,
+		buckets: make(map[netip.Addr]*rrlBucket),
+	}
+}
+
+// rrlAction is the limiter's verdict for one response.
+type rrlAction uint8
+
+const (
+	rrlSend rrlAction = iota
+	rrlDrop
+	rrlSlip
+)
+
+// check charges one response to src at time now and returns the
+// verdict. Called with the engine lock held.
+func (r *rrlState) check(src netip.Addr, now time.Duration) rrlAction {
+	b, ok := r.buckets[src]
+	if !ok {
+		if len(r.buckets) >= r.cfg.MaxSources {
+			// Table full: age out by resetting. Crude but bounded, and
+			// an attack that fills the table resets itself too.
+			r.buckets = make(map[netip.Addr]*rrlBucket)
+		}
+		b = &rrlBucket{tokens: r.cfg.Burst, last: now}
+		r.buckets[src] = b
+	}
+	elapsed := now - b.last
+	if elapsed > 0 {
+		b.tokens += r.cfg.RatePerSec * elapsed.Seconds()
+		if b.tokens > r.cfg.Burst {
+			b.tokens = r.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return rrlSend
+	}
+	if r.cfg.SlipRatio > 0 {
+		r.slip++
+		if r.slip%r.cfg.SlipRatio == 0 {
+			return rrlSlip
+		}
+	}
+	return rrlDrop
+}
+
+// slipResponse builds the minimal truncated reply sent on slip.
+func slipResponse(query *dnswire.Message) []byte {
+	resp, err := dnswire.NewResponse(query)
+	if err != nil {
+		return nil
+	}
+	resp.Truncated = true
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	return wire
+}

@@ -1,0 +1,150 @@
+package authserver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// rrlEngine builds an engine with rate limiting and a manual clock.
+func rrlEngine(t *testing.T, cfg RRLConfig) (*Engine, *time.Duration) {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := new(time.Duration)
+	e := NewEngine(Config{
+		Zones: []*zone.Zone{z},
+		RRL:   &cfg,
+		Now:   func() time.Duration { return *now },
+	})
+	return e, now
+}
+
+func rrlQuery(t *testing.T, i int) []byte {
+	t.Helper()
+	q := dnswire.NewQuery(uint16(i), dnswire.MustParseName("flood.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestRRLLimitsFloods(t *testing.T) {
+	e, _ := rrlEngine(t, RRLConfig{RatePerSec: 5, Burst: 10})
+	attacker := netip.MustParseAddr("198.51.100.1")
+	answered := 0
+	for i := 0; i < 100; i++ {
+		if out := e.HandleQuery(attacker, rrlQuery(t, i), 0); out != nil {
+			answered++
+		}
+	}
+	// Burst of 10 allowed, the rest dropped (no time passes).
+	if answered != 10 {
+		t.Errorf("answered = %d, want the burst of 10", answered)
+	}
+	if st := e.Stats(); st.RateLimited != 90 {
+		t.Errorf("rate limited = %d, want 90", st.RateLimited)
+	}
+}
+
+func TestRRLRefillsOverTime(t *testing.T) {
+	e, now := rrlEngine(t, RRLConfig{RatePerSec: 5, Burst: 5})
+	src := netip.MustParseAddr("198.51.100.2")
+	for i := 0; i < 5; i++ {
+		if e.HandleQuery(src, rrlQuery(t, i), 0) == nil {
+			t.Fatalf("burst query %d dropped", i)
+		}
+	}
+	if e.HandleQuery(src, rrlQuery(t, 6), 0) != nil {
+		t.Fatal("over-burst query answered")
+	}
+	*now = 2 * time.Second // refills 10, capped at burst 5
+	answered := 0
+	for i := 0; i < 10; i++ {
+		if e.HandleQuery(src, rrlQuery(t, 10+i), 0) != nil {
+			answered++
+		}
+	}
+	if answered != 5 {
+		t.Errorf("post-refill answered = %d, want 5", answered)
+	}
+}
+
+func TestRRLSlipSendsTruncated(t *testing.T) {
+	e, _ := rrlEngine(t, RRLConfig{RatePerSec: 1, Burst: 1, SlipRatio: 2})
+	src := netip.MustParseAddr("198.51.100.3")
+	var slipped, dropped int
+	for i := 0; i < 21; i++ {
+		out := e.HandleQuery(src, rrlQuery(t, i), 0)
+		if i == 0 {
+			if out == nil {
+				t.Fatal("first query should pass")
+			}
+			continue
+		}
+		if out == nil {
+			dropped++
+			continue
+		}
+		resp, err := dnswire.Unpack(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Truncated || len(resp.Answers) != 0 {
+			t.Fatalf("slip response should be empty+TC: %+v", resp.Header)
+		}
+		slipped++
+	}
+	if slipped != 10 || dropped != 10 {
+		t.Errorf("slipped=%d dropped=%d, want 10/10 at ratio 2", slipped, dropped)
+	}
+}
+
+func TestRRLPerSourceIsolation(t *testing.T) {
+	e, _ := rrlEngine(t, RRLConfig{RatePerSec: 1, Burst: 2})
+	attacker := netip.MustParseAddr("198.51.100.4")
+	victim := netip.MustParseAddr("203.0.113.4")
+	for i := 0; i < 50; i++ {
+		e.HandleQuery(attacker, rrlQuery(t, i), 0)
+	}
+	// A different source is unaffected.
+	if out := e.HandleQuery(victim, rrlQuery(t, 1000), 0); out == nil {
+		t.Error("innocent source rate-limited")
+	}
+}
+
+func TestRRLTableBound(t *testing.T) {
+	e, _ := rrlEngine(t, RRLConfig{RatePerSec: 1, Burst: 1, MaxSources: 10})
+	// 50 distinct sources must not grow the table past the bound.
+	for i := 0; i < 50; i++ {
+		src := netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})
+		if out := e.HandleQuery(src, rrlQuery(t, i), 0); out == nil {
+			t.Fatalf("fresh source %d dropped", i)
+		}
+	}
+	if n := len(e.rrl.buckets); n > 10 {
+		t.Errorf("bucket table grew to %d, bound is 10", n)
+	}
+}
+
+func TestRRLRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RRL without Now should panic")
+		}
+	}()
+	NewEngine(Config{RRL: &RRLConfig{RatePerSec: 1}})
+}
+
+func TestRRLDefaults(t *testing.T) {
+	st := newRRL(RRLConfig{RatePerSec: 10})
+	if st.cfg.Burst != 20 || st.cfg.MaxSources != 100000 {
+		t.Errorf("defaults = %+v", st.cfg)
+	}
+}

@@ -1,0 +1,226 @@
+package authserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ritw/internal/axfr"
+	"ritw/internal/dnswire"
+)
+
+// Server runs an Engine on real UDP and TCP sockets (cmd/authd). TCP
+// uses the RFC 1035 two-byte length framing.
+type Server struct {
+	Engine *Engine
+	// ReadTimeout bounds TCP connection idle time (default 10s).
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	udpConn  *net.UDPConn
+	tcpLn    *net.TCPListener
+	closed   bool
+	wg       sync.WaitGroup
+	tcpConns map[net.Conn]struct{}
+}
+
+// NewServer wraps an engine for socket service.
+func NewServer(engine *Engine) *Server {
+	return &Server{
+		Engine:      engine,
+		ReadTimeout: 10 * time.Second,
+		tcpConns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:5353") and
+// serves until Close. It returns once both listeners are active; serving
+// continues on background goroutines.
+func (s *Server) ListenAndServe(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("authserver: resolve %q: %w", addr, err)
+	}
+	udpConn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return fmt.Errorf("authserver: udp listen: %w", err)
+	}
+	tcpAddr, err := net.ResolveTCPAddr("tcp", udpConn.LocalAddr().String())
+	if err != nil {
+		udpConn.Close()
+		return err
+	}
+	tcpLn, err := net.ListenTCP("tcp", tcpAddr)
+	if err != nil {
+		udpConn.Close()
+		return fmt.Errorf("authserver: tcp listen: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		udpConn.Close()
+		tcpLn.Close()
+		return errors.New("authserver: server closed")
+	}
+	s.udpConn = udpConn
+	s.tcpLn = tcpLn
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.serveUDP(udpConn)
+	go s.serveTCP(tcpLn)
+	return nil
+}
+
+// Addr returns the bound UDP address, usable after ListenAndServe.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.udpConn == nil {
+		return nil
+	}
+	return s.udpConn.LocalAddr()
+}
+
+// Close stops the listeners and waits for handler goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.udpConn != nil {
+		s.udpConn.Close()
+	}
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	for c := range s.tcpConns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP(conn *net.UDPConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		src, ok := netip.AddrFromSlice(raddr.IP)
+		if !ok {
+			continue
+		}
+		resp := s.Engine.HandleQuery(src.Unmap(), buf[:n], 0)
+		if len(resp) > 0 {
+			conn.WriteToUDP(resp, raddr)
+		}
+	}
+}
+
+func (s *Server) serveTCP(ln *net.TCPListener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.tcpConns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveTCPConn(conn)
+	}
+}
+
+// maybeServeAXFR answers a zone-transfer query on a TCP connection.
+// It reports whether the payload was an AXFR query; a non-nil error
+// means the connection should be dropped.
+func (s *Server) maybeServeAXFR(conn net.Conn, src netip.Addr, payload []byte) (bool, error) {
+	q, err := dnswire.Unpack(payload)
+	if err != nil || q.Response {
+		return false, nil
+	}
+	question, ok := q.Question()
+	if !ok || question.Type != dnswire.TypeAXFR {
+		return false, nil
+	}
+	_ = src
+	z, ok := s.Engine.Zone(question.Name)
+	var msgs []*dnswire.Message
+	if ok {
+		msgs, err = axfr.ServeMessages(q, z)
+	}
+	if !ok || err != nil {
+		refused, rerr := dnswire.NewResponse(q)
+		if rerr != nil {
+			return true, rerr
+		}
+		refused.RCode = dnswire.RCodeRefused
+		msgs = []*dnswire.Message{refused}
+	}
+	return true, axfr.WriteStream(conn, msgs)
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.tcpConns, conn)
+		s.mu.Unlock()
+	}()
+	src := netip.Addr{}
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		if a, ok := netip.AddrFromSlice(ta.IP); ok {
+			src = a.Unmap()
+		}
+	}
+	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		msgLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+		if msgLen == 0 {
+			return
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			return
+		}
+		// Zone transfers are TCP-only and stream multiple messages.
+		if handled, err := s.maybeServeAXFR(conn, src, msg); handled {
+			if err != nil {
+				return
+			}
+			continue
+		}
+		// TCP responses are not size-limited (use 64 KiB).
+		resp := s.Engine.HandleQuery(src, msg, 65535)
+		if len(resp) == 0 {
+			continue
+		}
+		out := make([]byte, 2+len(resp))
+		binary.BigEndian.PutUint16(out, uint16(len(resp)))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package authserver
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// startServer brings up a real UDP+TCP server on a loopback port.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewEngine(Config{
+		Zones:    []*zone.Zone{z},
+		Identity: "fra1.ourtestdomain.nl",
+	}))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr().String()
+}
+
+func TestUDPServer(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	q := dnswire.NewQuery(21, dnswire.MustParseName("udp-probe.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 21 || !resp.Authoritative {
+		t.Errorf("header = %+v", resp.Header)
+	}
+	if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "site=FRA" {
+		t.Errorf("TXT = %q", got)
+	}
+}
+
+func TestUDPServerIgnoresGarbage(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte{1, 2, 3})
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 64)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("garbage got a response")
+	}
+}
+
+func TestTCPServer(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Two queries on one connection exercise framing reuse.
+	for i := 0; i < 2; i++ {
+		q := dnswire.NewQuery(uint16(30+i), dnswire.MustParseName("tcp-probe.ourtestdomain.nl"), dnswire.TypeTXT)
+		wire, _ := q.Pack()
+		framed := make([]byte, 2+len(wire))
+		binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+		copy(framed[2:], wire)
+		if _, err := conn.Write(framed); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		respBuf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(conn, respBuf); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := dnswire.Unpack(respBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint16(30+i) {
+			t.Errorf("ID = %d", resp.ID)
+		}
+	}
+}
+
+func TestTCPServerNoTruncation(t *testing.T) {
+	// Over TCP a >512-byte answer arrives whole.
+	zText := "$ORIGIN big.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT"
+	for i := 0; i < 4; i++ {
+		zText += " \"" + string(make250()) + "\""
+	}
+	zText += "\n"
+	z, err := zone.ParseString(zText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewEngine(Config{Zones: []*zone.Zone{z}}))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(40, dnswire.MustParseName("t.big.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	conn.Write(framed)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	respBuf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, respBuf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(respBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Error("TCP response should not be truncated")
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %d", len(resp.Answers))
+	}
+}
+
+func make250() []byte {
+	b := make([]byte, 250)
+	for i := range b {
+		b[i] = 'x'
+	}
+	return b
+}
+
+func TestServerCloseIdempotentAndAddr(t *testing.T) {
+	srv, _ := startServer(t)
+	if srv.Addr() == nil {
+		t.Error("Addr should be set after listen")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close should be safe")
+	}
+	fresh := NewServer(NewEngine(Config{}))
+	if fresh.Addr() != nil {
+		t.Error("Addr before listen should be nil")
+	}
+}

@@ -1,0 +1,158 @@
+// Package axfr implements full zone transfer (RFC 5936): the server
+// side that streams a zone as a sequence of DNS messages bracketed by
+// the SOA record, and the client side that fetches a zone from a
+// primary over TCP. This is how the paper's multi-site deployments
+// keep every authoritative serving the same zone content — each AWS
+// site served an identical copy, differing only in the identity TXT.
+package axfr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// Errors returned by zone-transfer operations.
+var (
+	ErrNotAuthoritative = errors.New("axfr: zone not served here")
+	ErrBadStream        = errors.New("axfr: malformed transfer stream")
+)
+
+// maxRecordsPerMessage bounds each transfer message; real servers pack
+// to the TCP segment, we pack to a record count for simplicity.
+const maxRecordsPerMessage = 64
+
+// ServeMessages renders the AXFR response stream for a query against
+// z: the zone's records with the SOA repeated at the end, split across
+// as many messages as needed, each echoing the query ID and question.
+func ServeMessages(q *dnswire.Message, z *zone.Zone) ([]*dnswire.Message, error) {
+	question, ok := q.Question()
+	if !ok {
+		return nil, dnswire.ErrNotAQuestion
+	}
+	if !question.Name.Equal(z.Origin()) {
+		return nil, ErrNotAuthoritative
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		return nil, zone.ErrNoSOA
+	}
+	records := z.Records() // SOA first
+	records = append(records, soa)
+
+	var msgs []*dnswire.Message
+	for start := 0; start < len(records); start += maxRecordsPerMessage {
+		end := start + maxRecordsPerMessage
+		if end > len(records) {
+			end = len(records)
+		}
+		resp, err := dnswire.NewResponse(q)
+		if err != nil {
+			return nil, err
+		}
+		resp.Authoritative = true
+		resp.Answers = records[start:end]
+		msgs = append(msgs, resp)
+	}
+	return msgs, nil
+}
+
+// WriteStream writes the framed transfer messages to a TCP-style
+// stream (two-byte length prefix per message).
+func WriteStream(w io.Writer, msgs []*dnswire.Message) error {
+	for _, m := range msgs {
+		wire, err := m.Pack()
+		if err != nil {
+			return err
+		}
+		var lenBuf [2]byte
+		binary.BigEndian.PutUint16(lenBuf[:], uint16(len(wire)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch performs a full zone transfer from the primary at addr
+// (host:port) and reconstructs the zone. The transfer is complete when
+// the SOA record appears a second time.
+func Fetch(addr string, origin dnswire.Name, timeout time.Duration) (*zone.Zone, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("axfr: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+
+	q := &dnswire.Message{
+		Header:    dnswire.Header{ID: uint16(time.Now().UnixNano())},
+		Questions: []dnswire.Question{{Name: origin, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET}},
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	return ReadStream(conn, q.ID, origin)
+}
+
+// ReadStream consumes a framed transfer stream and rebuilds the zone.
+// It validates the query ID, requires the stream to start with an SOA,
+// and stops at the trailing SOA.
+func ReadStream(r io.Reader, wantID uint16, origin dnswire.Name) (*zone.Zone, error) {
+	z := zone.New(origin)
+	sawFirstSOA := false
+	for {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+		}
+		buf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+		}
+		msg, err := dnswire.Unpack(buf)
+		if err != nil {
+			return nil, err
+		}
+		if msg.ID != wantID {
+			return nil, fmt.Errorf("%w: unexpected message ID %d", ErrBadStream, msg.ID)
+		}
+		if msg.RCode != dnswire.RCodeNoError {
+			return nil, fmt.Errorf("axfr: transfer refused: %s", msg.RCode)
+		}
+		for _, rr := range msg.Answers {
+			if rr.Type() == dnswire.TypeSOA {
+				if sawFirstSOA {
+					return z, nil // trailing SOA: done
+				}
+				sawFirstSOA = true
+				if err := z.Add(rr); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if !sawFirstSOA {
+				return nil, fmt.Errorf("%w: stream does not start with SOA", ErrBadStream)
+			}
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package axfr
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+func bigZone(t *testing.T, hosts int) *zone.Zone {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("$ORIGIN big.nl.\n@ IN SOA ns1 hostmaster 42 7200 3600 604800 300\n@ IN NS ns1\n")
+	for i := 0; i < hosts; i++ {
+		fmt.Fprintf(&sb, "h%04d IN A 192.0.2.%d\n", i, i%250+1)
+		fmt.Fprintf(&sb, "h%04d IN TXT \"host %d\"\n", i, i)
+	}
+	z, err := zone.ParseString(sb.String(), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func axfrQuery(t *testing.T, origin string) *dnswire.Message {
+	t.Helper()
+	return &dnswire.Message{
+		Header: dnswire.Header{ID: 77},
+		Questions: []dnswire.Question{{
+			Name: dnswire.MustParseName(origin), Type: dnswire.TypeAXFR, Class: dnswire.ClassINET,
+		}},
+	}
+}
+
+func TestServeMessagesBracketsWithSOA(t *testing.T) {
+	z := bigZone(t, 200) // 402 records -> several messages
+	msgs, err := ServeMessages(axfrQuery(t, "big.nl"), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 4 {
+		t.Fatalf("expected a multi-message stream, got %d", len(msgs))
+	}
+	first := msgs[0].Answers[0]
+	lastMsg := msgs[len(msgs)-1]
+	last := lastMsg.Answers[len(lastMsg.Answers)-1]
+	if first.Type() != dnswire.TypeSOA || last.Type() != dnswire.TypeSOA {
+		t.Errorf("stream must be SOA-bracketed: first=%v last=%v", first.Type(), last.Type())
+	}
+	total := 0
+	for _, m := range msgs {
+		if m.ID != 77 || !m.Response || !m.Authoritative {
+			t.Fatalf("bad message header: %+v", m.Header)
+		}
+		total += len(m.Answers)
+	}
+	if total != z.NumRecords()+1 {
+		t.Errorf("stream has %d records, want %d", total, z.NumRecords()+1)
+	}
+}
+
+func TestServeMessagesValidation(t *testing.T) {
+	z := bigZone(t, 1)
+	if _, err := ServeMessages(axfrQuery(t, "other.nl"), z); err != ErrNotAuthoritative {
+		t.Errorf("wrong-zone err = %v", err)
+	}
+	if _, err := ServeMessages(&dnswire.Message{}, z); err == nil {
+		t.Error("question-less query should fail")
+	}
+	empty := zone.New(dnswire.MustParseName("empty.nl"))
+	if _, err := ServeMessages(axfrQuery(t, "empty.nl"), empty); err != zone.ErrNoSOA {
+		t.Errorf("SOA-less zone err = %v", err)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	z := bigZone(t, 150)
+	msgs, err := ServeMessages(axfrQuery(t, "big.nl"), z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStream(&buf, 77, dnswire.MustParseName("big.nl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != z.NumRecords() {
+		t.Errorf("transferred %d records, want %d", got.NumRecords(), z.NumRecords())
+	}
+	// Spot-check content equality via lookups.
+	res := got.Lookup(dnswire.MustParseName("h0042.big.nl"), dnswire.TypeTXT)
+	if res.Kind != zone.Success || res.Records[0].Data.(dnswire.TXT).Joined() != "host 42" {
+		t.Errorf("transferred zone lookup = %+v", res)
+	}
+	soa, ok := got.SOA()
+	if !ok || soa.Data.(dnswire.SOA).Serial != 42 {
+		t.Errorf("SOA = %+v, %v", soa, ok)
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	origin := dnswire.MustParseName("big.nl")
+	// Truncated stream.
+	if _, err := ReadStream(bytes.NewReader([]byte{0, 5, 1}), 1, origin); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Wrong ID.
+	z := bigZone(t, 2)
+	msgs, _ := ServeMessages(axfrQuery(t, "big.nl"), z)
+	var buf bytes.Buffer
+	WriteStream(&buf, msgs)
+	if _, err := ReadStream(bytes.NewReader(buf.Bytes()), 999, origin); err == nil {
+		t.Error("ID mismatch should fail")
+	}
+	// Stream not starting with SOA.
+	notSOA, _ := dnswire.NewResponse(axfrQuery(t, "big.nl"))
+	notSOA.Answers = []dnswire.RR{{
+		Name: origin, Class: dnswire.ClassINET, Data: dnswire.TXT{Strings: []string{"x"}},
+	}}
+	buf.Reset()
+	WriteStream(&buf, []*dnswire.Message{notSOA})
+	if _, err := ReadStream(bytes.NewReader(buf.Bytes()), 77, origin); err == nil {
+		t.Error("SOA-less start should fail")
+	}
+	// Refused transfer.
+	refused, _ := dnswire.NewResponse(axfrQuery(t, "big.nl"))
+	refused.RCode = dnswire.RCodeRefused
+	buf.Reset()
+	WriteStream(&buf, []*dnswire.Message{refused})
+	if _, err := ReadStream(bytes.NewReader(buf.Bytes()), 77, origin); err == nil {
+		t.Error("refused transfer should fail")
+	}
+}

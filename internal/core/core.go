@@ -1,0 +1,131 @@
+// Package core is the library's front door: it ties the measurement
+// fabric (internal/measure, internal/ditl), the analyses
+// (internal/analysis) and the deployment planner together behind a
+// small API, mirroring the paper's structure — measure how recursives
+// choose authoritatives (§4), validate against production traffic
+// (§5), and turn the findings into engineering guidance (§7).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ritw/internal/analysis"
+	"ritw/internal/atlas"
+	"ritw/internal/ditl"
+	"ritw/internal/measure"
+)
+
+// Scale selects the size of a reproduction run. Full scale matches the
+// paper (~9,700 probes); smaller scales keep the same structure with
+// proportionally fewer vantage points, for tests and quick looks.
+type Scale int
+
+// Predefined scales.
+const (
+	// ScaleSmall is for unit tests and smoke runs (~800 probes).
+	ScaleSmall Scale = iota
+	// ScaleMedium is for benchmarks (~2,500 probes).
+	ScaleMedium
+	// ScaleFull is the paper's population (~9,700 probes).
+	ScaleFull
+)
+
+// Probes returns the probe count for the scale.
+func (s Scale) Probes() int {
+	switch s {
+	case ScaleSmall:
+		return 800
+	case ScaleMedium:
+		return 2500
+	default:
+		return 9700
+	}
+}
+
+// RunCombination executes the paper's standard measurement (1 hour,
+// 2-minute probing) for the named Table-1 combination.
+func RunCombination(comboID string, seed int64, scale Scale) (*measure.Dataset, error) {
+	combo, err := measure.CombinationByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	cfg := measure.DefaultRunConfig(combo, seed)
+	pc := atlas.DefaultConfig(seed)
+	pc.NumProbes = scale.Probes()
+	cfg.Population = pc
+	return measure.Run(cfg)
+}
+
+// RunTable1 executes all seven Table-1 combinations and returns their
+// datasets keyed by combination ID.
+func RunTable1(seed int64, scale Scale) (map[string]*measure.Dataset, error) {
+	out := make(map[string]*measure.Dataset, 7)
+	for i, combo := range measure.Table1() {
+		ds, err := RunCombination(combo.ID, seed+int64(i), scale)
+		if err != nil {
+			return nil, fmt.Errorf("core: combination %s: %w", combo.ID, err)
+		}
+		out[combo.ID] = ds
+	}
+	return out, nil
+}
+
+// Figure6Intervals are the probing intervals of the paper's Figure 6.
+func Figure6Intervals() []time.Duration {
+	return []time.Duration{
+		2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
+		15 * time.Minute, 20 * time.Minute, 30 * time.Minute,
+	}
+}
+
+// RunIntervalSweep re-runs combination 2C at each probing interval
+// (Figure 6) and returns the datasets in interval order.
+func RunIntervalSweep(seed int64, scale Scale, intervals []time.Duration) ([]*measure.Dataset, error) {
+	combo, err := measure.CombinationByID("2C")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*measure.Dataset, 0, len(intervals))
+	for i, ivl := range intervals {
+		cfg := measure.DefaultRunConfig(combo, seed+int64(i))
+		pc := atlas.DefaultConfig(seed + int64(i))
+		pc.NumProbes = scale.Probes()
+		cfg.Population = pc
+		cfg.Interval = ivl
+		ds, err := measure.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: interval %v: %w", ivl, err)
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// RunRootTrace synthesizes the DITL-style root capture (Figure 7 top)
+// and returns its rank bands alongside the trace.
+func RunRootTrace(seed int64, scale Scale) (*ditl.Trace, analysis.RankBands, error) {
+	cfg := ditl.DefaultRootConfig(seed)
+	cfg.NumRecursives = scale.Probes() / 8
+	cfg.MinRate = 60 // keep a healthy busy (>=250 q/h) population at small scales
+	trace, err := ditl.Run(cfg)
+	if err != nil {
+		return nil, analysis.RankBands{}, err
+	}
+	rb := analysis.Ranks(trace.PerRecursive(), len(trace.Observed), 250)
+	return trace, rb, nil
+}
+
+// RunNLTrace synthesizes the .nl capture (Figure 7 bottom).
+func RunNLTrace(seed int64, scale Scale) (*ditl.Trace, analysis.RankBands, error) {
+	cfg := ditl.DefaultNLConfig(seed)
+	cfg.NumRecursives = scale.Probes() / 8
+	cfg.MinRate = 60 // keep a healthy busy (>=250 q/h) population at small scales
+	trace, err := ditl.Run(cfg)
+	if err != nil {
+		return nil, analysis.RankBands{}, err
+	}
+	// Half the NSes are observed, so halve the busy threshold.
+	rb := analysis.Ranks(trace.PerRecursive(), len(trace.Observed), 125)
+	return trace, rb, nil
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ritw/internal/geo"
+)
+
+// Authoritative is one NS record's service in a deployment plan: one
+// site means unicast, several mean an IP anycast service.
+type Authoritative struct {
+	Name  string
+	Sites []string
+}
+
+// IsAnycast reports whether the authoritative is an anycast service.
+func (a Authoritative) IsAnycast() bool { return len(a.Sites) > 1 }
+
+// Deployment is a candidate authoritative DNS architecture for a zone.
+type Deployment struct {
+	Name           string
+	Authoritatives []Authoritative
+}
+
+// NLCurrent models the .nl architecture the paper describes in §7:
+// five unicast authoritatives in the Netherlands and three worldwide
+// anycast services.
+func NLCurrent() Deployment {
+	return Deployment{
+		Name: "nl-current (5 unicast NL + 3 anycast)",
+		Authoritatives: []Authoritative{
+			{Name: "ns1", Sites: []string{"AMS"}},
+			{Name: "ns2", Sites: []string{"AMS"}},
+			{Name: "ns3", Sites: []string{"AMS"}},
+			{Name: "ns4", Sites: []string{"AMS"}},
+			{Name: "ns5", Sites: []string{"AMS"}},
+			{Name: "any1", Sites: []string{"AMS", "EWR", "HKG", "GRU", "SYD", "LHR", "FRA"}},
+			{Name: "any2", Sites: []string{"AMS", "SFO", "NRT", "JNB", "MIA", "ARN"}},
+			{Name: "any3", Sites: []string{"AMS", "ORD", "SIN", "CDG", "SCL"}},
+		},
+	}
+}
+
+// NLAllAnycast is the paper's recommendation applied to .nl: every
+// authoritative an anycast service.
+func NLAllAnycast() Deployment {
+	d := Deployment{Name: "nl-all-anycast (8 anycast)"}
+	footprints := [][]string{
+		{"AMS", "EWR", "HKG", "GRU", "SYD", "LHR", "FRA"},
+		{"AMS", "SFO", "NRT", "JNB", "MIA", "ARN"},
+		{"AMS", "ORD", "SIN", "CDG", "SCL"},
+		{"AMS", "IAD", "ICN", "EZE", "PER"},
+		{"AMS", "LAX", "BOM", "NBO", "WAW"},
+		{"AMS", "SEA", "BKK", "BOG", "MAD"},
+		{"AMS", "DFW", "DXB", "AKL", "MXP"},
+		{"AMS", "YYZ", "TLV", "SCL", "ARN"},
+	}
+	for i, sites := range footprints {
+		d.Authoritatives = append(d.Authoritatives, Authoritative{
+			Name:  fmt.Sprintf("any%d", i+1),
+			Sites: sites,
+		})
+	}
+	return d
+}
+
+// PlannerConfig parameterizes the latency evaluation.
+type PlannerConfig struct {
+	// LatencyAwareShare is the fraction of recursives that send their
+	// queries to the lowest-latency authoritative; the rest spread
+	// evenly. The paper's §4 finding is "about half".
+	LatencyAwareShare float64
+	// Model is the distance→RTT path model.
+	Model geo.PathModel
+}
+
+// DefaultPlannerConfig applies the paper's headline finding.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		LatencyAwareShare: 0.5,
+		Model:             geo.DefaultPathModel(),
+	}
+}
+
+// AuthLatency is one authoritative's latency as the worldwide client
+// population experiences it.
+type AuthLatency struct {
+	Name string
+	// Anycast reports whether this authoritative is anycast.
+	Anycast bool
+	// MeanRTT is the client-weighted mean RTT in milliseconds (each
+	// client reaches the nearest site of the service).
+	MeanRTT float64
+	// WorstRegionRTT is the worst per-region RTT.
+	WorstRegionRTT float64
+}
+
+// PlanReport evaluates a deployment against the worldwide client
+// population.
+type PlanReport struct {
+	Deployment string
+	// PerAuth is sorted from fastest to slowest MeanRTT.
+	PerAuth []AuthLatency
+	// MeanLatency is the expected query latency under the configured
+	// recursive mixture: latency-aware recursives hit the fastest
+	// authoritative, the rest spread across all of them.
+	MeanLatency float64
+	// WorstAuthMean is the mean RTT of the slowest authoritative —
+	// the paper's bound: "worst-case latency will be limited by the
+	// least anycast authoritative".
+	WorstAuthMean float64
+	WorstAuthName string
+	// SpreadPenalty is the extra latency (vs. all queries going to the
+	// fastest NS) paid because recursives keep querying every NS.
+	SpreadPenalty float64
+}
+
+// String renders the report for harness output.
+func (r PlanReport) String() string {
+	s := fmt.Sprintf("%s: mean=%.1fms worst-auth=%s (%.1fms) spread-penalty=%.1fms\n",
+		r.Deployment, r.MeanLatency, r.WorstAuthName, r.WorstAuthMean, r.SpreadPenalty)
+	for _, a := range r.PerAuth {
+		kind := "unicast"
+		if a.Anycast {
+			kind = "anycast"
+		}
+		s += fmt.Sprintf("  %-6s %-7s mean=%.1fms worst-region=%.1fms\n",
+			a.Name, kind, a.MeanRTT, a.WorstRegionRTT)
+	}
+	return s
+}
+
+// Evaluate computes the latency profile of a deployment analytically:
+// every client region reaches each authoritative at the base RTT of
+// its nearest site, and the recursive mixture determines how queries
+// spread across authoritatives. It returns an error on an empty
+// deployment or unknown site codes.
+func Evaluate(d Deployment, cfg PlannerConfig) (PlanReport, error) {
+	if len(d.Authoritatives) == 0 {
+		return PlanReport{}, fmt.Errorf("core: deployment %q has no authoritatives", d.Name)
+	}
+	if cfg.Model.FiberKmPerMs == 0 {
+		cfg.Model = geo.DefaultPathModel()
+	}
+	if cfg.LatencyAwareShare < 0 || cfg.LatencyAwareShare > 1 {
+		return PlanReport{}, fmt.Errorf("core: LatencyAwareShare %v out of [0,1]", cfg.LatencyAwareShare)
+	}
+	regions, weights := geo.ProbeRegions()
+	var weightTotal float64
+	for _, w := range weights {
+		weightTotal += w
+	}
+
+	// rtt[i][j]: region i to authoritative j (nearest site).
+	rtt := make([][]float64, len(regions))
+	for i, region := range regions {
+		rtt[i] = make([]float64, len(d.Authoritatives))
+		for j, auth := range d.Authoritatives {
+			if len(auth.Sites) == 0 {
+				return PlanReport{}, fmt.Errorf("core: authoritative %q has no sites", auth.Name)
+			}
+			best := math.Inf(1)
+			for _, code := range auth.Sites {
+				site, err := geo.SiteByCode(code)
+				if err != nil {
+					return PlanReport{}, fmt.Errorf("core: authoritative %q: %w", auth.Name, err)
+				}
+				if r := cfg.Model.BaseRTTMs(region.Coord.DistanceKm(site.Coord), cfg.Model.StretchMean); r < best {
+					best = r
+				}
+			}
+			rtt[i][j] = best
+		}
+	}
+
+	report := PlanReport{Deployment: d.Name}
+	for j, auth := range d.Authoritatives {
+		al := AuthLatency{Name: auth.Name, Anycast: auth.IsAnycast()}
+		var sum float64
+		for i := range regions {
+			sum += weights[i] * rtt[i][j]
+			if rtt[i][j] > al.WorstRegionRTT {
+				al.WorstRegionRTT = rtt[i][j]
+			}
+		}
+		al.MeanRTT = sum / weightTotal
+		report.PerAuth = append(report.PerAuth, al)
+	}
+	sort.Slice(report.PerAuth, func(a, b int) bool {
+		return report.PerAuth[a].MeanRTT < report.PerAuth[b].MeanRTT
+	})
+	worst := report.PerAuth[len(report.PerAuth)-1]
+	report.WorstAuthMean = worst.MeanRTT
+	report.WorstAuthName = worst.Name
+
+	var mean, bestOnly float64
+	for i := range regions {
+		best := math.Inf(1)
+		var avg float64
+		for j := range d.Authoritatives {
+			if rtt[i][j] < best {
+				best = rtt[i][j]
+			}
+			avg += rtt[i][j]
+		}
+		avg /= float64(len(d.Authoritatives))
+		regionMean := cfg.LatencyAwareShare*best + (1-cfg.LatencyAwareShare)*avg
+		mean += weights[i] * regionMean
+		bestOnly += weights[i] * best
+	}
+	report.MeanLatency = mean / weightTotal
+	report.SpreadPenalty = report.MeanLatency - bestOnly/weightTotal
+	return report, nil
+}
+
+// QueriesFromRegionShare estimates, for one authoritative of a
+// deployment, the share of its incoming queries that originate from
+// client regions on the given continent — the §7 case-study number
+// (23% of the queries at .nl's unicast NSes come from the US). The
+// recursive mixture is the same as in Evaluate: latency-aware
+// recursives only show up here when this authoritative is their
+// fastest.
+func QueriesFromRegionShare(d Deployment, authName string, cont geo.Continent, cfg PlannerConfig) (float64, error) {
+	if cfg.Model.FiberKmPerMs == 0 {
+		cfg.Model = geo.DefaultPathModel()
+	}
+	idx := -1
+	for j, a := range d.Authoritatives {
+		if a.Name == authName {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("core: unknown authoritative %q", authName)
+	}
+	regions, weights := geo.ProbeRegions()
+	var total, fromCont float64
+	for i, region := range regions {
+		// Queries this region sends to auth idx.
+		best := math.Inf(1)
+		bestJ := -1
+		var mine float64
+		for j, auth := range d.Authoritatives {
+			r := math.Inf(1)
+			for _, code := range auth.Sites {
+				site, err := geo.SiteByCode(code)
+				if err != nil {
+					return 0, err
+				}
+				if v := cfg.Model.BaseRTTMs(region.Coord.DistanceKm(site.Coord), cfg.Model.StretchMean); v < r {
+					r = v
+				}
+			}
+			if r < best {
+				best, bestJ = r, j
+			}
+			if j == idx {
+				mine = r
+			}
+		}
+		_ = mine
+		share := (1 - cfg.LatencyAwareShare) / float64(len(d.Authoritatives))
+		if bestJ == idx {
+			share += cfg.LatencyAwareShare
+		}
+		q := weights[i] * share
+		total += q
+		if region.Continent == cont {
+			fromCont += q
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return fromCont / total, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ritw/internal/geo"
+)
+
+func TestEvaluateNLDeployments(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	current, err := Evaluate(NLCurrent(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allAny, err := Evaluate(NLAllAnycast(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's recommendation: making every authoritative anycast
+	// lowers both the mean and the worst-authoritative latency.
+	if allAny.MeanLatency >= current.MeanLatency {
+		t.Errorf("all-anycast mean %.1f should beat mixed %.1f",
+			allAny.MeanLatency, current.MeanLatency)
+	}
+	if allAny.WorstAuthMean >= current.WorstAuthMean {
+		t.Errorf("all-anycast worst-auth %.1f should beat mixed %.1f",
+			allAny.WorstAuthMean, current.WorstAuthMean)
+	}
+	// In the mixed deployment, the slowest authoritative is one of the
+	// unicast ones — the "least anycast authoritative" bound.
+	worstIsUnicast := false
+	for _, a := range current.PerAuth {
+		if a.Name == current.WorstAuthName && !a.Anycast {
+			worstIsUnicast = true
+		}
+	}
+	if !worstIsUnicast {
+		t.Errorf("worst authoritative %s should be unicast: %+v",
+			current.WorstAuthName, current.PerAuth)
+	}
+	// The spread penalty exists because recursives keep querying all
+	// NSes; it must shrink when every NS is strong.
+	if current.SpreadPenalty <= 0 {
+		t.Errorf("mixed deployment should pay a spread penalty, got %.2f", current.SpreadPenalty)
+	}
+	if allAny.SpreadPenalty >= current.SpreadPenalty {
+		t.Errorf("all-anycast spread penalty %.1f should be below mixed %.1f",
+			allAny.SpreadPenalty, current.SpreadPenalty)
+	}
+}
+
+func TestEvaluatePerAuthSorted(t *testing.T) {
+	rep, err := Evaluate(NLCurrent(), DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerAuth) != 8 {
+		t.Fatalf("authoritatives = %d", len(rep.PerAuth))
+	}
+	for i := 1; i < len(rep.PerAuth); i++ {
+		if rep.PerAuth[i].MeanRTT < rep.PerAuth[i-1].MeanRTT {
+			t.Fatal("PerAuth not sorted by mean RTT")
+		}
+	}
+	// Anycast services must be faster than the unicast NL-only ones.
+	if !rep.PerAuth[0].Anycast {
+		t.Errorf("fastest authoritative should be anycast: %+v", rep.PerAuth[0])
+	}
+	if s := rep.String(); !strings.Contains(s, "worst-auth") || !strings.Contains(s, "unicast") {
+		t.Errorf("report rendering: %q", s)
+	}
+}
+
+func TestEvaluateLatencyAwareShareEffect(t *testing.T) {
+	d := NLCurrent()
+	none, err := Evaluate(d, PlannerConfig{LatencyAwareShare: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Evaluate(d, PlannerConfig{LatencyAwareShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.MeanLatency >= none.MeanLatency {
+		t.Errorf("fully latency-aware population should see lower mean: %v vs %v",
+			all.MeanLatency, none.MeanLatency)
+	}
+	if all.SpreadPenalty != 0 {
+		t.Errorf("no spread penalty when everyone picks the fastest: %v", all.SpreadPenalty)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(Deployment{}, DefaultPlannerConfig()); err == nil {
+		t.Error("empty deployment should fail")
+	}
+	bad := Deployment{Name: "bad", Authoritatives: []Authoritative{{Name: "x", Sites: []string{"NOPE"}}}}
+	if _, err := Evaluate(bad, DefaultPlannerConfig()); err == nil {
+		t.Error("unknown site should fail")
+	}
+	empty := Deployment{Name: "e", Authoritatives: []Authoritative{{Name: "x"}}}
+	if _, err := Evaluate(empty, DefaultPlannerConfig()); err == nil {
+		t.Error("siteless authoritative should fail")
+	}
+	cfg := DefaultPlannerConfig()
+	cfg.LatencyAwareShare = 1.5
+	if _, err := Evaluate(NLCurrent(), cfg); err == nil {
+		t.Error("out-of-range share should fail")
+	}
+}
+
+func TestQueriesFromRegionShareCaseStudy(t *testing.T) {
+	// §7: a noticeable share of the queries arriving at .nl's unicast
+	// Dutch NSes comes from North America (the paper reports 23% from
+	// the US), who would be served faster by anycast sites.
+	cfg := DefaultPlannerConfig()
+	share, err := QueriesFromRegionShare(NLCurrent(), "ns1", geo.NorthAmerica, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 0.03 || share > 0.5 {
+		t.Errorf("NA share at unicast ns1 = %.3f, want a noticeable minority", share)
+	}
+	// European queries must dominate a Dutch unicast NS.
+	euShare, err := QueriesFromRegionShare(NLCurrent(), "ns1", geo.Europe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if euShare <= share {
+		t.Errorf("EU share %.3f should exceed NA share %.3f at a Dutch NS", euShare, share)
+	}
+	if _, err := QueriesFromRegionShare(NLCurrent(), "nope", geo.Europe, cfg); err == nil {
+		t.Error("unknown authoritative should fail")
+	}
+}
+
+func TestAuthoritativeIsAnycast(t *testing.T) {
+	if (Authoritative{Sites: []string{"AMS"}}).IsAnycast() {
+		t.Error("single site is unicast")
+	}
+	if !(Authoritative{Sites: []string{"AMS", "EWR"}}).IsAnycast() {
+		t.Error("two sites is anycast")
+	}
+}

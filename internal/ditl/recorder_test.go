@@ -1,0 +1,58 @@
+package ditl_test
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/ditl"
+	"ritw/internal/entrada"
+)
+
+// TestRecorderFeedsEntrada runs a small .nl trace with the per-query
+// recorder wired to an ENTRADA writer and checks that the warehouse
+// aggregation matches the trace's own counts exactly.
+func TestRecorderFeedsEntrada(t *testing.T) {
+	cfg := ditl.DefaultNLConfig(51)
+	cfg.NumRecursives = 60
+	cfg.Warmup = 5 * time.Minute
+	cfg.Duration = 20 * time.Minute
+
+	var buf bytes.Buffer
+	w := entrada.NewWriter(&buf)
+	cfg.Recorder = func(server string, src netip.Addr, at time.Duration) {
+		if err := w.Add(entrada.Query{At: at, Server: server, Src: src, QType: 16}); err != nil {
+			t.Errorf("recorder: %v", err)
+		}
+	}
+	trace, err := ditl.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	counts, err := entrada.Aggregate(bytes.NewReader(buf.Bytes()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for server, byRec := range trace.Counts {
+		for rec, n := range byRec {
+			if counts[server][rec] != n {
+				t.Fatalf("warehouse disagrees at %s/%s: %d vs %d",
+					server, rec, counts[server][rec], n)
+			}
+			total += n
+		}
+	}
+	if total != trace.TotalQueries || total == 0 {
+		t.Fatalf("total = %d, trace = %d", total, trace.TotalQueries)
+	}
+	// The binary stream is far denser than the data it holds.
+	if perQ := float64(buf.Len()) / float64(total); perQ > 12 {
+		t.Errorf("bytes/query = %.1f", perQ)
+	}
+}

@@ -1,0 +1,71 @@
+package ditl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV serializes the trace as rows of (server, recursive, count),
+// sorted for reproducible output.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"server", "recursive", "queries"}); err != nil {
+		return err
+	}
+	servers := append([]string(nil), t.Observed...)
+	sort.Strings(servers)
+	for _, server := range servers {
+		byRec := t.Counts[server]
+		recs := make([]string, 0, len(byRec))
+		for r := range byRec {
+			recs = append(recs, r)
+		}
+		sort.Strings(recs)
+		for _, r := range recs {
+			if err := cw.Write([]string{server, r, strconv.Itoa(byRec[r])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace previously written with WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ditl: empty trace file")
+	}
+	if len(rows[0]) != 3 || rows[0][0] != "server" {
+		return nil, fmt.Errorf("ditl: unexpected header %v", rows[0])
+	}
+	t := &Trace{Counts: make(map[string]map[string]int)}
+	seen := make(map[string]bool)
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("ditl: row %d has %d fields", i+2, len(row))
+		}
+		n, err := strconv.Atoi(row[2])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("ditl: row %d bad count %q", i+2, row[2])
+		}
+		server, rec := row[0], row[1]
+		if !seen[server] {
+			seen[server] = true
+			t.Observed = append(t.Observed, server)
+			t.Counts[server] = make(map[string]int)
+		}
+		t.Counts[server][rec] += n
+		t.TotalQueries += n
+	}
+	t.Recursives = len(t.PerRecursive())
+	return t, nil
+}

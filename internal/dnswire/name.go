@@ -1,0 +1,255 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Wire-format limits from RFC 1035 §2.3.4.
+const (
+	maxLabelLen = 63
+	maxNameLen  = 255 // total octets in wire form, including the root label
+)
+
+// Errors returned by name parsing and decoding.
+var (
+	ErrNameTooLong      = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong     = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel       = errors.New("dnswire: empty label")
+	ErrCompressionLoop  = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+)
+
+// Name is a fully-qualified domain name stored as a label sequence.
+// The zero value is the root name. Comparison is case-insensitive per
+// RFC 1035; the original spelling is preserved for display.
+type Name struct {
+	labels []string
+}
+
+// Root is the DNS root name (".").
+var Root = Name{}
+
+// ParseName parses a presentation-format name such as "www.example.nl"
+// or "example.nl." (a trailing dot is accepted and implied). Escapes
+// are not supported: the measurement system only handles hostname-like
+// labels plus the numeric labels it generates itself.
+func ParseName(s string) (Name, error) {
+	if s == "" || s == "." {
+		return Root, nil
+	}
+	s = strings.TrimSuffix(s, ".")
+	parts := strings.Split(s, ".")
+	wireLen := 1 // root byte
+	for _, p := range parts {
+		if p == "" {
+			return Name{}, ErrEmptyLabel
+		}
+		if len(p) > maxLabelLen {
+			return Name{}, ErrLabelTooLong
+		}
+		wireLen += 1 + len(p)
+	}
+	if wireLen > maxNameLen {
+		return Name{}, ErrNameTooLong
+	}
+	return Name{labels: parts}, nil
+}
+
+// MustParseName is ParseName for static configuration; it panics on error.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(fmt.Sprintf("dnswire: bad name %q: %v", s, err))
+	}
+	return n
+}
+
+// NewName builds a name from explicit labels, most-specific first.
+func NewName(labels ...string) (Name, error) {
+	return ParseName(strings.Join(labels, "."))
+}
+
+// String returns the presentation form with a trailing dot ("." for root).
+func (n Name) String() string {
+	if len(n.labels) == 0 {
+		return "."
+	}
+	return strings.Join(n.labels, ".") + "."
+}
+
+// Labels returns a copy of the label sequence, most-specific first.
+func (n Name) Labels() []string {
+	out := make([]string, len(n.labels))
+	copy(out, n.labels)
+	return out
+}
+
+// NumLabels returns the label count (0 for root).
+func (n Name) NumLabels() int { return len(n.labels) }
+
+// IsRoot reports whether the name is the DNS root.
+func (n Name) IsRoot() bool { return len(n.labels) == 0 }
+
+// Key returns the canonical (lowercased) form used for map keys and
+// case-insensitive comparison.
+func (n Name) Key() string { return strings.ToLower(n.String()) }
+
+// Equal reports case-insensitive equality.
+func (n Name) Equal(o Name) bool {
+	if len(n.labels) != len(o.labels) {
+		return false
+	}
+	for i := range n.labels {
+		if !strings.EqualFold(n.labels[i], o.labels[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Parent returns the name with its most-specific label removed; the
+// parent of root is root.
+func (n Name) Parent() Name {
+	if len(n.labels) == 0 {
+		return Root
+	}
+	return Name{labels: n.labels[1:]}
+}
+
+// Child returns the name with label prepended.
+func (n Name) Child(label string) (Name, error) {
+	if label == "" {
+		return Name{}, ErrEmptyLabel
+	}
+	if len(label) > maxLabelLen {
+		return Name{}, ErrLabelTooLong
+	}
+	labels := make([]string, 0, len(n.labels)+1)
+	labels = append(labels, label)
+	labels = append(labels, n.labels...)
+	nn := Name{labels: labels}
+	if nn.wireLen() > maxNameLen {
+		return Name{}, ErrNameTooLong
+	}
+	return nn, nil
+}
+
+// IsSubdomainOf reports whether n is equal to o or falls below it.
+func (n Name) IsSubdomainOf(o Name) bool {
+	if len(o.labels) > len(n.labels) {
+		return false
+	}
+	off := len(n.labels) - len(o.labels)
+	for i := range o.labels {
+		if !strings.EqualFold(n.labels[off+i], o.labels[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// wireLen returns the encoded length without compression.
+func (n Name) wireLen() int {
+	l := 1
+	for _, lab := range n.labels {
+		l += 1 + len(lab)
+	}
+	return l
+}
+
+// appendWire appends the uncompressed wire form of n to b.
+func (n Name) appendWire(b []byte) []byte {
+	for _, lab := range n.labels {
+		b = append(b, byte(len(lab)))
+		b = append(b, lab...)
+	}
+	return append(b, 0)
+}
+
+// compressor tracks already-emitted names so later occurrences can be
+// replaced by compression pointers (RFC 1035 §4.1.4). Pointers can only
+// reference offsets below 0x4000.
+type compressor struct {
+	offsets map[string]int
+}
+
+func newCompressor() *compressor {
+	return &compressor{offsets: make(map[string]int)}
+}
+
+// appendName appends n at the current end of msg, using and recording
+// compression pointers.
+func (c *compressor) appendName(msg []byte, n Name) []byte {
+	labels := n.labels
+	for i := range labels {
+		suffix := Name{labels: labels[i:]}
+		key := suffix.Key()
+		if off, ok := c.offsets[key]; ok {
+			ptr := uint16(0xC000 | off)
+			return append(msg, byte(ptr>>8), byte(ptr))
+		}
+		if len(msg) < 0x4000 {
+			c.offsets[key] = len(msg)
+		}
+		msg = append(msg, byte(len(labels[i])))
+		msg = append(msg, labels[i]...)
+	}
+	return append(msg, 0)
+}
+
+// decodeName reads a possibly-compressed name starting at off in msg.
+// It returns the name and the offset just past the name's first
+// (pre-pointer) encoding.
+func decodeName(msg []byte, off int) (Name, int, error) {
+	var labels []string
+	seen := 0     // pointer-hop guard
+	end := -1     // offset after the name in the original stream
+	totalLen := 1 // accumulated wire length check
+	pos := off
+	for {
+		if pos >= len(msg) {
+			return Name{}, 0, ErrTruncatedMessage
+		}
+		b := msg[pos]
+		switch {
+		case b == 0:
+			if end == -1 {
+				end = pos + 1
+			}
+			return Name{labels: labels}, end, nil
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(msg) {
+				return Name{}, 0, ErrTruncatedMessage
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[pos+1])
+			if end == -1 {
+				end = pos + 2
+			}
+			// Every pointer must point strictly backward; this makes the
+			// walk monotone and loop-free.
+			if ptr >= pos {
+				return Name{}, 0, ErrCompressionLoop
+			}
+			seen++
+			if seen > 127 {
+				return Name{}, 0, ErrCompressionLoop
+			}
+			pos = ptr
+		case b&0xC0 != 0:
+			return Name{}, 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if pos+1+l > len(msg) {
+				return Name{}, 0, ErrTruncatedMessage
+			}
+			totalLen += 1 + l
+			if totalLen > maxNameLen {
+				return Name{}, 0, ErrNameTooLong
+			}
+			labels = append(labels, string(msg[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genName builds a random valid name from the rng.
+func genName(rng *rand.Rand) Name {
+	depth := rng.Intn(5)
+	n := Root
+	for i := 0; i < depth; i++ {
+		lab := make([]byte, 1+rng.Intn(12))
+		for j := range lab {
+			lab[j] = byte('a' + rng.Intn(26))
+		}
+		child, err := n.Child(string(lab))
+		if err != nil {
+			return n
+		}
+		n = child
+	}
+	return n
+}
+
+// genRData builds random rdata of a random supported type.
+func genRData(rng *rand.Rand) RData {
+	switch rng.Intn(8) {
+	case 0:
+		var b [4]byte
+		rng.Read(b[:])
+		return A{Addr: netip.AddrFrom4(b)}
+	case 1:
+		var b [16]byte
+		rng.Read(b[:])
+		return AAAA{Addr: netip.AddrFrom16(b)}
+	case 2:
+		return NS{Host: genName(rng)}
+	case 3:
+		return CNAME{Target: genName(rng)}
+	case 4:
+		return MX{Preference: uint16(rng.Intn(1 << 16)), Host: genName(rng)}
+	case 5:
+		strs := make([]string, 1+rng.Intn(3))
+		for i := range strs {
+			b := make([]byte, rng.Intn(40))
+			rng.Read(b)
+			strs[i] = string(b)
+		}
+		return TXT{Strings: strs}
+	case 6:
+		return SOA{
+			MName: genName(rng), RName: genName(rng),
+			Serial: rng.Uint32(), Refresh: rng.Uint32(), Retry: rng.Uint32(),
+			Expire: rng.Uint32(), Minimum: rng.Uint32(),
+		}
+	default:
+		b := make([]byte, rng.Intn(30))
+		rng.Read(b)
+		return Raw{RRType: Type(60000 + rng.Intn(100)), Data: b}
+	}
+}
+
+// genMessage builds a random message.
+func genMessage(rng *rand.Rand) *Message {
+	m := &Message{Header: Header{
+		ID:                 uint16(rng.Intn(1 << 16)),
+		Response:           rng.Intn(2) == 0,
+		Authoritative:      rng.Intn(2) == 0,
+		Truncated:          rng.Intn(2) == 0,
+		RecursionDesired:   rng.Intn(2) == 0,
+		RecursionAvailable: rng.Intn(2) == 0,
+		Opcode:             Opcode(rng.Intn(3)),
+		RCode:              RCode(rng.Intn(6)),
+	}}
+	m.Questions = append(m.Questions, Question{
+		Name: genName(rng), Type: Type(1 + rng.Intn(40)), Class: ClassINET,
+	})
+	for _, sec := range []*[]RR{&m.Answers, &m.Authority, &m.Additional} {
+		for i := 0; i < rng.Intn(4); i++ {
+			*sec = append(*sec, RR{
+				Name:  genName(rng),
+				Class: ClassINET,
+				TTL:   rng.Uint32() % 1000000,
+				Data:  genRData(rng),
+			})
+		}
+	}
+	return m
+}
+
+// rdataEqual compares decoded rdata against the original.
+func rdataEqual(a, b RData) bool {
+	switch x := a.(type) {
+	case NS:
+		y, ok := b.(NS)
+		return ok && x.Host.Equal(y.Host)
+	case CNAME:
+		y, ok := b.(CNAME)
+		return ok && x.Target.Equal(y.Target)
+	case PTR:
+		y, ok := b.(PTR)
+		return ok && x.Target.Equal(y.Target)
+	case MX:
+		y, ok := b.(MX)
+		return ok && x.Preference == y.Preference && x.Host.Equal(y.Host)
+	case SOA:
+		y, ok := b.(SOA)
+		return ok && x.MName.Equal(y.MName) && x.RName.Equal(y.RName) &&
+			x.Serial == y.Serial && x.Refresh == y.Refresh && x.Retry == y.Retry &&
+			x.Expire == y.Expire && x.Minimum == y.Minimum
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+// TestMessagePackUnpackProperty: any generated message survives a
+// Pack/Unpack round trip with all fields intact.
+func TestMessagePackUnpackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMessage(rng)
+		wire, err := m.Pack()
+		if err != nil {
+			t.Logf("pack: %v", err)
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Logf("unpack: %v", err)
+			return false
+		}
+		if got.Header != m.Header {
+			t.Logf("header: %+v vs %+v", got.Header, m.Header)
+			return false
+		}
+		if len(got.Questions) != len(m.Questions) ||
+			!got.Questions[0].Name.Equal(m.Questions[0].Name) ||
+			got.Questions[0].Type != m.Questions[0].Type {
+			return false
+		}
+		secs := [][2][]RR{
+			{got.Answers, m.Answers}, {got.Authority, m.Authority}, {got.Additional, m.Additional},
+		}
+		for _, s := range secs {
+			if len(s[0]) != len(s[1]) {
+				return false
+			}
+			for i := range s[0] {
+				g, w := s[0][i], s[1][i]
+				if !g.Name.Equal(w.Name) || g.TTL != w.TTL || g.Type() != w.Type() {
+					return false
+				}
+				if !rdataEqual(w.Data, g.Data) {
+					t.Logf("rdata %T mismatch: %v vs %v", w.Data, w.Data, g.Data)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPackIsDeterministic: packing the same message twice yields
+// identical bytes (compression must not depend on map iteration).
+func TestPackIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		m := genMessage(rng)
+		a, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("pack not deterministic")
+		}
+	}
+}
+
+// TestUnpackRepackStable: unpack(pack(m)) packs to the same bytes
+// again — the codec is idempotent after one normalization.
+func TestUnpackRepackStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		m := genMessage(rng)
+		w1, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Unpack(w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := m2.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(w1) != string(w2) {
+			t.Fatalf("repack differs at case %d:\n%x\n%x", i, w1, w2)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package dnswire implements the DNS wire format of RFC 1034/1035 from
+// scratch on the standard library: domain names with message
+// compression, the message header, questions, and the resource-record
+// types the system needs (A, AAAA, NS, SOA, TXT, CNAME, PTR, MX and
+// the EDNS0 OPT pseudo-RR), for both the Internet and CHAOS classes.
+//
+// The package is the protocol substrate under both the authoritative
+// server (internal/authserver) and the recursive resolver
+// (internal/resolver); it is equally usable on real sockets and inside
+// the discrete-event simulator.
+package dnswire
+
+import "fmt"
+
+// Type is a resource-record type code (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource-record types implemented or recognized by this package.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeAXFR  Type = 252
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+	TypePTR: "PTR", TypeMX: "MX", TypeTXT: "TXT", TypeAAAA: "AAAA",
+	TypeOPT: "OPT", TypeAXFR: "AXFR", TypeANY: "ANY",
+}
+
+// String returns the standard mnemonic, or TYPEnnn for unknown codes
+// (RFC 3597 style).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType maps a mnemonic back to its code.
+func ParseType(s string) (Type, error) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return TypeNone, fmt.Errorf("dnswire: unknown RR type %q", s)
+}
+
+// Class is a resource-record class code.
+type Class uint16
+
+// DNS classes. CHAOS matters here because the paper contrasts CHAOS
+// hostname.bind identification (answered by the recursive) with
+// Internet-class identity queries (answered by the authoritative).
+const (
+	ClassINET  Class = 1
+	ClassCHAOS Class = 3
+	ClassANY   Class = 255
+)
+
+// String returns the standard class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCHAOS:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// Opcode is the query kind in the message header.
+type Opcode uint8
+
+// Opcodes (RFC 1035, RFC 2136).
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	default:
+		return fmt.Sprintf("OPCODE%d", uint8(o))
+	}
+}
+
+// RCode is the response code in the message header.
+type RCode uint8
+
+// Response codes (RFC 1035).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the response-code mnemonic.
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}

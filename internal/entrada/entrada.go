@@ -1,0 +1,305 @@
+// Package entrada is a compact binary query-trace store modelled on
+// ENTRADA, the streaming warehouse SIDN built to analyze .nl traffic
+// (Wullink et al., NOMS 2016 — the paper's reference [32] and the
+// source of its .nl dataset). It stores per-query records with
+// dictionary compression: servers and source addresses are defined
+// once and referenced by varint IDs, timestamps are delta-encoded.
+//
+// The format is append-only and streamable:
+//
+//	magic "ENTR" | version byte
+//	record*:
+//	  0x01 defineServer  varint(id) varint(len) bytes(name)
+//	  0x02 defineSource  varint(id) byte(addrLen) bytes(addr)
+//	  0x03 query         varint(Δt µs) varint(serverID) varint(srcID)
+//	                     varint(qtype) byte(rcode)
+package entrada
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// Magic identifies a trace stream.
+var magic = [5]byte{'E', 'N', 'T', 'R', 1}
+
+// Record kinds.
+const (
+	recDefineServer = 0x01
+	recDefineSource = 0x02
+	recQuery        = 0x03
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("entrada: bad magic")
+	ErrCorrupted = errors.New("entrada: corrupted stream")
+)
+
+// Query is one stored query observation.
+type Query struct {
+	// At is the capture-relative timestamp.
+	At time.Duration
+	// Server is the observing authoritative service ("k-root").
+	Server string
+	// Src is the recursive's address.
+	Src netip.Addr
+	// QType is the DNS query type code.
+	QType uint16
+	// RCode is the response code sent.
+	RCode uint8
+}
+
+// Writer streams queries into an io.Writer.
+type Writer struct {
+	w         *bufio.Writer
+	servers   map[string]uint64
+	sources   map[netip.Addr]uint64
+	lastTime  time.Duration
+	headerOut bool
+	err       error
+}
+
+// NewWriter creates a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:       bufio.NewWriter(w),
+		servers: make(map[string]uint64),
+		sources: make(map[netip.Addr]uint64),
+	}
+}
+
+func (w *Writer) ensureHeader() {
+	if w.headerOut || w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(magic[:])
+	w.headerOut = true
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *Writer) putByte(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(b)
+}
+
+// Add appends one query observation. Timestamps must be monotonically
+// non-decreasing; Add rejects regressions so delta encoding stays
+// well-formed.
+func (w *Writer) Add(q Query) error {
+	if w.err != nil {
+		return w.err
+	}
+	if q.At < w.lastTime {
+		return fmt.Errorf("entrada: timestamp regression: %v after %v", q.At, w.lastTime)
+	}
+	if !q.Src.IsValid() {
+		return fmt.Errorf("entrada: invalid source address")
+	}
+	w.ensureHeader()
+
+	serverID, ok := w.servers[q.Server]
+	if !ok {
+		serverID = uint64(len(w.servers))
+		w.servers[q.Server] = serverID
+		w.putByte(recDefineServer)
+		w.putUvarint(serverID)
+		w.putUvarint(uint64(len(q.Server)))
+		if w.err == nil {
+			_, w.err = w.w.WriteString(q.Server)
+		}
+	}
+	srcID, ok := w.sources[q.Src]
+	if !ok {
+		srcID = uint64(len(w.sources))
+		w.sources[q.Src] = srcID
+		w.putByte(recDefineSource)
+		w.putUvarint(srcID)
+		raw := q.Src.AsSlice()
+		w.putByte(byte(len(raw)))
+		if w.err == nil {
+			_, w.err = w.w.Write(raw)
+		}
+	}
+
+	delta := q.At - w.lastTime
+	w.lastTime = q.At
+	w.putByte(recQuery)
+	w.putUvarint(uint64(delta / time.Microsecond))
+	w.putUvarint(serverID)
+	w.putUvarint(srcID)
+	w.putUvarint(uint64(q.QType))
+	w.putByte(q.RCode)
+	return w.err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	w.ensureHeader()
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates a trace stream.
+type Reader struct {
+	r        *bufio.Reader
+	servers  []string
+	sources  []netip.Addr
+	lastTime time.Duration
+	started  bool
+}
+
+// NewReader creates a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next query, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Query, error) {
+	if !r.started {
+		var got [5]byte
+		if _, err := io.ReadFull(r.r, got[:]); err != nil {
+			return Query{}, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		}
+		if got != magic {
+			return Query{}, ErrBadMagic
+		}
+		r.started = true
+	}
+	for {
+		kind, err := r.r.ReadByte()
+		if err == io.EOF {
+			return Query{}, io.EOF
+		}
+		if err != nil {
+			return Query{}, err
+		}
+		switch kind {
+		case recDefineServer:
+			id, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Query{}, ErrCorrupted
+			}
+			n, err := binary.ReadUvarint(r.r)
+			if err != nil || n > 1<<16 {
+				return Query{}, ErrCorrupted
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(r.r, buf); err != nil {
+				return Query{}, ErrCorrupted
+			}
+			if id != uint64(len(r.servers)) {
+				return Query{}, fmt.Errorf("%w: server id %d out of order", ErrCorrupted, id)
+			}
+			r.servers = append(r.servers, string(buf))
+		case recDefineSource:
+			id, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Query{}, ErrCorrupted
+			}
+			alen, err := r.r.ReadByte()
+			if err != nil || (alen != 4 && alen != 16) {
+				return Query{}, ErrCorrupted
+			}
+			buf := make([]byte, alen)
+			if _, err := io.ReadFull(r.r, buf); err != nil {
+				return Query{}, ErrCorrupted
+			}
+			addr, ok := netip.AddrFromSlice(buf)
+			if !ok || id != uint64(len(r.sources)) {
+				return Query{}, ErrCorrupted
+			}
+			r.sources = append(r.sources, addr)
+		case recQuery:
+			deltaUs, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return Query{}, ErrCorrupted
+			}
+			sid, err := binary.ReadUvarint(r.r)
+			if err != nil || sid >= uint64(len(r.servers)) {
+				return Query{}, ErrCorrupted
+			}
+			srcid, err := binary.ReadUvarint(r.r)
+			if err != nil || srcid >= uint64(len(r.sources)) {
+				return Query{}, ErrCorrupted
+			}
+			qtype, err := binary.ReadUvarint(r.r)
+			if err != nil || qtype > 1<<16-1 {
+				return Query{}, ErrCorrupted
+			}
+			rcode, err := r.r.ReadByte()
+			if err != nil {
+				return Query{}, ErrCorrupted
+			}
+			r.lastTime += time.Duration(deltaUs) * time.Microsecond
+			return Query{
+				At:     r.lastTime,
+				Server: r.servers[sid],
+				Src:    r.sources[srcid],
+				QType:  uint16(qtype),
+				RCode:  rcode,
+			}, nil
+		default:
+			return Query{}, fmt.Errorf("%w: unknown record kind 0x%02x", ErrCorrupted, kind)
+		}
+	}
+}
+
+// ReadAll drains a stream into memory.
+func ReadAll(rd io.Reader) ([]Query, error) {
+	r := NewReader(rd)
+	var out []Query
+	for {
+		q, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+}
+
+// Aggregate computes per-server per-source query counts over the
+// stream, optionally restricted to [from, to) — the warehouse query
+// feeding the Figure-7 rank analysis.
+func Aggregate(rd io.Reader, from, to time.Duration) (map[string]map[string]int, error) {
+	r := NewReader(rd)
+	counts := make(map[string]map[string]int)
+	for {
+		q, err := r.Next()
+		if err == io.EOF {
+			return counts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if to > from && (q.At < from || q.At >= to) {
+			continue
+		}
+		m := counts[q.Server]
+		if m == nil {
+			m = make(map[string]int)
+			counts[q.Server] = m
+		}
+		m[q.Src.String()]++
+	}
+}

@@ -1,0 +1,279 @@
+package entrada
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func sampleQueries(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	servers := []string{"a-root", "k-root", "ns1.dns.nl"}
+	sources := make([]netip.Addr, 20)
+	for i := range sources {
+		if i%4 == 0 {
+			var b [16]byte
+			rng.Read(b[:])
+			sources[i] = netip.AddrFrom16(b)
+		} else {
+			var b [4]byte
+			rng.Read(b[:])
+			sources[i] = netip.AddrFrom4(b)
+		}
+	}
+	out := make([]Query, n)
+	at := time.Duration(0)
+	for i := range out {
+		at += time.Duration(rng.Intn(5000)) * time.Microsecond
+		out[i] = Query{
+			At:     at,
+			Server: servers[rng.Intn(len(servers))],
+			Src:    sources[rng.Intn(len(sources))],
+			QType:  uint16(rng.Intn(300)),
+			RCode:  uint8(rng.Intn(6)),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := sampleQueries(5000, 1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, q := range queries {
+		if err := w.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("read %d queries, want %d", len(got), len(queries))
+	}
+	for i := range got {
+		if got[i] != queries[i] {
+			t.Fatalf("query %d mismatch:\n got %+v\nwant %+v", i, got[i], queries[i])
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	queries := sampleQueries(10000, 2)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, q := range queries {
+		if err := w.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	perQuery := float64(buf.Len()) / float64(len(queries))
+	// A CSV row of the same data is ~50-70 bytes; the dictionary
+	// format should be well under 10.
+	if perQuery > 10 {
+		t.Errorf("bytes/query = %.1f, want < 10", perQuery)
+	}
+}
+
+func TestTimestampRegressionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	src := netip.MustParseAddr("192.0.2.1")
+	if err := w.Add(Query{At: time.Second, Server: "a", Src: src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(Query{At: time.Millisecond, Server: "a", Src: src}); err == nil {
+		t.Error("regression should be rejected")
+	}
+}
+
+func TestInvalidSourceRejected(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Add(Query{At: 0, Server: "a"}); err == nil {
+		t.Error("zero source address should be rejected")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v %v", got, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("NOPE!"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	queries := sampleQueries(200, 3)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, q := range queries {
+		w.Add(q)
+	}
+	w.Flush()
+	wire := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(4))
+	panics := 0
+	for trial := 0; trial < 500; trial++ {
+		mut := make([]byte, len(wire))
+		copy(mut, wire)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			mut[5+rng.Intn(len(mut)-5)] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			// Must never panic; errors or silently-different data are
+			// acceptable for random corruption.
+			_, _ = ReadAll(bytes.NewReader(mut))
+		}()
+	}
+	if panics > 0 {
+		t.Fatalf("reader panicked on %d corrupted inputs", panics)
+	}
+	// Truncations error or return a prefix, never panic.
+	for cut := 5; cut < len(wire); cut += len(wire) / 37 {
+		if _, err := ReadAll(bytes.NewReader(wire[:cut])); err == nil {
+			// A clean record boundary is fine.
+			continue
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	s1 := netip.MustParseAddr("192.0.2.1")
+	s2 := netip.MustParseAddr("192.0.2.2")
+	add := func(at time.Duration, server string, src netip.Addr) {
+		if err := w.Add(Query{At: at, Server: server, Src: src, QType: 16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1*time.Minute, "a-root", s1)
+	add(2*time.Minute, "a-root", s1)
+	add(3*time.Minute, "k-root", s2)
+	add(50*time.Minute, "a-root", s2) // outside the window below
+	w.Flush()
+
+	counts, err := Aggregate(bytes.NewReader(buf.Bytes()), 0, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a-root"][s1.String()] != 2 || counts["k-root"][s2.String()] != 1 {
+		t.Errorf("counts = %+v", counts)
+	}
+	if counts["a-root"][s2.String()] != 0 {
+		t.Errorf("window filter failed: %+v", counts)
+	}
+	// No window: everything counted.
+	all, err := Aggregate(bytes.NewReader(buf.Bytes()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all["a-root"][s2.String()] != 1 {
+		t.Errorf("unwindowed counts = %+v", all)
+	}
+}
+
+func TestIPv6SourcesSurvive(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	v6 := netip.MustParseAddr("2001:db8::42")
+	if err := w.Add(Query{At: time.Second, Server: "a", Src: v6, QType: 28}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got) != 1 || got[0].Src != v6 {
+		t.Fatalf("v6 round trip: %+v %v", got, err)
+	}
+}
+
+func TestReaderStopsAtEOFConsistently(t *testing.T) {
+	queries := sampleQueries(10, 5)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, q := range queries {
+		w.Add(q)
+	}
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("read %d", n)
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("post-EOF err = %v", err)
+	}
+}
+
+func BenchmarkWriterAdd(b *testing.B) {
+	queries := sampleQueries(1000, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w := NewWriter(io.Discard)
+	at := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		at += time.Microsecond
+		q.At = at
+		if err := w.Add(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	queries := sampleQueries(10000, 7)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, q := range queries {
+		w.Add(q)
+	}
+	w.Flush()
+	wire := buf.Bytes()
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(wire)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

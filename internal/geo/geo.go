@@ -1,0 +1,194 @@
+// Package geo models the geographic substrate of the measurement: the
+// coordinates of datacenters and vantage-point regions, great-circle
+// distances, the continent taxonomy used to group vantage points, and
+// the distance→RTT path model.
+//
+// The paper's measurements ride on the real Internet; we substitute a
+// latency fabric whose *relative* RTT structure matches it: round-trip
+// time grows with great-circle distance at fiber propagation speed,
+// inflated by a per-path "stretch" factor (real routes are not
+// great-circle) plus fixed overheads. See DESIGN.md §2.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle math.
+const EarthRadiusKm = 6371.0
+
+// Coord is a geographic coordinate in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, positive north
+	Lon float64 // longitude, positive east
+}
+
+// DistanceKm returns the great-circle distance to o in kilometers,
+// computed with the haversine formula.
+func (c Coord) DistanceKm(o Coord) float64 {
+	lat1 := c.Lat * math.Pi / 180
+	lat2 := o.Lat * math.Pi / 180
+	dLat := (o.Lat - c.Lat) * math.Pi / 180
+	dLon := (o.Lon - c.Lon) * math.Pi / 180
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// Continent identifies the continental group of a vantage point or
+// site, matching the paper's Table 2 grouping.
+type Continent uint8
+
+// Continents in the paper's order (Table 2).
+const (
+	Africa Continent = iota
+	Asia
+	Europe
+	NorthAmerica
+	Oceania
+	SouthAmerica
+	numContinents
+)
+
+// Continents lists all continents in Table 2 order.
+func Continents() []Continent {
+	return []Continent{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica}
+}
+
+// String returns the paper's two-letter continent code.
+func (c Continent) String() string {
+	switch c {
+	case Africa:
+		return "AF"
+	case Asia:
+		return "AS"
+	case Europe:
+		return "EU"
+	case NorthAmerica:
+		return "NA"
+	case Oceania:
+		return "OC"
+	case SouthAmerica:
+		return "SA"
+	default:
+		return fmt.Sprintf("Continent(%d)", uint8(c))
+	}
+}
+
+// ParseContinent parses a two-letter continent code.
+func ParseContinent(s string) (Continent, error) {
+	for _, c := range Continents() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("geo: unknown continent %q", s)
+}
+
+// Site is a physical location that can host a datacenter, an anycast
+// instance, or a population of vantage points.
+type Site struct {
+	Code      string // IATA-style code, e.g. "FRA"
+	Name      string // human-readable, e.g. "Frankfurt, DE"
+	Coord     Coord
+	Continent Continent
+}
+
+// PathModel converts great-circle distance into round-trip time. The
+// default values are calibrated so that intra-Europe RTTs land near
+// the paper's ~40 ms and Europe–Sydney near ~355 ms (Table 2).
+type PathModel struct {
+	// FiberKmPerMs is one-way signal speed in fiber (~200 km/ms,
+	// i.e. 2/3 of c).
+	FiberKmPerMs float64
+	// StretchMean is the mean multiplicative route inflation over
+	// great-circle distance. Real routes detour through exchanges.
+	StretchMean float64
+	// StretchSigma is the lognormal sigma of per-path stretch.
+	StretchSigma float64
+	// OverheadMs is fixed per-query overhead (serialization, server
+	// processing, metro last-hop) added to every RTT.
+	OverheadMs float64
+	// JitterBaseMs and JitterSlope define per-packet queueing jitter:
+	// sigma = JitterBaseMs + JitterSlope·baseRTT. The slope makes long
+	// paths noisier.
+	JitterBaseMs float64
+	JitterSlope  float64
+	// FlatStretchSigma disables the distance scaling of the stretch
+	// variance (see SampleStretch). With flat variance, the relative
+	// ordering of two faraway authoritatives becomes as predictable as
+	// a nearby pair's, and the paper's Figure-5 fade disappears —
+	// BenchmarkAblationPathVariance quantifies this.
+	FlatStretchSigma bool
+}
+
+// DefaultPathModel returns the calibrated path model used by all
+// experiments (see EXPERIMENTS.md for the calibration notes).
+func DefaultPathModel() PathModel {
+	return PathModel{
+		FiberKmPerMs: 200,
+		StretchMean:  1.9,
+		StretchSigma: 0.18,
+		OverheadMs:   6,
+		JitterBaseMs: 1.5,
+		JitterSlope:  0.08,
+	}
+}
+
+// BaseRTTMs returns the deterministic RTT in milliseconds for a path of
+// the given great-circle distance and stretch factor (no jitter).
+func (m PathModel) BaseRTTMs(distKm, stretch float64) float64 {
+	oneWay := distKm * stretch / m.FiberKmPerMs
+	return 2*oneWay + m.OverheadMs
+}
+
+// SampleStretch draws a per-path stretch factor for a path of the
+// given great-circle distance. Stretch is sampled once per (endpoint,
+// endpoint) pair and then pinned for the lifetime of the experiment:
+// routing is stable at the hour scale the paper measures.
+//
+// The variance grows with distance: short continental routes track
+// geography closely, while intercontinental routes detour through a
+// handful of cables and exchanges, making their relative length far
+// less predictable. This is what lets nearby vantage points develop
+// systematic latency preferences while faraway ones see effectively
+// randomized orderings — the paper's Figure 5 effect.
+func (m PathModel) SampleStretch(rng *rand.Rand, distKm float64) float64 {
+	scale := 0.5 + 1.1*math.Min(1, distKm/8000)
+	if m.FlatStretchSigma {
+		scale = 1
+	}
+	sigma := m.StretchSigma * scale
+	s := m.StretchMean * math.Exp(rng.NormFloat64()*sigma-sigma*sigma/2)
+	if s < 1.05 {
+		s = 1.05
+	}
+	return s
+}
+
+// JitterMs draws a one-sample queueing jitter for a path whose base RTT
+// is baseMs. Jitter scales with path length: long intercontinental
+// paths cross more queues, so their RTT spread is wider. This scaling
+// is what makes latency preferences fade for faraway vantage points
+// (the paper's Figure 5 effect) — see the Ablation benches.
+func (m PathModel) JitterMs(rng *rand.Rand, baseMs float64) float64 {
+	sigma := m.JitterBaseMs + m.JitterSlope*baseMs
+	if sigma <= 0 {
+		return 0
+	}
+	return math.Abs(rng.NormFloat64()) * sigma
+}
+
+// LastMileMs draws a per-vantage-point access-network latency. Home
+// DSL/cable adds tens of milliseconds; fiber and datacenter probes add
+// almost none. Sampled once per probe.
+func LastMileMs(rng *rand.Rand) float64 {
+	// Lognormal, median ~8 ms, long tail to ~60 ms.
+	v := 8 * math.Exp(rng.NormFloat64()*0.7)
+	if v > 120 {
+		v = 120
+	}
+	return v
+}

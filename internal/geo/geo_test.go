@@ -1,0 +1,283 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		a, b       string
+		wantKm     float64
+		toleranceK float64
+	}{
+		{"FRA", "DUB", 1090, 100},
+		{"FRA", "SYD", 16500, 400},
+		{"FRA", "NRT", 9350, 300},
+		{"GRU", "NRT", 18550, 500},
+		{"IAD", "SFO", 3900, 200},
+		{"DUB", "IAD", 5450, 250},
+	}
+	for _, c := range cases {
+		a, b := MustSite(c.a), MustSite(c.b)
+		got := a.Coord.DistanceKm(b.Coord)
+		if math.Abs(got-c.wantKm) > c.toleranceK {
+			t.Errorf("distance %s-%s = %.0f km, want %.0f ± %.0f", c.a, c.b, got, c.wantKm, c.toleranceK)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry, identity, and bounded by half Earth circumference.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{clampLat(lat1), clampLon(lon1)}
+		b := Coord{clampLat(lat2), clampLon(lon2)}
+		d1, d2 := a.DistanceKm(b), b.DistanceKm(a)
+		if math.Abs(d1-d2) > 1e-6 {
+			return false
+		}
+		if a.DistanceKm(a) > 1e-6 {
+			return false
+		}
+		return d1 >= 0 && d1 <= math.Pi*EarthRadiusKm+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 90)
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 180)
+}
+
+func TestContinentString(t *testing.T) {
+	want := map[Continent]string{
+		Africa: "AF", Asia: "AS", Europe: "EU",
+		NorthAmerica: "NA", Oceania: "OC", SouthAmerica: "SA",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(c), c.String(), s)
+		}
+		parsed, err := ParseContinent(s)
+		if err != nil || parsed != c {
+			t.Errorf("ParseContinent(%q) = %v, %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseContinent("XX"); err == nil {
+		t.Error("ParseContinent(XX) should fail")
+	}
+	if s := Continent(99).String(); s == "" {
+		t.Error("unknown continent should stringify non-empty")
+	}
+}
+
+func TestContinentsOrder(t *testing.T) {
+	cs := Continents()
+	if len(cs) != 6 {
+		t.Fatalf("got %d continents, want 6", len(cs))
+	}
+	// Table 2 order: AF AS EU NA OC SA.
+	want := []string{"AF", "AS", "EU", "NA", "OC", "SA"}
+	for i, c := range cs {
+		if c.String() != want[i] {
+			t.Errorf("Continents()[%d] = %s, want %s", i, c, want[i])
+		}
+	}
+}
+
+func TestSiteRegistry(t *testing.T) {
+	for _, code := range []string{"FRA", "DUB", "IAD", "SFO", "GRU", "NRT", "SYD"} {
+		s, err := SiteByCode(code)
+		if err != nil {
+			t.Fatalf("paper site %s missing: %v", code, err)
+		}
+		if s.Code != code {
+			t.Errorf("site %s has code %s", code, s.Code)
+		}
+	}
+	if _, err := SiteByCode("ZZZ"); err == nil {
+		t.Error("SiteByCode(ZZZ) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSite(ZZZ) should panic")
+		}
+	}()
+	MustSite("ZZZ")
+}
+
+func TestSiteContinents(t *testing.T) {
+	cases := map[string]Continent{
+		"FRA": Europe, "DUB": Europe, "IAD": NorthAmerica, "SFO": NorthAmerica,
+		"GRU": SouthAmerica, "NRT": Asia, "SYD": Oceania, "JNB": Africa,
+	}
+	for code, cont := range cases {
+		if got := MustSite(code).Continent; got != cont {
+			t.Errorf("%s continent = %v, want %v", code, got, cont)
+		}
+	}
+}
+
+func TestAllSiteCodes(t *testing.T) {
+	codes := AllSiteCodes()
+	if len(codes) < 30 {
+		t.Errorf("expected a worldwide pool, got %d sites", len(codes))
+	}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		if seen[c] {
+			t.Errorf("duplicate code %s", c)
+		}
+		seen[c] = true
+		if _, err := SiteByCode(c); err != nil {
+			t.Errorf("listed code %s not resolvable", c)
+		}
+	}
+}
+
+func TestProbeRegionsEuropeSkew(t *testing.T) {
+	sites, weights := ProbeRegions()
+	if len(sites) != len(weights) {
+		t.Fatal("sites/weights length mismatch")
+	}
+	byCont := map[Continent]float64{}
+	var total float64
+	for i, s := range sites {
+		byCont[s.Continent] += weights[i]
+		total += weights[i]
+	}
+	euShare := byCont[Europe] / total
+	if euShare < 0.5 || euShare > 0.75 {
+		t.Errorf("EU probe share = %.2f, want the paper's heavy-EU skew (0.5–0.75)", euShare)
+	}
+	for _, c := range Continents() {
+		if byCont[c] == 0 {
+			t.Errorf("continent %v has no probe regions", c)
+		}
+	}
+}
+
+func TestPathModelCalibration(t *testing.T) {
+	m := DefaultPathModel()
+	fra, syd := MustSite("FRA"), MustSite("SYD")
+	dub := MustSite("DUB")
+
+	// Intra-Europe: a 500 km path should land in the tens of ms.
+	local := m.BaseRTTMs(500, m.StretchMean)
+	if local < 8 || local > 40 {
+		t.Errorf("500 km base RTT = %.1f ms, want 8–40", local)
+	}
+	// Europe–Sydney should land in the paper's ~300–400 ms band.
+	far := m.BaseRTTMs(fra.Coord.DistanceKm(syd.Coord), m.StretchMean)
+	if far < 280 || far > 420 {
+		t.Errorf("FRA-SYD base RTT = %.1f ms, want 280–420", far)
+	}
+	// FRA–DUB (the 2B pair) should differ from zero but stay small.
+	near := m.BaseRTTMs(fra.Coord.DistanceKm(dub.Coord), m.StretchMean)
+	if near < 10 || near > 50 {
+		t.Errorf("FRA-DUB base RTT = %.1f ms, want 10–50", near)
+	}
+}
+
+func TestSampleStretchBounds(t *testing.T) {
+	m := DefaultPathModel()
+	rng := rand.New(rand.NewSource(42))
+	for _, dist := range []float64{500, 5000, 15000} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			s := m.SampleStretch(rng, dist)
+			if s < 1.05 {
+				t.Fatalf("stretch %v below physical floor", s)
+			}
+			if s > 6 {
+				t.Fatalf("stretch %v implausibly large", s)
+			}
+			sum += s
+		}
+		mean := sum / n
+		if math.Abs(mean-m.StretchMean) > 0.15 {
+			t.Errorf("dist %v: mean stretch = %.3f, want ≈ %.2f", dist, mean, m.StretchMean)
+		}
+	}
+}
+
+func TestSampleStretchVarianceGrowsWithDistance(t *testing.T) {
+	m := DefaultPathModel()
+	rng := rand.New(rand.NewSource(9))
+	variance := func(dist float64) float64 {
+		const n = 20000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			s := m.SampleStretch(rng, dist)
+			sum += s
+			sq += s * s
+		}
+		mean := sum / n
+		return sq/n - mean*mean
+	}
+	short, long := variance(500), variance(15000)
+	if long < 2*short {
+		t.Errorf("stretch variance should grow with distance: short=%.4f long=%.4f", short, long)
+	}
+}
+
+func TestJitterScalesWithDistance(t *testing.T) {
+	m := DefaultPathModel()
+	rng := rand.New(rand.NewSource(7))
+	meanJitter := func(base float64) float64 {
+		var sum float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			j := m.JitterMs(rng, base)
+			if j < 0 {
+				t.Fatalf("negative jitter %v", j)
+			}
+			sum += j
+		}
+		return sum / n
+	}
+	near := meanJitter(40)
+	far := meanJitter(350)
+	if far < 3*near {
+		t.Errorf("jitter should grow with base RTT: near=%.2f far=%.2f", near, far)
+	}
+}
+
+func TestLastMileDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var over60, n int
+	for i := 0; i < 10000; i++ {
+		v := LastMileMs(rng)
+		if v < 0 || v > 120 {
+			t.Fatalf("last mile %v out of [0,120]", v)
+		}
+		if v > 60 {
+			over60++
+		}
+		n++
+	}
+	if frac := float64(over60) / float64(n); frac > 0.10 {
+		t.Errorf("too many slow last-miles: %.2f > 0.10", frac)
+	}
+}
+
+func BenchmarkDistanceKm(b *testing.B) {
+	a, c := MustSite("FRA").Coord, MustSite("SYD").Coord
+	for i := 0; i < b.N; i++ {
+		_ = a.DistanceKm(c)
+	}
+}

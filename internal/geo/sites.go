@@ -1,0 +1,136 @@
+package geo
+
+import "fmt"
+
+// datacenters is the registry of locations referenced by experiments:
+// the seven AWS regions of the paper's Table 1 plus a worldwide pool
+// used to model anycast footprints (root letters, public DNS, .nl).
+var datacenters = map[string]Site{
+	// The paper's seven deployment sites (Table 1).
+	"FRA": {"FRA", "Frankfurt, DE", Coord{50.04, 8.56}, Europe},
+	"DUB": {"DUB", "Dublin, IE", Coord{53.43, -6.25}, Europe},
+	"IAD": {"IAD", "Washington DC, US", Coord{38.95, -77.45}, NorthAmerica},
+	"SFO": {"SFO", "San Francisco, US", Coord{37.62, -122.38}, NorthAmerica},
+	"GRU": {"GRU", "São Paulo, BR", Coord{-23.43, -46.47}, SouthAmerica},
+	"NRT": {"NRT", "Tokyo, JP", Coord{35.77, 140.39}, Asia},
+	"SYD": {"SYD", "Sydney, AU", Coord{-33.95, 151.18}, Oceania},
+
+	// Additional pool for anycast footprints and production models.
+	"AMS": {"AMS", "Amsterdam, NL", Coord{52.31, 4.76}, Europe},
+	"LHR": {"LHR", "London, GB", Coord{51.47, -0.45}, Europe},
+	"CDG": {"CDG", "Paris, FR", Coord{49.01, 2.55}, Europe},
+	"MAD": {"MAD", "Madrid, ES", Coord{40.47, -3.56}, Europe},
+	"ARN": {"ARN", "Stockholm, SE", Coord{59.65, 17.92}, Europe},
+	"WAW": {"WAW", "Warsaw, PL", Coord{52.17, 20.97}, Europe},
+	"SVO": {"SVO", "Moscow, RU", Coord{55.97, 37.41}, Europe},
+	"MXP": {"MXP", "Milan, IT", Coord{45.63, 8.72}, Europe},
+	"VIE": {"VIE", "Vienna, AT", Coord{48.11, 16.57}, Europe},
+
+	"EWR": {"EWR", "Newark, US", Coord{40.69, -74.17}, NorthAmerica},
+	"ORD": {"ORD", "Chicago, US", Coord{41.97, -87.91}, NorthAmerica},
+	"LAX": {"LAX", "Los Angeles, US", Coord{33.94, -118.41}, NorthAmerica},
+	"MIA": {"MIA", "Miami, US", Coord{25.79, -80.29}, NorthAmerica},
+	"DFW": {"DFW", "Dallas, US", Coord{32.90, -97.04}, NorthAmerica},
+	"SEA": {"SEA", "Seattle, US", Coord{47.45, -122.31}, NorthAmerica},
+	"ATL": {"ATL", "Atlanta, US", Coord{33.64, -84.43}, NorthAmerica},
+	"YYZ": {"YYZ", "Toronto, CA", Coord{43.68, -79.63}, NorthAmerica},
+	"MEX": {"MEX", "Mexico City, MX", Coord{19.44, -99.07}, NorthAmerica},
+
+	"SCL": {"SCL", "Santiago, CL", Coord{-33.39, -70.79}, SouthAmerica},
+	"EZE": {"EZE", "Buenos Aires, AR", Coord{-34.82, -58.54}, SouthAmerica},
+	"BOG": {"BOG", "Bogotá, CO", Coord{4.70, -74.15}, SouthAmerica},
+	"LIM": {"LIM", "Lima, PE", Coord{-12.02, -77.11}, SouthAmerica},
+
+	"JNB": {"JNB", "Johannesburg, ZA", Coord{-26.14, 28.25}, Africa},
+	"NBO": {"NBO", "Nairobi, KE", Coord{-1.32, 36.93}, Africa},
+	"CAI": {"CAI", "Cairo, EG", Coord{30.12, 31.41}, Africa},
+	"LOS": {"LOS", "Lagos, NG", Coord{6.58, 3.32}, Africa},
+	"TUN": {"TUN", "Tunis, TN", Coord{36.85, 10.23}, Africa},
+
+	"DXB": {"DXB", "Dubai, AE", Coord{25.25, 55.36}, Asia},
+	"BOM": {"BOM", "Mumbai, IN", Coord{19.09, 72.87}, Asia},
+	"SIN": {"SIN", "Singapore, SG", Coord{1.36, 103.99}, Asia},
+	"HKG": {"HKG", "Hong Kong, HK", Coord{22.31, 113.91}, Asia},
+	"ICN": {"ICN", "Seoul, KR", Coord{37.47, 126.45}, Asia},
+	"PEK": {"PEK", "Beijing, CN", Coord{40.08, 116.58}, Asia},
+	"TLV": {"TLV", "Tel Aviv, IL", Coord{32.01, 34.89}, Asia},
+	"BKK": {"BKK", "Bangkok, TH", Coord{13.69, 100.75}, Asia},
+
+	"AKL": {"AKL", "Auckland, NZ", Coord{-37.01, 174.79}, Oceania},
+	"MEL": {"MEL", "Melbourne, AU", Coord{-37.67, 144.84}, Oceania},
+	"PER": {"PER", "Perth, AU", Coord{-31.94, 115.97}, Oceania},
+}
+
+// SiteByCode returns the registered site for an airport-style code.
+func SiteByCode(code string) (Site, error) {
+	s, ok := datacenters[code]
+	if !ok {
+		return Site{}, fmt.Errorf("geo: unknown site code %q", code)
+	}
+	return s, nil
+}
+
+// MustSite is SiteByCode for static configuration; it panics on an
+// unknown code.
+func MustSite(code string) Site {
+	s, err := SiteByCode(code)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AllSiteCodes returns every registered site code (order unspecified).
+func AllSiteCodes() []string {
+	codes := make([]string, 0, len(datacenters))
+	for c := range datacenters {
+		codes = append(codes, c)
+	}
+	return codes
+}
+
+// probeRegion is a population center that hosts vantage points. Weight
+// approximates RIPE Atlas probe density, which is strongly skewed
+// toward Europe (the paper notes "far more in Europe than elsewhere").
+type probeRegion struct {
+	Site   Site
+	Weight float64
+}
+
+// probeRegions places vantage points around registered sites with an
+// Atlas-like skew. Weights are relative probe counts.
+var probeRegions = []probeRegion{
+	// Europe: ~64% of probes.
+	{MustSite("FRA"), 14}, {MustSite("AMS"), 10}, {MustSite("LHR"), 9},
+	{MustSite("CDG"), 8}, {MustSite("MAD"), 4}, {MustSite("ARN"), 5},
+	{MustSite("WAW"), 4}, {MustSite("SVO"), 4}, {MustSite("MXP"), 3},
+	{MustSite("VIE"), 3},
+	// North America: ~12%.
+	{MustSite("EWR"), 3.5}, {MustSite("ORD"), 2}, {MustSite("LAX"), 2},
+	{MustSite("SEA"), 1.5}, {MustSite("DFW"), 1.5}, {MustSite("YYZ"), 1.5},
+	// Asia: ~7%, East-Asia heavy like the Atlas deployment.
+	{MustSite("NRT"), 2.0}, {MustSite("SIN"), 1.0}, {MustSite("BOM"), 0.6},
+	{MustSite("HKG"), 1.0}, {MustSite("ICN"), 0.9}, {MustSite("TLV"), 0.4},
+	{MustSite("DXB"), 0.3}, {MustSite("BKK"), 0.5},
+	// Oceania: ~2.5%.
+	{MustSite("SYD"), 1.2}, {MustSite("MEL"), 0.7}, {MustSite("AKL"), 0.4},
+	{MustSite("PER"), 0.3},
+	// South America: ~1.3%.
+	{MustSite("GRU"), 0.6}, {MustSite("EZE"), 0.3}, {MustSite("SCL"), 0.2},
+	{MustSite("BOG"), 0.2},
+	// Africa: ~2.2%.
+	{MustSite("JNB"), 1.0}, {MustSite("NBO"), 0.4}, {MustSite("CAI"), 0.4},
+	{MustSite("LOS"), 0.2}, {MustSite("TUN"), 0.2},
+}
+
+// ProbeRegions exposes the vantage-point placement model: sites and
+// their relative probe-count weights.
+func ProbeRegions() ([]Site, []float64) {
+	sites := make([]Site, len(probeRegions))
+	weights := make([]float64, len(probeRegions))
+	for i, r := range probeRegions {
+		sites[i] = r.Site
+		weights[i] = r.Weight
+	}
+	return sites, weights
+}

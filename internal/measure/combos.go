@@ -1,0 +1,68 @@
+// Package measure implements the paper's active measurement: the
+// Table-1 combinations of authoritative servers deployed around the
+// globe, vantage points that query a TXT record through their local
+// recursives every two minutes for an hour, cold-cache enforcement via
+// unique labels and 5-second TTLs, and dataset capture at both the
+// client and the authoritative side.
+package measure
+
+import (
+	"fmt"
+
+	"ritw/internal/dnswire"
+)
+
+// TestDomain is the measurement zone, standing in for the paper's
+// ourtestdomain.nl.
+var TestDomain = dnswire.MustParseName("ourtestdomain.nl")
+
+// Combination is one authoritative deployment from Table 1.
+type Combination struct {
+	// ID names the combination ("2A" … "4B").
+	ID string
+	// Sites are the airport codes of the deployed datacenters.
+	Sites []string
+}
+
+// Table1 returns the paper's seven deployment combinations exactly as
+// listed in Table 1.
+func Table1() []Combination {
+	return []Combination{
+		{ID: "2A", Sites: []string{"GRU", "NRT"}},
+		{ID: "2B", Sites: []string{"DUB", "FRA"}},
+		{ID: "2C", Sites: []string{"FRA", "SYD"}},
+		{ID: "3A", Sites: []string{"GRU", "NRT", "SYD"}},
+		{ID: "3B", Sites: []string{"DUB", "FRA", "IAD"}},
+		{ID: "4A", Sites: []string{"GRU", "NRT", "SYD", "DUB"}},
+		{ID: "4B", Sites: []string{"DUB", "FRA", "IAD", "SFO"}},
+	}
+}
+
+// CombinationByID finds a Table-1 combination.
+func CombinationByID(id string) (Combination, error) {
+	for _, c := range Table1() {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return Combination{}, fmt.Errorf("measure: unknown combination %q", id)
+}
+
+// ZoneText renders the per-site copy of the measurement zone: the same
+// zone everywhere except for the wildcard TXT that identifies the
+// answering site — the paper's trick for observing recursive-to-
+// authoritative mapping with Internet-class queries.
+func ZoneText(combo Combination, site string) string {
+	text := "$ORIGIN " + TestDomain.String() + "\n" +
+		"$TTL 3600\n" +
+		"@ IN SOA ns1 hostmaster 2017032301 7200 3600 604800 300\n"
+	for i := range combo.Sites {
+		text += fmt.Sprintf("@ IN NS ns%d\n", i+1)
+	}
+	for i := range combo.Sites {
+		text += fmt.Sprintf("ns%d IN A 192.0.2.%d\n", i+1, i+1)
+	}
+	// TTL 5 s and per-site content, exactly as §3.1 describes.
+	text += fmt.Sprintf("* 5 IN TXT \"site=%s\"\n", site)
+	return text
+}

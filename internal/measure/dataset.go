@@ -1,0 +1,187 @@
+package measure
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"time"
+
+	"ritw/internal/geo"
+)
+
+// WriteCSV emits the client-side records in the spirit of the paper's
+// published datasets: one row per probe query.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"combo", "probe", "resolver", "vp", "continent", "seq", "sent_ms", "rtt_ms", "site", "ok"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		row := []string{
+			d.ComboID,
+			strconv.Itoa(r.ProbeID),
+			r.Resolver.String(),
+			r.VPKey,
+			r.Continent.String(),
+			strconv.Itoa(r.Seq),
+			strconv.FormatInt(int64(r.SentAt/time.Millisecond), 10),
+			strconv.FormatFloat(r.RTTms, 'f', 3, 64),
+			r.Site,
+			strconv.FormatBool(r.OK),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously exported with WriteCSV, enabling
+// offline re-analysis of published run artifacts. Sites and the run
+// duration are reconstructed from the records (duration is the last
+// send time rounded up to a minute); the probing interval is not
+// stored in the CSV and is left zero.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(rows[0]) != 10 || rows[0][0] != "combo" {
+		return nil, fmt.Errorf("measure: not a dataset CSV")
+	}
+	ds := &Dataset{SiteAddr: map[string]netip.Addr{}}
+	sites := map[string]bool{}
+	var maxSent time.Duration
+	for i, row := range rows[1:] {
+		if len(row) != 10 {
+			return nil, fmt.Errorf("measure: row %d has %d fields", i+2, len(row))
+		}
+		if ds.ComboID == "" {
+			ds.ComboID = row[0]
+		}
+		probe, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d probe: %w", i+2, err)
+		}
+		raddr, err := netip.ParseAddr(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d resolver: %w", i+2, err)
+		}
+		cont, err := geo.ParseContinent(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d: %w", i+2, err)
+		}
+		seq, err := strconv.Atoi(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d seq: %w", i+2, err)
+		}
+		sentMs, err := strconv.ParseInt(row[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d sent: %w", i+2, err)
+		}
+		rtt, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d rtt: %w", i+2, err)
+		}
+		ok, err := strconv.ParseBool(row[9])
+		if err != nil {
+			return nil, fmt.Errorf("measure: row %d ok: %w", i+2, err)
+		}
+		rec := QueryRecord{
+			ProbeID:   probe,
+			Resolver:  raddr,
+			VPKey:     row[3],
+			Continent: cont,
+			Seq:       seq,
+			SentAt:    time.Duration(sentMs) * time.Millisecond,
+			RTTms:     rtt,
+			Site:      row[8],
+			OK:        ok,
+		}
+		if rec.SentAt > maxSent {
+			maxSent = rec.SentAt
+		}
+		if rec.Site != "" {
+			sites[rec.Site] = true
+		}
+		ds.Records = append(ds.Records, rec)
+	}
+	for s := range sites {
+		ds.Sites = append(ds.Sites, s)
+	}
+	sort.Strings(ds.Sites)
+	ds.Duration = maxSent.Truncate(time.Minute) + time.Minute
+	probes := map[int]bool{}
+	for _, rec := range ds.Records {
+		probes[rec.ProbeID] = true
+	}
+	ds.ActiveProbes = len(probes)
+	return ds, nil
+}
+
+// jsonRecord is the JSONL representation of a QueryRecord.
+type jsonRecord struct {
+	Combo     string  `json:"combo"`
+	Probe     int     `json:"probe"`
+	Resolver  string  `json:"resolver"`
+	VP        string  `json:"vp"`
+	Continent string  `json:"continent"`
+	Seq       int     `json:"seq"`
+	SentMs    int64   `json:"sent_ms"`
+	RTTms     float64 `json:"rtt_ms"`
+	Site      string  `json:"site"`
+	OK        bool    `json:"ok"`
+}
+
+// WriteJSONL emits one JSON object per line, the other format the
+// measurement community expects.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range d.Records {
+		jr := jsonRecord{
+			Combo:     d.ComboID,
+			Probe:     r.ProbeID,
+			Resolver:  r.Resolver.String(),
+			VP:        r.VPKey,
+			Continent: r.Continent.String(),
+			Seq:       r.Seq,
+			SentMs:    int64(r.SentAt / time.Millisecond),
+			RTTms:     r.RTTms,
+			Site:      r.Site,
+			OK:        r.OK,
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Summary prints the Table-1-style row for this run.
+func (d *Dataset) Summary() string {
+	ok := 0
+	for _, r := range d.Records {
+		if r.OK {
+			ok++
+		}
+	}
+	return fmt.Sprintf("%s sites=%v probes=%d queries=%d answered=%d (%.1f%%)",
+		d.ComboID, d.Sites, d.ActiveProbes, len(d.Records), ok,
+		100*float64(ok)/float64(max(1, len(d.Records))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDatasetCSVRoundTrip(t *testing.T) {
+	ds := smallRun(t, "2C", 120, 9)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ComboID != ds.ComboID {
+		t.Errorf("combo = %q", got.ComboID)
+	}
+	if len(got.Records) != len(ds.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(ds.Records))
+	}
+	// Sites reconstructed from the records.
+	if len(got.Sites) != 2 || got.Sites[0] != "FRA" || got.Sites[1] != "SYD" {
+		t.Errorf("sites = %v", got.Sites)
+	}
+	// Per-record fidelity modulo the CSV's millisecond timestamps.
+	for i := range got.Records {
+		g, w := got.Records[i], ds.Records[i]
+		if g.VPKey != w.VPKey || g.Site != w.Site || g.OK != w.OK ||
+			g.Continent != w.Continent || g.Seq != w.Seq {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, g, w)
+		}
+		if d := g.SentAt - w.SentAt; d < -time.Millisecond || d > time.Millisecond {
+			t.Fatalf("record %d sent time off by %v", i, d)
+		}
+		if d := g.RTTms - w.RTTms; d < -0.01 || d > 0.01 {
+			t.Fatalf("record %d rtt off by %v", i, d)
+		}
+	}
+	if got.ActiveProbes != ds.ActiveProbes {
+		t.Errorf("probes = %d, want %d", got.ActiveProbes, ds.ActiveProbes)
+	}
+	if got.Duration < ds.Duration-2*time.Minute || got.Duration > ds.Duration+2*time.Minute {
+		t.Errorf("duration = %v, want ≈%v", got.Duration, ds.Duration)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,dataset\n",
+		"combo,probe,resolver,vp,continent,seq,sent_ms,rtt_ms,site,ok\n2B,notanint,1.2.3.4,v,EU,0,0,1.0,FRA,true\n",
+		"combo,probe,resolver,vp,continent,seq,sent_ms,rtt_ms,site,ok\n2B,1,notanip,v,EU,0,0,1.0,FRA,true\n",
+		"combo,probe,resolver,vp,continent,seq,sent_ms,rtt_ms,site,ok\n2B,1,1.2.3.4,v,XX,0,0,1.0,FRA,true\n",
+		"combo,probe,resolver,vp,continent,seq,sent_ms,rtt_ms,site,ok\n2B,1,1.2.3.4,v,EU,0,0,bad,FRA,true\n",
+		"combo,probe,resolver,vp,continent,seq,sent_ms,rtt_ms,site,ok\n2B,1,1.2.3.4,v,EU,0,0,1.0,FRA,maybe\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/geo"
+	"ritw/internal/resolver"
+)
+
+func TestRunOpenResolvers(t *testing.T) {
+	combo, err := CombinationByID("2C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultOpenResolverConfig(combo, 41)
+	cfg.NumResolvers = 300
+	ds, err := RunOpenResolvers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ComboID != "2C-open" || ds.ActiveProbes != 300 {
+		t.Fatalf("dataset = %s probes=%d", ds.ComboID, ds.ActiveProbes)
+	}
+	// 30 rounds x 300 resolvers.
+	if len(ds.Records) < 8500 || len(ds.Records) > 9100 {
+		t.Errorf("records = %d, want ≈9000", len(ds.Records))
+	}
+	ok := 0
+	vps := map[string]bool{}
+	euToFRA, euTotal := 0, 0
+	for _, r := range ds.Records {
+		vps[r.VPKey] = true
+		if !r.OK {
+			continue
+		}
+		ok++
+		if r.Continent == geo.Europe {
+			euTotal++
+			if r.Site == "FRA" {
+				euToFRA++
+			}
+		}
+	}
+	if frac := float64(ok) / float64(len(ds.Records)); frac < 0.97 {
+		t.Errorf("answer rate = %.3f", frac)
+	}
+	if len(vps) != 300 {
+		t.Errorf("VPs = %d, want one per open resolver", len(vps))
+	}
+	// The selection behaviour observed through open resolvers matches
+	// the probe-based measurement: EU resolvers favour FRA.
+	if euTotal == 0 || float64(euToFRA)/float64(euTotal) < 0.55 {
+		t.Errorf("EU->FRA share = %d/%d, want majority", euToFRA, euTotal)
+	}
+}
+
+func TestRunOpenResolversStickyMix(t *testing.T) {
+	combo, _ := CombinationByID("2B")
+	cfg := DefaultOpenResolverConfig(combo, 43)
+	cfg.NumResolvers = 80
+	cfg.Duration = 20 * time.Minute
+	cfg.Mix = []atlas.PolicyShare{{Kind: resolver.KindSticky, Share: 1}}
+	ds, err := RunOpenResolvers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sticky open resolver uses exactly one site.
+	perVP := map[string]map[string]bool{}
+	for _, r := range ds.Records {
+		if !r.OK {
+			continue
+		}
+		if perVP[r.VPKey] == nil {
+			perVP[r.VPKey] = map[string]bool{}
+		}
+		perVP[r.VPKey][r.Site] = true
+	}
+	for vp, sites := range perVP {
+		if len(sites) != 1 {
+			t.Fatalf("sticky open resolver %s used %d sites", vp, len(sites))
+		}
+	}
+}
+
+func TestRunOpenResolversValidation(t *testing.T) {
+	if _, err := RunOpenResolvers(OpenResolverConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	combo, _ := CombinationByID("2B")
+	cfg := DefaultOpenResolverConfig(combo, 1)
+	cfg.ScannerSite = "NOPE"
+	if _, err := RunOpenResolvers(cfg); err == nil {
+		t.Error("unknown scanner site should fail")
+	}
+	cfg = DefaultOpenResolverConfig(combo, 1)
+	cfg.Mix = []atlas.PolicyShare{{Kind: resolver.KindUniform, Share: 0}}
+	if _, err := RunOpenResolvers(cfg); err == nil {
+		t.Error("zero-share mixture should fail")
+	}
+	cfg = DefaultOpenResolverConfig(combo, 1)
+	cfg.Interval = 0
+	if _, err := RunOpenResolvers(cfg); err == nil {
+		t.Error("zero interval should fail")
+	}
+}

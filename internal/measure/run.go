@@ -1,0 +1,352 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/geo"
+	"ritw/internal/netsim"
+	"ritw/internal/resolver"
+	"ritw/internal/simbind"
+	"ritw/internal/zone"
+)
+
+// QueryRecord is one probe query as seen at the client (the RIPE Atlas
+// result analogue).
+type QueryRecord struct {
+	// ProbeID identifies the probe.
+	ProbeID int
+	// Resolver is the recursive the probe asked (the configured
+	// address: the anycast address for public DNS).
+	Resolver netip.Addr
+	// VPKey is the (probe, recursive) pair identity the paper uses as
+	// its vantage-point unit.
+	VPKey string
+	// Continent groups the VP for Table-2-style analysis.
+	Continent geo.Continent
+	// Seq is the probe's query sequence number (0-based).
+	Seq int
+	// SentAt is the virtual send time.
+	SentAt time.Duration
+	// RTTms is the client-observed response time.
+	RTTms float64
+	// Site is the authoritative site that served the answer, decoded
+	// from the per-site TXT ("" on failure).
+	Site string
+	// OK reports whether an answer arrived before the client timeout.
+	OK bool
+}
+
+// AuthRecord is one query as seen at an authoritative site (the
+// server-side capture used for the middlebox comparison).
+type AuthRecord struct {
+	Site  string
+	Src   netip.Addr // the recursive's egress address
+	QName string
+	At    time.Duration
+}
+
+// Dataset is the output of one measurement run.
+type Dataset struct {
+	ComboID  string
+	Sites    []string
+	Interval time.Duration
+	Duration time.Duration
+	// Records are client-side observations, in completion order.
+	Records []QueryRecord
+	// AuthRecords are server-side observations.
+	AuthRecords []AuthRecord
+	// ActiveProbes is the number of probes that participated (after
+	// churn), the Table-1 "VPs" column analogue.
+	ActiveProbes int
+	// SiteAddr maps site code to its authoritative address.
+	SiteAddr map[string]netip.Addr
+}
+
+// RunConfig parameterizes one measurement run.
+type RunConfig struct {
+	// Combo is the authoritative deployment (one of Table1()).
+	Combo Combination
+	// Interval between a probe's queries (paper default: 2 minutes;
+	// Figure 6 sweeps 5/10/15/20/30).
+	Interval time.Duration
+	// Duration of the measurement (paper: 1 hour).
+	Duration time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// Population configures the vantage-point synthesis. Zero value
+	// gets atlas.DefaultConfig(Seed).
+	Population atlas.Config
+	// ChurnRate is the per-run probe unavailability (Table 1 sees
+	// ~8,700 of ~9,700 probes per run).
+	ChurnRate float64
+	// LossRate is network-wide packet loss.
+	LossRate float64
+	// ClientTimeout is the probe's give-up time per query.
+	ClientTimeout time.Duration
+	// IPv6Subset restricts the run to IPv6-capable probes (the §3.1
+	// IPv6 validation).
+	IPv6Subset bool
+	// PathModel overrides the latency model (nil = geo.DefaultPathModel),
+	// used by the jitter-scaling ablation.
+	PathModel *geo.PathModel
+	// Outage, if set, takes one authoritative site down for part of
+	// the run — the §7 "Other Considerations" scenario (a DDoS or
+	// failure at one site) that motivates multiple authoritatives.
+	Outage *Outage
+}
+
+// Outage describes a site failure window within a run.
+type Outage struct {
+	// Site is the airport code of the failing authoritative.
+	Site string
+	// Start and End bound the failure in virtual time from run start.
+	Start, End time.Duration
+}
+
+// DefaultRunConfig returns the paper's standard setup for a combo.
+func DefaultRunConfig(combo Combination, seed int64) RunConfig {
+	return RunConfig{
+		Combo:         combo,
+		Interval:      2 * time.Minute,
+		Duration:      time.Hour,
+		Seed:          seed,
+		Population:    atlas.DefaultConfig(seed),
+		ChurnRate:     0.10,
+		LossRate:      0.003,
+		ClientTimeout: 4 * time.Second,
+	}
+}
+
+// Run executes one measurement and returns the dataset. The run is
+// fully deterministic for a given config.
+func Run(cfg RunConfig) (*Dataset, error) {
+	if len(cfg.Combo.Sites) == 0 {
+		return nil, fmt.Errorf("measure: combination has no sites")
+	}
+	if cfg.Interval <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("measure: interval and duration must be positive")
+	}
+	if cfg.ClientTimeout <= 0 {
+		cfg.ClientTimeout = 4 * time.Second
+	}
+	popCfg := cfg.Population
+	if popCfg.NumProbes == 0 {
+		popCfg = atlas.DefaultConfig(cfg.Seed)
+	}
+	pop, err := atlas.Generate(popCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	model := geo.DefaultPathModel()
+	if cfg.PathModel != nil {
+		model = *cfg.PathModel
+	}
+	sim := netsim.NewSimulator()
+	net := netsim.NewNetwork(sim, model, cfg.Seed+1)
+	net.LossRate = cfg.LossRate
+
+	ds := &Dataset{
+		ComboID:  cfg.Combo.ID,
+		Sites:    append([]string(nil), cfg.Combo.Sites...),
+		Interval: cfg.Interval,
+		Duration: cfg.Duration,
+		SiteAddr: make(map[string]netip.Addr),
+	}
+
+	// Authoritative sites, one per Table-1 datacenter.
+	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Outage != nil {
+		host, ok := authHosts[cfg.Outage.Site]
+		if !ok {
+			return nil, fmt.Errorf("measure: outage site %q not in combination %s",
+				cfg.Outage.Site, cfg.Combo.ID)
+		}
+		if cfg.Outage.End <= cfg.Outage.Start {
+			return nil, fmt.Errorf("measure: outage window [%v, %v) is empty",
+				cfg.Outage.Start, cfg.Outage.End)
+		}
+		sim.ScheduleAt(cfg.Outage.Start, func() { host.Down = true })
+		sim.ScheduleAt(cfg.Outage.End, func() { host.Down = false })
+	}
+
+	// Recursive resolvers.
+	clock := simbind.SimClock{Sim: sim}
+	zones := []resolver.ZoneServers{{Zone: TestDomain, Servers: authAddrs}}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	resolverAddr := make([]netip.Addr, len(pop.Resolvers))
+	publicMembers := make([]*netsim.Host, 0, len(pop.PublicSites))
+	for i, spec := range pop.Resolvers {
+		host := net.AddHost(spec.Loc)
+		eng := resolver.NewEngine(resolver.Config{
+			Policy:    resolver.NewPolicy(spec.Kind),
+			Infra:     resolver.NewInfraCache(spec.InfraTTL, spec.Retention),
+			Cache:     resolver.NewRecordCache(),
+			Zones:     zones,
+			Transport: simbind.HostTransport{Host: host},
+			Clock:     clock,
+			RNG:       rand.New(rand.NewSource(cfg.Seed + 1000 + int64(i))),
+			Timeout:   800 * time.Millisecond,
+		})
+		simbind.BindResolver(host, eng)
+		resolverAddr[i] = host.Addr
+		if spec.Public {
+			publicMembers = append(publicMembers, host)
+		}
+	}
+	publicAddr := netip.Addr{}
+	if len(publicMembers) > 0 {
+		publicAddr = net.AllocAddr()
+		net.AddAnycast(publicAddr, publicMembers)
+	}
+
+	// Probes.
+	type probeRuntime struct {
+		probe   atlas.Probe
+		host    *netsim.Host
+		pending map[uint16]*QueryRecord
+		rng     *rand.Rand
+	}
+	active := 0
+	for _, p := range pop.Probes {
+		if cfg.IPv6Subset && !p.IPv6 {
+			continue
+		}
+		if rng.Float64() < cfg.ChurnRate {
+			continue // probe offline this run
+		}
+		active++
+		host := net.AddHost(p.Loc)
+		host.LastMileMs = p.LastMileMs
+		prt := &probeRuntime{
+			probe:   p,
+			host:    host,
+			pending: make(map[uint16]*QueryRecord),
+			rng:     rand.New(rand.NewSource(cfg.Seed + 5000 + int64(p.ID))),
+		}
+		host.Handle(func(src, _ netip.Addr, payload []byte) {
+			msg, err := dnswire.Unpack(payload)
+			if err != nil || !msg.Response {
+				return
+			}
+			rec, ok := prt.pending[msg.ID]
+			if !ok {
+				return
+			}
+			delete(prt.pending, msg.ID)
+			rec.RTTms = float64(sim.Now()-rec.SentAt) / float64(time.Millisecond)
+			rec.OK = msg.RCode == dnswire.RCodeNoError && len(msg.Answers) > 0
+			if rec.OK {
+				if txt, ok := msg.Answers[0].Data.(dnswire.TXT); ok {
+					rec.Site = strings.TrimPrefix(txt.Joined(), "site=")
+				}
+			}
+			ds.Records = append(ds.Records, *rec)
+		})
+
+		// Query schedule: random phase, then fixed cadence.
+		phase := time.Duration(prt.rng.Int63n(int64(cfg.Interval)))
+		seq := 0
+		var tick func()
+		tick = func() {
+			if sim.Now() >= cfg.Duration {
+				return
+			}
+			// Choose a recursive for this query (probes with several
+			// alternate, which is why the paper keys VPs by the
+			// (probe, recursive) pair).
+			ridx := prt.probe.Resolvers[prt.rng.Intn(len(prt.probe.Resolvers))]
+			raddr := publicAddr
+			if !atlas.PublicMarker(ridx) {
+				raddr = resolverAddr[ridx]
+			}
+			if !raddr.IsValid() {
+				return
+			}
+			label := fmt.Sprintf("p%dx%d", prt.probe.ID, seq)
+			qname, err := TestDomain.Child(label)
+			if err != nil {
+				return
+			}
+			id := uint16(seq)
+			q := dnswire.NewQuery(id, qname, dnswire.TypeTXT)
+			wire, err := q.Pack()
+			if err != nil {
+				return
+			}
+			rec := &QueryRecord{
+				ProbeID:   prt.probe.ID,
+				Resolver:  raddr,
+				VPKey:     fmt.Sprintf("%d/%s", prt.probe.ID, raddr),
+				Continent: prt.probe.Continent,
+				Seq:       seq,
+				SentAt:    sim.Now(),
+			}
+			prt.pending[id] = rec
+			prt.host.Send(raddr, wire)
+			// Client-side timeout: record the failure.
+			sim.Schedule(cfg.ClientTimeout, func() {
+				if r, still := prt.pending[id]; still && r == rec {
+					delete(prt.pending, id)
+					rec.RTTms = float64(cfg.ClientTimeout) / float64(time.Millisecond)
+					ds.Records = append(ds.Records, *rec)
+				}
+			})
+			seq++
+			sim.Schedule(cfg.Interval, tick)
+		}
+		sim.Schedule(phase, tick)
+	}
+	ds.ActiveProbes = active
+
+	sim.RunUntil(cfg.Duration + cfg.ClientTimeout + time.Second)
+	return ds, nil
+}
+
+// buildAuthSites deploys one authoritative per combination site and
+// wires the server-side capture into ds.
+func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, ds *Dataset) ([]netip.Addr, map[string]*netsim.Host, error) {
+	authAddrs := make([]netip.Addr, 0, len(combo.Sites))
+	authHosts := make(map[string]*netsim.Host, len(combo.Sites))
+	for _, code := range combo.Sites {
+		site, err := geo.SiteByCode(code)
+		if err != nil {
+			return nil, nil, err
+		}
+		z, err := zone.ParseString(ZoneText(combo, code), dnswire.Root)
+		if err != nil {
+			return nil, nil, fmt.Errorf("measure: building zone for %s: %w", code, err)
+		}
+		host := net.AddHost(site.Coord)
+		code := code
+		eng := authserver.NewEngine(authserver.Config{
+			Zones:    []*zone.Zone{z},
+			Identity: strings.ToLower(code) + "." + TestDomain.String(),
+			OnQuery: func(qi authserver.QueryInfo) {
+				ds.AuthRecords = append(ds.AuthRecords, AuthRecord{
+					Site:  code,
+					Src:   qi.Src,
+					QName: qi.Question.Name.Key(),
+					At:    sim.Now(),
+				})
+			},
+		})
+		simbind.BindAuth(host, eng)
+		authAddrs = append(authAddrs, host.Addr)
+		authHosts[code] = host
+		ds.SiteAddr[code] = host.Addr
+	}
+	return authAddrs, authHosts, nil
+}

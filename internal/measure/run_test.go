@@ -1,0 +1,281 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// smallRun executes a scaled-down 2B measurement for tests.
+func smallRun(t *testing.T, comboID string, probes int, seed int64) *Dataset {
+	t.Helper()
+	combo, err := CombinationByID(comboID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunConfig(combo, seed)
+	pc := atlas.DefaultConfig(seed)
+	pc.NumProbes = probes
+	cfg.Population = pc
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTable1Combinations(t *testing.T) {
+	combos := Table1()
+	if len(combos) != 7 {
+		t.Fatalf("combinations = %d, want 7", len(combos))
+	}
+	want := map[string]int{"2A": 2, "2B": 2, "2C": 2, "3A": 3, "3B": 3, "4A": 4, "4B": 4}
+	for _, c := range combos {
+		if want[c.ID] != len(c.Sites) {
+			t.Errorf("%s has %d sites, want %d", c.ID, len(c.Sites), want[c.ID])
+		}
+	}
+	c, err := CombinationByID("2C")
+	if err != nil || c.Sites[0] != "FRA" || c.Sites[1] != "SYD" {
+		t.Errorf("2C = %+v, %v", c, err)
+	}
+	if _, err := CombinationByID("9Z"); err == nil {
+		t.Error("unknown combination should fail")
+	}
+}
+
+func TestZoneTextParsesAndIdentifiesSite(t *testing.T) {
+	combo, _ := CombinationByID("4B")
+	for _, site := range combo.Sites {
+		z, err := zone.ParseString(ZoneText(combo, site), dnswire.Root)
+		if err != nil {
+			t.Fatalf("site %s zone: %v", site, err)
+		}
+		res := z.Lookup(dnswire.MustParseName("px1.ourtestdomain.nl"), dnswire.TypeTXT)
+		if res.Kind != zone.Success {
+			t.Fatalf("wildcard lookup failed for %s", site)
+		}
+		txt := res.Records[0].Data.(dnswire.TXT).Joined()
+		if txt != "site="+site {
+			t.Errorf("site %s TXT = %q", site, txt)
+		}
+		if res.Records[0].TTL != 5 {
+			t.Errorf("TTL = %d, want 5", res.Records[0].TTL)
+		}
+		// 4 NS records as configured.
+		nsRes := z.Lookup(TestDomain, dnswire.TypeNS)
+		if len(nsRes.Records) != 4 {
+			t.Errorf("NS count = %d", len(nsRes.Records))
+		}
+	}
+}
+
+func TestRunProducesAnswers(t *testing.T) {
+	ds := smallRun(t, "2B", 400, 1)
+	if ds.ActiveProbes < 300 || ds.ActiveProbes > 400 {
+		t.Errorf("active probes = %d (churn should remove ~10%%)", ds.ActiveProbes)
+	}
+	if len(ds.Records) < ds.ActiveProbes*20 {
+		t.Errorf("records = %d, want ≈ 30/probe", len(ds.Records))
+	}
+	ok, sites := 0, map[string]int{}
+	for _, r := range ds.Records {
+		if r.OK {
+			ok++
+			sites[r.Site]++
+		}
+	}
+	if frac := float64(ok) / float64(len(ds.Records)); frac < 0.97 {
+		t.Errorf("answer rate = %.3f, want near 1", frac)
+	}
+	if sites["DUB"] == 0 || sites["FRA"] == 0 {
+		t.Errorf("both sites should serve traffic: %v", sites)
+	}
+	for s := range sites {
+		if s != "DUB" && s != "FRA" {
+			t.Errorf("unexpected site %q", s)
+		}
+	}
+}
+
+func TestRunQueriesPerProbeCadence(t *testing.T) {
+	ds := smallRun(t, "2B", 200, 2)
+	perProbe := map[int]int{}
+	for _, r := range ds.Records {
+		perProbe[r.ProbeID]++
+	}
+	// 1 hour at 2-minute cadence = 30 queries (29-31 with phase).
+	for id, n := range perProbe {
+		if n < 28 || n > 31 {
+			t.Errorf("probe %d sent %d queries, want ≈30", id, n)
+		}
+	}
+}
+
+func TestRunRTTStructure(t *testing.T) {
+	// In 2C, European VPs must see FRA much faster than SYD.
+	ds := smallRun(t, "2C", 500, 3)
+	var fraRTT, sydRTT []float64
+	for _, r := range ds.Records {
+		if !r.OK || r.Continent.String() != "EU" {
+			continue
+		}
+		switch r.Site {
+		case "FRA":
+			fraRTT = append(fraRTT, r.RTTms)
+		case "SYD":
+			sydRTT = append(sydRTT, r.RTTms)
+		}
+	}
+	if len(fraRTT) == 0 || len(sydRTT) == 0 {
+		t.Fatalf("missing site data: fra=%d syd=%d", len(fraRTT), len(sydRTT))
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(fraRTT)*2 > mean(sydRTT) {
+		t.Errorf("EU RTT to FRA (%.0f) should be far below SYD (%.0f)",
+			mean(fraRTT), mean(sydRTT))
+	}
+	// And Europeans should favour FRA overall.
+	if len(fraRTT) < len(sydRTT) {
+		t.Errorf("EU query counts: FRA=%d SYD=%d, expected FRA preference",
+			len(fraRTT), len(sydRTT))
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := smallRun(t, "2A", 150, 7)
+	b := smallRun(t, "2A", 150, 7)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestRunAuthSideCapture(t *testing.T) {
+	ds := smallRun(t, "2B", 200, 4)
+	if len(ds.AuthRecords) == 0 {
+		t.Fatal("no authoritative-side records")
+	}
+	// Every client-observed answer corresponds to server-side traffic;
+	// totals need not match exactly (retries), but should be close.
+	okClient := 0
+	for _, r := range ds.Records {
+		if r.OK {
+			okClient++
+		}
+	}
+	if len(ds.AuthRecords) < okClient {
+		t.Errorf("auth records %d < client answers %d", len(ds.AuthRecords), okClient)
+	}
+	sites := map[string]bool{}
+	for _, ar := range ds.AuthRecords {
+		sites[ar.Site] = true
+		if !strings.HasSuffix(ar.QName, "ourtestdomain.nl.") {
+			t.Fatalf("unexpected qname %q", ar.QName)
+		}
+	}
+	if !sites["DUB"] || !sites["FRA"] {
+		t.Errorf("auth capture missing a site: %v", sites)
+	}
+}
+
+func TestRunIPv6Subset(t *testing.T) {
+	combo, _ := CombinationByID("2B")
+	cfg := DefaultRunConfig(combo, 5)
+	pc := atlas.DefaultConfig(5)
+	pc.NumProbes = 300
+	cfg.Population = pc
+	cfg.IPv6Subset = true
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := smallRun(t, "2B", 300, 5)
+	if ds.ActiveProbes == 0 || ds.ActiveProbes >= full.ActiveProbes {
+		t.Errorf("IPv6 subset probes = %d, full = %d", ds.ActiveProbes, full.ActiveProbes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	combo, _ := CombinationByID("2A")
+	if _, err := Run(RunConfig{Combo: combo}); err == nil {
+		t.Error("zero interval should fail")
+	}
+	bad := Combination{ID: "XX", Sites: []string{"NOPE"}}
+	cfg := DefaultRunConfig(bad, 1)
+	pc := atlas.DefaultConfig(1)
+	pc.NumProbes = 10
+	cfg.Population = pc
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown site should fail")
+	}
+}
+
+func TestDatasetWriters(t *testing.T) {
+	ds := smallRun(t, "2B", 100, 6)
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := ds.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(ds.Records)+1 {
+		t.Errorf("csv lines = %d, want %d", len(lines), len(ds.Records)+1)
+	}
+	if !strings.HasPrefix(lines[0], "combo,probe,resolver") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if err := ds.WriteJSONL(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
+	if len(jl) != len(ds.Records) {
+		t.Errorf("jsonl lines = %d, want %d", len(jl), len(ds.Records))
+	}
+	if !strings.Contains(jl[0], `"combo":"2B"`) {
+		t.Errorf("jsonl first line = %q", jl[0])
+	}
+	if s := ds.Summary(); !strings.Contains(s, "2B") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestRunIntervalSweepConfig(t *testing.T) {
+	// Figure 6 uses longer intervals; the cadence must follow.
+	combo, _ := CombinationByID("2C")
+	cfg := DefaultRunConfig(combo, 8)
+	pc := atlas.DefaultConfig(8)
+	pc.NumProbes = 100
+	cfg.Population = pc
+	cfg.Interval = 10 * time.Minute
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProbe := map[int]int{}
+	for _, r := range ds.Records {
+		perProbe[r.ProbeID]++
+	}
+	for id, n := range perProbe {
+		if n < 5 || n > 7 {
+			t.Errorf("probe %d sent %d queries at 10-minute cadence, want 6", id, n)
+		}
+	}
+}

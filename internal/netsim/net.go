@@ -1,0 +1,279 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ritw/internal/geo"
+)
+
+// PacketHandler receives a datagram delivered to a host. src is the
+// address replies should go to; for packets that arrived through an
+// anycast service, dst is the anycast address the sender used (so the
+// host can answer from the right identity).
+type PacketHandler func(src, dst netip.Addr, payload []byte)
+
+// Host is a simulated machine with an address and a location.
+type Host struct {
+	Addr netip.Addr
+	Loc  geo.Coord
+	// LastMileMs is extra access-network RTT charged on every path to
+	// or from this host (zero for datacenter hosts).
+	LastMileMs float64
+	// LossRate is this host's extra packet-loss probability, applied
+	// on top of the network-wide rate in both directions.
+	LossRate float64
+	// Down marks a failed host: packets to it vanish.
+	Down bool
+
+	handler PacketHandler
+	net     *Network
+}
+
+// Handle installs the host's datagram handler.
+func (h *Host) Handle(fn PacketHandler) { h.handler = fn }
+
+// Send transmits payload from this host to dst after the simulated
+// one-way delay; dst may be a unicast host or an anycast service
+// address. Lost packets are silently dropped, like UDP.
+func (h *Host) Send(dst netip.Addr, payload []byte) {
+	h.net.send(h, h.Addr, dst, payload)
+}
+
+// SendAs transmits like Send but with src as the packet's source
+// address. This is how an anycast member answers from the service
+// identity it was queried on — without it, a resolver's off-path
+// protection would discard the reply. src must be the host's own
+// address or an anycast service the host belongs to; other values
+// panic, because spoofing is a configuration error in experiments.
+func (h *Host) SendAs(src, dst netip.Addr, payload []byte) {
+	if src != h.Addr && !h.net.isMember(h, src) {
+		panic(fmt.Sprintf("netsim: host %s cannot send as %s", h.Addr, src))
+	}
+	h.net.send(h, src, dst, payload)
+}
+
+// Network glues hosts together with a latency model. All methods must
+// be called from the simulator goroutine (or before Run starts).
+type Network struct {
+	Sim   *Simulator
+	Model geo.PathModel
+	// LossRate is the network-wide per-packet loss probability.
+	LossRate float64
+	// BGPNoise is the probability that an anycast catchment decision
+	// picks a suboptimal site, modelling the real-world mismatch
+	// between BGP proximity and geographic proximity.
+	BGPNoise float64
+
+	rng      *rand.Rand
+	hosts    map[netip.Addr]*Host
+	anycast  map[netip.Addr][]*Host
+	stretch  map[pairKey]float64
+	catch    map[pairKey]*Host
+	nextIPv4 uint32
+}
+
+type pairKey struct{ a, b netip.Addr }
+
+func orderedPair(a, b netip.Addr) pairKey {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// NewNetwork creates a network on sim with the given path model and a
+// seeded RNG for all stochastic decisions.
+func NewNetwork(sim *Simulator, model geo.PathModel, seed int64) *Network {
+	return &Network{
+		Sim:      sim,
+		Model:    model,
+		BGPNoise: 0.15,
+		rng:      rand.New(rand.NewSource(seed)),
+		hosts:    make(map[netip.Addr]*Host),
+		anycast:  make(map[netip.Addr][]*Host),
+		stretch:  make(map[pairKey]float64),
+		catch:    make(map[pairKey]*Host),
+		nextIPv4: 0x0A000001, // 10.0.0.1
+	}
+}
+
+// RNG exposes the network's random source so colocated models (probe
+// placement, resolver assignment) can share the deterministic stream.
+func (n *Network) RNG() *rand.Rand { return n.rng }
+
+// AllocAddr returns a fresh unique address from the simulator's
+// private pool.
+func (n *Network) AllocAddr() netip.Addr {
+	for {
+		v := n.nextIPv4
+		n.nextIPv4++
+		addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		if _, taken := n.hosts[addr]; taken {
+			continue
+		}
+		if _, taken := n.anycast[addr]; taken {
+			continue
+		}
+		return addr
+	}
+}
+
+// AddHost registers a host at loc with an automatically allocated
+// address.
+func (n *Network) AddHost(loc geo.Coord) *Host {
+	return n.AddHostAddr(n.AllocAddr(), loc)
+}
+
+// AddHostAddr registers a host with an explicit address; it panics if
+// the address is taken (static experiment configs want to fail fast).
+func (n *Network) AddHostAddr(addr netip.Addr, loc geo.Coord) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %s", addr))
+	}
+	if _, dup := n.anycast[addr]; dup {
+		panic(fmt.Sprintf("netsim: host %s collides with anycast service", addr))
+	}
+	h := &Host{Addr: addr, Loc: loc, net: n}
+	n.hosts[addr] = h
+	return h
+}
+
+// Host returns the registered host for addr.
+func (n *Network) Host(addr netip.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// AddAnycast registers addr as an anycast service answered by the
+// given member hosts (each member keeps its own unicast address too).
+func (n *Network) AddAnycast(addr netip.Addr, members []*Host) {
+	if len(members) == 0 {
+		panic("netsim: anycast service needs at least one member")
+	}
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: anycast %s collides with host", addr))
+	}
+	n.anycast[addr] = append([]*Host(nil), members...)
+}
+
+// AnycastMembers returns the member hosts behind an anycast address.
+func (n *Network) AnycastMembers(addr netip.Addr) []*Host {
+	return n.anycast[addr]
+}
+
+// IsAnycast reports whether addr names an anycast service.
+func (n *Network) IsAnycast(addr netip.Addr) bool {
+	_, ok := n.anycast[addr]
+	return ok
+}
+
+// Catchment resolves which member of an anycast service receives
+// traffic from src. The decision is made once per (src, service) pair
+// and then pinned: BGP routing is stable at the one-hour timescale of
+// the measurements. With probability BGPNoise the choice is not the
+// lowest-latency site, reflecting real catchment inefficiency.
+func (n *Network) Catchment(src *Host, service netip.Addr) *Host {
+	key := pairKey{src.Addr, service}
+	if h, ok := n.catch[key]; ok {
+		return h
+	}
+	members := n.anycast[service]
+	best := n.pickCatchment(src, members)
+	n.catch[key] = best
+	return best
+}
+
+func (n *Network) pickCatchment(src *Host, members []*Host) *Host {
+	if len(members) == 1 {
+		return members[0]
+	}
+	type cand struct {
+		h   *Host
+		rtt float64
+	}
+	cands := make([]cand, len(members))
+	for i, m := range members {
+		d := src.Loc.DistanceKm(m.Loc)
+		cands[i] = cand{m, n.Model.BaseRTTMs(d, n.Model.StretchMean)}
+	}
+	// Sort by RTT (selection sort: member counts are small).
+	for i := range cands {
+		minI := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].rtt < cands[minI].rtt {
+				minI = j
+			}
+		}
+		cands[i], cands[minI] = cands[minI], cands[i]
+	}
+	if n.rng.Float64() >= n.BGPNoise {
+		return cands[0].h
+	}
+	// Noisy decision: usually the runner-up, occasionally anything.
+	if n.rng.Float64() < 0.7 || len(cands) == 2 {
+		return cands[1].h
+	}
+	return cands[2+n.rng.Intn(len(cands)-2)].h
+}
+
+// PathRTTms returns the base (jitter-free) RTT in milliseconds between
+// two hosts, including both last-mile components. The per-pair stretch
+// is sampled on first use and pinned.
+func (n *Network) PathRTTms(a, b *Host) float64 {
+	if a == b {
+		return 0.2 // loopback
+	}
+	key := orderedPair(a.Addr, b.Addr)
+	d := a.Loc.DistanceKm(b.Loc)
+	s, ok := n.stretch[key]
+	if !ok {
+		s = n.Model.SampleStretch(n.rng, d)
+		n.stretch[key] = s
+	}
+	return n.Model.BaseRTTMs(d, s) + a.LastMileMs + b.LastMileMs
+}
+
+// isMember reports whether h serves the anycast address svc.
+func (n *Network) isMember(h *Host, svc netip.Addr) bool {
+	for _, m := range n.anycast[svc] {
+		if m == h {
+			return true
+		}
+	}
+	return false
+}
+
+// send routes one datagram. Anycast destinations first resolve to a
+// concrete member via the catchment; the receiver still sees the
+// anycast address as dst so it can answer from that identity.
+func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
+	target, ok := n.hosts[dst]
+	serviceAddr := dst
+	if !ok {
+		if members, isAny := n.anycast[dst]; isAny && len(members) > 0 {
+			target = n.Catchment(from, dst)
+		} else {
+			return // unroutable: silently dropped, like the real thing
+		}
+	}
+	if target.Down {
+		return
+	}
+	if n.rng.Float64() < n.LossRate || n.rng.Float64() < from.LossRate || n.rng.Float64() < target.LossRate {
+		return
+	}
+	base := n.PathRTTms(from, target)
+	oneWay := base/2 + n.Model.JitterMs(n.rng, base)/2
+	delay := time.Duration(oneWay * float64(time.Millisecond))
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	src := srcAddr
+	n.Sim.Schedule(delay, func() {
+		if target.handler != nil && !target.Down {
+			target.handler(src, serviceAddr, buf)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/geo"
+)
+
+func newTestNet(seed int64) *Network {
+	return NewNetwork(NewSimulator(), geo.DefaultPathModel(), seed)
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := newTestNet(1)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("DUB").Coord)
+
+	var gotPayload []byte
+	var gotSrc, gotDst netip.Addr
+	var deliveredAt time.Duration
+	b.Handle(func(src, dst netip.Addr, p []byte) {
+		gotSrc, gotDst, gotPayload = src, dst, p
+		deliveredAt = n.Sim.Now()
+	})
+	a.Send(b.Addr, []byte("ping"))
+	n.Sim.Run()
+
+	if string(gotPayload) != "ping" {
+		t.Fatalf("payload = %q", gotPayload)
+	}
+	if gotSrc != a.Addr || gotDst != b.Addr {
+		t.Errorf("src/dst = %v/%v", gotSrc, gotDst)
+	}
+	// FRA-DUB ≈ 1090 km: one-way delay should be a handful of ms.
+	if deliveredAt < 2*time.Millisecond || deliveredAt > 60*time.Millisecond {
+		t.Errorf("delivery at %v, want single-digit-to-tens ms", deliveredAt)
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	n := newTestNet(1)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	var got []byte
+	b.Handle(func(_, _ netip.Addr, p []byte) { got = p })
+	buf := []byte("mutate-me")
+	a.Send(b.Addr, buf)
+	buf[0] = 'X' // sender reuses its buffer before delivery
+	n.Sim.Run()
+	if string(got) != "mutate-me" {
+		t.Errorf("payload shared with sender buffer: %q", got)
+	}
+}
+
+func TestRTTIncreasesWithDistance(t *testing.T) {
+	n := newTestNet(2)
+	fra := n.AddHost(geo.MustSite("FRA").Coord)
+	dub := n.AddHost(geo.MustSite("DUB").Coord)
+	syd := n.AddHost(geo.MustSite("SYD").Coord)
+	near := n.PathRTTms(fra, dub)
+	far := n.PathRTTms(fra, syd)
+	if far <= near*3 {
+		t.Errorf("RTT near=%v far=%v; far should dominate", near, far)
+	}
+	// Stability: the pinned stretch makes repeat calls identical.
+	if n.PathRTTms(fra, syd) != far || n.PathRTTms(syd, fra) != far {
+		t.Error("PathRTTms should be symmetric and pinned")
+	}
+}
+
+func TestLastMileCharged(t *testing.T) {
+	n := newTestNet(3)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	base := n.PathRTTms(a, b)
+	c := n.AddHost(geo.MustSite("AMS").Coord)
+	c.LastMileMs = 40
+	// New pair, new stretch; compare indirectly with generous slack.
+	withDSL := n.PathRTTms(a, c)
+	if withDSL < base-20+40 {
+		t.Errorf("last mile not charged: base=%v withDSL=%v", base, withDSL)
+	}
+}
+
+func TestLoopbackRTT(t *testing.T) {
+	n := newTestNet(4)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	if rtt := n.PathRTTms(a, a); rtt > 1 {
+		t.Errorf("loopback RTT = %v", rtt)
+	}
+}
+
+func TestUnroutableAndDownHosts(t *testing.T) {
+	n := newTestNet(5)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	delivered := 0
+	b.Handle(func(_, _ netip.Addr, _ []byte) { delivered++ })
+
+	a.Send(netip.MustParseAddr("203.0.113.99"), []byte("void")) // unroutable
+	b.Down = true
+	a.Send(b.Addr, []byte("to-down-host"))
+	n.Sim.Run()
+	if delivered != 0 {
+		t.Errorf("delivered = %d, want 0", delivered)
+	}
+	// Host that goes down while a packet is in flight also drops it.
+	b.Down = false
+	a.Send(b.Addr, []byte("in-flight"))
+	b.Down = true
+	n.Sim.Run()
+	if delivered != 0 {
+		t.Errorf("in-flight packet delivered to down host")
+	}
+}
+
+func TestPacketLoss(t *testing.T) {
+	n := newTestNet(6)
+	n.LossRate = 0.5
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	delivered := 0
+	b.Handle(func(_, _ netip.Addr, _ []byte) { delivered++ })
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		a.Send(b.Addr, []byte{1})
+	}
+	n.Sim.Run()
+	if delivered < sent/3 || delivered > 2*sent/3 {
+		t.Errorf("delivered %d of %d with 50%% loss", delivered, sent)
+	}
+}
+
+func TestPerHostLoss(t *testing.T) {
+	n := newTestNet(7)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	b.LossRate = 1.0
+	delivered := 0
+	b.Handle(func(_, _ netip.Addr, _ []byte) { delivered++ })
+	a.Send(b.Addr, []byte{1})
+	n.Sim.Run()
+	if delivered != 0 {
+		t.Error("lossy host should drop everything at rate 1.0")
+	}
+}
+
+func TestAllocAddrUnique(t *testing.T) {
+	n := newTestNet(8)
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		a := n.AllocAddr()
+		if seen[a] {
+			t.Fatalf("duplicate address %v", a)
+		}
+		seen[a] = true
+		n.AddHostAddr(a, geo.Coord{})
+	}
+}
+
+func TestAddHostAddrCollisionPanics(t *testing.T) {
+	n := newTestNet(9)
+	addr := netip.MustParseAddr("192.0.2.1")
+	n.AddHostAddr(addr, geo.Coord{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddHostAddr should panic")
+		}
+	}()
+	n.AddHostAddr(addr, geo.Coord{})
+}
+
+func TestAnycastNearestCatchment(t *testing.T) {
+	n := newTestNet(10)
+	n.BGPNoise = 0 // perfect routing for this test
+	fra := n.AddHost(geo.MustSite("FRA").Coord)
+	syd := n.AddHost(geo.MustSite("SYD").Coord)
+	iad := n.AddHost(geo.MustSite("IAD").Coord)
+	svc := netip.MustParseAddr("198.18.0.1")
+	n.AddAnycast(svc, []*Host{fra, syd, iad})
+
+	client := n.AddHost(geo.MustSite("AMS").Coord)
+	got := n.Catchment(client, svc)
+	if got != fra {
+		t.Errorf("AMS client caught by %v, want FRA", got.Addr)
+	}
+	ocClient := n.AddHost(geo.MustSite("AKL").Coord)
+	if got := n.Catchment(ocClient, svc); got != syd {
+		t.Errorf("AKL client caught by %v, want SYD", got.Addr)
+	}
+	// Catchment is pinned.
+	if n.Catchment(client, svc) != fra {
+		t.Error("catchment not stable")
+	}
+}
+
+func TestAnycastBGPNoise(t *testing.T) {
+	n := newTestNet(11)
+	n.BGPNoise = 1.0 // every decision is noisy
+	fra := n.AddHost(geo.MustSite("FRA").Coord)
+	syd := n.AddHost(geo.MustSite("SYD").Coord)
+	svc := netip.MustParseAddr("198.18.0.2")
+	n.AddAnycast(svc, []*Host{fra, syd})
+	client := n.AddHost(geo.MustSite("AMS").Coord)
+	if got := n.Catchment(client, svc); got != syd {
+		t.Errorf("with full noise and 2 members the runner-up must win, got %v", got.Addr)
+	}
+}
+
+func TestAnycastDelivery(t *testing.T) {
+	n := newTestNet(12)
+	n.BGPNoise = 0
+	fra := n.AddHost(geo.MustSite("FRA").Coord)
+	syd := n.AddHost(geo.MustSite("SYD").Coord)
+	svc := netip.MustParseAddr("198.18.0.3")
+	n.AddAnycast(svc, []*Host{fra, syd})
+
+	var fraGot, sydGot int
+	var seenDst netip.Addr
+	fra.Handle(func(_, dst netip.Addr, _ []byte) { fraGot++; seenDst = dst })
+	syd.Handle(func(_, _ netip.Addr, _ []byte) { sydGot++ })
+
+	client := n.AddHost(geo.MustSite("AMS").Coord)
+	client.Send(svc, []byte("q"))
+	n.Sim.Run()
+	if fraGot != 1 || sydGot != 0 {
+		t.Fatalf("fra=%d syd=%d", fraGot, sydGot)
+	}
+	if seenDst != svc {
+		t.Errorf("receiver saw dst %v, want anycast %v", seenDst, svc)
+	}
+}
+
+func TestAnycastValidation(t *testing.T) {
+	n := newTestNet(13)
+	h := n.AddHost(geo.Coord{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty anycast should panic")
+			}
+		}()
+		n.AddAnycast(netip.MustParseAddr("198.18.9.9"), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("anycast colliding with host should panic")
+			}
+		}()
+		n.AddAnycast(h.Addr, []*Host{h})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("host colliding with anycast should panic")
+			}
+		}()
+		svc := netip.MustParseAddr("198.18.9.10")
+		n.AddAnycast(svc, []*Host{h})
+		n.AddHostAddr(svc, geo.Coord{})
+	}()
+	if !n.IsAnycast(netip.MustParseAddr("198.18.9.10")) {
+		t.Error("IsAnycast should see registered service")
+	}
+	if n.IsAnycast(h.Addr) {
+		t.Error("host is not anycast")
+	}
+	if got := n.AnycastMembers(netip.MustParseAddr("198.18.9.10")); len(got) != 1 {
+		t.Errorf("members = %v", got)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		n := newTestNet(99)
+		a := n.AddHost(geo.MustSite("FRA").Coord)
+		b := n.AddHost(geo.MustSite("NRT").Coord)
+		var times []time.Duration
+		b.Handle(func(src, _ netip.Addr, p []byte) {
+			times = append(times, n.Sim.Now())
+			if len(times) < 10 {
+				b.Send(src, p)
+			}
+		})
+		a.Handle(func(src, _ netip.Addr, p []byte) {
+			a.Send(src, p)
+		})
+		a.Send(b.Addr, []byte("rt"))
+		n.Sim.Run()
+		return times
+	}
+	t1, t2 := run(), run()
+	if len(t1) == 0 || len(t1) != len(t2) {
+		t.Fatalf("lengths %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestHostLookup(t *testing.T) {
+	n := newTestNet(14)
+	h := n.AddHost(geo.Coord{})
+	if got, ok := n.Host(h.Addr); !ok || got != h {
+		t.Error("Host lookup failed")
+	}
+	if _, ok := n.Host(netip.MustParseAddr("203.0.113.1")); ok {
+		t.Error("unknown host should not resolve")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	n := newTestNet(1)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	c := n.AddHost(geo.MustSite("AMS").Coord)
+	c.Handle(func(_, _ netip.Addr, _ []byte) {})
+	payload := []byte("benchmark-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(c.Addr, payload)
+		if n.Sim.Pending() > 1000 {
+			n.Sim.Run()
+		}
+	}
+	n.Sim.Run()
+}

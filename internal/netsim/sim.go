@@ -1,0 +1,106 @@
+// Package netsim is the discrete-event network simulator that stands
+// in for the Internet in the reproduced measurements. It provides a
+// virtual clock with an event queue, hosts placed at geographic
+// coordinates, point-to-point latency sampled from the geo path model,
+// packet loss, and IP anycast services with BGP-like catchment noise.
+//
+// Everything runs single-threaded inside Run, so protocol engines
+// built on it need no locking; the same engines also run over real
+// sockets via the small transport interfaces they accept.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Simulator is a deterministic discrete-event executor with a virtual
+// clock. The zero value is not usable; create one with NewSimulator.
+type Simulator struct {
+	now    time.Duration
+	queue  eventHeap
+	nextID uint64
+}
+
+// NewSimulator returns an empty simulator at virtual time zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Schedule runs fn after delay d of virtual time. Events scheduled for
+// the same instant run in scheduling order, keeping runs reproducible.
+// A negative delay is treated as zero.
+func (s *Simulator) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.nextID++
+	heap.Push(&s.queue, event{at: s.now + d, seq: s.nextID, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute virtual time t (clamped to now).
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) {
+	s.Schedule(t-s.now, fn)
+}
+
+// Run executes events until the queue drains and returns the final
+// virtual time.
+func (s *Simulator) Run() time.Duration {
+	for len(s.queue) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaves later
+// events queued, and advances the clock to deadline.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+func (s *Simulator) step() {
+	ev := heap.Pop(&s.queue).(event)
+	if ev.at > s.now {
+		s.now = ev.at
+	}
+	ev.fn()
+}
+
+// event is one queued callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

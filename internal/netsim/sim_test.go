@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30*time.Millisecond {
+		t.Errorf("end time = %v", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestScheduleFIFOAtSameInstant(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var at []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		at = append(at, s.Now())
+		s.Schedule(2*time.Millisecond, func() {
+			at = append(at, s.Now())
+		})
+	})
+	s.Run()
+	if len(at) != 2 || at[0] != time.Millisecond || at[1] != 3*time.Millisecond {
+		t.Errorf("times = %v", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.Schedule(5*time.Millisecond, func() {
+		s.Schedule(-time.Second, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Error("negative-delay event never ran")
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("events run = %v", got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("clock = %v, want 20ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(got) != 2 || s.Now() != 30*time.Millisecond {
+		t.Errorf("after Run: got=%v now=%v", got, s.Now())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := NewSimulator()
+	var when time.Duration
+	s.ScheduleAt(42*time.Millisecond, func() { when = s.Now() })
+	s.Run()
+	if when != 42*time.Millisecond {
+		t.Errorf("ran at %v", when)
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	// A cascade: each event schedules the next until 10000.
+	var next func()
+	next = func() {
+		count++
+		if count < 10000 {
+			s.Schedule(time.Microsecond, next)
+		}
+	}
+	s.Schedule(0, next)
+	s.Run()
+	if count != 10000 {
+		t.Errorf("count = %d", count)
+	}
+}

@@ -1,0 +1,208 @@
+package plot
+
+import (
+	"fmt"
+
+	"ritw/internal/stats"
+)
+
+// BoxGroup is one box of a box-and-whisker chart (Figure 2).
+type BoxGroup struct {
+	Label string // x label, e.g. "2A (96.0%)"
+	Box   stats.BoxPlot
+}
+
+// BoxChart renders quartile boxes with 10/90-percentile whiskers, the
+// exact shape of the paper's Figure 2.
+func BoxChart(title, yUnit string, groups []BoxGroup) string {
+	c := NewCanvas(title, "authoritative combination", yUnit)
+	x0, y0, x1, y1 := c.plotArea()
+
+	maxY := 1.0
+	for _, g := range groups {
+		if g.Box.P90 > maxY {
+			maxY = g.Box.P90
+		}
+	}
+	ys := Scale{DataMin: 0, DataMax: maxY * 1.1, PixMin: y1, PixMax: y0}
+	xTicks := map[float64]string{}
+	n := len(groups)
+	slot := (x1 - x0) / float64(max(n, 1))
+	for i, g := range groups {
+		cx := x0 + slot*(float64(i)+0.5)
+		xTicks[cx] = g.Label
+		half := slot * 0.22
+		b := g.Box
+		// Whiskers.
+		c.Line(cx, ys.Pos(b.P10), cx, ys.Pos(b.Q1), "#333", 1.2, false)
+		c.Line(cx, ys.Pos(b.Q3), cx, ys.Pos(b.P90), "#333", 1.2, false)
+		c.Line(cx-half/2, ys.Pos(b.P10), cx+half/2, ys.Pos(b.P10), "#333", 1.2, false)
+		c.Line(cx-half/2, ys.Pos(b.P90), cx+half/2, ys.Pos(b.P90), "#333", 1.2, false)
+		// Quartile box and median.
+		c.Rect(cx-half, ys.Pos(b.Q3), 2*half, ys.Pos(b.Q1)-ys.Pos(b.Q3), "#9ecae1", "#333")
+		c.Line(cx-half, ys.Pos(b.Median), cx+half, ys.Pos(b.Median), "#d62728", 2, false)
+	}
+	xs := Scale{DataMin: x0, DataMax: x1, PixMin: x0, PixMax: x1}
+	c.drawAxes(xs, ys, xTicks)
+	return c.SVG()
+}
+
+// ShareRTTBar is one site of Figure 3: a query-share bar plus its
+// median-RTT marker.
+type ShareRTTBar struct {
+	Label     string
+	Share     float64 // 0..1
+	MedianRTT float64 // ms
+}
+
+// ShareRTTChart renders Figure 3's paired view: bars for query share
+// (left axis, 0..1) and dots for median RTT (right axis, ms).
+func ShareRTTChart(title string, bars []ShareRTTBar) string {
+	c := NewCanvas(title, "authoritative site", "query share")
+	x0, y0, x1, y1 := c.plotArea()
+	maxRTT := 1.0
+	for _, b := range bars {
+		if b.MedianRTT > maxRTT {
+			maxRTT = b.MedianRTT
+		}
+	}
+	shareScale := Scale{DataMin: 0, DataMax: 1, PixMin: y1, PixMax: y0}
+	rttScale := Scale{DataMin: 0, DataMax: maxRTT * 1.15, PixMin: y1, PixMax: y0}
+
+	xTicks := map[float64]string{}
+	slot := (x1 - x0) / float64(max(len(bars), 1))
+	for i, b := range bars {
+		cx := x0 + slot*(float64(i)+0.5)
+		xTicks[cx] = b.Label
+		half := slot * 0.3
+		c.Rect(cx-half, shareScale.Pos(b.Share), 2*half, y1-shareScale.Pos(b.Share), "#9ecae1", "#333")
+		c.Circle(cx, rttScale.Pos(b.MedianRTT), 5, "#d62728")
+		c.Text(cx, rttScale.Pos(b.MedianRTT)-9, fmt.Sprintf("%.0fms", b.MedianRTT), "middle", 10)
+	}
+	xs := Scale{DataMin: x0, DataMax: x1, PixMin: x0, PixMax: x1}
+	c.drawAxes(xs, shareScale, xTicks)
+	c.Text(x1, y0-6, "dots: median RTT", "end", 11)
+	return c.SVG()
+}
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders multiple series with a legend — Figure 4's sorted
+// per-recursive fractions and Figure 6's interval sweep.
+func LineChart(title, xUnit, yUnit string, series []Series, yMin, yMax float64) string {
+	c := NewCanvas(title, xUnit, yUnit)
+	x0, y0, x1, y1 := c.plotArea()
+	xMin, xMax := 0.0, 1.0
+	first := true
+	for _, s := range series {
+		for _, v := range s.X {
+			if first {
+				xMin, xMax = v, v
+				first = false
+				continue
+			}
+			if v < xMin {
+				xMin = v
+			}
+			if v > xMax {
+				xMax = v
+			}
+		}
+	}
+	xs := Scale{DataMin: xMin, DataMax: xMax, PixMin: x0, PixMax: x1}
+	ys := Scale{DataMin: yMin, DataMax: yMax, PixMin: y1, PixMax: y0}
+	c.drawAxes(xs, ys, nil)
+	names := make([]string, 0, len(series))
+	for i, s := range series {
+		px := make([]float64, len(s.X))
+		py := make([]float64, len(s.Y))
+		for j := range s.X {
+			px[j] = xs.Pos(s.X[j])
+			py[j] = ys.Pos(s.Y[j])
+		}
+		c.Polyline(px, py, Palette[i%len(Palette)], 2)
+		names = append(names, s.Name)
+	}
+	c.legend(names)
+	return c.SVG()
+}
+
+// ScatterPoint is one dot of a scatter chart (Figure 5).
+type ScatterPoint struct {
+	X, Y  float64
+	Label string
+	Color int // palette index
+}
+
+// ScatterChart renders labelled points — Figure 5's RTT sensitivity.
+func ScatterChart(title, xUnit, yUnit string, points []ScatterPoint, yMin, yMax float64) string {
+	c := NewCanvas(title, xUnit, yUnit)
+	x0, y0, x1, y1 := c.plotArea()
+	xMin, xMax := 0.0, 1.0
+	for i, p := range points {
+		if i == 0 {
+			xMin, xMax = p.X, p.X
+		}
+		if p.X < xMin {
+			xMin = p.X
+		}
+		if p.X > xMax {
+			xMax = p.X
+		}
+	}
+	pad := (xMax - xMin) * 0.08
+	xs := Scale{DataMin: xMin - pad, DataMax: xMax + pad, PixMin: x0, PixMax: x1}
+	ys := Scale{DataMin: yMin, DataMax: yMax, PixMin: y1, PixMax: y0}
+	c.drawAxes(xs, ys, nil)
+	for _, p := range points {
+		c.Circle(xs.Pos(p.X), ys.Pos(p.Y), 5, Palette[p.Color%len(Palette)])
+		if p.Label != "" {
+			c.Text(xs.Pos(p.X), ys.Pos(p.Y)-8, p.Label, "middle", 10)
+		}
+	}
+	_ = y0
+	return c.SVG()
+}
+
+// Band is one recursive-rank band of Figure 7.
+type Band struct {
+	Label string
+	// Shares are the mean per-rank query fractions, most-used first;
+	// they are stacked bottom-to-top.
+	Shares []float64
+}
+
+// BandChart renders Figure 7's stacked rank bands.
+func BandChart(title string, bands []Band) string {
+	c := NewCanvas(title, "", "fraction of queries")
+	x0, y0, x1, y1 := c.plotArea()
+	ys := Scale{DataMin: 0, DataMax: 1, PixMin: y1, PixMax: y0}
+	xTicks := map[float64]string{}
+	slot := (x1 - x0) / float64(max(len(bands), 1))
+	for i, b := range bands {
+		cx := x0 + slot*(float64(i)+0.5)
+		xTicks[cx] = b.Label
+		half := slot * 0.35
+		bottom := 0.0
+		for r, share := range b.Shares {
+			top := bottom + share
+			c.Rect(cx-half, ys.Pos(top), 2*half, ys.Pos(bottom)-ys.Pos(top),
+				Palette[r%len(Palette)], "white")
+			bottom = top
+		}
+	}
+	xs := Scale{DataMin: x0, DataMax: x1, PixMin: x0, PixMax: x1}
+	c.drawAxes(xs, ys, xTicks)
+	return c.SVG()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

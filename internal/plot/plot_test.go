@@ -1,0 +1,164 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"ritw/internal/stats"
+)
+
+// assertWellFormed parses the SVG as XML and checks core structure.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			elements++
+		}
+	}
+	if elements < 5 {
+		t.Fatalf("suspiciously empty SVG (%d elements)", elements)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("missing svg envelope")
+	}
+}
+
+func sampleBox(median float64) stats.BoxPlot {
+	return stats.BoxPlot{N: 100, P10: median / 2, Q1: median * 0.8, Median: median,
+		Q3: median * 1.5, P90: median * 3}
+}
+
+func TestBoxChart(t *testing.T) {
+	svg := BoxChart("Figure 2", "queries after first", []BoxGroup{
+		{Label: "2A (96.0%)", Box: sampleBox(1)},
+		{Label: "4B (75.2%)", Box: sampleBox(6)},
+	})
+	assertWellFormed(t, svg)
+	for _, want := range []string{"Figure 2", "2A (96.0%)", "4B (75.2%)", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("box chart missing %q", want)
+		}
+	}
+}
+
+func TestShareRTTChart(t *testing.T) {
+	svg := ShareRTTChart("Figure 3 — 2C", []ShareRTTBar{
+		{Label: "FRA", Share: 0.64, MedianRTT: 48},
+		{Label: "SYD", Share: 0.36, MedianRTT: 312},
+	})
+	assertWellFormed(t, svg)
+	for _, want := range []string{"FRA", "SYD", "312ms", "48ms"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("share chart missing %q", want)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg := LineChart("Figure 6", "interval (min)", "fraction to FRA", []Series{
+		{Name: "EU", X: []float64{2, 5, 10, 30}, Y: []float64{0.73, 0.73, 0.67, 0.65}},
+		{Name: "OC", X: []float64{2, 5, 10, 30}, Y: []float64{0.26, 0.36, 0.35, 0.36}},
+	}, 0, 1)
+	assertWellFormed(t, svg)
+	for _, want := range []string{"polyline", "EU", "OC", "interval (min)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("line chart missing %q", want)
+		}
+	}
+}
+
+func TestScatterChart(t *testing.T) {
+	svg := ScatterChart("Figure 5", "RTT (ms)", "fraction of queries", []ScatterPoint{
+		{X: 40, Y: 0.56, Label: "EU", Color: 0},
+		{X: 227, Y: 0.47, Label: "AS", Color: 1},
+	}, 0, 1)
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, "circle") || !strings.Contains(svg, "EU") {
+		t.Error("scatter chart incomplete")
+	}
+}
+
+func TestBandChart(t *testing.T) {
+	svg := BandChart("Figure 7 (top)", []Band{
+		{Label: "r1", Shares: []float64{0.6, 0.2, 0.1, 0.1}},
+		{Label: "r2", Shares: []float64{1.0}},
+	})
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, "r1") || !strings.Contains(svg, "r2") {
+		t.Error("band chart missing labels")
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	c := NewCanvas(`<&">`, "x", "y")
+	c.Text(10, 10, `a<b & "c"`, "start", 10)
+	c.Text(20, 20, "plain", "start", 10)
+	c.Line(0, 0, 1, 1, "#000", 1, true)
+	svg := c.SVG()
+	assertWellFormed(t, svg)
+	if strings.Contains(svg, `a<b`) {
+		t.Error("unescaped text in SVG")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Error("escaped text missing")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 1, 6)
+	if len(ticks) < 4 || ticks[0] < 0 || ticks[len(ticks)-1] > 1.0001 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	ticks = niceTicks(0, 353, 6)
+	if len(ticks) < 3 {
+		t.Errorf("rtt ticks = %v", ticks)
+	}
+	if got := niceTicks(5, 5, 6); len(got) != 2 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestScalePos(t *testing.T) {
+	s := Scale{DataMin: 0, DataMax: 10, PixMin: 100, PixMax: 200}
+	if s.Pos(0) != 100 || s.Pos(10) != 200 || s.Pos(5) != 150 {
+		t.Errorf("scale positions wrong")
+	}
+	deg := Scale{DataMin: 3, DataMax: 3, PixMin: 0, PixMax: 10}
+	if deg.Pos(3) != 5 {
+		t.Error("degenerate scale should centre")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.5", 1: "1", 0.25: "0.25", 100: "100"}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPolylineEdgeCases(t *testing.T) {
+	c := NewCanvas("t", "", "")
+	c.Polyline(nil, nil, "#000", 1)                    // no-op
+	c.Polyline([]float64{1}, []float64{1, 2}, "#0", 1) // mismatched: no-op
+	svg := c.SVG()
+	if strings.Contains(svg, "polyline") {
+		t.Error("degenerate polylines should be skipped")
+	}
+}

@@ -1,0 +1,220 @@
+// Package plot renders the paper's figures as standalone SVG files
+// using only the standard library. It provides the four chart shapes
+// the evaluation needs: box-and-whisker plots (Figure 2), bar charts
+// with paired RTT markers (Figure 3), sorted-fraction curves and line
+// series (Figures 4 and 6), and scatter plots (Figure 5).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Default canvas geometry.
+const (
+	defaultWidth  = 640
+	defaultHeight = 400
+	marginLeft    = 64
+	marginRight   = 24
+	marginTop     = 36
+	marginBottom  = 56
+)
+
+// Palette is the series colour cycle.
+var Palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	W, H  int
+	Title string
+	XUnit string // x-axis label
+	YUnit string // y-axis label
+
+	body strings.Builder
+}
+
+// NewCanvas creates a default-sized canvas.
+func NewCanvas(title, xUnit, yUnit string) *Canvas {
+	return &Canvas{
+		W: defaultWidth, H: defaultHeight,
+		Title: title, XUnit: xUnit, YUnit: yUnit,
+	}
+}
+
+// plotArea returns the drawable region.
+func (c *Canvas) plotArea() (x0, y0, x1, y1 float64) {
+	return marginLeft, marginTop, float64(c.W) - marginRight, float64(c.H) - marginBottom
+}
+
+// esc escapes text for XML.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Line draws a line segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, color string, width float64, dashed bool) {
+	dash := ""
+	if dashed {
+		dash = ` stroke-dasharray="5,4"`
+	}
+	fmt.Fprintf(&c.body,
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+		x1, y1, x2, y2, color, width, dash)
+}
+
+// Rect draws a rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, fill, stroke string) {
+	fmt.Fprintf(&c.body,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s"/>`+"\n",
+		x, y, w, h, fill, stroke)
+}
+
+// Circle draws a dot.
+func (c *Canvas) Circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// Text places a label. anchor is "start", "middle" or "end".
+func (c *Canvas) Text(x, y float64, s, anchor string, size int) {
+	fmt.Fprintf(&c.body,
+		`<text x="%.1f" y="%.1f" text-anchor="%s" font-size="%d" font-family="sans-serif">%s</text>`+"\n",
+		x, y, anchor, size, esc(s))
+}
+
+// Polyline draws a connected series.
+func (c *Canvas) Polyline(xs, ys []float64, color string, width float64) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		fmt.Fprintf(&pts, "%.1f,%.1f ", xs[i], ys[i])
+	}
+	fmt.Fprintf(&c.body,
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		strings.TrimSpace(pts.String()), color, width)
+}
+
+// SVG renders the document.
+func (c *Canvas) SVG() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.W, c.H, c.W, c.H)
+	fmt.Fprintf(&sb, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", c.W, c.H)
+	if c.Title != "" {
+		fmt.Fprintf(&sb,
+			`<text x="%d" y="22" text-anchor="middle" font-size="14" font-weight="bold" font-family="sans-serif">%s</text>`+"\n",
+			c.W/2, esc(c.Title))
+	}
+	sb.WriteString(c.body.String())
+	x0, _, x1, y1 := c.plotArea()
+	if c.XUnit != "" {
+		fmt.Fprintf(&sb,
+			`<text x="%.1f" y="%.1f" text-anchor="middle" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+			(x0+x1)/2, y1+40, esc(c.XUnit))
+	}
+	if c.YUnit != "" {
+		fmt.Fprintf(&sb,
+			`<text x="16" y="%.1f" text-anchor="middle" font-size="12" font-family="sans-serif" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+			(marginTop+y1)/2, (marginTop+y1)/2, esc(c.YUnit))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// Scale maps data coordinates onto the canvas.
+type Scale struct {
+	DataMin, DataMax float64
+	PixMin, PixMax   float64
+}
+
+// Pos converts a data value to a pixel position.
+func (s Scale) Pos(v float64) float64 {
+	if s.DataMax == s.DataMin {
+		return (s.PixMin + s.PixMax) / 2
+	}
+	t := (v - s.DataMin) / (s.DataMax - s.DataMin)
+	return s.PixMin + t*(s.PixMax-s.PixMin)
+}
+
+// niceTicks returns ~n human-friendly tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	span := hi - lo
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// drawAxes renders the frame, ticks and tick labels for the scales.
+func (c *Canvas) drawAxes(xs, ys Scale, xTickLabels map[float64]string) {
+	x0, y0, x1, y1 := c.plotArea()
+	c.Line(x0, y1, x1, y1, "#333", 1, false)
+	c.Line(x0, y0, x0, y1, "#333", 1, false)
+	if xTickLabels != nil {
+		keys := make([]float64, 0, len(xTickLabels))
+		for k := range xTickLabels {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		for _, v := range keys {
+			px := xs.Pos(v)
+			c.Line(px, y1, px, y1+5, "#333", 1, false)
+			c.Text(px, y1+20, xTickLabels[v], "middle", 11)
+		}
+	} else {
+		for _, v := range niceTicks(xs.DataMin, xs.DataMax, 6) {
+			px := xs.Pos(v)
+			c.Line(px, y1, px, y1+5, "#333", 1, false)
+			c.Text(px, y1+20, trimFloat(v), "middle", 11)
+		}
+	}
+	for _, v := range niceTicks(ys.DataMin, ys.DataMax, 6) {
+		py := ys.Pos(v)
+		c.Line(x0-5, py, x0, py, "#333", 1, false)
+		c.Line(x0, py, x1, py, "#eee", 1, false)
+		c.Text(x0-8, py+4, trimFloat(v), "end", 11)
+	}
+}
+
+// trimFloat formats a tick value without trailing zeros.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// legend draws a simple legend in the top-right of the plot area.
+func (c *Canvas) legend(names []string) {
+	_, y0, x1, _ := c.plotArea()
+	for i, name := range names {
+		y := y0 + 14*float64(i) + 4
+		color := Palette[i%len(Palette)]
+		c.Line(x1-110, y, x1-90, y, color, 2.5, false)
+		c.Text(x1-84, y+4, name, "start", 11)
+	}
+}

@@ -1,0 +1,376 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// Transport sends a datagram toward dst. Inbound datagrams are pushed
+// into the engine via HandlePacket by whichever loop owns the socket
+// or simulated host.
+type Transport interface {
+	Send(dst netip.Addr, payload []byte)
+}
+
+// Clock abstracts virtual versus wall time so the same engine runs in
+// the simulator and on real sockets.
+type Clock interface {
+	// Now returns the time since an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn after d. Implementations may run fn on
+	// any goroutine; the engine serializes internally.
+	AfterFunc(d time.Duration, fn func())
+}
+
+// RealClock is a Clock over the wall clock for socket deployments.
+type RealClock struct {
+	base time.Time
+	once sync.Once
+}
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration {
+	c.once.Do(func() { c.base = time.Now() })
+	return time.Since(c.base)
+}
+
+// AfterFunc implements Clock.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) {
+	time.AfterFunc(d, fn)
+}
+
+// ZoneServers configures the authoritative server set for a zone: the
+// resolver's equivalent of glue/hints. The engine picks the longest
+// matching suffix for each query, which models the terminal step of
+// iterative resolution — the step whose server-selection behaviour the
+// paper studies.
+type ZoneServers struct {
+	Zone    dnswire.Name
+	Servers []netip.Addr
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Policy selects among a zone's authoritative servers. Required.
+	Policy Policy
+	// Infra is the latency cache. Required.
+	Infra *InfraCache
+	// Cache is the record cache; nil disables answer caching.
+	Cache *RecordCache
+	// Zones maps query names to authoritative server sets. Required.
+	Zones []ZoneServers
+	// Transport sends packets. Required.
+	Transport Transport
+	// Clock provides time. Required.
+	Clock Clock
+	// RNG drives the policy's randomness. Required.
+	RNG *rand.Rand
+	// Timeout is the per-attempt upstream timeout (default 800ms).
+	Timeout time.Duration
+	// MaxRetries bounds upstream attempts per client query (default 3).
+	MaxRetries int
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	ClientQueries   int
+	CacheHits       int
+	UpstreamQueries int
+	UpstreamAnswers int
+	Timeouts        int
+	ServFails       int
+}
+
+// Engine is the recursive resolver: it accepts client queries, answers
+// from cache when possible, otherwise selects an authoritative server
+// with its policy, tracks the measured RTT in the infrastructure
+// cache, retries on timeout, and responds to the client.
+type Engine struct {
+	mu      sync.Mutex
+	cfg     Config
+	pending map[uint16]*pendingQuery
+	nextID  uint16
+	stats   Stats
+}
+
+// pendingQuery is an in-flight upstream transaction.
+type pendingQuery struct {
+	clientAddr netip.Addr
+	clientMsg  *dnswire.Message
+	question   dnswire.Question
+	servers    []netip.Addr
+	tried      map[netip.Addr]bool
+	upstream   netip.Addr
+	sentAt     time.Duration
+	attempts   int
+	done       bool
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Policy == nil || cfg.Infra == nil || cfg.Transport == nil || cfg.Clock == nil || cfg.RNG == nil {
+		panic("resolver: incomplete config")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 800 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	return &Engine{
+		cfg:     cfg,
+		pending: make(map[uint16]*pendingQuery),
+		nextID:  uint16(cfg.RNG.Intn(1 << 16)),
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Infra exposes the infrastructure cache (analyses read SRTTs off it).
+func (e *Engine) Infra() *InfraCache { return e.cfg.Infra }
+
+// Policy exposes the configured selection policy.
+func (e *Engine) Policy() Policy { return e.cfg.Policy }
+
+// serversFor returns the configured server set whose zone is the
+// longest suffix of qname.
+func (e *Engine) serversFor(qname dnswire.Name) []netip.Addr {
+	best := -1
+	var servers []netip.Addr
+	for _, zs := range e.cfg.Zones {
+		if qname.IsSubdomainOf(zs.Zone) && zs.Zone.NumLabels() > best {
+			best = zs.Zone.NumLabels()
+			servers = zs.Servers
+		}
+	}
+	return servers
+}
+
+// HandlePacket processes one datagram received by the resolver, from
+// either a client (query) or an authoritative server (response).
+func (e *Engine) HandlePacket(src netip.Addr, payload []byte) {
+	msg, err := dnswire.Unpack(payload)
+	if err != nil {
+		return // garbage in, nothing out — like real UDP services
+	}
+	if msg.Response {
+		e.handleUpstreamResponse(src, msg)
+	} else {
+		e.handleClientQuery(src, msg)
+	}
+}
+
+func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.ClientQueries++
+	question, ok := q.Question()
+	if !ok {
+		e.replyRCode(client, q, dnswire.RCodeFormErr)
+		return
+	}
+	if question.Class == dnswire.ClassCHAOS {
+		// A recursive answers CHAOS identity queries itself — exactly
+		// why the paper uses Internet-class TXT instead.
+		e.replyChaos(client, q, question)
+		return
+	}
+	now := e.cfg.Clock.Now()
+	if e.cfg.Cache != nil {
+		if rcode, answers, hit := e.cfg.Cache.Get(question.Name, question.Type, question.Class, now); hit {
+			e.stats.CacheHits++
+			e.replyAnswer(client, q, rcode, answers)
+			return
+		}
+	}
+	servers := e.serversFor(question.Name)
+	if len(servers) == 0 {
+		e.stats.ServFails++
+		e.replyRCode(client, q, dnswire.RCodeServFail)
+		return
+	}
+	pq := &pendingQuery{
+		clientAddr: client,
+		clientMsg:  q,
+		question:   question,
+		servers:    servers,
+		tried:      make(map[netip.Addr]bool),
+	}
+	e.sendUpstreamLocked(pq)
+}
+
+// sendUpstreamLocked selects a server and dispatches the query.
+// Callers hold e.mu.
+func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
+	now := e.cfg.Clock.Now()
+	candidates := pq.servers
+	// After a timeout, prefer servers not yet tried for this query.
+	if len(pq.tried) > 0 && len(pq.tried) < len(pq.servers) {
+		fresh := make([]netip.Addr, 0, len(pq.servers))
+		for _, s := range pq.servers {
+			if !pq.tried[s] {
+				fresh = append(fresh, s)
+			}
+		}
+		candidates = fresh
+	}
+	server := e.cfg.Policy.Select(now, candidates, e.cfg.Infra, e.cfg.RNG)
+	pq.upstream = server
+	pq.tried[server] = true
+	pq.sentAt = now
+	pq.attempts++
+
+	id := e.allocateIDLocked()
+	e.pending[id] = pq
+
+	upq := dnswire.NewQuery(id, pq.question.Name, pq.question.Type)
+	upq.RecursionDesired = false
+	upq.SetEDNS0(dnswire.DefaultEDNSSize, false)
+	wire, err := upq.Pack()
+	if err != nil {
+		delete(e.pending, id)
+		e.stats.ServFails++
+		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		return
+	}
+	e.stats.UpstreamQueries++
+	e.cfg.Infra.NoteQuery(server)
+	e.cfg.Transport.Send(server, wire)
+
+	e.cfg.Clock.AfterFunc(e.cfg.Timeout, func() {
+		e.onTimeout(id, pq)
+	})
+}
+
+func (e *Engine) allocateIDLocked() uint16 {
+	for {
+		e.nextID++
+		if _, busy := e.pending[e.nextID]; !busy {
+			return e.nextID
+		}
+	}
+}
+
+func (e *Engine) onTimeout(id uint16, pq *pendingQuery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	current, ok := e.pending[id]
+	if !ok || current != pq || pq.done {
+		return // already answered
+	}
+	delete(e.pending, id)
+	e.stats.Timeouts++
+	e.cfg.Infra.Timeout(pq.upstream, e.cfg.Clock.Now())
+	if pq.attempts >= e.cfg.MaxRetries {
+		pq.done = true
+		e.stats.ServFails++
+		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		return
+	}
+	e.sendUpstreamLocked(pq)
+}
+
+func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pq, ok := e.pending[resp.ID]
+	if !ok || pq.done {
+		return
+	}
+	// Off-path responses with a guessed ID must not poison anything:
+	// the source must match the server we actually queried.
+	if src != pq.upstream {
+		return
+	}
+	delete(e.pending, resp.ID)
+	pq.done = true
+
+	now := e.cfg.Clock.Now()
+	rttMs := float64(now-pq.sentAt) / float64(time.Millisecond)
+	e.cfg.Infra.Observe(pq.upstream, rttMs, now)
+	e.stats.UpstreamAnswers++
+
+	if e.cfg.Cache != nil {
+		switch {
+		case resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0:
+			e.cfg.Cache.PutPositive(pq.question.Name, pq.question.Type, pq.question.Class, resp.Answers, now)
+		case resp.RCode == dnswire.RCodeNXDomain || resp.RCode == dnswire.RCodeNoError:
+			e.cfg.Cache.PutNegative(pq.question.Name, pq.question.Type, pq.question.Class,
+				resp.RCode, negativeTTL(resp), now)
+		}
+	}
+	e.replyAnswer(pq.clientAddr, pq.clientMsg, resp.RCode, resp.Answers)
+}
+
+// negativeTTL extracts the RFC 2308 negative TTL from a response's SOA.
+func negativeTTL(resp *dnswire.Message) uint32 {
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			ttl := rr.TTL
+			if soa.Minimum < ttl {
+				ttl = soa.Minimum
+			}
+			return ttl
+		}
+	}
+	return 60
+}
+
+// replyAnswer sends a final response to the client. Callers hold e.mu.
+func (e *Engine) replyAnswer(client netip.Addr, q *dnswire.Message, rcode dnswire.RCode, answers []dnswire.RR) {
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		// No question to echo (e.g. FORMERR on a malformed query):
+		// still reply with a bare header so the client learns.
+		resp = &dnswire.Message{Header: dnswire.Header{
+			ID: q.ID, Response: true, Opcode: q.Opcode,
+			RecursionDesired: q.RecursionDesired,
+		}}
+	}
+	resp.RecursionAvailable = true
+	resp.RCode = rcode
+	resp.Answers = answers
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	e.cfg.Transport.Send(client, wire)
+}
+
+func (e *Engine) replyRCode(client netip.Addr, q *dnswire.Message, rcode dnswire.RCode) {
+	e.replyAnswer(client, q, rcode, nil)
+}
+
+// replyChaos answers CHAOS-class identity queries locally.
+func (e *Engine) replyChaos(client netip.Addr, q *dnswire.Message, question dnswire.Question) {
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		return
+	}
+	resp.RecursionAvailable = true
+	name := question.Name.Key()
+	if question.Type == dnswire.TypeTXT && (name == "hostname.bind." || name == "id.server.") {
+		resp.Answers = []dnswire.RR{{
+			Name:  question.Name,
+			Class: dnswire.ClassCHAOS,
+			TTL:   0,
+			Data:  dnswire.TXT{Strings: []string{"resolver/" + e.cfg.Policy.Name()}},
+		}}
+	} else {
+		resp.RCode = dnswire.RCodeRefused
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	e.cfg.Transport.Send(client, wire)
+}

@@ -1,0 +1,479 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// fakeTransport records every sent packet.
+type fakeTransport struct {
+	sent []sentPacket
+}
+
+type sentPacket struct {
+	dst     netip.Addr
+	payload []byte
+}
+
+func (f *fakeTransport) Send(dst netip.Addr, payload []byte) {
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	f.sent = append(f.sent, sentPacket{dst, buf})
+}
+
+func (f *fakeTransport) take() []sentPacket {
+	out := f.sent
+	f.sent = nil
+	return out
+}
+
+// fakeClock is a manually-advanced clock with ordered timers.
+type fakeClock struct {
+	now    time.Duration
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Duration
+	fn func()
+}
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+func (c *fakeClock) AfterFunc(d time.Duration, fn func()) {
+	c.timers = append(c.timers, fakeTimer{c.now + d, fn})
+}
+
+// advance moves time forward, firing due timers in order.
+func (c *fakeClock) advance(d time.Duration) {
+	deadline := c.now + d
+	for {
+		idx := -1
+		for i, t := range c.timers {
+			if t.at <= deadline && (idx == -1 || t.at < c.timers[idx].at) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		t := c.timers[idx]
+		c.timers = append(c.timers[:idx], c.timers[idx+1:]...)
+		if t.at > c.now {
+			c.now = t.at
+		}
+		t.fn()
+	}
+	c.now = deadline
+}
+
+var (
+	clientAddr = netip.MustParseAddr("203.0.113.10")
+	testZone   = dnswire.MustParseName("ourtestdomain.nl")
+)
+
+// newTestEngine builds an engine over fakes with two upstreams.
+func newTestEngine(t *testing.T, kind PolicyKind) (*Engine, *fakeTransport, *fakeClock) {
+	t.Helper()
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:    NewPolicy(kind),
+		Infra:     NewInfraCache(10*time.Minute, HardExpire),
+		Cache:     NewRecordCache(),
+		Zones:     []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport: tr,
+		Clock:     clk,
+		RNG:       rand.New(rand.NewSource(42)),
+		Timeout:   500 * time.Millisecond,
+	})
+	return e, tr, clk
+}
+
+// clientQuery packs a recursive query for label.ourtestdomain.nl TXT.
+func clientQuery(t *testing.T, id uint16, label string) []byte {
+	t.Helper()
+	n, err := testZone.Child(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := dnswire.NewQuery(id, n, dnswire.TypeTXT).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// authAnswer builds an authoritative TXT response to the given upstream
+// query bytes.
+func authAnswer(t *testing.T, upstream []byte, txt string, ttl uint32) []byte {
+	t.Helper()
+	q, err := dnswire.Unpack(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Authoritative = true
+	resp.Answers = []dnswire.RR{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassINET, TTL: ttl,
+		Data: dnswire.TXT{Strings: []string{txt}},
+	}}
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestEngineResolvesThroughUpstream(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+
+	e.HandlePacket(clientAddr, clientQuery(t, 7, "q1"))
+	up := tr.take()
+	if len(up) != 1 {
+		t.Fatalf("upstream queries = %d", len(up))
+	}
+	if up[0].dst != srvA && up[0].dst != srvB {
+		t.Fatalf("query sent to %v", up[0].dst)
+	}
+	upq, err := dnswire.Unpack(up[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upq.RecursionDesired {
+		t.Error("iterative upstream query must not set RD")
+	}
+	if _, ok := upq.OPT(); !ok {
+		t.Error("upstream query should carry EDNS0")
+	}
+
+	clk.advance(40 * time.Millisecond)
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "site=FRA", 5))
+
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("client responses = %+v", out)
+	}
+	resp, err := dnswire.Unpack(out[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Response || resp.ID != 7 || !resp.RecursionAvailable {
+		t.Errorf("response header = %+v", resp.Header)
+	}
+	if txt := resp.Answers[0].Data.(dnswire.TXT).Joined(); txt != "site=FRA" {
+		t.Errorf("answer = %q", txt)
+	}
+	// The RTT must be recorded in the infra cache (~40ms).
+	st := e.Infra().State(up[0].dst, clk.Now())
+	if !st.Known || st.SRTT < 35 || st.SRTT > 45 {
+		t.Errorf("infra state = %+v", st)
+	}
+	stats := e.Stats()
+	if stats.ClientQueries != 1 || stats.UpstreamQueries != 1 || stats.UpstreamAnswers != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestEngineCacheHit(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 1, "cached"))
+	up := tr.take()
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "v", 5))
+	tr.take()
+
+	// Within TTL: answered from cache, no upstream traffic.
+	clk.advance(2 * time.Second)
+	e.HandlePacket(clientAddr, clientQuery(t, 2, "cached"))
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("expected pure cache answer, got %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.Answers[0].TTL > 5 {
+		t.Errorf("cached TTL should have aged: %d", resp.Answers[0].TTL)
+	}
+	if e.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %d", e.Stats().CacheHits)
+	}
+
+	// Past TTL: goes upstream again. This is the paper's cold-cache
+	// trick — 5-second TTLs keep every probe query a miss.
+	clk.advance(10 * time.Second)
+	e.HandlePacket(clientAddr, clientQuery(t, 3, "cached"))
+	up = tr.take()
+	if len(up) != 1 || (up[0].dst != srvA && up[0].dst != srvB) {
+		t.Fatalf("expired entry should requery upstream: %+v", up)
+	}
+}
+
+func TestEngineUniqueLabelsBypassCache(t *testing.T) {
+	e, tr, _ := newTestEngine(t, KindUniform)
+	for i := 0; i < 5; i++ {
+		e.HandlePacket(clientAddr, clientQuery(t, uint16(i), labelN(i)))
+	}
+	up := tr.take()
+	if len(up) != 5 {
+		t.Errorf("unique labels must all go upstream, got %d", len(up))
+	}
+}
+
+func labelN(i int) string { return string(rune('a'+i)) + "-unique" }
+
+func TestEngineTimeoutRetriesOtherServer(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 9, "slow"))
+	first := tr.take()
+	if len(first) != 1 {
+		t.Fatal("no upstream query")
+	}
+	clk.advance(600 * time.Millisecond) // beyond the 500ms timeout
+	retry := tr.take()
+	if len(retry) != 1 {
+		t.Fatalf("expected a retry, got %d packets", len(retry))
+	}
+	if retry[0].dst == first[0].dst {
+		t.Errorf("retry should prefer an untried server")
+	}
+	if e.Stats().Timeouts != 1 {
+		t.Errorf("timeouts = %d", e.Stats().Timeouts)
+	}
+	// The late answer from the first server is ignored (transaction
+	// re-keyed); the second server answers.
+	e.HandlePacket(retry[0].dst, authAnswer(t, retry[0].payload, "ok", 5))
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("client response missing: %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeNoError {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestEngineServFailAfterMaxRetries(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 5, "dead"))
+	for i := 0; i < 3; i++ {
+		tr.take()
+		clk.advance(600 * time.Millisecond)
+	}
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("expected SERVFAIL to client, got %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+	if e.Stats().ServFails != 1 {
+		t.Errorf("servfails = %d", e.Stats().ServFails)
+	}
+	// No stray retries later.
+	clk.advance(5 * time.Second)
+	if left := tr.take(); len(left) != 0 {
+		t.Errorf("stray packets after SERVFAIL: %d", len(left))
+	}
+}
+
+func TestEngineSpoofedResponseIgnored(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 8, "spoof"))
+	up := tr.take()
+	attacker := netip.MustParseAddr("198.51.100.66")
+	// Correct ID, wrong source address: must be dropped.
+	e.HandlePacket(attacker, authAnswer(t, up[0].payload, "evil", 5))
+	if out := tr.take(); len(out) != 0 {
+		t.Fatal("spoofed response reached the client")
+	}
+	// Legit answer still works afterwards.
+	clk.advance(10 * time.Millisecond)
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "good", 5))
+	out := tr.take()
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.Answers[0].Data.(dnswire.TXT).Joined() != "good" {
+		t.Error("legit answer lost")
+	}
+}
+
+func TestEngineNegativeCaching(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 2, "nx"))
+	up := tr.take()
+	q, _ := dnswire.Unpack(up[0].payload)
+	resp, _ := dnswire.NewResponse(q)
+	resp.RCode = dnswire.RCodeNXDomain
+	resp.Authority = []dnswire.RR{{
+		Name: testZone, Class: dnswire.ClassINET, TTL: 300,
+		Data: dnswire.SOA{MName: testZone, RName: testZone, Minimum: 30},
+	}}
+	wire, _ := resp.Pack()
+	e.HandlePacket(up[0].dst, wire)
+	out := tr.take()
+	cresp, _ := dnswire.Unpack(out[0].payload)
+	if cresp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", cresp.RCode)
+	}
+	// Second query within negative TTL: cache, no upstream.
+	clk.advance(5 * time.Second)
+	e.HandlePacket(clientAddr, clientQuery(t, 3, "nx"))
+	out = tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("negative cache miss: %+v", out)
+	}
+	cresp, _ = dnswire.Unpack(out[0].payload)
+	if cresp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("negative cache rcode = %v", cresp.RCode)
+	}
+}
+
+func TestEngineChaosAnsweredLocally(t *testing.T) {
+	e, tr, _ := newTestEngine(t, KindBINDLike)
+	wire, _ := dnswire.NewChaosQuery(4, dnswire.MustParseName("hostname.bind")).Pack()
+	e.HandlePacket(clientAddr, wire)
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("CHAOS must be answered locally: %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	txt := resp.Answers[0].Data.(dnswire.TXT).Joined()
+	if txt != "resolver/bindlike" {
+		t.Errorf("CHAOS answer = %q", txt)
+	}
+	// Unknown CHAOS names are refused.
+	wire, _ = dnswire.NewChaosQuery(5, dnswire.MustParseName("version.funny")).Pack()
+	e.HandlePacket(clientAddr, wire)
+	out = tr.take()
+	resp, _ = dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("unknown CHAOS rcode = %v", resp.RCode)
+	}
+}
+
+func TestEngineUnservableZone(t *testing.T) {
+	e, tr, _ := newTestEngine(t, KindUniform)
+	wire, _ := dnswire.NewQuery(6, dnswire.MustParseName("unknown.example"), dnswire.TypeA).Pack()
+	e.HandlePacket(clientAddr, wire)
+	out := tr.take()
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestEngineLongestZoneMatchWins(t *testing.T) {
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	sub := dnswire.MustParseName("sub.ourtestdomain.nl")
+	e := NewEngine(Config{
+		Policy: NewPolicy(KindUniform),
+		Infra:  NewInfraCache(time.Minute, HardExpire),
+		Zones: []ZoneServers{
+			{Zone: testZone, Servers: []netip.Addr{srvA}},
+			{Zone: sub, Servers: []netip.Addr{srvB}},
+		},
+		Transport: tr,
+		Clock:     clk,
+		RNG:       rand.New(rand.NewSource(1)),
+	})
+	wire, _ := dnswire.NewQuery(1, dnswire.MustParseName("x.sub.ourtestdomain.nl"), dnswire.TypeA).Pack()
+	e.HandlePacket(clientAddr, wire)
+	up := tr.take()
+	if len(up) != 1 || up[0].dst != srvB {
+		t.Fatalf("longest match lost: %+v", up)
+	}
+}
+
+func TestEngineGarbageAndFormErr(t *testing.T) {
+	e, tr, _ := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, []byte{1, 2, 3}) // garbage: dropped
+	if out := tr.take(); len(out) != 0 {
+		t.Error("garbage should be ignored")
+	}
+	// A query with no question gets FORMERR.
+	m := &dnswire.Message{Header: dnswire.Header{ID: 4}}
+	wire, _ := m.Pack()
+	e.HandlePacket(clientAddr, wire)
+	out := tr.take()
+	if len(out) != 1 {
+		t.Fatal("no FORMERR sent")
+	}
+	// Responses to FORMERR have no question to echo, so NewResponse
+	// fails and nothing is sent... verify either behaviour is safe.
+	_ = out
+}
+
+func TestEngineConcurrentQueries(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	const n = 50
+	for i := 0; i < n; i++ {
+		e.HandlePacket(clientAddr, clientQuery(t, uint16(i), labelI(i)))
+	}
+	up := tr.take()
+	if len(up) != n {
+		t.Fatalf("upstream = %d", len(up))
+	}
+	clk.advance(30 * time.Millisecond)
+	for _, p := range up {
+		e.HandlePacket(p.dst, authAnswer(t, p.payload, "v", 5))
+	}
+	out := tr.take()
+	if len(out) != n {
+		t.Fatalf("client responses = %d", len(out))
+	}
+	ids := make([]int, 0, n)
+	for _, p := range out {
+		resp, _ := dnswire.Unpack(p.payload)
+		ids = append(ids, int(resp.ID))
+	}
+	sort.Ints(ids)
+	for i := 0; i < n; i++ {
+		if ids[i] != i {
+			t.Fatalf("missing client id %d in %v", i, ids)
+		}
+	}
+}
+
+func labelI(i int) string {
+	return "q" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestNewEnginePanicsOnIncompleteConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("incomplete config should panic")
+		}
+	}()
+	NewEngine(Config{})
+}
+
+func TestEngineWithoutRecordCache(t *testing.T) {
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:    NewPolicy(KindUniform),
+		Infra:     NewInfraCache(time.Minute, HardExpire),
+		Zones:     []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA}}},
+		Transport: tr,
+		Clock:     clk,
+		RNG:       rand.New(rand.NewSource(1)),
+	})
+	e.HandlePacket(clientAddr, clientQuery(t, 1, "x"))
+	up := tr.take()
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "v", 300))
+	tr.take()
+	// Same name again: must requery upstream since caching is off.
+	e.HandlePacket(clientAddr, clientQuery(t, 2, "x"))
+	up = tr.take()
+	if len(up) != 1 || up[0].dst != srvA {
+		t.Errorf("expected upstream requery, got %+v", up)
+	}
+}

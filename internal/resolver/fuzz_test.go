@@ -1,0 +1,149 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// TestEngineSurvivesHostilePacketSoak throws randomized traffic at the
+// engine — malformed packets, truncated queries, spoofed responses,
+// replays, interleaved timeouts — and checks the core invariants: no
+// panic, the pending table drains, and well-formed client queries are
+// eventually answered or SERVFAILed, never lost.
+func TestEngineSurvivesHostilePacketSoak(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := &fakeTransport{}
+			clk := &fakeClock{}
+			e := NewEngine(Config{
+				Policy:     NewPolicy(KindBINDLike),
+				Infra:      NewInfraCache(10*time.Minute, DecayKeep),
+				Cache:      NewRecordCache(),
+				Zones:      []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB, srvC}}},
+				Transport:  tr,
+				Clock:      clk,
+				RNG:        rand.New(rand.NewSource(seed + 100)),
+				Timeout:    300 * time.Millisecond,
+				MaxRetries: 2,
+			})
+
+			clientReplies := 0
+			clientQueries := 0
+			attacker := netip.MustParseAddr("198.51.100.200")
+			for step := 0; step < 3000; step++ {
+				switch rng.Intn(6) {
+				case 0: // legitimate client query
+					clientQueries++
+					label := labelI(step)
+					name, err := testZone.Child(label)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wire, err := dnswire.NewQuery(uint16(step), name, dnswire.TypeTXT).Pack()
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.HandlePacket(clientAddr, wire)
+				case 1: // garbage bytes from anywhere
+					buf := make([]byte, rng.Intn(64))
+					rng.Read(buf)
+					e.HandlePacket(attacker, buf)
+				case 2: // spoofed response with a random ID
+					resp := &dnswire.Message{Header: dnswire.Header{
+						ID: uint16(rng.Intn(1 << 16)), Response: true,
+					}}
+					resp.Questions = []dnswire.Question{{Name: testZone, Type: dnswire.TypeTXT, Class: dnswire.ClassINET}}
+					wire, err := resp.Pack()
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.HandlePacket(attacker, wire)
+				case 3: // answer some outstanding upstream query honestly
+					for _, p := range tr.take() {
+						if p.dst == clientAddr {
+							clientReplies++
+							continue
+						}
+						if rng.Intn(2) == 0 {
+							e.HandlePacket(p.dst, authAnswerRaw(t, p.payload, "v"))
+						} // else: drop it, let the timeout fire
+					}
+				case 4: // replay a stale answer from the wrong server
+					for _, p := range tr.take() {
+						if p.dst == clientAddr {
+							clientReplies++
+							continue
+						}
+						e.HandlePacket(attacker, authAnswerRaw(t, p.payload, "evil"))
+					}
+				case 5: // time passes; timeouts and retries fire
+					clk.advance(time.Duration(rng.Intn(400)) * time.Millisecond)
+				}
+			}
+			// Drain: answer everything still in flight, let timers fire.
+			for round := 0; round < 20; round++ {
+				for _, p := range tr.take() {
+					if p.dst == clientAddr {
+						clientReplies++
+						continue
+					}
+					e.HandlePacket(p.dst, authAnswerRaw(t, p.payload, "v"))
+				}
+				clk.advance(500 * time.Millisecond)
+			}
+			for _, p := range tr.take() {
+				if p.dst == clientAddr {
+					clientReplies++
+				}
+			}
+
+			e.mu.Lock()
+			pendingLeft := len(e.pending)
+			e.mu.Unlock()
+			if pendingLeft != 0 {
+				t.Errorf("pending table did not drain: %d left", pendingLeft)
+			}
+			if clientReplies != clientQueries {
+				t.Errorf("client got %d replies for %d queries", clientReplies, clientQueries)
+			}
+			st := e.Stats()
+			if st.ClientQueries != clientQueries {
+				t.Errorf("stats.ClientQueries = %d, want %d", st.ClientQueries, clientQueries)
+			}
+			if st.UpstreamAnswers+st.ServFails+st.CacheHits < clientQueries {
+				t.Errorf("accounting hole: answers=%d servfails=%d hits=%d queries=%d",
+					st.UpstreamAnswers, st.ServFails, st.CacheHits, clientQueries)
+			}
+		})
+	}
+}
+
+// authAnswerRaw builds a valid authoritative response for a packed
+// upstream query without test assertions on content.
+func authAnswerRaw(t *testing.T, upstream []byte, txt string) []byte {
+	t.Helper()
+	q, err := dnswire.Unpack(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Authoritative = true
+	resp.Answers = []dnswire.RR{{
+		Name: q.Questions[0].Name, Class: dnswire.ClassINET, TTL: 5,
+		Data: dnswire.TXT{Strings: []string{txt}},
+	}}
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}

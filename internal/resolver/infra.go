@@ -1,0 +1,213 @@
+// Package resolver implements a recursive DNS resolver with the
+// authoritative-server selection behaviours the paper measures in the
+// wild: a record cache, an infrastructure (latency) cache, and six
+// selection policies modelled on the published algorithms of real
+// implementations (BIND's SRTT with decay, Unbound's RTT band,
+// speed-weighted selection, uniform random, round robin, and the
+// sticky behaviour of simple forwarders).
+//
+// The engine runs identically over the discrete-event simulator and
+// over real UDP sockets (cmd/resolvd); only the Transport and Clock it
+// is constructed with differ.
+package resolver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Retention selects how the infrastructure cache treats entries that
+// outlive their TTL. The paper's Figure 6 shows preferences persisting
+// beyond the nominal 10–15 minute timeouts of BIND and Unbound; the
+// DecayKeep mode models implementations that keep stale latency
+// estimates around (inflating their uncertainty) instead of forgetting
+// them, which is what reproduces that persistence. See the ablation
+// bench AblationInfraRetention.
+type Retention uint8
+
+const (
+	// HardExpire forgets a server's state TTL after its last update.
+	HardExpire Retention = iota
+	// DecayKeep keeps the estimate but marks it stale; policies treat
+	// stale entries as weaker evidence.
+	DecayKeep
+)
+
+// ServerState is the infrastructure cache's view of one authoritative
+// server address.
+type ServerState struct {
+	// Known reports whether any estimate exists (fresh or stale).
+	Known bool
+	// Stale reports the estimate outlived the cache TTL (DecayKeep).
+	Stale bool
+	// SRTT is the smoothed round-trip time estimate in milliseconds.
+	SRTT float64
+	// RTTVar is the smoothed mean deviation in milliseconds.
+	RTTVar float64
+	// Queries counts queries sent to this server.
+	Queries int
+	// Timeouts counts query timeouts attributed to this server.
+	Timeouts int
+	// LastUpdate is the virtual time of the last RTT observation.
+	LastUpdate time.Duration
+}
+
+// RTO returns a TCP-style retransmission timeout estimate.
+func (s ServerState) RTO() float64 { return s.SRTT + 4*s.RTTVar }
+
+// InfraCache tracks per-authoritative latency, like BIND's address
+// database or Unbound's infra cache. The BIND and Unbound defaults the
+// paper cites are 10 and 15 minutes; NewInfraCache takes the TTL so a
+// resolver population can mix both.
+type InfraCache struct {
+	TTL       time.Duration
+	Retention Retention
+	// Alpha is the EWMA weight of a new sample (BIND uses 0.3).
+	Alpha float64
+
+	// mu makes the cache safe for concurrent use: the engine
+	// serializes its own accesses, but Engine.Infra() hands the cache
+	// to external readers (monitoring, analyses) that may run on other
+	// goroutines in socket deployments.
+	mu      sync.Mutex
+	entries map[netip.Addr]*entry
+}
+
+type entry struct {
+	srtt       float64
+	rttvar     float64
+	hasRTT     bool
+	queries    int
+	timeouts   int
+	lastUpdate time.Duration
+}
+
+// NewInfraCache creates an infrastructure cache.
+func NewInfraCache(ttl time.Duration, retention Retention) *InfraCache {
+	return &InfraCache{
+		TTL:       ttl,
+		Retention: retention,
+		Alpha:     0.3,
+		entries:   make(map[netip.Addr]*entry),
+	}
+}
+
+// Observe records a successful round trip of rtt milliseconds to addr
+// at virtual time now.
+func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[addr]
+	if !ok || !e.hasRTT || c.expired(e, now) && c.Retention == HardExpire {
+		queries := 0
+		if ok {
+			queries = e.queries
+		}
+		e = &entry{srtt: rttMs, rttvar: rttMs / 2, hasRTT: true, queries: queries}
+		c.entries[addr] = e
+		e.queries++
+		e.lastUpdate = now
+		return
+	}
+	// Jacobson/Karels-style smoothing, as BIND and Unbound both do.
+	diff := rttMs - e.srtt
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (1-c.Alpha)*e.rttvar + c.Alpha*diff
+	e.srtt = (1-c.Alpha)*e.srtt + c.Alpha*rttMs
+	e.queries++
+	e.lastUpdate = now
+}
+
+// NoteQuery counts a query sent to addr without changing the estimate.
+func (c *InfraCache) NoteQuery(addr netip.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[addr]; ok {
+		e.queries++
+	} else {
+		c.entries[addr] = &entry{}
+		c.entries[addr].queries++
+	}
+}
+
+// Timeout penalizes addr after an unanswered query, doubling its SRTT
+// estimate the way BIND's ADB ages unresponsive servers.
+func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[addr]
+	if !ok {
+		e = &entry{}
+		c.entries[addr] = e
+	}
+	if !e.hasRTT {
+		// No successful measurement yet: start from a pessimistic
+		// prior rather than doubling zero.
+		e.srtt, e.rttvar, e.hasRTT = 400, 200, true
+	}
+	e.srtt = e.srtt*2 + 50
+	if e.srtt > 10000 {
+		e.srtt = 10000
+	}
+	e.timeouts++
+	e.lastUpdate = now
+}
+
+// State returns the cache's view of addr at time now, applying the
+// retention policy.
+func (c *InfraCache) State(addr netip.Addr, now time.Duration) ServerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[addr]
+	if !ok {
+		return ServerState{}
+	}
+	if !e.hasRTT && e.timeouts == 0 {
+		// Queried but never measured: no latency evidence yet.
+		return ServerState{Queries: e.queries}
+	}
+	st := ServerState{
+		Known:      true,
+		SRTT:       e.srtt,
+		RTTVar:     e.rttvar,
+		Queries:    e.queries,
+		Timeouts:   e.timeouts,
+		LastUpdate: e.lastUpdate,
+	}
+	if c.expired(e, now) {
+		switch c.Retention {
+		case HardExpire:
+			return ServerState{}
+		case DecayKeep:
+			st.Stale = true
+			// A stale estimate is weaker evidence: widen the variance
+			// so band-style policies re-explore.
+			st.RTTVar = st.RTTVar*2 + 20
+		}
+	}
+	return st
+}
+
+// Scale multiplies the SRTT of addr by factor (used by BIND-style
+// decay of non-chosen servers). Unknown servers are unaffected.
+func (c *InfraCache) Scale(addr netip.Addr, factor float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[addr]; ok {
+		e.srtt *= factor
+	}
+}
+
+// Len returns the number of tracked servers.
+func (c *InfraCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *InfraCache) expired(e *entry, now time.Duration) bool {
+	return c.TTL > 0 && now-e.lastUpdate > c.TTL
+}

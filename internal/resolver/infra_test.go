@@ -1,0 +1,158 @@
+package resolver
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	srvA = netip.MustParseAddr("192.0.2.1")
+	srvB = netip.MustParseAddr("192.0.2.2")
+	srvC = netip.MustParseAddr("192.0.2.3")
+)
+
+func TestInfraObserveSmoothing(t *testing.T) {
+	c := NewInfraCache(10*time.Minute, HardExpire)
+	c.Observe(srvA, 100, 0)
+	st := c.State(srvA, 0)
+	if !st.Known || st.SRTT != 100 {
+		t.Fatalf("first observation: %+v", st)
+	}
+	// EWMA with alpha 0.3: 0.7*100 + 0.3*200 = 130.
+	c.Observe(srvA, 200, time.Second)
+	st = c.State(srvA, time.Second)
+	if math.Abs(st.SRTT-130) > 1e-9 {
+		t.Errorf("SRTT = %v, want 130", st.SRTT)
+	}
+	if st.Queries != 2 {
+		t.Errorf("queries = %d", st.Queries)
+	}
+	if st.RTTVar <= 0 {
+		t.Errorf("variance should be positive: %v", st.RTTVar)
+	}
+}
+
+func TestInfraUnknownServer(t *testing.T) {
+	c := NewInfraCache(time.Minute, HardExpire)
+	st := c.State(srvA, 0)
+	if st.Known {
+		t.Error("unqueried server should be unknown")
+	}
+	if c.Len() != 0 {
+		t.Error("cache should be empty")
+	}
+}
+
+func TestInfraHardExpire(t *testing.T) {
+	c := NewInfraCache(10*time.Minute, HardExpire)
+	c.Observe(srvA, 50, 0)
+	if st := c.State(srvA, 9*time.Minute); !st.Known {
+		t.Error("entry should be fresh at 9 min")
+	}
+	if st := c.State(srvA, 11*time.Minute); st.Known {
+		t.Error("entry should be gone after TTL")
+	}
+	// A fresh observation after expiry restarts the estimate rather
+	// than smoothing against ancient state.
+	c.Observe(srvA, 200, 20*time.Minute)
+	st := c.State(srvA, 20*time.Minute)
+	if st.SRTT != 200 {
+		t.Errorf("restarted SRTT = %v, want 200", st.SRTT)
+	}
+}
+
+func TestInfraDecayKeep(t *testing.T) {
+	c := NewInfraCache(10*time.Minute, DecayKeep)
+	c.Observe(srvA, 50, 0)
+	st := c.State(srvA, 30*time.Minute)
+	if !st.Known || !st.Stale {
+		t.Fatalf("DecayKeep should keep stale entries: %+v", st)
+	}
+	if st.SRTT != 50 {
+		t.Errorf("stale SRTT = %v, want 50 preserved", st.SRTT)
+	}
+	fresh := c.State(srvA, time.Minute)
+	if fresh.Stale {
+		t.Error("fresh entry flagged stale")
+	}
+	if st.RTTVar <= fresh.RTTVar {
+		t.Error("stale entries should have widened variance")
+	}
+}
+
+func TestInfraZeroTTLNeverExpires(t *testing.T) {
+	c := NewInfraCache(0, HardExpire)
+	c.Observe(srvA, 50, 0)
+	if st := c.State(srvA, 1000*time.Hour); !st.Known {
+		t.Error("TTL 0 should mean no expiry")
+	}
+}
+
+func TestInfraTimeoutPenalty(t *testing.T) {
+	c := NewInfraCache(time.Minute, HardExpire)
+	c.Observe(srvA, 100, 0)
+	c.Timeout(srvA, time.Second)
+	st := c.State(srvA, time.Second)
+	if st.SRTT <= 100 {
+		t.Errorf("timeout should inflate SRTT: %v", st.SRTT)
+	}
+	if st.Timeouts != 1 {
+		t.Errorf("timeouts = %d", st.Timeouts)
+	}
+	// Penalty saturates.
+	for i := 0; i < 20; i++ {
+		c.Timeout(srvA, time.Second)
+	}
+	if st := c.State(srvA, time.Second); st.SRTT > 10000 {
+		t.Errorf("SRTT should saturate at 10000: %v", st.SRTT)
+	}
+	// Timeout on unknown server creates a pessimistic entry.
+	c.Timeout(srvB, 0)
+	if st := c.State(srvB, 0); !st.Known || st.SRTT < 400 {
+		t.Errorf("timeout-created entry = %+v", st)
+	}
+}
+
+func TestInfraScale(t *testing.T) {
+	c := NewInfraCache(time.Minute, HardExpire)
+	c.Observe(srvA, 100, 0)
+	c.Scale(srvA, 0.5)
+	if st := c.State(srvA, 0); st.SRTT != 50 {
+		t.Errorf("scaled SRTT = %v", st.SRTT)
+	}
+	c.Scale(srvB, 0.5) // no-op on unknown
+	if c.Len() != 1 {
+		t.Error("Scale should not create entries")
+	}
+}
+
+func TestInfraNoteQuery(t *testing.T) {
+	c := NewInfraCache(time.Minute, HardExpire)
+	c.NoteQuery(srvA)
+	st := c.State(srvA, 0)
+	if st.Known {
+		t.Error("a query without a response is not latency evidence")
+	}
+	if st.Queries != 1 {
+		t.Errorf("state = %+v", st)
+	}
+	c.NoteQuery(srvA)
+	if st := c.State(srvA, 0); st.Queries != 2 {
+		t.Errorf("queries = %d", st.Queries)
+	}
+	// The first real observation must not be smoothed against the
+	// zero-valued placeholder.
+	c.Observe(srvA, 80, 0)
+	if st := c.State(srvA, 0); !st.Known || st.SRTT != 80 || st.Queries != 3 {
+		t.Errorf("after first observation: %+v", st)
+	}
+}
+
+func TestServerStateRTO(t *testing.T) {
+	st := ServerState{SRTT: 100, RTTVar: 25}
+	if st.RTO() != 200 {
+		t.Errorf("RTO = %v, want 200", st.RTO())
+	}
+}

@@ -1,0 +1,313 @@
+package resolver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+)
+
+// Policy decides which authoritative server receives the next query
+// for a zone, given the infrastructure cache's latency knowledge. This
+// is the behaviour the paper measures in aggregate: "how recursive
+// resolvers select authoritative name servers ... in the wild".
+//
+// Implementations may mutate the infra cache (BIND's selection decays
+// the estimates of the servers it did not choose).
+type Policy interface {
+	// Name identifies the policy in datasets and reports.
+	Name() string
+	// Select picks one of servers (len >= 1) to query at time now.
+	Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr
+}
+
+// PolicyKind enumerates the built-in policies for configuration and
+// dataset labels.
+type PolicyKind uint8
+
+// The six modelled resolver behaviours. Yu et al. [33] found about
+// half of implementations select by latency while the rest alternate;
+// these six span that space.
+const (
+	// KindBINDLike: lowest SRTT wins; unchosen servers decay so they
+	// are retried occasionally (BIND 9's ADB behaviour).
+	KindBINDLike PolicyKind = iota
+	// KindUnboundLike: uniform choice within an RTO band of the best
+	// server; servers outside the band are avoided (Unbound).
+	KindUnboundLike
+	// KindWeightedRTT: probability inversely proportional to SRTT²,
+	// a smooth latency preference (PowerDNS-style speed weighting).
+	KindWeightedRTT
+	// KindUniform: uniform random over all servers (djbdns dnscache).
+	KindUniform
+	// KindRoundRobin: strict rotation (Windows DNS style).
+	KindRoundRobin
+	// KindSticky: pins the first server that answered and never
+	// re-evaluates (simple forwarders and CPE resolvers with no
+	// infrastructure cache).
+	KindSticky
+)
+
+// String returns the policy kind's label.
+func (k PolicyKind) String() string {
+	switch k {
+	case KindBINDLike:
+		return "bindlike"
+	case KindUnboundLike:
+		return "unboundlike"
+	case KindWeightedRTT:
+		return "weightedrtt"
+	case KindUniform:
+		return "uniform"
+	case KindRoundRobin:
+		return "roundrobin"
+	case KindSticky:
+		return "sticky"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", uint8(k))
+	}
+}
+
+// NewPolicy constructs a fresh policy instance of the given kind.
+// Policies carry per-resolver state (round-robin position, sticky
+// choice), so every resolver needs its own instance.
+func NewPolicy(kind PolicyKind) Policy {
+	switch kind {
+	case KindBINDLike:
+		return &BINDLike{Decay: 0.98, InitialMaxMs: 7}
+	case KindUnboundLike:
+		// Unbound's documented default selection band is 400 ms.
+		return &UnboundLike{BandMs: 400}
+	case KindWeightedRTT:
+		// Linear inverse-RTT weighting: smooth preference that crosses
+		// the paper's strong-preference threshold only for ~10x gaps.
+		return &WeightedRTT{Exponent: 1}
+	case KindUniform:
+		return &Uniform{}
+	case KindRoundRobin:
+		return &RoundRobin{}
+	case KindSticky:
+		return &Sticky{}
+	default:
+		panic(fmt.Sprintf("resolver: unknown policy kind %d", kind))
+	}
+}
+
+// BINDLike selects the server with the lowest smoothed RTT, assigning
+// unknown servers a small random SRTT so they are probed early, and
+// multiplicatively decaying the SRTT of every server it does not pick
+// so alternatives are re-tried now and then. This mirrors BIND 9's
+// address database as the paper describes it ("an SRTT with a decaying
+// factor").
+//
+// The decay is charged per elapsed wall-clock time, not per query:
+// BIND ages its ADB on timers. At the testbed's 2-minute probing
+// cadence the two are equivalent, but a production resolver sending
+// hundreds of queries per minute must not cycle through every server
+// hundreds of times faster — this distinction is what shapes the
+// root-trace letter coverage (Figure 7).
+type BINDLike struct {
+	// Decay is the factor applied to non-chosen servers per DecayUnit
+	// of elapsed time (BIND: ~0.98).
+	Decay float64
+	// DecayUnit is the time over which one Decay factor accrues
+	// (default 2 minutes).
+	DecayUnit time.Duration
+	// InitialMaxMs bounds the random optimistic SRTT given to unknown
+	// servers so they win until measured.
+	InitialMaxMs float64
+
+	lastDecay time.Duration
+	started   bool
+}
+
+// Name implements Policy.
+func (*BINDLike) Name() string { return KindBINDLike.String() }
+
+// Select implements Policy.
+func (p *BINDLike) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	best := servers[0]
+	bestVal := p.effectiveSRTT(now, servers[0], infra, rng)
+	for _, s := range servers[1:] {
+		v := p.effectiveSRTT(now, s, infra, rng)
+		if v < bestVal {
+			best, bestVal = s, v
+		}
+	}
+	unit := p.DecayUnit
+	if unit <= 0 {
+		unit = 2 * time.Minute
+	}
+	if !p.started {
+		p.started = true
+		p.lastDecay = now
+	}
+	elapsed := now - p.lastDecay
+	if elapsed > 0 {
+		factor := math.Pow(p.Decay, float64(elapsed)/float64(unit))
+		// Cap total aging per event so a long-idle resolver does not
+		// zero out its whole cache in one step.
+		if factor < 0.25 {
+			factor = 0.25
+		}
+		for _, s := range servers {
+			if s != best {
+				infra.Scale(s, factor)
+			}
+		}
+		p.lastDecay = now
+	}
+	return best
+}
+
+func (p *BINDLike) effectiveSRTT(now time.Duration, s netip.Addr, infra *InfraCache, rng *rand.Rand) float64 {
+	st := infra.State(s, now)
+	if !st.Known {
+		return rng.Float64() * p.InitialMaxMs
+	}
+	return st.SRTT
+}
+
+// UnboundLike selects uniformly at random among the servers whose
+// smoothed RTT lies within BandMs of the best one; servers outside the
+// band are only picked if none qualify. Unknown servers count as
+// within-band so they get probed. This mirrors Unbound's documented
+// server selection (uniform within a 400 ms band of the fastest).
+type UnboundLike struct {
+	// BandMs is the selection band above the fastest server.
+	BandMs float64
+}
+
+// Name implements Policy.
+func (*UnboundLike) Name() string { return KindUnboundLike.String() }
+
+// Select implements Policy.
+func (p *UnboundLike) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	// Find the best known smoothed RTT.
+	best := -1.0
+	for _, s := range servers {
+		st := infra.State(s, now)
+		if st.Known {
+			if best < 0 || st.SRTT < best {
+				best = st.SRTT
+			}
+		}
+	}
+	var eligible []netip.Addr
+	for _, s := range servers {
+		st := infra.State(s, now)
+		if !st.Known || best < 0 || st.SRTT <= best+p.BandMs {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = servers
+	}
+	return eligible[rng.Intn(len(eligible))]
+}
+
+// WeightedRTT selects with probability proportional to SRTT^-Exponent:
+// a smooth latency preference that sharpens as the latency gap grows,
+// in the spirit of PowerDNS's decaying speed metric.
+type WeightedRTT struct {
+	// Exponent controls how sharply latency differences translate
+	// into preference (2 ≈ inverse-square).
+	Exponent float64
+}
+
+// Name implements Policy.
+func (*WeightedRTT) Name() string { return KindWeightedRTT.String() }
+
+// Select implements Policy.
+func (p *WeightedRTT) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	weights := make([]float64, len(servers))
+	var total float64
+	for i, s := range servers {
+		st := infra.State(s, now)
+		if !st.Known {
+			// Unknown servers are attractive: probe them.
+			weights[i] = 1
+		} else {
+			srtt := st.SRTT
+			if srtt < 1 {
+				srtt = 1
+			}
+			weights[i] = math.Pow(srtt, -p.Exponent)
+		}
+		total += weights[i]
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return servers[i]
+		}
+	}
+	return servers[len(servers)-1]
+}
+
+// Uniform picks uniformly at random, the dnscache behaviour.
+type Uniform struct{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return KindUniform.String() }
+
+// Select implements Policy.
+func (Uniform) Select(_ time.Duration, servers []netip.Addr, _ *InfraCache, rng *rand.Rand) netip.Addr {
+	return servers[rng.Intn(len(servers))]
+}
+
+// RoundRobin rotates through the server list. The starting offset is
+// randomized per resolver so a population does not move in lockstep.
+type RoundRobin struct {
+	pos         int
+	initialized bool
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return KindRoundRobin.String() }
+
+// Select implements Policy.
+func (p *RoundRobin) Select(_ time.Duration, servers []netip.Addr, _ *InfraCache, rng *rand.Rand) netip.Addr {
+	if !p.initialized {
+		p.pos = rng.Intn(len(servers))
+		p.initialized = true
+	}
+	s := servers[p.pos%len(servers)]
+	p.pos++
+	return s
+}
+
+// Sticky pins one randomly-chosen server and keeps using it as long as
+// it answers; it only moves on after a timeout is recorded against the
+// pinned server. This models forwarders and embedded resolvers that,
+// as the paper notes, "may omit the infrastructure cache". Sticky
+// resolvers are the ones that never probe all authoritatives.
+type Sticky struct {
+	pinned   netip.Addr
+	havePin  bool
+	timeouts int
+}
+
+// Name implements Policy.
+func (*Sticky) Name() string { return KindSticky.String() }
+
+// Select implements Policy.
+func (p *Sticky) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	if p.havePin {
+		st := infra.State(p.pinned, now)
+		if st.Timeouts <= p.timeouts {
+			// Still healthy; verify the pin is still configured.
+			for _, s := range servers {
+				if s == p.pinned {
+					return p.pinned
+				}
+			}
+		}
+		p.timeouts = st.Timeouts
+	}
+	p.pinned = servers[rng.Intn(len(servers))]
+	p.havePin = true
+	return p.pinned
+}

@@ -1,0 +1,320 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// primeInfra seeds an infra cache with fixed SRTTs.
+func primeInfra(rtts map[netip.Addr]float64) *InfraCache {
+	c := NewInfraCache(0, HardExpire)
+	for addr, rtt := range rtts {
+		c.Observe(addr, rtt, 0)
+		// Second identical observation settles variance low.
+		c.Observe(addr, rtt, 0)
+	}
+	return c
+}
+
+// tally runs a policy n times and counts selections.
+func tally(p Policy, servers []netip.Addr, infra *InfraCache, n int, seed int64) map[netip.Addr]int {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[netip.Addr]int)
+	for i := 0; i < n; i++ {
+		counts[p.Select(0, servers, infra, rng)]++
+	}
+	return counts
+}
+
+// tallyFB runs a policy with response feedback: every selection is
+// answered with the server's true RTT, as the engine would observe.
+func tallyFB(p Policy, servers []netip.Addr, trueRTT map[netip.Addr]float64, n int, seed int64) map[netip.Addr]int {
+	infra := NewInfraCache(0, HardExpire)
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[netip.Addr]int)
+	for i := 0; i < n; i++ {
+		now := time.Duration(i) * 2 * time.Minute
+		s := p.Select(now, servers, infra, rng)
+		counts[s]++
+		infra.Observe(s, trueRTT[s], now)
+	}
+	return counts
+}
+
+func TestBINDLikePrefersLowestButRevisits(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	p := NewPolicy(KindBINDLike)
+	// Small latency gap (40 vs 55 ms): at least a weak preference, but
+	// the decay keeps revisiting the slower server.
+	counts := tallyFB(p, servers, map[netip.Addr]float64{srvA: 40, srvB: 55}, 1000, 1)
+	if counts[srvA] < 700 {
+		t.Errorf("BIND-like should prefer the fastest: %v", counts)
+	}
+	if counts[srvB] == 0 {
+		t.Error("decay should let the slower server be retried sometimes")
+	}
+}
+
+func TestBINDLikeStrongPreferenceAtLargeGap(t *testing.T) {
+	// The paper's 2C case: FRA ~40 ms vs SYD ~355 ms. The decay takes
+	// far longer to erode a 9x gap, so preference turns strong (>90%).
+	servers := []netip.Addr{srvA, srvB}
+	p := NewPolicy(KindBINDLike)
+	counts := tallyFB(p, servers, map[netip.Addr]float64{srvA: 40, srvB: 355}, 1000, 2)
+	frac := float64(counts[srvA]) / 1000
+	if frac < 0.90 {
+		t.Errorf("large-gap preference = %.3f, want strong (>= 0.90)", frac)
+	}
+	small := tallyFB(NewPolicy(KindBINDLike), servers, map[netip.Addr]float64{srvA: 40, srvB: 55}, 1000, 3)
+	if counts[srvA] <= small[srvA] {
+		t.Errorf("preference should sharpen with the gap: small=%v large=%v", small, counts)
+	}
+}
+
+func TestBINDLikeProbesUnknownFirst(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := NewInfraCache(0, HardExpire)
+	infra.Observe(srvA, 40, 0)
+	infra.Observe(srvA, 40, 0)
+	p := NewPolicy(KindBINDLike)
+	rng := rand.New(rand.NewSource(2))
+	// Unknown srvB gets a random SRTT in [0,7) which beats 40.
+	got := p.Select(0, servers, infra, rng)
+	if got != srvB {
+		t.Errorf("unknown server should be probed first, got %v", got)
+	}
+}
+
+func TestUnboundLikeUniformWithinBand(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 60})
+	p := NewPolicy(KindUnboundLike) // band 150ms
+	counts := tally(p, servers, infra, 2000, 3)
+	if counts[srvA] < 800 || counts[srvB] < 800 {
+		t.Errorf("within-band servers should split evenly: %v", counts)
+	}
+}
+
+func TestUnboundLikeExcludesOutOfBand(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 600})
+	p := NewPolicy(KindUnboundLike)
+	counts := tally(p, servers, infra, 1000, 4)
+	if counts[srvB] != 0 {
+		t.Errorf("600ms server is outside the 400ms band of 40ms: %v", counts)
+	}
+	// 350ms is within Unbound's 400ms default band: still uniform.
+	infra = primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 350})
+	counts = tally(NewPolicy(KindUnboundLike), servers, infra, 2000, 5)
+	if counts[srvB] < 800 {
+		t.Errorf("within-band server starved: %v", counts)
+	}
+}
+
+func TestUnboundLikeProbesUnknown(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := NewInfraCache(0, HardExpire)
+	infra.Observe(srvA, 40, 0)
+	p := NewPolicy(KindUnboundLike)
+	counts := tally(p, servers, infra, 1000, 5)
+	if counts[srvB] < 300 {
+		t.Errorf("unknown server should be eligible: %v", counts)
+	}
+}
+
+func TestWeightedRTTRatios(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	// 40 vs 55ms: inverse-RTT weights → 55/95 ≈ 0.58 (near-weak).
+	infra := primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 55})
+	p := NewPolicy(KindWeightedRTT)
+	counts := tally(p, servers, infra, 10000, 6)
+	fracA := float64(counts[srvA]) / 10000
+	if fracA < 0.54 || fracA > 0.63 {
+		t.Errorf("40/55ms split = %.3f, want ≈ 0.58", fracA)
+	}
+	// 40 vs 355ms (the 2C gap): → 355/395 ≈ 0.90 (strong threshold).
+	infra = primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 355})
+	counts = tally(p, servers, infra, 10000, 7)
+	fracA = float64(counts[srvA]) / 10000
+	if fracA < 0.86 || fracA > 0.94 {
+		t.Errorf("40/355ms split = %.3f, want ≈ 0.90", fracA)
+	}
+	// The preference sharpens monotonically with the gap.
+	infra = primeInfra(map[netip.Addr]float64{srvA: 40, srvB: 1200})
+	counts = tally(p, servers, infra, 10000, 8)
+	if frac := float64(counts[srvA]) / 10000; frac < 0.94 {
+		t.Errorf("40/1200ms split = %.3f, want > 0.94", frac)
+	}
+}
+
+func TestWeightedRTTUnknownAttractive(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := primeInfra(map[netip.Addr]float64{srvA: 40})
+	p := NewPolicy(KindWeightedRTT)
+	counts := tally(p, servers, infra, 1000, 8)
+	if counts[srvB] < 800 {
+		// weight(unknown)=1 vs weight(40ms)=1/1600.
+		t.Errorf("unknown server should dominate until measured: %v", counts)
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB, srvC}
+	infra := primeInfra(map[netip.Addr]float64{srvA: 10, srvB: 100, srvC: 400})
+	p := NewPolicy(KindUniform)
+	counts := tally(p, servers, infra, 9000, 9)
+	for _, s := range servers {
+		if counts[s] < 2700 || counts[s] > 3300 {
+			t.Errorf("uniform counts off: %v", counts)
+		}
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB, srvC}
+	p := NewPolicy(KindRoundRobin)
+	infra := NewInfraCache(0, HardExpire)
+	rng := rand.New(rand.NewSource(10))
+	var seq []netip.Addr
+	for i := 0; i < 9; i++ {
+		seq = append(seq, p.Select(0, servers, infra, rng))
+	}
+	for _, s := range servers {
+		n := 0
+		for _, got := range seq {
+			if got == s {
+				n++
+			}
+		}
+		if n != 3 {
+			t.Fatalf("round robin uneven: %v", seq)
+		}
+	}
+	// Consecutive picks always differ.
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			t.Fatalf("round robin repeated %v at %d", seq[i], i)
+		}
+	}
+}
+
+func TestRoundRobinRandomizedStart(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB, srvC}
+	infra := NewInfraCache(0, HardExpire)
+	starts := make(map[netip.Addr]bool)
+	for seed := int64(0); seed < 30; seed++ {
+		p := NewPolicy(KindRoundRobin)
+		rng := rand.New(rand.NewSource(seed))
+		starts[p.Select(0, servers, infra, rng)] = true
+	}
+	if len(starts) < 2 {
+		t.Error("round-robin populations should not start in lockstep")
+	}
+}
+
+func TestStickyPinsUntilTimeout(t *testing.T) {
+	servers := []netip.Addr{srvA, srvB}
+	infra := NewInfraCache(0, HardExpire)
+	p := NewPolicy(KindSticky)
+	rng := rand.New(rand.NewSource(11))
+	first := p.Select(0, servers, infra, rng)
+	for i := 0; i < 50; i++ {
+		if got := p.Select(0, servers, infra, rng); got != first {
+			t.Fatalf("sticky moved from %v to %v without failure", first, got)
+		}
+	}
+	// A timeout on the pinned server forces a re-pin (possibly the
+	// same server by chance; drive until it moves).
+	moved := false
+	for i := 0; i < 20 && !moved; i++ {
+		infra.Timeout(first, time.Second)
+		if got := p.Select(0, servers, infra, rng); got != first {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("sticky never moved after repeated timeouts")
+	}
+}
+
+func TestStickyRepinsWhenServerRemoved(t *testing.T) {
+	infra := NewInfraCache(0, HardExpire)
+	p := NewPolicy(KindSticky)
+	rng := rand.New(rand.NewSource(12))
+	first := p.Select(0, []netip.Addr{srvA}, infra, rng)
+	if first != srvA {
+		t.Fatal("must pin the only server")
+	}
+	got := p.Select(0, []netip.Addr{srvB, srvC}, infra, rng)
+	if got == srvA {
+		t.Error("sticky must not return a server outside the candidate set")
+	}
+}
+
+func TestPolicyNamesAndKinds(t *testing.T) {
+	kinds := []PolicyKind{KindBINDLike, KindUnboundLike, KindWeightedRTT,
+		KindUniform, KindRoundRobin, KindSticky}
+	names := map[string]bool{}
+	for _, k := range kinds {
+		p := NewPolicy(k)
+		if p.Name() != k.String() {
+			t.Errorf("policy %v name %q != kind %q", k, p.Name(), k.String())
+		}
+		names[p.Name()] = true
+	}
+	if len(names) != len(kinds) {
+		t.Error("policy names must be unique")
+	}
+	if PolicyKind(99).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPolicy(99) should panic")
+		}
+	}()
+	NewPolicy(PolicyKind(99))
+}
+
+// Selection must always return a member of the candidate set.
+func TestAllPoliciesReturnCandidates(t *testing.T) {
+	kinds := []PolicyKind{KindBINDLike, KindUnboundLike, KindWeightedRTT,
+		KindUniform, KindRoundRobin, KindSticky}
+	sets := [][]netip.Addr{
+		{srvA},
+		{srvA, srvB},
+		{srvA, srvB, srvC},
+	}
+	for _, k := range kinds {
+		for _, servers := range sets {
+			p := NewPolicy(k)
+			infra := primeInfra(map[netip.Addr]float64{srvA: 30, srvB: 100})
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 200; i++ {
+				got := p.Select(time.Duration(i)*time.Second, servers, infra, rng)
+				member := false
+				for _, s := range servers {
+					if got == s {
+						member = true
+					}
+				}
+				if !member {
+					t.Fatalf("%v returned non-candidate %v from %v", k, got, servers)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBINDLikeSelect(b *testing.B) {
+	servers := []netip.Addr{srvA, srvB, srvC}
+	infra := primeInfra(map[netip.Addr]float64{srvA: 30, srvB: 100, srvC: 250})
+	p := NewPolicy(KindBINDLike)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Select(0, servers, infra, rng)
+	}
+}

@@ -1,0 +1,122 @@
+package resolver
+
+import (
+	"math/rand"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+const liveZoneText = `
+$ORIGIN ourtestdomain.nl.
+@ IN SOA ns1 hostmaster 1 7200 3600 604800 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* 5 IN TXT "site=LIVE"
+`
+
+// TestUDPServerEndToEnd runs a real recursive resolver over loopback
+// sockets against a real authoritative server: stub -> resolvd -> authd.
+func TestUDPServerEndToEnd(t *testing.T) {
+	z, err := zone.ParseString(liveZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := authserver.NewServer(authserver.NewEngine(authserver.Config{
+		Zones: []*zone.Zone{z}, Identity: "live1",
+	}))
+	// The engine addresses peers by IP, so the authoritative gets its
+	// own loopback address (127/8 is all loopback on Linux).
+	if err := auth.ListenAndServe("127.0.0.2:0"); err != nil {
+		t.Skipf("cannot bind 127.0.0.2: %v", err)
+	}
+	defer auth.Close()
+	authUDP := auth.Addr().(*net.UDPAddr)
+	authAddr := netip.MustParseAddr("127.0.0.2")
+
+	srv, err := NewUDPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Route(authAddr, uint16(authUDP.Port))
+
+	eng := NewEngine(Config{
+		Policy:    NewPolicy(KindBINDLike),
+		Infra:     NewInfraCache(10*time.Minute, HardExpire),
+		Cache:     NewRecordCache(),
+		Zones:     []ZoneServers{{Zone: dnswire.MustParseName("ourtestdomain.nl"), Servers: []netip.Addr{authAddr}}},
+		Transport: srv,
+		Clock:     &RealClock{},
+		RNG:       rand.New(rand.NewSource(1)),
+		Timeout:   time.Second,
+	})
+	go srv.Serve(eng)
+
+	// A stub client over a real socket.
+	client, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 3; i++ {
+		qname := dnswire.MustParseName("probe-x.ourtestdomain.nl")
+		q := dnswire.NewQuery(uint16(100+i), qname, dnswire.TypeTXT)
+		wire, _ := q.Pack()
+		if _, err := client.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 4096)
+		n, err := client.Read(buf)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint16(100+i) || resp.RCode != dnswire.RCodeNoError {
+			t.Fatalf("resp %d: %+v", i, resp.Header)
+		}
+		if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "site=LIVE" {
+			t.Fatalf("TXT = %q", got)
+		}
+		if !resp.RecursionAvailable {
+			t.Error("resolver should set RA")
+		}
+	}
+	// The resolver measured a real loopback RTT.
+	st := eng.Infra().State(authAddr, eng.cfg.Clock.Now())
+	if !st.Known || st.SRTT <= 0 || st.SRTT > 100 {
+		t.Errorf("infra state after live queries: %+v", st)
+	}
+	if hits, _ := eng.cfg.Cache.Stats(); hits == 0 {
+		t.Error("repeated name within TTL should hit the record cache")
+	}
+}
+
+func TestUDPServerCloseIdempotent(t *testing.T) {
+	srv, err := NewUDPServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestUDPServerBadAddr(t *testing.T) {
+	if _, err := NewUDPServer("not-an-addr:xx"); err == nil {
+		t.Error("bad address should fail")
+	}
+}

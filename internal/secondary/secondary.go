@@ -1,0 +1,264 @@
+// Package secondary implements a secondary (slave) authoritative
+// server: it bootstraps a zone from its primary with AXFR, refreshes
+// on the SOA's Refresh/Retry schedule, expires the zone when the
+// primary stays unreachable past the SOA Expire interval, and accepts
+// NOTIFY (RFC 1996) to re-check immediately.
+//
+// This is the machinery that kept the paper's multi-site deployments
+// serving identical zone copies; combined with internal/authserver it
+// turns one zone file into a fleet.
+package secondary
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ritw/internal/axfr"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// State is the secondary's zone lifecycle state.
+type State uint8
+
+// Lifecycle states.
+const (
+	// StateBootstrapping means no transfer has succeeded yet.
+	StateBootstrapping State = iota
+	// StateCurrent means the zone is fresh.
+	StateCurrent
+	// StateStale means a refresh failed; retrying on the Retry timer.
+	StateStale
+	// StateExpired means the SOA Expire interval passed without a
+	// successful refresh; the zone must not be served.
+	StateExpired
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateBootstrapping:
+		return "bootstrapping"
+	case StateCurrent:
+		return "current"
+	case StateStale:
+		return "stale"
+	case StateExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// ErrExpired is returned by Zone when the zone may not be served.
+var ErrExpired = errors.New("secondary: zone expired")
+
+// Transfer fetches the zone from the primary; axfr.Fetch curried with
+// the primary address in production, a stub in tests and simulations.
+type Transfer func(origin dnswire.Name) (*zone.Zone, error)
+
+// Config assembles a Secondary.
+type Config struct {
+	// Origin is the zone to maintain.
+	Origin dnswire.Name
+	// Transfer performs one zone transfer attempt. Required.
+	Transfer Transfer
+	// Now returns the current time; defaults to wall-clock time since
+	// construction. Injectable for simulated time.
+	Now func() time.Duration
+	// After schedules a callback; defaults to time.AfterFunc.
+	// Injectable for simulated time.
+	After func(d time.Duration, fn func())
+	// OnStateChange, if set, observes lifecycle transitions.
+	OnStateChange func(State)
+	// MinInterval floors all SOA timers so misconfigured zones cannot
+	// melt the primary (default 5s).
+	MinInterval time.Duration
+}
+
+// Secondary maintains one transferred zone copy.
+type Secondary struct {
+	mu      sync.Mutex
+	cfg     Config
+	zone    *zone.Zone
+	state   State
+	serial  uint32
+	lastOK  time.Duration
+	stopped bool
+	// gen guards the refresh chain: every attempt bumps it, and a
+	// scheduled follow-up only runs if it is still the latest. Without
+	// this, each NOTIFY would fork an additional perpetual chain.
+	gen uint64
+
+	refreshes, failures int
+}
+
+// NewSecondary validates cfg and creates the maintainer (call Start to
+// begin transferring).
+func NewSecondary(cfg Config) (*Secondary, error) {
+	if cfg.Transfer == nil {
+		return nil, errors.New("secondary: Transfer is required")
+	}
+	if cfg.Now == nil || cfg.After == nil {
+		base := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(base) }
+		cfg.After = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 5 * time.Second
+	}
+	return &Secondary{cfg: cfg, state: StateBootstrapping}, nil
+}
+
+// Start performs the initial transfer attempt and schedules the
+// refresh cycle.
+func (s *Secondary) Start() {
+	s.attempt()
+}
+
+// Stop halts future scheduled attempts (in-flight ones complete).
+func (s *Secondary) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+}
+
+// Zone returns the served zone copy, or ErrExpired when the data may
+// no longer be served (bootstrapping or expired).
+func (s *Secondary) Zone() (*zone.Zone, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.zone == nil || s.state == StateExpired {
+		return nil, ErrExpired
+	}
+	return s.zone, nil
+}
+
+// State returns the lifecycle state.
+func (s *Secondary) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Serial returns the serial of the served copy (0 before bootstrap).
+func (s *Secondary) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Stats returns refresh attempt counters.
+func (s *Secondary) Stats() (refreshes, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshes, s.failures
+}
+
+// Notify handles a NOTIFY for the zone: an immediate refresh attempt,
+// as RFC 1996 prescribes. Notifications for other zones are ignored.
+func (s *Secondary) Notify(origin dnswire.Name) {
+	if !origin.Equal(s.cfg.Origin) {
+		return
+	}
+	s.attempt()
+}
+
+// attempt performs one transfer attempt and schedules the next one.
+func (s *Secondary) attempt() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.gen++
+	myGen := s.gen
+	s.refreshes++
+	s.mu.Unlock()
+
+	z, err := s.cfg.Transfer(s.cfg.Origin)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	now := s.cfg.Now()
+	var next time.Duration
+	if err == nil {
+		if soa, ok := z.SOA(); ok {
+			data := soa.Data.(dnswire.SOA)
+			s.zone = z
+			s.serial = data.Serial
+			s.lastOK = now
+			s.setStateLocked(StateCurrent)
+			next = s.clamp(time.Duration(data.Refresh) * time.Second)
+		} else {
+			err = zone.ErrNoSOA
+		}
+	}
+	if err != nil {
+		s.failures++
+		retry, expire := s.timersLocked()
+		switch {
+		case s.zone == nil:
+			s.setStateLocked(StateBootstrapping)
+		case now-s.lastOK >= expire:
+			s.setStateLocked(StateExpired)
+		default:
+			s.setStateLocked(StateStale)
+		}
+		next = retry
+	}
+	s.cfg.After(next, func() {
+		// Only the latest chain continues: if a NOTIFY or another
+		// attempt ran since this timer was armed, this link is stale.
+		s.mu.Lock()
+		stale := s.gen != myGen || s.stopped
+		s.mu.Unlock()
+		if !stale {
+			s.attempt()
+		}
+	})
+}
+
+// timersLocked derives retry and expire intervals from the served
+// copy's SOA (bootstrap defaults when none).
+func (s *Secondary) timersLocked() (retry, expire time.Duration) {
+	retry, expire = 30*time.Second, 7*24*time.Hour
+	if s.zone != nil {
+		if soa, ok := s.zone.SOA(); ok {
+			data := soa.Data.(dnswire.SOA)
+			retry = time.Duration(data.Retry) * time.Second
+			expire = time.Duration(data.Expire) * time.Second
+		}
+	}
+	return s.clamp(retry), expire
+}
+
+func (s *Secondary) clamp(d time.Duration) time.Duration {
+	if d < s.cfg.MinInterval {
+		return s.cfg.MinInterval
+	}
+	return d
+}
+
+func (s *Secondary) setStateLocked(st State) {
+	if s.state == st {
+		return
+	}
+	s.state = st
+	if s.cfg.OnStateChange != nil {
+		s.cfg.OnStateChange(st)
+	}
+}
+
+// FetchFrom returns a Transfer that pulls from a primary address
+// ("host:port") over TCP.
+func FetchFrom(primary string, timeout time.Duration) Transfer {
+	return func(origin dnswire.Name) (*zone.Zone, error) {
+		return axfr.Fetch(primary, origin, timeout)
+	}
+}

@@ -1,0 +1,370 @@
+package secondary
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+var origin = dnswire.MustParseName("sync.nl")
+
+// zoneWithSerial builds a small zone with the given serial and timers
+// refresh=60s retry=20s expire=300s.
+func zoneWithSerial(t *testing.T, serial uint32) *zone.Zone {
+	t.Helper()
+	text := fmt.Sprintf("$ORIGIN sync.nl.\n@ IN SOA ns hm %d 60 20 300 30\n@ IN NS ns\nw IN TXT \"v%d\"\n", serial, serial)
+	z, err := zone.ParseString(text, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+// fakeTimeline provides manual virtual time with ordered callbacks.
+type fakeTimeline struct {
+	mu     sync.Mutex
+	now    time.Duration
+	timers []struct {
+		at time.Duration
+		fn func()
+	}
+}
+
+func (f *fakeTimeline) Now() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeTimeline) After(d time.Duration, fn func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.timers = append(f.timers, struct {
+		at time.Duration
+		fn func()
+	}{f.now + d, fn})
+}
+
+// advance runs timers due by now+d in time order.
+func (f *fakeTimeline) advance(d time.Duration) {
+	f.mu.Lock()
+	deadline := f.now + d
+	f.mu.Unlock()
+	for {
+		f.mu.Lock()
+		idx := -1
+		for i, t := range f.timers {
+			if t.at <= deadline && (idx == -1 || t.at < f.timers[idx].at) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			f.now = deadline
+			f.mu.Unlock()
+			break
+		}
+		tm := f.timers[idx]
+		f.timers = append(f.timers[:idx], f.timers[idx+1:]...)
+		if tm.at > f.now {
+			f.now = tm.at
+		}
+		f.mu.Unlock()
+		tm.fn()
+	}
+}
+
+// scriptedTransfer serves zones (or errors) in sequence, repeating the
+// final entry forever.
+type scriptedTransfer struct {
+	mu    sync.Mutex
+	zones []*zone.Zone
+	errs  []error
+	calls int
+}
+
+func (s *scriptedTransfer) transfer(dnswire.Name) (*zone.Zone, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls
+	if i >= len(s.zones) {
+		i = len(s.zones) - 1
+	}
+	s.calls++
+	return s.zones[i], s.errs[i]
+}
+
+func newSecondaryWith(t *testing.T, tl *fakeTimeline, tr Transfer) *Secondary {
+	t.Helper()
+	s, err := NewSecondary(Config{
+		Origin:      origin,
+		Transfer:    tr,
+		Now:         tl.Now,
+		After:       tl.After,
+		MinInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBootstrapAndServe(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{zones: []*zone.Zone{zoneWithSerial(t, 1)}, errs: []error{nil}}
+	s := newSecondaryWith(t, tl, st.transfer)
+
+	if _, err := s.Zone(); err != ErrExpired {
+		t.Error("zone should be unavailable before bootstrap")
+	}
+	s.Start()
+	if s.State() != StateCurrent || s.Serial() != 1 {
+		t.Fatalf("state=%v serial=%d", s.State(), s.Serial())
+	}
+	z, err := s.Zone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup(dnswire.MustParseName("w.sync.nl"), dnswire.TypeTXT)
+	if res.Kind != zone.Success {
+		t.Error("transferred zone should answer")
+	}
+}
+
+func TestRefreshPicksUpNewSerial(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{
+		zones: []*zone.Zone{zoneWithSerial(t, 1), zoneWithSerial(t, 2)},
+		errs:  []error{nil, nil},
+	}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	// Refresh is 60s; nothing happens before that.
+	tl.advance(59 * time.Second)
+	if s.Serial() != 1 {
+		t.Fatalf("premature refresh: serial %d", s.Serial())
+	}
+	tl.advance(2 * time.Second)
+	if s.Serial() != 2 {
+		t.Fatalf("refresh missed: serial %d", s.Serial())
+	}
+	if refreshes, failures := s.Stats(); refreshes != 2 || failures != 0 {
+		t.Errorf("stats = %d/%d", refreshes, failures)
+	}
+}
+
+func TestRetryAndExpire(t *testing.T) {
+	tl := &fakeTimeline{}
+	failure := errors.New("primary unreachable")
+	st := &scriptedTransfer{
+		zones: []*zone.Zone{zoneWithSerial(t, 1), nil},
+		errs:  []error{nil, failure},
+	}
+	s := newSecondaryWith(t, tl, st.transfer)
+	var transitions []State
+	s.cfg.OnStateChange = func(state State) { transitions = append(transitions, state) }
+	s.Start()
+
+	// First refresh at 60s fails -> stale, retrying every 20s.
+	tl.advance(61 * time.Second)
+	if s.State() != StateStale {
+		t.Fatalf("state = %v, want stale", s.State())
+	}
+	if _, err := s.Zone(); err != nil {
+		t.Error("stale zone must still be served")
+	}
+	// Expire is 300s after the last success.
+	tl.advance(300 * time.Second)
+	if s.State() != StateExpired {
+		t.Fatalf("state = %v, want expired", s.State())
+	}
+	if _, err := s.Zone(); err != ErrExpired {
+		t.Error("expired zone must not be served")
+	}
+	// The observer saw the full lifecycle in order.
+	want := []State{StateCurrent, StateStale, StateExpired}
+	if len(transitions) < len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i, st := range want {
+		if transitions[i] != st {
+			t.Fatalf("transition %d = %v, want %v (all: %v)", i, transitions[i], st, transitions)
+		}
+	}
+}
+
+func TestRecoveryAfterStale(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{
+		zones: []*zone.Zone{zoneWithSerial(t, 1), nil, zoneWithSerial(t, 3)},
+		errs:  []error{nil, errors.New("blip"), nil},
+	}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	tl.advance(61 * time.Second) // refresh fails -> stale
+	if s.State() != StateStale {
+		t.Fatal("expected stale")
+	}
+	tl.advance(21 * time.Second) // retry succeeds
+	if s.State() != StateCurrent || s.Serial() != 3 {
+		t.Fatalf("state=%v serial=%d", s.State(), s.Serial())
+	}
+}
+
+func TestNotifyTriggersImmediateRefresh(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{
+		zones: []*zone.Zone{zoneWithSerial(t, 1), zoneWithSerial(t, 5)},
+		errs:  []error{nil, nil},
+	}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	// NOTIFY for some other zone: ignored.
+	s.Notify(dnswire.MustParseName("other.nl"))
+	if s.Serial() != 1 {
+		t.Fatal("foreign notify must be ignored")
+	}
+	s.Notify(origin)
+	if s.Serial() != 5 {
+		t.Fatalf("notify did not refresh: serial %d", s.Serial())
+	}
+}
+
+func TestStopHaltsSchedule(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{zones: []*zone.Zone{zoneWithSerial(t, 1)}, errs: []error{nil}}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	s.Stop()
+	tl.advance(time.Hour)
+	if refreshes, _ := s.Stats(); refreshes != 1 {
+		t.Errorf("refreshes after stop = %d", refreshes)
+	}
+}
+
+func TestBootstrapFailureKeepsTrying(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{
+		zones: []*zone.Zone{nil, nil, zoneWithSerial(t, 9)},
+		errs:  []error{errors.New("down"), errors.New("down"), nil},
+	}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	if s.State() != StateBootstrapping {
+		t.Fatalf("state = %v", s.State())
+	}
+	tl.advance(2 * time.Minute)
+	if s.State() != StateCurrent || s.Serial() != 9 {
+		t.Fatalf("bootstrap retry failed: %v serial=%d", s.State(), s.Serial())
+	}
+}
+
+func TestSOALessTransferIsFailure(t *testing.T) {
+	tl := &fakeTimeline{}
+	empty := zone.New(origin)
+	st := &scriptedTransfer{zones: []*zone.Zone{empty}, errs: []error{nil}}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	if s.State() != StateBootstrapping {
+		t.Errorf("SOA-less transfer should not bootstrap: %v", s.State())
+	}
+	if _, failures := s.Stats(); failures != 1 {
+		t.Errorf("failures = %d", failures)
+	}
+}
+
+func TestNewSecondaryValidation(t *testing.T) {
+	if _, err := NewSecondary(Config{}); err == nil {
+		t.Error("missing Transfer should fail")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateBootstrapping: "bootstrapping", StateCurrent: "current",
+		StateStale: "stale", StateExpired: "expired", State(9): "State(9)",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}
+
+// TestEndToEndWithRealPrimary wires a secondary to a live authserver
+// primary over loopback TCP and serves the transferred zone from a
+// second authserver engine.
+func TestEndToEndWithRealPrimary(t *testing.T) {
+	primaryZone := zoneWithSerial(t, 42)
+	primary := authserver.NewServer(authserver.NewEngine(authserver.Config{
+		Zones: []*zone.Zone{primaryZone}, Identity: "primary",
+	}))
+	if err := primary.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	s, err := NewSecondary(Config{
+		Origin:   origin,
+		Transfer: FetchFrom(primary.Addr().String(), 3*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	if s.State() != StateCurrent || s.Serial() != 42 {
+		t.Fatalf("live bootstrap: %v serial=%d", s.State(), s.Serial())
+	}
+	z, err := s.Zone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The secondary now answers like the primary.
+	eng := authserver.NewEngine(authserver.Config{Zones: []*zone.Zone{z}, Identity: "secondary"})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("w.sync.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	out := eng.HandleQuery(netip.AddrFrom4([4]byte{203, 0, 113, 7}), wire, 0)
+	if out == nil {
+		t.Fatal("secondary dropped query")
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil || resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("secondary answer: %v %v", resp, err)
+	}
+	if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "v42" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestNotifyDoesNotForkRefreshChains(t *testing.T) {
+	tl := &fakeTimeline{}
+	st := &scriptedTransfer{zones: []*zone.Zone{zoneWithSerial(t, 1)}, errs: []error{nil}}
+	s := newSecondaryWith(t, tl, st.transfer)
+	s.Start()
+	// Ten NOTIFYs each trigger one immediate refresh...
+	for i := 0; i < 10; i++ {
+		s.Notify(origin)
+	}
+	refreshesAfterNotify, _ := s.Stats()
+	if refreshesAfterNotify != 11 {
+		t.Fatalf("refreshes = %d, want 11", refreshesAfterNotify)
+	}
+	// ...but must not multiply the steady-state cadence: over the next
+	// ten refresh intervals (60s each) only ~10 more attempts may run,
+	// not 10 chains x 10 intervals.
+	tl.advance(10 * 61 * time.Second)
+	refreshes, _ := s.Stats()
+	extra := refreshes - refreshesAfterNotify
+	if extra > 12 {
+		t.Errorf("refresh chains multiplied: %d attempts in 10 intervals", extra)
+	}
+	if extra < 9 {
+		t.Errorf("refresh starved: %d attempts in 10 intervals", extra)
+	}
+}

@@ -1,0 +1,55 @@
+// Package simbind wires protocol engines (internal/resolver,
+// internal/authserver) onto simulated hosts (internal/netsim). It
+// provides the Clock and Transport adapters the engines need, so the
+// exact same engine code that serves real sockets also runs inside the
+// discrete-event simulator.
+package simbind
+
+import (
+	"net/netip"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/netsim"
+	"ritw/internal/resolver"
+)
+
+// SimClock adapts the simulator's virtual clock to resolver.Clock.
+type SimClock struct {
+	Sim *netsim.Simulator
+}
+
+// Now implements resolver.Clock.
+func (c SimClock) Now() time.Duration { return c.Sim.Now() }
+
+// AfterFunc implements resolver.Clock.
+func (c SimClock) AfterFunc(d time.Duration, fn func()) { c.Sim.Schedule(d, fn) }
+
+// HostTransport adapts a simulated host to resolver.Transport.
+type HostTransport struct {
+	Host *netsim.Host
+}
+
+// Send implements resolver.Transport.
+func (t HostTransport) Send(dst netip.Addr, payload []byte) { t.Host.Send(dst, payload) }
+
+// BindResolver attaches a resolver engine to a host: inbound datagrams
+// flow into the engine, outbound through the host.
+func BindResolver(h *netsim.Host, e *resolver.Engine) {
+	h.Handle(func(src, _ netip.Addr, payload []byte) {
+		e.HandlePacket(src, payload)
+	})
+}
+
+// BindAuth attaches an authoritative engine to a host. Responses go
+// back to the query source *from the address the query was sent to*:
+// a site of an anycast service answers from the service address, as
+// real anycast does — otherwise the resolver's off-path-response
+// protection would discard the reply.
+func BindAuth(h *netsim.Host, e *authserver.Engine) {
+	h.Handle(func(src, dst netip.Addr, payload []byte) {
+		if resp := e.HandleQuery(src, payload, 0); len(resp) > 0 {
+			h.SendAs(dst, src, resp)
+		}
+	})
+}

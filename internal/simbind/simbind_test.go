@@ -1,0 +1,125 @@
+package simbind
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/geo"
+	"ritw/internal/netsim"
+	"ritw/internal/resolver"
+	"ritw/internal/zone"
+)
+
+const zoneText = `
+$ORIGIN test.nl.
+@ IN SOA ns1 hostmaster 1 7200 3600 604800 300
+@ IN NS ns1
+* 5 IN TXT "site=X"
+`
+
+func TestSimClock(t *testing.T) {
+	sim := netsim.NewSimulator()
+	clk := SimClock{Sim: sim}
+	if clk.Now() != 0 {
+		t.Error("fresh clock should read zero")
+	}
+	var at time.Duration
+	clk.AfterFunc(7*time.Millisecond, func() { at = clk.Now() })
+	sim.Run()
+	if at != 7*time.Millisecond {
+		t.Errorf("AfterFunc fired at %v", at)
+	}
+}
+
+// TestFullStackInSim wires client -> resolver -> unicast and anycast
+// authoritatives entirely inside the simulator.
+func TestFullStackInSim(t *testing.T) {
+	sim := netsim.NewSimulator()
+	net := netsim.NewNetwork(sim, geo.DefaultPathModel(), 5)
+	net.BGPNoise = 0
+
+	newAuth := func(code string) *netsim.Host {
+		z, err := zone.ParseString(zoneText, dnswire.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := net.AddHost(geo.MustSite(code).Coord)
+		BindAuth(h, authserver.NewEngine(authserver.Config{
+			Zones: []*zone.Zone{z}, Identity: code,
+		}))
+		return h
+	}
+	unicast := newAuth("FRA")
+	m1, m2 := newAuth("EWR"), newAuth("NRT")
+	svc := netip.MustParseAddr("198.18.1.1")
+	net.AddAnycast(svc, []*netsim.Host{m1, m2})
+
+	rhost := net.AddHost(geo.MustSite("AMS").Coord)
+	eng := resolver.NewEngine(resolver.Config{
+		Policy: resolver.NewPolicy(resolver.KindUniform),
+		Infra:  resolver.NewInfraCache(time.Minute, resolver.HardExpire),
+		Cache:  resolver.NewRecordCache(),
+		Zones: []resolver.ZoneServers{{
+			Zone:    dnswire.MustParseName("test.nl"),
+			Servers: []netip.Addr{unicast.Addr, svc},
+		}},
+		Transport: HostTransport{Host: rhost},
+		Clock:     SimClock{Sim: sim},
+		RNG:       rand.New(rand.NewSource(3)),
+	})
+	BindResolver(rhost, eng)
+
+	client := net.AddHost(geo.MustSite("AMS").Coord)
+	answers := 0
+	client.Handle(func(_, _ netip.Addr, payload []byte) {
+		msg, err := dnswire.Unpack(payload)
+		if err != nil || msg.RCode != dnswire.RCodeNoError || len(msg.Answers) == 0 {
+			return
+		}
+		answers++
+	})
+	const n = 40
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*time.Second, func() {
+			name, err := dnswire.MustParseName("test.nl").Child(labelFor(i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			wire, err := dnswire.NewQuery(uint16(i), name, dnswire.TypeTXT).Pack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			client.Send(rhost.Addr, wire)
+		})
+	}
+	sim.Run()
+	if answers != n {
+		t.Fatalf("answers = %d, want %d (anycast reply path broken?)", answers, n)
+	}
+	// Both the unicast server and the anycast service must have been
+	// selected by the uniform policy, and the anycast answers must
+	// have come back from the service address (pq.upstream matching).
+	st := eng.Stats()
+	if st.UpstreamAnswers != n {
+		t.Errorf("upstream answers = %d", st.UpstreamAnswers)
+	}
+	now := sim.Now()
+	if !eng.Infra().State(unicast.Addr, now).Known || !eng.Infra().State(svc, now).Known {
+		t.Error("both upstreams should have latency state")
+	}
+	// The AMS resolver's anycast catchment is EWR, far closer than NRT.
+	if got := net.Catchment(rhost, svc); got != m1 {
+		t.Errorf("catchment = %v, want EWR member", got.Addr)
+	}
+}
+
+func labelFor(i int) string {
+	return "q" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

@@ -1,0 +1,249 @@
+// Package stats provides the small statistical toolkit used by the
+// measurement analyses: medians, percentiles, box-plot summaries and
+// empirical CDFs. All functions operate on float64 samples and are
+// deliberately simple so that analysis code reads like the paper's
+// prose ("median RTT", "quartiles and whiskers 10/90%ile").
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoSamples is returned by summary constructors when the input is empty.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks (the same method as
+// numpy's default). xs does not need to be sorted. It panics if p is
+// out of range and returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted computes the percentile of an already-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median of xs, NaN for empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs,
+// NaN for empty input and 0 for a single sample.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the minimum of xs, NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// BoxPlot summarizes a sample the way the paper's Figure 2 draws it:
+// quartile box with 10/90-percentile whiskers.
+type BoxPlot struct {
+	N      int     // number of samples
+	P10    float64 // lower whisker
+	Q1     float64 // lower quartile
+	Median float64
+	Q3     float64 // upper quartile
+	P90    float64 // upper whisker
+}
+
+// NewBoxPlot computes a BoxPlot summary for xs.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrNoSamples
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return BoxPlot{
+		N:      len(xs),
+		P10:    percentileSorted(sorted, 10),
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		P90:    percentileSorted(sorted, 90),
+	}, nil
+}
+
+// String renders the summary on one line, e.g. for harness output.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("n=%d p10=%.1f q1=%.1f med=%.1f q3=%.1f p90=%.1f",
+		b.N, b.P10, b.Q1, b.Median, b.Q3, b.P90)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (a copy is taken).
+func NewCDF(xs []float64) (CDF, error) {
+	if len(xs) == 0 {
+		return CDF{}, ErrNoSamples
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the sample.
+func (c CDF) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range [0,1]", q))
+	}
+	return percentileSorted(c.sorted, q*100)
+}
+
+// N returns the number of samples behind the CDF.
+func (c CDF) N() int { return len(c.sorted) }
+
+// Fraction returns the share of xs for which pred holds. It returns 0
+// for an empty slice, which suits "fraction of recursives with a
+// preference"-style analyses where an empty group contributes nothing.
+func Fraction(xs []float64, pred func(float64) bool) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if pred(x) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// BootstrapCI estimates a confidence interval for a statistic of xs by
+// resampling with replacement. stat maps a sample to the statistic
+// (e.g. Median, or a preference fraction); level is the coverage
+// (e.g. 0.95). The analyses use this to put uncertainty bands on the
+// paper's weak/strong preference fractions, which the paper reports as
+// point estimates. The rng makes results reproducible.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, rounds int, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if rounds < 10 {
+		rounds = 10
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[r] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	return Percentile(estimates, 100*alpha), Percentile(estimates, 100*(1-alpha)), nil
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi). Values
+// outside the range are clamped into the first/last bin so totals are
+// preserved. It panics if bins <= 0 or hi <= lo.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	if bins <= 0 {
+		panic("stats: Histogram needs bins > 0")
+	}
+	if hi <= lo {
+		panic("stats: Histogram needs hi > lo")
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

@@ -1,0 +1,314 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("median of shuffled = %v, want 3", got)
+	}
+	// Input must not be mutated.
+	want := []float64{5, 1, 3, 2, 4}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("input mutated at %d: %v", i, xs)
+		}
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("empty percentile = %v, want NaN", got)
+	}
+	if got := Percentile([]float64{42}, 99); got != 42 {
+		t.Errorf("single-sample percentile = %v, want 42", got)
+	}
+}
+
+func TestPercentilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(p=%v) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1}, p)
+		}()
+	}
+}
+
+func TestMeanMedianStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-9) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Stddev(xs); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if got := Median(xs); !almostEqual(got, 4.5, 1e-9) {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev(nil)) {
+		t.Error("Mean/Stddev of empty should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) // 0..100
+	}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 101 || b.P10 != 10 || b.Q1 != 25 || b.Median != 50 || b.Q3 != 75 || b.P90 != 90 {
+		t.Errorf("unexpected box plot: %+v", b)
+	}
+	if _, err := NewBoxPlot(nil); err != ErrNoSamples {
+		t.Errorf("empty box plot error = %v, want ErrNoSamples", err)
+	}
+	if s := b.String(); s == "" {
+		t.Error("String() should be non-empty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("CDF.At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); !almostEqual(got, 2.5, 1e-9) {
+		t.Errorf("Quantile(0.5) = %v, want 2.5", got)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4", c.N())
+	}
+	if _, err := NewCDF(nil); err != ErrNoSamples {
+		t.Errorf("empty CDF error = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	xs := []float64{0.1, 0.5, 0.9, 0.95}
+	got := Fraction(xs, func(x float64) bool { return x >= 0.9 })
+	if !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("Fraction = %v, want 0.5", got)
+	}
+	if Fraction(nil, func(float64) bool { return true }) != 0 {
+		t.Error("Fraction of empty should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-5, 0, 0.5, 1.5, 2.5, 99}
+	h := Histogram(xs, 0, 3, 3)
+	// -5 clamps to bin 0; 99 clamps to bin 2.
+	want := []int{3, 1, 2}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Histogram(nil, 0, 1, 0) },
+		func() { Histogram(nil, 1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: percentiles are monotonically non-decreasing in p, and the
+// result always lies within [min, max] of the sample.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(p1 % 101) // 0..100
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := Percentile(xs, a), Percentile(xs, b)
+		if va > vb {
+			return false
+		}
+		return va >= Min(xs)-1e-9 && vb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF.At is monotone and bounded in [0,1]; CDF.At(max) == 1.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		if c.At(Max(xs)) != 1 {
+			return false
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.25 {
+			v := c.At(c.Quantile(q))
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Histogram preserves the total count.
+func TestHistogramTotalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(1000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		h := Histogram(xs, -50, 50, 7)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("histogram total = %d, want %d", total, n)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 90)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 100
+	}
+	lo, hi, err := BootstrapCI(xs, Median, 0.95, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	// The true median (100) should be inside a 95% CI of 500 samples.
+	if lo > 100 || hi < 100 {
+		t.Errorf("CI [%v, %v] misses the true median", lo, hi)
+	}
+	// Width should be modest: sd(median) ≈ 1.25*10/sqrt(500) ≈ 0.56.
+	if hi-lo > 5 {
+		t.Errorf("CI too wide: %v", hi-lo)
+	}
+	if _, _, err := BootstrapCI(nil, Median, 0.95, 100, rng); err != ErrNoSamples {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, _, err := BootstrapCI(xs, Median, 1.5, 100, rng); err == nil {
+		t.Error("bad level should fail")
+	}
+}
+
+func TestBootstrapCINarrowsWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	width := func(n int) float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		lo, hi, err := BootstrapCI(xs, Mean, 0.9, 300, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hi - lo
+	}
+	if w1, w2 := width(50), width(5000); w2 >= w1 {
+		t.Errorf("CI should narrow with sample size: %v -> %v", w1, w2)
+	}
+}

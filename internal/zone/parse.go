@@ -1,0 +1,385 @@
+package zone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"ritw/internal/dnswire"
+)
+
+// Parse reads a zone in RFC 1035 master-file format (the subset used
+// by this system): $ORIGIN and $TTL directives, ';' comments, '@' for
+// the origin, relative and absolute names, owner inheritance from the
+// previous record, parenthesized continuation (SOA style), quoted TXT
+// strings, and the record types A, AAAA, NS, SOA, TXT, CNAME, PTR, MX.
+func Parse(r io.Reader, defaultOrigin dnswire.Name) (*Zone, error) {
+	p := &parser{
+		origin: defaultOrigin,
+		ttl:    3600,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending []string // tokens accumulated across parenthesized lines
+	depth := 0
+	for sc.Scan() {
+		lineNo++
+		toks, opens, closes, err := tokenize(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("zone: line %d: %w", lineNo, err)
+		}
+		startsRecord := depth == 0
+		depth += opens - closes
+		if depth < 0 {
+			return nil, fmt.Errorf("zone: line %d: unbalanced ')'", lineNo)
+		}
+		// The inherit-owner sentinel only means something at the start
+		// of a record; drop it from parenthesized continuation lines.
+		if !startsRecord && len(toks) > 0 && toks[0] == inheritOwner {
+			toks = toks[1:]
+		}
+		if startsRecord && len(pending) > 0 {
+			if err := p.record(pending); err != nil {
+				return nil, fmt.Errorf("zone: line %d: %w", lineNo-1, err)
+			}
+			pending = nil
+		}
+		// Leading whitespace means "inherit previous owner": tokenize
+		// flags it with a sentinel.
+		pending = append(pending, toks...)
+		if depth == 0 && len(pending) > 0 {
+			if err := p.record(pending); err != nil {
+				return nil, fmt.Errorf("zone: line %d: %w", lineNo, err)
+			}
+			pending = nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("zone: unbalanced '(' at EOF")
+	}
+	if len(pending) > 0 {
+		if err := p.record(pending); err != nil {
+			return nil, fmt.Errorf("zone: line %d: %w", lineNo, err)
+		}
+	}
+	if p.zone == nil {
+		return nil, ErrNoSOA
+	}
+	return p.zone, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, defaultOrigin dnswire.Name) (*Zone, error) {
+	return Parse(strings.NewReader(s), defaultOrigin)
+}
+
+// inheritOwner is the sentinel token emitted when a line starts with
+// whitespace, meaning the record reuses the previous owner name.
+const inheritOwner = "\x00inherit"
+
+// tokenize splits one master-file line into tokens, stripping comments
+// and handling quoted strings and parentheses. Quoted tokens keep a
+// leading '"' so the record parser can tell them apart.
+func tokenize(line string) (toks []string, opens, closes int, err error) {
+	if len(line) > 0 && (line[0] == ' ' || line[0] == '\t') {
+		toks = append(toks, inheritOwner)
+	}
+	i := 0
+	for i < len(line) {
+		ch := line[i]
+		switch {
+		case ch == ';':
+			return toks, opens, closes, nil
+		case ch == ' ' || ch == '\t':
+			i++
+		case ch == '(':
+			opens++
+			i++
+		case ch == ')':
+			closes++
+			i++
+		case ch == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(line) && line[j] != '"' {
+				if line[j] == '\\' && j+1 < len(line) {
+					j++
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return nil, 0, 0, fmt.Errorf("unterminated quoted string")
+			}
+			toks = append(toks, "\""+sb.String())
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) {
+				c := line[j]
+				if c == ' ' || c == '\t' || c == ';' || c == '(' || c == ')' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks, opens, closes, nil
+}
+
+type parser struct {
+	origin    dnswire.Name
+	ttl       uint32
+	lastOwner dnswire.Name
+	haveOwner bool
+	zone      *Zone
+	// stash holds records added before the SOA established the zone.
+	stash []dnswire.RR
+}
+
+// record consumes the tokens of one logical record or directive.
+func (p *parser) record(toks []string) error {
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[0] == "$ORIGIN" {
+		if len(toks) != 2 {
+			return fmt.Errorf("$ORIGIN needs one argument")
+		}
+		n, err := p.name(toks[1])
+		if err != nil {
+			return err
+		}
+		p.origin = n
+		return nil
+	}
+	if toks[0] == "$TTL" {
+		if len(toks) != 2 {
+			return fmt.Errorf("$TTL needs one argument")
+		}
+		v, err := strconv.ParseUint(toks[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad $TTL %q", toks[1])
+		}
+		p.ttl = uint32(v)
+		return nil
+	}
+
+	// Owner.
+	var owner dnswire.Name
+	rest := toks
+	if toks[0] == inheritOwner {
+		if !p.haveOwner {
+			return fmt.Errorf("record inherits owner but none seen yet")
+		}
+		owner = p.lastOwner
+		rest = toks[1:]
+	} else {
+		n, err := p.name(toks[0])
+		if err != nil {
+			return err
+		}
+		owner = n
+		rest = toks[1:]
+	}
+	p.lastOwner = owner
+	p.haveOwner = true
+
+	// Optional TTL and class, in either order (RFC 1035 allows both).
+	ttl := p.ttl
+	class := dnswire.ClassINET
+	for len(rest) > 0 {
+		tok := rest[0]
+		if v, err := strconv.ParseUint(tok, 10, 32); err == nil {
+			ttl = uint32(v)
+			rest = rest[1:]
+			continue
+		}
+		if tok == "IN" {
+			class = dnswire.ClassINET
+			rest = rest[1:]
+			continue
+		}
+		if tok == "CH" {
+			class = dnswire.ClassCHAOS
+			rest = rest[1:]
+			continue
+		}
+		break
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("record for %s has no type", owner)
+	}
+	typ, err := dnswire.ParseType(rest[0])
+	if err != nil {
+		return err
+	}
+	rdataToks := rest[1:]
+	data, err := p.rdata(typ, rdataToks)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", owner, typ, err)
+	}
+	rr := dnswire.RR{Name: owner, Class: class, TTL: ttl, Data: data}
+
+	if typ == dnswire.TypeSOA {
+		if p.zone != nil {
+			return ErrDupSOA
+		}
+		p.zone = New(owner)
+		if err := p.zone.Add(rr); err != nil {
+			return err
+		}
+		for _, stashed := range p.stash {
+			if err := p.zone.Add(stashed); err != nil {
+				return err
+			}
+		}
+		p.stash = nil
+		return nil
+	}
+	if p.zone == nil {
+		p.stash = append(p.stash, rr)
+		return nil
+	}
+	return p.zone.Add(rr)
+}
+
+// name resolves a presentation name against the current origin.
+func (p *parser) name(tok string) (dnswire.Name, error) {
+	if tok == "@" {
+		return p.origin, nil
+	}
+	if strings.HasSuffix(tok, ".") {
+		return dnswire.ParseName(tok)
+	}
+	rel, err := dnswire.ParseName(tok)
+	if err != nil {
+		return dnswire.Name{}, err
+	}
+	// Append origin labels.
+	full := tok
+	if !p.origin.IsRoot() {
+		full = tok + "." + p.origin.String()
+	}
+	n, err := dnswire.ParseName(full)
+	if err != nil {
+		return dnswire.Name{}, err
+	}
+	_ = rel
+	return n, nil
+}
+
+// rdata parses type-specific presentation data.
+func (p *parser) rdata(typ dnswire.Type, toks []string) (dnswire.RData, error) {
+	need := func(n int) error {
+		if len(toks) != n {
+			return fmt.Errorf("want %d rdata fields, got %d", n, len(toks))
+		}
+		return nil
+	}
+	switch typ {
+	case dnswire.TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(toks[0])
+		if err != nil || !a.Is4() {
+			return nil, fmt.Errorf("bad IPv4 %q", toks[0])
+		}
+		return dnswire.A{Addr: a}, nil
+	case dnswire.TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := netip.ParseAddr(toks[0])
+		if err != nil || !a.Is6() || a.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 %q", toks[0])
+		}
+		return dnswire.AAAA{Addr: a}, nil
+	case dnswire.TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.NS{Host: n}, nil
+	case dnswire.TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.CNAME{Target: n}, nil
+	case dnswire.TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.PTR{Target: n}, nil
+	case dnswire.TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(toks[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", toks[0])
+		}
+		n, err := p.name(toks[1])
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.MX{Preference: uint16(pref), Host: n}, nil
+	case dnswire.TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		mname, err := p.name(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		rname, err := p.name(toks[1])
+		if err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i, tok := range toks[2:] {
+			v, err := strconv.ParseUint(tok, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA number %q", tok)
+			}
+			nums[i] = uint32(v)
+		}
+		return dnswire.SOA{
+			MName: mname, RName: rname,
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}, nil
+	case dnswire.TypeTXT:
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("TXT needs at least one string")
+		}
+		strs := make([]string, len(toks))
+		for i, tok := range toks {
+			strs[i] = strings.TrimPrefix(tok, "\"")
+		}
+		return dnswire.TXT{Strings: strs}, nil
+	default:
+		return nil, fmt.Errorf("unsupported type %s in zone file", typ)
+	}
+}

@@ -1,0 +1,225 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"ritw/internal/dnswire"
+)
+
+const sampleZoneText = `
+; The paper's test zone, as we deploy it per site.
+$ORIGIN ourtestdomain.nl.
+$TTL 3600
+@   IN SOA ns1 hostmaster (
+        2017032301 ; serial
+        7200       ; refresh
+        3600       ; retry
+        604800     ; expire
+        300 )      ; minimum
+    IN NS ns1
+    IN NS ns2.ourtestdomain.nl.
+ns1 IN A    192.0.2.1
+    IN AAAA 2001:db8::1
+ns2 IN A    192.0.2.2
+www      60 IN CNAME ns1
+mail     IN MX 10 ns1
+rev      IN PTR target.ourtestdomain.nl.
+*        5  IN TXT "site=FRA" "deployment=2A"
+`
+
+func parseSample(t *testing.T) *Zone {
+	t.Helper()
+	z, err := ParseString(sampleZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestParseFullZone(t *testing.T) {
+	z := parseSample(t)
+	if !z.Origin().Equal(dnswire.MustParseName("ourtestdomain.nl")) {
+		t.Errorf("origin = %s", z.Origin())
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		t.Fatal("no SOA")
+	}
+	data := soa.Data.(dnswire.SOA)
+	if data.Serial != 2017032301 || data.Minimum != 300 {
+		t.Errorf("SOA = %+v", data)
+	}
+	if !data.MName.Equal(dnswire.MustParseName("ns1.ourtestdomain.nl")) {
+		t.Errorf("SOA MName = %s (relative name resolution broken)", data.MName)
+	}
+	// 1 SOA + 2 NS + 2 A + 1 AAAA + 1 CNAME + 1 MX + 1 PTR + 1 TXT = 10.
+	if got := z.NumRecords(); got != 10 {
+		t.Errorf("NumRecords = %d, want 10\n%s", got, z.String())
+	}
+}
+
+func TestParseOwnerInheritance(t *testing.T) {
+	z := parseSample(t)
+	// "IN AAAA" under ns1 inherits the ns1 owner.
+	res := z.Lookup(dnswire.MustParseName("ns1.ourtestdomain.nl"), dnswire.TypeAAAA)
+	if res.Kind != Success {
+		t.Fatalf("AAAA under inherited owner: %+v", res)
+	}
+	// The apex NS lines inherit "@".
+	res = z.Lookup(z.Origin(), dnswire.TypeNS)
+	if res.Kind != Success || len(res.Records) != 2 {
+		t.Fatalf("apex NS: %+v", res)
+	}
+}
+
+func TestParseExplicitTTLAndQuotedTXT(t *testing.T) {
+	z := parseSample(t)
+	res := z.Lookup(dnswire.MustParseName("www.ourtestdomain.nl"), dnswire.TypeCNAME)
+	if res.Kind != Success || res.Records[0].TTL != 60 {
+		t.Fatalf("www TTL: %+v", res)
+	}
+	res = z.Lookup(dnswire.MustParseName("anything.ourtestdomain.nl"), dnswire.TypeTXT)
+	if res.Kind != Success {
+		t.Fatalf("wildcard TXT: %+v", res)
+	}
+	txt := res.Records[0].Data.(dnswire.TXT)
+	if len(txt.Strings) != 2 || txt.Strings[0] != "site=FRA" || txt.Strings[1] != "deployment=2A" {
+		t.Errorf("TXT strings = %#v", txt.Strings)
+	}
+	if res.Records[0].TTL != 5 {
+		t.Errorf("wildcard TTL = %d, want 5", res.Records[0].TTL)
+	}
+}
+
+func TestParseMXAndPTR(t *testing.T) {
+	z := parseSample(t)
+	res := z.Lookup(dnswire.MustParseName("mail.ourtestdomain.nl"), dnswire.TypeMX)
+	if res.Kind != Success {
+		t.Fatal("MX lookup failed")
+	}
+	mx := res.Records[0].Data.(dnswire.MX)
+	if mx.Preference != 10 || !mx.Host.Equal(dnswire.MustParseName("ns1.ourtestdomain.nl")) {
+		t.Errorf("MX = %+v", mx)
+	}
+	res = z.Lookup(dnswire.MustParseName("rev.ourtestdomain.nl"), dnswire.TypePTR)
+	if res.Kind != Success {
+		t.Fatal("PTR lookup failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no SOA", "$ORIGIN x.nl.\nfoo IN A 192.0.2.1\n"},
+		{"bad A", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nfoo IN A notanip\n"},
+		{"bad AAAA", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nfoo IN AAAA 192.0.2.1\n"},
+		{"bad type", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nfoo IN BOGUS data\n"},
+		{"no type", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nfoo IN\n"},
+		{"bad SOA count", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3\n"},
+		{"bad SOA number", "$ORIGIN x.nl.\n@ IN SOA ns hm one 2 3 4 5\n"},
+		{"dup SOA", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\n@ IN SOA ns hm 1 2 3 4 5\n"},
+		{"unbalanced open", "$ORIGIN x.nl.\n@ IN SOA ns hm (1 2 3 4 5\n"},
+		{"unbalanced close", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5 )\n"},
+		{"inherit without owner", " IN A 192.0.2.1\n"},
+		{"bad origin arg", "$ORIGIN\n"},
+		{"bad ttl arg", "$TTL abc\n@ IN SOA ns hm 1 2 3 4 5\n"},
+		{"unterminated quote", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT \"open\n"},
+		{"bad MX pref", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nm IN MX ten host\n"},
+		{"empty TXT", "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.text, dnswire.Root); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseRecordsBeforeSOAAreStashed(t *testing.T) {
+	text := `$ORIGIN x.nl.
+foo IN A 192.0.2.9
+@ IN SOA ns hm 1 2 3 4 5
+`
+	z, err := ParseString(text, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup(dnswire.MustParseName("foo.x.nl"), dnswire.TypeA)
+	if res.Kind != Success {
+		t.Errorf("stashed record not served: %+v", res)
+	}
+}
+
+func TestParseDefaultOrigin(t *testing.T) {
+	text := "@ IN SOA ns hm 1 2 3 4 5\nfoo IN A 192.0.2.1\n"
+	z, err := ParseString(text, dnswire.MustParseName("fallback.nl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.Origin().Equal(dnswire.MustParseName("fallback.nl")) {
+		t.Errorf("origin = %s", z.Origin())
+	}
+}
+
+func TestParseCommentOnlyAndBlankLines(t *testing.T) {
+	text := `
+; leading comment
+
+$ORIGIN x.nl.
+; another
+@ IN SOA ns hm 1 2 3 4 5
+
+foo IN TXT "v" ; trailing comment
+`
+	z, err := ParseString(text, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup(dnswire.MustParseName("foo.x.nl"), dnswire.TypeTXT)
+	if res.Kind != Success || res.Records[0].Data.(dnswire.TXT).Joined() != "v" {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	text := "$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT \"a\\\"b\"\n"
+	z, err := ParseString(text, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup(dnswire.MustParseName("t.x.nl"), dnswire.TypeTXT)
+	if got := res.Records[0].Data.(dnswire.TXT).Joined(); got != `a"b` {
+		t.Errorf("TXT = %q", got)
+	}
+}
+
+func TestZoneRoundTripThroughString(t *testing.T) {
+	z := parseSample(t)
+	z2, err := ParseString(z.String(), dnswire.Root)
+	if err != nil {
+		t.Fatalf("re-parse of z.String() failed: %v\n%s", err, z.String())
+	}
+	if z2.NumRecords() != z.NumRecords() {
+		t.Errorf("round trip records = %d, want %d", z2.NumRecords(), z.NumRecords())
+	}
+}
+
+func TestParseLongLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("$ORIGIN x.nl.\n@ IN SOA ns hm 1 2 3 4 5\n")
+	sb.WriteString("big IN TXT")
+	for i := 0; i < 200; i++ {
+		sb.WriteString(" \"chunk\"")
+	}
+	sb.WriteString("\n")
+	z, err := ParseString(sb.String(), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup(dnswire.MustParseName("big.x.nl"), dnswire.TypeTXT)
+	if res.Kind != Success || len(res.Records[0].Data.(dnswire.TXT).Strings) != 200 {
+		t.Errorf("long TXT = %+v", res.Kind)
+	}
+}
