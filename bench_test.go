@@ -11,6 +11,7 @@
 package ritw_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -37,7 +38,9 @@ var (
 func datasets(b *testing.B) map[string]*measure.Dataset {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchDS, benchErr = core.RunTable1(benchSeed, core.ScaleSmall)
+		// Shared setup, not a timed section: fan out across cores.
+		benchDS, benchErr = core.RunTable1Context(context.Background(),
+			core.WithSeed(benchSeed), core.WithScale(core.ScaleSmall))
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -45,27 +48,31 @@ func datasets(b *testing.B) map[string]*measure.Dataset {
 	return benchDS
 }
 
-// BenchmarkTable1Combinations measures a full single-combination
-// measurement run (population synthesis + 1 virtual hour of traffic)
-// and reports the Table-1 row: active VPs per run.
+// BenchmarkTable1Combinations measures the full Table-1 batch — all
+// seven combinations, each a population synthesis plus one virtual
+// hour of traffic — through the Runner. The serial and parallel
+// sub-benchmarks differ only in pool width, so their time ratio is the
+// orchestration speedup on this host; the datasets are byte-identical
+// either way (per-seed determinism). Reports the Table-1 row: active
+// VPs per run.
 func BenchmarkTable1Combinations(b *testing.B) {
-	var probes int
-	for i := 0; i < b.N; i++ {
-		combo, err := measure.CombinationByID("2B")
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, extra ...core.Option) {
+		var probes int
+		for i := 0; i < b.N; i++ {
+			opts := append([]core.Option{
+				core.WithSeed(benchSeed + int64(i)),
+				core.WithScale(core.ScaleSmall),
+			}, extra...)
+			dss, err := core.RunTable1Context(context.Background(), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probes = dss["2B"].ActiveProbes
 		}
-		cfg := measure.DefaultRunConfig(combo, benchSeed+int64(i))
-		pc := atlas.DefaultConfig(benchSeed + int64(i))
-		pc.NumProbes = core.ScaleSmall.Probes()
-		cfg.Population = pc
-		ds, err := measure.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		probes = ds.ActiveProbes
+		b.ReportMetric(float64(probes), "VPs")
 	}
-	b.ReportMetric(float64(probes), "VPs")
+	b.Run("serial", func(b *testing.B) { run(b, core.WithParallelism(1)) })
+	b.Run("parallel", func(b *testing.B) { run(b) })
 }
 
 // BenchmarkFigure2ProbeAll regenerates Figure 2 (queries to probe all
@@ -161,20 +168,29 @@ func BenchmarkFigure5RTTSensitivity(b *testing.B) {
 
 // BenchmarkFigure6IntervalSweep regenerates Figure 6: one full 2C
 // measurement per probing interval (2 and 30 minutes here; cmd/ritw
-// runs all six). Reports the EU share to FRA at both cadences.
+// runs all six), fanned out by the Runner in the parallel variant.
+// Reports the EU share to FRA at both cadences.
 func BenchmarkFigure6IntervalSweep(b *testing.B) {
-	var fast, slow float64
-	for i := 0; i < b.N; i++ {
-		dss, err := core.RunIntervalSweep(benchSeed+int64(i), core.ScaleSmall,
-			[]time.Duration{2 * time.Minute, 30 * time.Minute})
-		if err != nil {
-			b.Fatal(err)
+	intervals := []time.Duration{2 * time.Minute, 30 * time.Minute}
+	run := func(b *testing.B, extra ...core.Option) {
+		var fast, slow float64
+		for i := 0; i < b.N; i++ {
+			opts := append([]core.Option{
+				core.WithSeed(benchSeed + int64(i)),
+				core.WithScale(core.ScaleSmall),
+			}, extra...)
+			dss, err := core.RunIntervalSweepContext(context.Background(), intervals, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fast = analysis.SiteShareByContinent(dss[0], "FRA")[geo.Europe]
+			slow = analysis.SiteShareByContinent(dss[1], "FRA")[geo.Europe]
 		}
-		fast = analysis.SiteShareByContinent(dss[0], "FRA")[geo.Europe]
-		slow = analysis.SiteShareByContinent(dss[1], "FRA")[geo.Europe]
+		b.ReportMetric(fast, "EU-FRA@2min")
+		b.ReportMetric(slow, "EU-FRA@30min")
 	}
-	b.ReportMetric(fast, "EU-FRA@2min")
-	b.ReportMetric(slow, "EU-FRA@30min")
+	b.Run("serial", func(b *testing.B) { run(b, core.WithParallelism(1)) })
+	b.Run("parallel", func(b *testing.B) { run(b) })
 }
 
 // BenchmarkFigure7Root regenerates Figure 7 (top): a DITL-style root

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +37,8 @@ func main() {
 	comboID := flag.String("combo", "", "serve the built-in measurement zone for this Table-1 combination")
 	site := flag.String("site", "", "site code for the built-in zone (with -combo)")
 	rrlRate := flag.Float64("rrl", 0, "response rate limit per source in responses/sec (0 = off)")
+	udpWorkers := flag.Int("udp-workers", 0, "concurrent UDP read loops (0 = all cores)")
+	axfrAllow := flag.String("axfr-allow", "", "comma-separated prefixes allowed to AXFR (empty = allow all)")
 	verbose := flag.Bool("v", false, "log every query")
 	flag.Parse()
 
@@ -89,18 +94,63 @@ func main() {
 		}
 	}
 	srv := authserver.NewServer(authserver.NewEngine(cfg))
-	if err := srv.ListenAndServe(*addr); err != nil {
+	srv.UDPWorkers = *udpWorkers
+	if *axfrAllow != "" {
+		allow, err := parseAXFRAllow(*axfrAllow)
+		if err != nil {
+			log.Fatalf("authd: -axfr-allow: %v", err)
+		}
+		srv.AXFRAllow = allow
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServeContext(ctx, *addr); err != nil {
 		log.Fatalf("authd: %v", err)
 	}
 	for _, z := range zones {
 		log.Printf("serving %s (%d records) on %s", z.Origin(), z.NumRecords(), srv.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	log.Printf("shutting down")
-	srv.Close()
+	srv.Close() // idempotent with the context shutdown; waits for handlers
 	st := srv.Engine.Stats()
 	log.Printf("served %d queries (%d CHAOS, %d dropped)", st.Queries, st.Chaos, st.Dropped)
+}
+
+// parseAXFRAllow turns "192.0.2.0/24,2001:db8::/32,10.0.0.1" into a
+// source predicate; a bare address means that one host.
+func parseAXFRAllow(s string) (func(src netip.Addr) bool, error) {
+	var prefixes []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "/") {
+			a, err := netip.ParseAddr(part)
+			if err != nil {
+				return nil, err
+			}
+			prefixes = append(prefixes, netip.PrefixFrom(a, a.BitLen()))
+			continue
+		}
+		p, err := netip.ParsePrefix(part)
+		if err != nil {
+			return nil, err
+		}
+		prefixes = append(prefixes, p.Masked())
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("no prefixes in %q", s)
+	}
+	return func(src netip.Addr) bool {
+		for _, p := range prefixes {
+			if p.Contains(src.Unmap()) {
+				return true
+			}
+		}
+		return false
+	}, nil
 }

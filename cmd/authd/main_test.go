@@ -1,0 +1,33 @@
+package main
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestParseAXFRAllow(t *testing.T) {
+	allow, err := parseAXFRAllow("192.0.2.0/24, 2001:db8::/32,10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]bool{
+		"192.0.2.55":      true,
+		"192.0.3.1":       false,
+		"2001:db8::1":     true,
+		"2001:db9::1":     false,
+		"10.0.0.1":        true,
+		"10.0.0.2":        false,
+		"::ffff:10.0.0.1": true, // 4-in-6 mapped source matches its v4 prefix
+	}
+	for addr, want := range cases {
+		if got := allow(netip.MustParseAddr(addr)); got != want {
+			t.Errorf("allow(%s) = %v, want %v", addr, got, want)
+		}
+	}
+
+	for _, bad := range []string{"", "not-an-addr", "10.0.0.0/33"} {
+		if _, err := parseAXFRAllow(bad); err == nil {
+			t.Errorf("parseAXFRAllow(%q) should fail", bad)
+		}
+	}
+}

@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ritw/internal/atlas"
@@ -37,6 +40,7 @@ var (
 	comboID  = flag.String("combo", "2C", "combination for fig3")
 	outFile  = flag.String("out", "", "also write the dataset CSV here (single-combo commands)")
 	plotDir  = flag.String("plotdir", "", "write SVG figures into this directory")
+	parallel = flag.Int("parallel", 0, "worker-pool width for batch runs (0 = all cores)")
 )
 
 func main() {
@@ -49,7 +53,12 @@ func main() {
 	scale, err := parseScale(*scaleStr)
 	check(err)
 
-	cmds := map[string]func(core.Scale) error{
+	// Ctrl-C abandons in-flight simulation batches cleanly instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmds := map[string]func(context.Context, core.Scale) error{
 		"table1":    cmdTable1,
 		"fig2":      cmdFig2,
 		"fig3":      cmdFig3,
@@ -73,7 +82,7 @@ func main() {
 			"outage", "openres"}
 		for _, n := range order {
 			fmt.Printf("==== %s ====\n", n)
-			check(cmds[n](scale))
+			check(cmds[n](ctx, scale))
 			fmt.Println()
 		}
 		return
@@ -83,7 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ritw: unknown command %q\n", name)
 		os.Exit(2)
 	}
-	check(cmd(scale))
+	check(cmd(ctx, scale))
 }
 
 func parseScale(s string) (core.Scale, error) {
@@ -105,15 +114,17 @@ func check(err error) {
 	}
 }
 
-// runAll executes all seven combinations once and caches the result
-// across subcommands of `ritw all`.
+// runAll executes all seven combinations once — fanned out across
+// cores by the Runner — and caches the result across subcommands of
+// `ritw all`.
 var table1Cache map[string]*measure.Dataset
 
-func allDatasets(scale core.Scale) (map[string]*measure.Dataset, error) {
+func allDatasets(ctx context.Context, scale core.Scale) (map[string]*measure.Dataset, error) {
 	if table1Cache != nil {
 		return table1Cache, nil
 	}
-	ds, err := core.RunTable1(*seed, scale)
+	ds, err := core.RunTable1Context(ctx, core.WithSeed(*seed),
+		core.WithScale(scale), core.WithParallelism(*parallel))
 	if err == nil {
 		table1Cache = ds
 	}
@@ -132,8 +143,8 @@ func maybeWriteOut(ds *measure.Dataset) error {
 	return ds.WriteCSV(f)
 }
 
-func cmdTable1(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdTable1(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -147,8 +158,8 @@ func cmdTable1(scale core.Scale) error {
 	return nil
 }
 
-func cmdFig2(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdFig2(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -163,8 +174,8 @@ func cmdFig2(scale core.Scale) error {
 	return plotFig2(dss)
 }
 
-func cmdFig3(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdFig3(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -186,8 +197,8 @@ func cmdFig3(scale core.Scale) error {
 	return nil
 }
 
-func cmdFig4(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdFig4(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -208,8 +219,8 @@ func cmdFig4(scale core.Scale) error {
 	return plotFig4(dss)
 }
 
-func cmdTable2(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdTable2(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -239,8 +250,8 @@ func cmdTable2(scale core.Scale) error {
 	return nil
 }
 
-func cmdFig5(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdFig5(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -252,9 +263,10 @@ func cmdFig5(scale core.Scale) error {
 	return plotFig5(dss)
 }
 
-func cmdFig6(scale core.Scale) error {
+func cmdFig6(ctx context.Context, scale core.Scale) error {
 	fmt.Println("Figure 6: fraction of queries to FRA (config 2C) vs probing interval")
-	dss, err := core.RunIntervalSweep(*seed, scale, core.Figure6Intervals())
+	dss, err := core.RunIntervalSweepContext(ctx, core.Figure6Intervals(),
+		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel))
 	if err != nil {
 		return err
 	}
@@ -274,7 +286,7 @@ func cmdFig6(scale core.Scale) error {
 	return plotFig6(dss)
 }
 
-func cmdFig7Root(scale core.Scale) error {
+func cmdFig7Root(ctx context.Context, scale core.Scale) error {
 	trace, rb, err := core.RunRootTrace(*seed, scale)
 	if err != nil {
 		return err
@@ -290,7 +302,7 @@ func cmdFig7Root(scale core.Scale) error {
 	return plotFig7("fig7_root.svg", "Root letters: per-recursive rank bands", trace, 250)
 }
 
-func cmdFig7NL(scale core.Scale) error {
+func cmdFig7NL(ctx context.Context, scale core.Scale) error {
 	trace, rb, err := core.RunNLTrace(*seed, scale)
 	if err != nil {
 		return err
@@ -303,8 +315,8 @@ func cmdFig7NL(scale core.Scale) error {
 	return plotFig7("fig7_nl.svg", ".nl: per-recursive rank bands", trace, 125)
 }
 
-func cmdMiddlebox(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdMiddlebox(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -318,7 +330,7 @@ func cmdMiddlebox(scale core.Scale) error {
 	return nil
 }
 
-func cmdIPv6(scale core.Scale) error {
+func cmdIPv6(ctx context.Context, scale core.Scale) error {
 	combo, err := measure.CombinationByID("2B")
 	if err != nil {
 		return err
@@ -327,7 +339,7 @@ func cmdIPv6(scale core.Scale) error {
 		cfg := measure.DefaultRunConfig(combo, *seed+seedOff)
 		cfg.Population.NumProbes = scale.Probes()
 		cfg.IPv6Subset = v6
-		ds, err := measure.Run(cfg)
+		ds, err := measure.RunContext(ctx, cfg)
 		if err != nil {
 			return analysis.PreferenceResult{}, 0, err
 		}
@@ -347,8 +359,8 @@ func cmdIPv6(scale core.Scale) error {
 	return nil
 }
 
-func cmdHardening(scale core.Scale) error {
-	dss, err := allDatasets(scale)
+func cmdHardening(ctx context.Context, scale core.Scale) error {
+	dss, err := allDatasets(ctx, scale)
 	if err != nil {
 		return err
 	}
@@ -361,7 +373,7 @@ func cmdHardening(scale core.Scale) error {
 	return nil
 }
 
-func cmdPlanner(core.Scale) error {
+func cmdPlanner(context.Context, core.Scale) error {
 	fmt.Println("§7 planner: worst-case latency is limited by the least anycast authoritative")
 	cfg := core.DefaultPlannerConfig()
 	reports := []core.Deployment{core.NLCurrent(), core.NLAllAnycast()}
@@ -386,7 +398,7 @@ func cmdPlanner(core.Scale) error {
 
 // cmdOutage injects a 20-minute failure of FRA into 2B and reports the
 // failover behaviour (§7 "Other Considerations").
-func cmdOutage(scale core.Scale) error {
+func cmdOutage(ctx context.Context, scale core.Scale) error {
 	combo, err := measure.CombinationByID("2B")
 	if err != nil {
 		return err
@@ -396,7 +408,7 @@ func cmdOutage(scale core.Scale) error {
 	pc := atlasConfig(scale)
 	cfg.Population = pc
 	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
-	ds, err := measure.Run(cfg)
+	ds, err := measure.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -415,14 +427,14 @@ func cmdOutage(scale core.Scale) error {
 // cmdOpenResolver runs the open-resolver scan variant (the paper's
 // stated future work) and compares its preference bands to the
 // probe-based measurement.
-func cmdOpenResolver(scale core.Scale) error {
+func cmdOpenResolver(ctx context.Context, scale core.Scale) error {
 	combo, err := measure.CombinationByID("2C")
 	if err != nil {
 		return err
 	}
 	cfg := measure.DefaultOpenResolverConfig(combo, *seed)
 	cfg.NumResolvers = scale.Probes() / 4
-	ds, err := measure.RunOpenResolvers(cfg)
+	ds, err := measure.RunOpenResolversContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

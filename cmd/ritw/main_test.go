@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"ritw/internal/core"
@@ -27,7 +28,7 @@ func TestCommandTableCoversAll(t *testing.T) {
 	// The "all" ordering must reference only registered commands, and
 	// every registered command should be reachable from "all" except
 	// none (keep them in sync when adding subcommands).
-	cmds := map[string]func(core.Scale) error{
+	cmds := map[string]func(context.Context, core.Scale) error{
 		"table1": cmdTable1, "fig2": cmdFig2, "fig3": cmdFig3,
 		"fig4": cmdFig4, "table2": cmdTable2, "fig5": cmdFig5,
 		"fig6": cmdFig6, "fig7root": cmdFig7Root, "fig7nl": cmdFig7NL,

@@ -39,7 +39,10 @@ type Stats struct {
 
 // Config assembles an Engine.
 type Config struct {
-	// Zones this server is authoritative for.
+	// Zones this server is authoritative for. The zones must not be
+	// mutated once the engine serves: answer construction reads them
+	// without locking so concurrent UDP workers can resolve in
+	// parallel.
 	Zones []*zone.Zone
 	// Identity is the site identity string answered for CHAOS
 	// hostname.bind / id.server queries (e.g. "fra1.ourtestdomain.nl").
@@ -109,32 +112,54 @@ func (e *Engine) Identity() string { return e.cfg.Identity }
 // (garbage, or a response packet — servers never answer responses).
 // maxUDP is the size limit for the response (0 means the classic 512);
 // responses that do not fit are truncated with TC set.
+//
+// It allocates a fresh response per call; hot paths that can recycle
+// buffers (the socket server's pooled workers, the simulator binding)
+// use AppendQuery instead.
 func (e *Engine) HandleQuery(src netip.Addr, payload []byte, maxUDP int) []byte {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	query, err := dnswire.Unpack(payload)
-	if err != nil || query.Response {
-		e.stats.Dropped++
+	out := e.AppendQuery(nil, src, payload, maxUDP)
+	if len(out) == 0 {
 		return nil
 	}
-	e.stats.Queries++
+	return out
+}
+
+// AppendQuery is the allocation-free form of HandleQuery: the response
+// is appended to dst (typically a pooled buffer sliced to length zero)
+// and the extended slice returned. A dropped query returns dst
+// unchanged, so callers detect output with len(out) > len(dst).
+//
+// Parsing, zone lookup and wire encoding run outside the engine lock —
+// zones are immutable while serving — so N socket workers resolve
+// concurrently; only counters, the instrumentation callbacks and the
+// rate limiter share a short critical section, keeping OnQuery and
+// OnNotify serialized as their users expect.
+func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP int) []byte {
+	query, err := dnswire.Unpack(payload)
+	if err != nil || query.Response {
+		e.mu.Lock()
+		e.stats.Dropped++
+		e.mu.Unlock()
+		return dst
+	}
 
 	resp, err := dnswire.NewResponse(query)
 	if err != nil {
 		// No question: FORMERR with a bare header.
+		e.mu.Lock()
+		e.stats.Queries++
 		e.stats.Dropped++
+		e.mu.Unlock()
 		bare := &dnswire.Message{Header: dnswire.Header{
 			ID: query.ID, Response: true, Opcode: query.Opcode, RCode: dnswire.RCodeFormErr,
 		}}
-		wire, err := bare.Pack()
+		out, err := bare.AppendPack(dst)
 		if err != nil {
-			return nil
+			return dst
 		}
-		return wire
+		return out
 	}
 	q := resp.Questions[0]
-	e.stats.ByType[q.Type]++
 
 	// Respect the client's EDNS0 advertised size.
 	if opt, ok := query.OPT(); ok {
@@ -147,59 +172,81 @@ func (e *Engine) HandleQuery(src netip.Addr, payload []byte, maxUDP int) []byte 
 		maxUDP = dnswire.MaxUDPSize
 	}
 
+	notify := query.Opcode == dnswire.OpcodeNotify && e.cfg.OnNotify != nil
+	servedChaos := false
 	switch {
-	case query.Opcode == dnswire.OpcodeNotify && e.cfg.OnNotify != nil:
-		// Acknowledge and hand off to the refresh trigger (RFC 1996).
+	case notify:
+		// Acknowledge; the refresh trigger fires under the lock below
+		// (RFC 1996).
 		resp.Authoritative = true
-		e.cfg.OnNotify(q.Name, src)
 	case query.Opcode != dnswire.OpcodeQuery:
 		resp.RCode = dnswire.RCodeNotImp
 	case q.Class == dnswire.ClassCHAOS:
-		e.answerChaos(resp, q)
+		servedChaos = e.answerChaos(resp, q)
 	default:
 		e.answerAuthoritative(resp, q)
 	}
 
+	action := rrlSend
+	e.mu.Lock()
+	e.stats.Queries++
+	e.stats.ByType[q.Type]++
+	if servedChaos {
+		e.stats.Chaos++
+	}
 	e.stats.ByRCode[resp.RCode]++
+	if notify {
+		e.cfg.OnNotify(q.Name, src)
+	}
 	if e.cfg.OnQuery != nil {
 		e.cfg.OnQuery(QueryInfo{Src: src, Question: q, RCode: resp.RCode})
 	}
-
 	if e.rrl != nil {
-		switch e.rrl.check(src, e.cfg.Now()) {
-		case rrlDrop:
+		action = e.rrl.check(src, e.cfg.Now())
+		if action != rrlSend {
 			e.stats.RateLimited++
-			return nil
-		case rrlSlip:
-			e.stats.RateLimited++
-			if wire := slipResponse(query); wire != nil {
-				e.stats.Responses++
-				return wire
-			}
-			return nil
 		}
 	}
+	e.mu.Unlock()
 
-	wire, err := resp.Pack()
+	switch action {
+	case rrlDrop:
+		return dst
+	case rrlSlip:
+		if out := appendSlip(dst, query); len(out) > len(dst) {
+			e.countResponse()
+			return out
+		}
+		return dst
+	}
+
+	out, err := resp.AppendPack(dst)
 	if err != nil {
-		return nil
+		return dst
 	}
-	if len(wire) > maxUDP {
-		wire = e.truncate(resp, maxUDP)
+	if len(out)-len(dst) > maxUDP {
+		out = appendTruncate(dst, resp, maxUDP)
 	}
-	if wire != nil {
-		e.stats.Responses++
+	if len(out) > len(dst) {
+		e.countResponse()
 	}
-	return wire
+	return out
 }
 
-// answerChaos serves hostname.bind / id.server from the site identity.
+// countResponse bumps the response counter once a reply is emitted.
+func (e *Engine) countResponse() {
+	e.mu.Lock()
+	e.stats.Responses++
+	e.mu.Unlock()
+}
+
+// answerChaos serves hostname.bind / id.server from the site identity
+// and reports whether it did (the caller counts it under the lock).
 // The paper's measurement deliberately avoids CHAOS (a recursive
 // answers it itself); we serve it so the contrast is demonstrable.
-func (e *Engine) answerChaos(resp *dnswire.Message, q dnswire.Question) {
+func (e *Engine) answerChaos(resp *dnswire.Message, q dnswire.Question) bool {
 	name := q.Name.Key()
 	if q.Type == dnswire.TypeTXT && (name == "hostname.bind." || name == "id.server.") && e.cfg.Identity != "" {
-		e.stats.Chaos++
 		resp.Authoritative = true
 		resp.Answers = []dnswire.RR{{
 			Name:  q.Name,
@@ -207,9 +254,10 @@ func (e *Engine) answerChaos(resp *dnswire.Message, q dnswire.Question) {
 			TTL:   0,
 			Data:  dnswire.TXT{Strings: []string{e.cfg.Identity}},
 		}}
-		return
+		return true
 	}
 	resp.RCode = dnswire.RCodeRefused
+	return false
 }
 
 // answerAuthoritative resolves an Internet-class question against the
@@ -239,9 +287,8 @@ func (e *Engine) answerAuthoritative(resp *dnswire.Message, q dnswire.Question) 
 
 // Zone returns the configured zone whose origin is the longest suffix
 // of qname, for callers that need direct zone access (zone transfer).
+// Zones are immutable while serving, so no lock is needed.
 func (e *Engine) Zone(qname dnswire.Name) (*zone.Zone, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	z := e.zoneFor(qname)
 	return z, z != nil
 }
@@ -278,18 +325,19 @@ func (e *Engine) addGlue(resp *dnswire.Message, z *zone.Zone) {
 	}
 }
 
-// truncate rebuilds the response with TC set and sections emptied
-// until it fits maxUDP, per RFC 2181 §9.
-func (e *Engine) truncate(resp *dnswire.Message, maxUDP int) []byte {
+// appendTruncate rebuilds the response at the end of dst with TC set
+// and sections emptied until it fits maxUDP, per RFC 2181 §9. It
+// returns dst unchanged when nothing fits (the reply is dropped).
+func appendTruncate(dst []byte, resp *dnswire.Message, maxUDP int) []byte {
 	resp.Truncated = true
 	resp.Additional = nil
 	for {
-		wire, err := resp.Pack()
+		out, err := resp.AppendPack(dst)
 		if err != nil {
-			return nil
+			return dst
 		}
-		if len(wire) <= maxUDP {
-			return wire
+		if len(out)-len(dst) <= maxUDP {
+			return out
 		}
 		switch {
 		case len(resp.Answers) > 0:
@@ -297,7 +345,7 @@ func (e *Engine) truncate(resp *dnswire.Message, maxUDP int) []byte {
 		case len(resp.Authority) > 0:
 			resp.Authority = resp.Authority[:len(resp.Authority)-1]
 		default:
-			return wire[:0] // cannot shrink further; drop
+			return dst // cannot shrink further; drop
 		}
 	}
 }

@@ -341,6 +341,30 @@ func BenchmarkHandleWildcardTXT(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendQueryWildcardTXT is the pooled hot path the UDP
+// workers and the simulator binding run: the response is encoded into
+// the caller's reused buffer, so compare against HandleQuery above to
+// see what dropping the per-response output allocations saves (query
+// parsing and answer construction still allocate).
+func BenchmarkAppendQueryWildcardTXT(b *testing.B) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(Config{Zones: []*zone.Zone{z}, Identity: "fra1"})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("bench.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	buf := make([]byte, 0, udpReadSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.AppendQuery(buf[:0], clientAddr, wire, 0)
+		if len(buf) == 0 {
+			b.Fatal("dropped")
+		}
+	}
+}
+
 func TestNotifyHandoff(t *testing.T) {
 	z, err := zone.ParseString(testZoneText, dnswire.Root)
 	if err != nil {

@@ -94,16 +94,17 @@ func (r *rrlState) check(src netip.Addr, now time.Duration) rrlAction {
 	return rrlDrop
 }
 
-// slipResponse builds the minimal truncated reply sent on slip.
-func slipResponse(query *dnswire.Message) []byte {
+// appendSlip appends the minimal truncated reply sent on slip to dst;
+// dst is returned unchanged when the reply cannot be built.
+func appendSlip(dst []byte, query *dnswire.Message) []byte {
 	resp, err := dnswire.NewResponse(query)
 	if err != nil {
-		return nil
+		return dst
 	}
 	resp.Truncated = true
-	wire, err := resp.Pack()
+	out, err := resp.AppendPack(dst)
 	if err != nil {
-		return nil
+		return dst
 	}
-	return wire
+	return out
 }

@@ -1,12 +1,14 @@
 package authserver
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -14,12 +16,25 @@ import (
 	"ritw/internal/dnswire"
 )
 
+// udpReadSize is the per-worker UDP receive buffer: the largest
+// payload EDNS0 can advertise.
+const udpReadSize = 65535
+
 // Server runs an Engine on real UDP and TCP sockets (cmd/authd). TCP
 // uses the RFC 1035 two-byte length framing.
 type Server struct {
 	Engine *Engine
 	// ReadTimeout bounds TCP connection idle time (default 10s).
 	ReadTimeout time.Duration
+	// UDPWorkers is the number of concurrent UDP read loops sharing
+	// the socket (default GOMAXPROCS). Each worker owns its receive
+	// buffer and draws response buffers from a shared pool, so the
+	// steady-state serving path does not allocate.
+	UDPWorkers int
+	// AXFRAllow decides per source address whether zone transfers are
+	// served; nil allows all (the historical behaviour). Refused
+	// sources get RCode REFUSED, like an unconfigured secondary.
+	AXFRAllow func(src netip.Addr) bool
 
 	mu       sync.Mutex
 	udpConn  *net.UDPConn
@@ -27,21 +42,36 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 	tcpConns map[net.Conn]struct{}
+
+	respBufs sync.Pool // response scratch: *[]byte with cap >= udpReadSize
 }
 
 // NewServer wraps an engine for socket service.
 func NewServer(engine *Engine) *Server {
-	return &Server{
+	s := &Server{
 		Engine:      engine,
 		ReadTimeout: 10 * time.Second,
 		tcpConns:    make(map[net.Conn]struct{}),
 	}
+	s.respBufs.New = func() any {
+		b := make([]byte, 0, udpReadSize)
+		return &b
+	}
+	return s
 }
 
 // ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:5353") and
-// serves until Close. It returns once both listeners are active; serving
-// continues on background goroutines.
+// serves until Close. It returns once both listeners are active;
+// serving continues on background goroutines. It is the context-free
+// wrapper around ListenAndServeContext.
 func (s *Server) ListenAndServe(addr string) error {
+	return s.ListenAndServeContext(context.Background(), addr)
+}
+
+// ListenAndServeContext is ListenAndServe tied to a context: when ctx
+// is cancelled the server shuts down as if Close had been called, so
+// daemons stop serving on SIGTERM without racing their own listeners.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("authserver: resolve %q: %w", addr, err)
@@ -72,9 +102,22 @@ func (s *Server) ListenAndServe(addr string) error {
 	s.tcpLn = tcpLn
 	s.mu.Unlock()
 
-	s.wg.Add(2)
-	go s.serveUDP(udpConn)
+	workers := s.UDPWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.wg.Add(workers + 1)
+	for i := 0; i < workers; i++ {
+		go s.serveUDP(udpConn)
+	}
 	go s.serveTCP(tcpLn)
+
+	if done := ctx.Done(); done != nil {
+		go func() {
+			<-done
+			s.Close()
+		}()
+	}
 	return nil
 }
 
@@ -88,7 +131,8 @@ func (s *Server) Addr() net.Addr {
 	return s.udpConn.LocalAddr()
 }
 
-// Close stops the listeners and waits for handler goroutines.
+// Close stops the listeners and waits for handler goroutines. It is
+// idempotent and safe to call concurrently.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -106,9 +150,15 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// serveUDP is one worker's read loop. Several run concurrently over
+// the same socket; the kernel distributes datagrams between their
+// blocked reads. The receive buffer is owned by the worker and the
+// response is encoded into a pooled buffer via the engine's
+// append-style path, so a served query performs no per-query heap
+// allocation.
 func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
-	buf := make([]byte, 65535)
+	buf := make([]byte, udpReadSize)
 	for {
 		n, raddr, err := conn.ReadFromUDP(buf)
 		if err != nil {
@@ -118,10 +168,13 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 		if !ok {
 			continue
 		}
-		resp := s.Engine.HandleQuery(src.Unmap(), buf[:n], 0)
+		respp := s.respBufs.Get().(*[]byte)
+		resp := s.Engine.AppendQuery((*respp)[:0], src.Unmap(), buf[:n], 0)
 		if len(resp) > 0 {
 			conn.WriteToUDP(resp, raddr)
 		}
+		*respp = resp[:0]
+		s.respBufs.Put(respp)
 	}
 }
 
@@ -157,13 +210,15 @@ func (s *Server) maybeServeAXFR(conn net.Conn, src netip.Addr, payload []byte) (
 	if !ok || question.Type != dnswire.TypeAXFR {
 		return false, nil
 	}
-	_ = src
-	z, ok := s.Engine.Zone(question.Name)
+	// A denied source or an unknown zone both get REFUSED, like an
+	// unconfigured secondary asking a stranger for a transfer.
 	var msgs []*dnswire.Message
-	if ok {
-		msgs, err = axfr.ServeMessages(q, z)
+	if s.AXFRAllow == nil || s.AXFRAllow(src) {
+		if z, ok := s.Engine.Zone(question.Name); ok {
+			msgs, err = axfr.ServeMessages(q, z)
+		}
 	}
-	if !ok || err != nil {
+	if msgs == nil || err != nil {
 		refused, rerr := dnswire.NewResponse(q)
 		if rerr != nil {
 			return true, rerr
@@ -190,7 +245,12 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	}
 	for {
 		if s.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+			// A failed deadline means the connection is already dead or
+			// closing; without the deadline a stalled peer would pin the
+			// handler goroutine forever, so drop the connection instead.
+			if err := conn.SetReadDeadline(time.Now().Add(s.ReadTimeout)); err != nil {
+				return
+			}
 		}
 		var lenBuf [2]byte
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -211,16 +271,23 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 			}
 			continue
 		}
-		// TCP responses are not size-limited (use 64 KiB).
-		resp := s.Engine.HandleQuery(src, msg, 65535)
-		if len(resp) == 0 {
+		// TCP responses are not size-limited (use 64 KiB). The length
+		// prefix and the message share one pooled buffer so the reply
+		// goes out in a single write without a copy.
+		respp := s.respBufs.Get().(*[]byte)
+		out := s.Engine.AppendQuery(append((*respp)[:0], 0, 0), src, msg, 65535)
+		ok := len(out) > 2
+		if ok {
+			binary.BigEndian.PutUint16(out, uint16(len(out)-2))
+			_, err := conn.Write(out)
+			*respp = out[:0]
+			s.respBufs.Put(respp)
+			if err != nil {
+				return
+			}
 			continue
 		}
-		out := make([]byte, 2+len(resp))
-		binary.BigEndian.PutUint16(out, uint16(len(resp)))
-		copy(out[2:], resp)
-		if _, err := conn.Write(out); err != nil {
-			return
-		}
+		*respp = out[:0]
+		s.respBufs.Put(respp)
 	}
 }

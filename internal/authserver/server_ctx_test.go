@@ -1,0 +1,208 @@
+package authserver
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// newTestServer builds an unstarted server over the shared test zone.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(NewEngine(Config{
+		Zones:    []*zone.Zone{z},
+		Identity: "fra1.ourtestdomain.nl",
+	}))
+}
+
+// TestListenAndServeContextShutdown: cancelling the serve context must
+// stop the listeners like an explicit Close.
+func TestListenAndServeContextShutdown(t *testing.T) {
+	srv := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := srv.ListenAndServeContext(ctx, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	// Serving before cancellation.
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(7, dnswire.MustParseName("ctx-probe.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	conn.Write(wire)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("pre-cancel query failed: %v", err)
+	}
+
+	cancel()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		conn2, err := net.Dial("udp", addr)
+		if err != nil {
+			break
+		}
+		conn2.Write(wire)
+		conn2.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		_, err = conn2.Read(buf)
+		conn2.Close()
+		if err != nil {
+			break // no longer answering
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still answering 3s after context cancellation")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Close after ctx-shutdown must stay safe.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// axfrOverTCP sends one AXFR query and returns the first framed
+// response message.
+func axfrOverTCP(t *testing.T, addr string) *dnswire.Message {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := &dnswire.Message{
+		Header:    dnswire.Header{ID: 99},
+		Questions: []dnswire.Question{{Name: dnswire.MustParseName("ourtestdomain.nl"), Type: dnswire.TypeAXFR, Class: dnswire.ClassINET}},
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	respBuf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, respBuf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(respBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAXFRAllowPredicate: a deny-all predicate refuses transfers, the
+// nil default and an allow predicate serve them.
+func TestAXFRAllowPredicate(t *testing.T) {
+	srv := newTestServer(t)
+	srv.AXFRAllow = func(src netip.Addr) bool { return false }
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if resp := axfrOverTCP(t, srv.Addr().String()); resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("denied AXFR rcode = %s, want REFUSED", resp.RCode)
+	}
+
+	srv2 := newTestServer(t)
+	srv2.AXFRAllow = func(src netip.Addr) bool { return src.IsLoopback() }
+	if err := srv2.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp := axfrOverTCP(t, srv2.Addr().String())
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+		t.Errorf("allowed AXFR rcode = %s answers = %d, want transfer", resp.RCode, len(resp.Answers))
+	}
+	if _, ok := resp.Answers[0].Data.(dnswire.SOA); !ok {
+		t.Errorf("transfer should open with SOA, got %T", resp.Answers[0].Data)
+	}
+}
+
+// TestUDPWorkersConcurrentLoad hammers the pooled multi-worker UDP
+// path from many clients at once; under -race this doubles as the
+// concurrency check for the engine's split locking.
+func TestUDPWorkersConcurrentLoad(t *testing.T) {
+	srv := newTestServer(t)
+	srv.UDPWorkers = 4
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for i := 0; i < perClient; i++ {
+				id := uint16(c*perClient + i)
+				q := dnswire.NewQuery(id, dnswire.MustParseName("load.ourtestdomain.nl"), dnswire.TypeTXT)
+				wire, _ := q.Pack()
+				if _, err := conn.Write(wire); err != nil {
+					errs <- err
+					return
+				}
+				conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+				n, err := conn.Read(buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := dnswire.Unpack(buf[:n])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.ID != id {
+					t.Errorf("client %d: response ID %d, want %d", c, resp.ID, id)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Engine.Stats()
+	if st.Queries < clients*perClient {
+		t.Errorf("queries = %d, want >= %d", st.Queries, clients*perClient)
+	}
+}

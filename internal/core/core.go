@@ -7,11 +7,10 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"ritw/internal/analysis"
-	"ritw/internal/atlas"
 	"ritw/internal/ditl"
 	"ritw/internal/measure"
 )
@@ -45,30 +44,22 @@ func (s Scale) Probes() int {
 
 // RunCombination executes the paper's standard measurement (1 hour,
 // 2-minute probing) for the named Table-1 combination.
+//
+// It is the context-free positional wrapper kept for existing callers;
+// new code should use RunCombinationContext with options.
 func RunCombination(comboID string, seed int64, scale Scale) (*measure.Dataset, error) {
-	combo, err := measure.CombinationByID(comboID)
-	if err != nil {
-		return nil, err
-	}
-	cfg := measure.DefaultRunConfig(combo, seed)
-	pc := atlas.DefaultConfig(seed)
-	pc.NumProbes = scale.Probes()
-	cfg.Population = pc
-	return measure.Run(cfg)
+	return RunCombinationContext(context.Background(), comboID, WithSeed(seed), WithScale(scale))
 }
 
 // RunTable1 executes all seven Table-1 combinations and returns their
-// datasets keyed by combination ID.
+// datasets keyed by combination ID. Combination i runs at seed+i, so
+// results are identical to the historical serial implementation; runs
+// are fanned out across cores by the Runner.
+//
+// It is the context-free positional wrapper kept for existing callers;
+// new code should use RunTable1Context with options.
 func RunTable1(seed int64, scale Scale) (map[string]*measure.Dataset, error) {
-	out := make(map[string]*measure.Dataset, 7)
-	for i, combo := range measure.Table1() {
-		ds, err := RunCombination(combo.ID, seed+int64(i), scale)
-		if err != nil {
-			return nil, fmt.Errorf("core: combination %s: %w", combo.ID, err)
-		}
-		out[combo.ID] = ds
-	}
-	return out, nil
+	return RunTable1Context(context.Background(), WithSeed(seed), WithScale(scale))
 }
 
 // Figure6Intervals are the probing intervals of the paper's Figure 6.
@@ -80,26 +71,14 @@ func Figure6Intervals() []time.Duration {
 }
 
 // RunIntervalSweep re-runs combination 2C at each probing interval
-// (Figure 6) and returns the datasets in interval order.
+// (Figure 6) and returns the datasets in interval order. Interval i
+// runs at seed+i, so results are identical to the historical serial
+// implementation; runs are fanned out across cores by the Runner.
+//
+// It is the context-free positional wrapper kept for existing callers;
+// new code should use RunIntervalSweepContext with options.
 func RunIntervalSweep(seed int64, scale Scale, intervals []time.Duration) ([]*measure.Dataset, error) {
-	combo, err := measure.CombinationByID("2C")
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*measure.Dataset, 0, len(intervals))
-	for i, ivl := range intervals {
-		cfg := measure.DefaultRunConfig(combo, seed+int64(i))
-		pc := atlas.DefaultConfig(seed + int64(i))
-		pc.NumProbes = scale.Probes()
-		cfg.Population = pc
-		cfg.Interval = ivl
-		ds, err := measure.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: interval %v: %w", ivl, err)
-		}
-		out = append(out, ds)
-	}
-	return out, nil
+	return RunIntervalSweepContext(context.Background(), intervals, WithSeed(seed), WithScale(scale))
 }
 
 // RunRootTrace synthesizes the DITL-style root capture (Figure 7 top)

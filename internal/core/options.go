@@ -1,0 +1,104 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/measure"
+)
+
+// RunOpts is the shared configuration surface of every experiment
+// entry point: single combinations, the Table-1 batch, the Figure-6
+// interval sweep, ablation grids and bootstrap replicates all read
+// the same knobs. Construct it with NewRunOpts and the With* options;
+// the zero value of each field means "use the paper's default".
+type RunOpts struct {
+	// Seed drives all randomness. Batch entry points derive per-run
+	// seeds from it (run i gets Seed+i), so one seed pins an entire
+	// grid.
+	Seed int64
+	// Scale selects the probe population size (default ScaleSmall).
+	Scale Scale
+	// Probes overrides Scale's probe count when positive.
+	Probes int
+	// Parallelism bounds how many independent runs execute
+	// concurrently (default GOMAXPROCS). It affects wall-clock time
+	// only, never results: each run is deterministic in its seed.
+	Parallelism int
+	// Interval overrides the probing cadence (default: the paper's
+	// 2 minutes, via measure.DefaultRunConfig).
+	Interval time.Duration
+}
+
+// Option mutates RunOpts; the With* constructors below are the public
+// vocabulary.
+type Option func(*RunOpts)
+
+// NewRunOpts applies opts over the defaults (seed 0, ScaleSmall,
+// paper probing cadence, GOMAXPROCS-wide parallelism).
+func NewRunOpts(opts ...Option) RunOpts {
+	var o RunOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithSeed pins the run's randomness.
+func WithSeed(seed int64) Option {
+	return func(o *RunOpts) { o.Seed = seed }
+}
+
+// WithScale selects the probe population size.
+func WithScale(s Scale) Option {
+	return func(o *RunOpts) { o.Scale = s }
+}
+
+// WithProbes overrides the scale's probe count exactly; n <= 0 keeps
+// the scale's default.
+func WithProbes(n int) Option {
+	return func(o *RunOpts) { o.Probes = n }
+}
+
+// WithParallelism bounds concurrent runs in batch entry points; n <= 0
+// restores the GOMAXPROCS default.
+func WithParallelism(n int) Option {
+	return func(o *RunOpts) { o.Parallelism = n }
+}
+
+// WithInterval overrides the probing cadence of every run (the
+// interval sweep sets per-run intervals itself and ignores this).
+func WithInterval(d time.Duration) Option {
+	return func(o *RunOpts) { o.Interval = d }
+}
+
+// probes resolves the effective probe count.
+func (o RunOpts) probes() int {
+	if o.Probes > 0 {
+		return o.Probes
+	}
+	return o.Scale.Probes()
+}
+
+// parallelism resolves the effective worker count.
+func (o RunOpts) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runConfig builds the measure.RunConfig for one run of combo at
+// seed offset off (batch entry points space runs by their index).
+func (o RunOpts) runConfig(combo measure.Combination, off int64) measure.RunConfig {
+	seed := o.Seed + off
+	cfg := measure.DefaultRunConfig(combo, seed)
+	pc := atlas.DefaultConfig(seed)
+	pc.NumProbes = o.probes()
+	cfg.Population = pc
+	if o.Interval > 0 {
+		cfg.Interval = o.Interval
+	}
+	return cfg
+}

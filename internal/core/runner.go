@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ritw/internal/measure"
+)
+
+// Job is one independent simulation run inside a batch: a Table-1
+// combination, one interval of the Figure-6 sweep, one cell of an
+// ablation grid, or one bootstrap replicate. Jobs must be independent
+// — each owns its simulator, RNGs and dataset — which is what makes
+// fanning them out across cores safe and bit-for-bit reproducible.
+type Job struct {
+	// Name labels the job in errors ("2C", "interval 30m0s", ...).
+	Name string
+	// Run executes the job. It must honour ctx cancellation.
+	Run func(ctx context.Context) (*measure.Dataset, error)
+}
+
+// Runner executes batches of independent measurement runs on a
+// bounded worker pool. Every batch entry point in this package
+// (Table-1, the interval sweep, replicate grids) is built on it, so
+// `ritw all` and the benchmarks saturate the machine instead of
+// walking seven virtual hours one after another.
+//
+// Results never depend on the pool width: each run is seeded
+// independently and simulated in its own virtual timeline, so the
+// dataset for a given seed is byte-identical at parallelism 1 and N.
+type Runner struct {
+	// Parallelism is the worker-pool width (<= 0 means GOMAXPROCS).
+	Parallelism int
+}
+
+// NewRunner builds a Runner from the shared options surface; only
+// WithParallelism is consulted.
+func NewRunner(opts ...Option) *Runner {
+	return &Runner{Parallelism: NewRunOpts(opts...).parallelism()}
+}
+
+// RunJobs executes the jobs with at most Parallelism in flight and
+// returns their datasets in job order. The first failure cancels the
+// remaining jobs and is returned wrapped with the job's name; a
+// cancelled ctx surfaces as ctx.Err().
+func (r *Runner) RunJobs(ctx context.Context, jobs []Job) ([]*measure.Dataset, error) {
+	return runJobs(ctx, r.Parallelism, jobs)
+}
+
+// runJobs is the pool core shared by Runner and the batch helpers.
+func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Dataset, error) {
+	if parallelism <= 0 {
+		parallelism = NewRunOpts().parallelism()
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		out      = make([]*measure.Dataset, len(jobs))
+		next     = make(chan int)
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // abandon the rest of the batch
+		})
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ds, err := jobs[i].Run(ctx)
+				if err != nil {
+					if ctx.Err() != nil {
+						fail(ctx.Err())
+					} else {
+						fail(fmt.Errorf("core: %s: %w", jobs[i].Name, err))
+					}
+					continue
+				}
+				out[i] = ds
+			}
+		}()
+	}
+	for i := range jobs {
+		if ctx.Err() != nil {
+			break // a job failed; stop feeding the pool
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// parallelismFor resolves the batch's pool width: a WithParallelism
+// passed to the call wins, otherwise the Runner's own setting.
+func (r *Runner) parallelismFor(o RunOpts) int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return r.Parallelism
+}
+
+// Combination runs one Table-1 combination under the shared options.
+func (r *Runner) Combination(ctx context.Context, comboID string, opts ...Option) (*measure.Dataset, error) {
+	o := NewRunOpts(opts...)
+	combo, err := measure.CombinationByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	return measure.RunContext(ctx, o.runConfig(combo, 0))
+}
+
+// Table1 executes all seven Table-1 combinations concurrently and
+// returns their datasets keyed by combination ID. Combination i runs
+// at seed Seed+i, matching the serial API of earlier versions.
+func (r *Runner) Table1(ctx context.Context, opts ...Option) (map[string]*measure.Dataset, error) {
+	o := NewRunOpts(opts...)
+	combos := measure.Table1()
+	jobs := make([]Job, len(combos))
+	for i, combo := range combos {
+		cfg := o.runConfig(combo, int64(i))
+		jobs[i] = Job{Name: "combination " + combo.ID, Run: func(ctx context.Context) (*measure.Dataset, error) {
+			return measure.RunContext(ctx, cfg)
+		}}
+	}
+	dss, err := runJobs(ctx, r.parallelismFor(o), jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*measure.Dataset, len(combos))
+	for i, combo := range combos {
+		out[combo.ID] = dss[i]
+	}
+	return out, nil
+}
+
+// IntervalSweep re-runs combination 2C at each probing interval
+// (Figure 6) concurrently and returns the datasets in interval order.
+// Interval i runs at seed Seed+i, matching the serial API of earlier
+// versions.
+func (r *Runner) IntervalSweep(ctx context.Context, intervals []time.Duration, opts ...Option) ([]*measure.Dataset, error) {
+	o := NewRunOpts(opts...)
+	combo, err := measure.CombinationByID("2C")
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, len(intervals))
+	for i, ivl := range intervals {
+		cfg := o.runConfig(combo, int64(i))
+		cfg.Interval = ivl
+		jobs[i] = Job{Name: fmt.Sprintf("interval %v", ivl), Run: func(ctx context.Context) (*measure.Dataset, error) {
+			return measure.RunContext(ctx, cfg)
+		}}
+	}
+	return runJobs(ctx, r.parallelismFor(o), jobs)
+}
+
+// Replicates runs the same combination n times at seeds Seed..Seed+n-1
+// — the fan-out behind bootstrap confidence intervals and variance
+// studies — and returns the datasets in seed order.
+func (r *Runner) Replicates(ctx context.Context, comboID string, n int, opts ...Option) ([]*measure.Dataset, error) {
+	o := NewRunOpts(opts...)
+	combo, err := measure.CombinationByID(comboID)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		cfg := o.runConfig(combo, int64(i))
+		jobs[i] = Job{Name: fmt.Sprintf("%s replicate %d", comboID, i), Run: func(ctx context.Context) (*measure.Dataset, error) {
+			return measure.RunContext(ctx, cfg)
+		}}
+	}
+	return runJobs(ctx, r.parallelismFor(o), jobs)
+}
+
+// RunCombinationContext executes the paper's standard measurement for
+// the named Table-1 combination under the options surface.
+func RunCombinationContext(ctx context.Context, comboID string, opts ...Option) (*measure.Dataset, error) {
+	return NewRunner(opts...).Combination(ctx, comboID, opts...)
+}
+
+// RunTable1Context executes all seven Table-1 combinations, fanned out
+// across cores, and returns their datasets keyed by combination ID.
+func RunTable1Context(ctx context.Context, opts ...Option) (map[string]*measure.Dataset, error) {
+	return NewRunner(opts...).Table1(ctx, opts...)
+}
+
+// RunIntervalSweepContext runs the Figure-6 interval sweep, fanned out
+// across cores, and returns the datasets in interval order.
+func RunIntervalSweepContext(ctx context.Context, intervals []time.Duration, opts ...Option) ([]*measure.Dataset, error) {
+	return NewRunner(opts...).IntervalSweep(ctx, intervals, opts...)
+}

@@ -1,0 +1,80 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// appendPackMsg builds a response with repeated names so the encoding
+// exercises compression pointers.
+func appendPackMsg() *Message {
+	name := MustParseName("a.very.long.label.ourtestdomain.nl")
+	m := &Message{
+		Header: Header{ID: 0x1234, Response: true, Authoritative: true},
+		Questions: []Question{
+			{Name: name, Type: TypeTXT, Class: ClassINET},
+		},
+		Answers: []RR{
+			{Name: name, Class: ClassINET, TTL: 5, Data: TXT{Strings: []string{"site=FRA"}}},
+		},
+		Authority: []RR{
+			{Name: MustParseName("ourtestdomain.nl"), Class: ClassINET, TTL: 3600,
+				Data: NS{Host: MustParseName("ns1.ourtestdomain.nl")}},
+		},
+	}
+	return m
+}
+
+// TestAppendPackMatchesPack proves the append path emits byte-identical
+// wire format regardless of what already sits in the buffer: the
+// compression pointers must be relative to the message start, not the
+// buffer start.
+func TestAppendPackMatchesPack(t *testing.T) {
+	m := appendPackMsg()
+	plain, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefixLen := range []int{0, 2, 12, 300} {
+		prefix := bytes.Repeat([]byte{0xAB}, prefixLen)
+		out, err := m.AppendPack(prefix)
+		if err != nil {
+			t.Fatalf("prefix %d: %v", prefixLen, err)
+		}
+		if !bytes.Equal(out[:prefixLen], prefix[:prefixLen]) {
+			t.Fatalf("prefix %d: AppendPack clobbered the prefix", prefixLen)
+		}
+		if !bytes.Equal(out[prefixLen:], plain) {
+			t.Fatalf("prefix %d: append encoding differs from Pack:\n  %x\nvs %x",
+				prefixLen, out[prefixLen:], plain)
+		}
+		got, err := Unpack(out[prefixLen:])
+		if err != nil {
+			t.Fatalf("prefix %d: unpack: %v", prefixLen, err)
+		}
+		if got.ID != m.ID || len(got.Answers) != 1 || len(got.Authority) != 1 {
+			t.Fatalf("prefix %d: round trip lost sections: %s", prefixLen, got.Summary())
+		}
+	}
+}
+
+// TestAppendPackReuse proves a response buffer can be recycled across
+// messages, the pattern the socket servers use with their sync.Pool.
+func TestAppendPackReuse(t *testing.T) {
+	m := appendPackMsg()
+	plain, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 4096)
+	for i := 0; i < 3; i++ {
+		out, err := m.AppendPack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, plain) {
+			t.Fatalf("iteration %d: reused-buffer encoding differs", i)
+		}
+		buf = out
+	}
+}

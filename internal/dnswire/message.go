@@ -81,8 +81,20 @@ func (m *Message) SetEDNS0(udpSize uint16, dnssecOK bool) {
 
 // Pack encodes the message into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	msg := make([]byte, 12, 512)
-	binary.BigEndian.PutUint16(msg[0:], m.ID)
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack encodes the message into wire format at the end of dst
+// and returns the extended slice. Compression pointers are relative to
+// the message start (len(dst) at call time), so the encoding is
+// identical wherever the message lands — this is the zero-allocation
+// path the servers use with pooled response buffers, and the TCP path
+// uses to encode behind its two-byte length prefix in one buffer.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	base := len(dst)
+	var hdr [12]byte
+	msg := append(dst, hdr[:]...)
+	binary.BigEndian.PutUint16(msg[base+0:], m.ID)
 
 	var flags uint16
 	if m.Response {
@@ -102,13 +114,13 @@ func (m *Message) Pack() ([]byte, error) {
 		flags |= 1 << 7
 	}
 	flags |= uint16(m.RCode & 0xF)
-	binary.BigEndian.PutUint16(msg[2:], flags)
-	binary.BigEndian.PutUint16(msg[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(msg[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(msg[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(msg[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(msg[base+2:], flags)
+	binary.BigEndian.PutUint16(msg[base+4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(msg[base+6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(msg[base+8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(msg[base+10:], uint16(len(m.Additional)))
 
-	c := newCompressor()
+	c := newCompressor(base)
 	for _, q := range m.Questions {
 		msg = c.appendName(msg, q.Name)
 		msg = binary.BigEndian.AppendUint16(msg, uint16(q.Type))

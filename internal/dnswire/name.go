@@ -170,13 +170,16 @@ func (n Name) appendWire(b []byte) []byte {
 
 // compressor tracks already-emitted names so later occurrences can be
 // replaced by compression pointers (RFC 1035 §4.1.4). Pointers can only
-// reference offsets below 0x4000.
+// reference offsets below 0x4000, counted from the start of the DNS
+// message — which is base, not 0, when the message is being appended
+// to a buffer that already holds other data.
 type compressor struct {
 	offsets map[string]int
+	base    int
 }
 
-func newCompressor() *compressor {
-	return &compressor{offsets: make(map[string]int)}
+func newCompressor(base int) *compressor {
+	return &compressor{offsets: make(map[string]int), base: base}
 }
 
 // appendName appends n at the current end of msg, using and recording
@@ -190,8 +193,8 @@ func (c *compressor) appendName(msg []byte, n Name) []byte {
 			ptr := uint16(0xC000 | off)
 			return append(msg, byte(ptr>>8), byte(ptr))
 		}
-		if len(msg) < 0x4000 {
-			c.offsets[key] = len(msg)
+		if off := len(msg) - c.base; off < 0x4000 {
+			c.offsets[key] = off
 		}
 		msg = append(msg, byte(len(labels[i])))
 		msg = append(msg, labels[i]...)

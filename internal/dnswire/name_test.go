@@ -151,7 +151,7 @@ func TestNameWireRoundTrip(t *testing.T) {
 }
 
 func TestCompressionRoundTrip(t *testing.T) {
-	c := newCompressor()
+	c := newCompressor(0)
 	n1 := MustParseName("www.example.nl")
 	n2 := MustParseName("mail.example.nl")
 	n3 := MustParseName("www.example.nl")

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -53,8 +54,16 @@ func DefaultOpenResolverConfig(combo Combination, seed int64) OpenResolverConfig
 }
 
 // RunOpenResolvers executes the open-resolver measurement and returns
-// a Dataset whose VPs are the open resolvers themselves.
+// a Dataset whose VPs are the open resolvers themselves. It is the
+// context-free wrapper around RunOpenResolversContext.
 func RunOpenResolvers(cfg OpenResolverConfig) (*Dataset, error) {
+	return RunOpenResolversContext(context.Background(), cfg)
+}
+
+// RunOpenResolversContext is RunOpenResolvers with cooperative
+// cancellation: a cancelled ctx abandons the run promptly with
+// ctx.Err().
+func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Dataset, error) {
 	if len(cfg.Combo.Sites) == 0 || cfg.NumResolvers <= 0 {
 		return nil, fmt.Errorf("measure: incomplete open-resolver config")
 	}
@@ -222,7 +231,9 @@ func RunOpenResolvers(cfg OpenResolverConfig) (*Dataset, error) {
 		}
 	}
 	ds.ActiveProbes = len(targets)
-	sim.RunUntil(cfg.Duration + cfg.ClientTimeout + time.Second)
+	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 

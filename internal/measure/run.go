@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -125,8 +126,18 @@ func DefaultRunConfig(combo Combination, seed int64) RunConfig {
 }
 
 // Run executes one measurement and returns the dataset. The run is
-// fully deterministic for a given config.
+// fully deterministic for a given config. It is the context-free
+// wrapper around RunContext for callers that never cancel.
 func Run(cfg RunConfig) (*Dataset, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one measurement and returns the dataset. The
+// virtual-time simulation checks ctx between event batches, so a
+// cancelled context abandons the run promptly with ctx.Err(). The
+// dataset is fully deterministic for a given config, independent of
+// wall-clock timing or how many runs execute concurrently.
+func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if len(cfg.Combo.Sites) == 0 {
 		return nil, fmt.Errorf("measure: combination has no sites")
 	}
@@ -311,7 +322,9 @@ func Run(cfg RunConfig) (*Dataset, error) {
 	}
 	ds.ActiveProbes = active
 
-	sim.RunUntil(cfg.Duration + cfg.ClientTimeout + time.Second)
+	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		return nil, err
+	}
 	return ds, nil
 }
 

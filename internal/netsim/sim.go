@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"container/heap"
+	"context"
 	"time"
 )
 
@@ -64,6 +65,35 @@ func (s *Simulator) RunUntil(deadline time.Duration) {
 	if s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// ctxCheckStride is how many events RunUntilContext executes between
+// cancellation checks: large enough that the select never shows up in
+// profiles, small enough that cancellation lands within microseconds.
+const ctxCheckStride = 1024
+
+// RunUntilContext is RunUntil with cooperative cancellation: it polls
+// ctx every ctxCheckStride events and abandons the run with ctx.Err()
+// when cancelled. A nil return means the simulation reached deadline.
+// Cancellation leaves the simulator mid-run; callers must discard it.
+func (s *Simulator) RunUntilContext(ctx context.Context, deadline time.Duration) error {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		for i := 0; i < ctxCheckStride && len(s.queue) > 0 && s.queue[0].at <= deadline; i++ {
+			s.step()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
 }
 
 // Pending returns the number of queued events.

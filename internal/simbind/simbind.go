@@ -46,10 +46,18 @@ func BindResolver(h *netsim.Host, e *resolver.Engine) {
 // a site of an anycast service answers from the service address, as
 // real anycast does — otherwise the resolver's off-path-response
 // protection would discard the reply.
+//
+// The handler reuses one response buffer across queries: the network
+// copies payloads before scheduling delivery, and the simulator is
+// single-threaded, so the buffer is free again by the next packet.
+// This keeps the simulated hot path on the same zero-allocation
+// encoder as the socket server.
 func BindAuth(h *netsim.Host, e *authserver.Engine) {
+	var buf []byte
 	h.Handle(func(src, dst netip.Addr, payload []byte) {
-		if resp := e.HandleQuery(src, payload, 0); len(resp) > 0 {
-			h.SendAs(dst, src, resp)
+		buf = e.AppendQuery(buf[:0], src, payload, 0)
+		if len(buf) > 0 {
+			h.SendAs(dst, src, buf)
 		}
 	})
 }
