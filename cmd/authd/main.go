@@ -26,6 +26,7 @@ import (
 	"ritw/internal/authserver"
 	"ritw/internal/dnswire"
 	"ritw/internal/measure"
+	"ritw/internal/obs"
 	"ritw/internal/zone"
 )
 
@@ -39,6 +40,7 @@ func main() {
 	rrlRate := flag.Float64("rrl", 0, "response rate limit per source in responses/sec (0 = off)")
 	udpWorkers := flag.Int("udp-workers", 0, "concurrent UDP read loops (0 = all cores)")
 	axfrAllow := flag.String("axfr-allow", "", "comma-separated prefixes allowed to AXFR (empty = allow all)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a text metrics endpoint on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log every query")
 	flag.Parse()
 
@@ -83,6 +85,14 @@ func main() {
 	}
 
 	cfg := authserver.Config{Zones: zones, Identity: *identity}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			log.Printf("authd: metrics endpoint: %v", obs.ListenAndServe(*metricsAddr, reg))
+		}()
+	}
 	if *rrlRate > 0 {
 		start := time.Now()
 		cfg.RRL = &authserver.RRLConfig{RatePerSec: *rrlRate, SlipRatio: 2}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ritw/internal/dnswire"
+	"ritw/internal/obs"
 	"ritw/internal/resolver"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	decayKeep := flag.Bool("decay-keep", true, "keep stale latency estimates instead of forgetting them")
 	timeout := flag.Duration("timeout", 800*time.Millisecond, "upstream query timeout")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve a text metrics endpoint on this address (empty = off)")
 	var upstreams multiFlag
 	flag.Var(&upstreams, "upstream", "zone=host:port[,host:port...] (repeatable)")
 	flag.Parse()
@@ -65,15 +67,28 @@ func main() {
 	if *decayKeep {
 		retention = resolver.DecayKeep
 	}
+	infra := resolver.NewInfraCache(*infraTTL, retention)
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		// Upstream addresses are stable here (unlike simulator runs),
+		// so per-server SRTT gauges are meaningful.
+		infra.SetMetrics(reg)
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			log.Printf("resolvd: metrics endpoint: %v", obs.ListenAndServe(*metricsAddr, reg))
+		}()
+	}
 	eng := resolver.NewEngine(resolver.Config{
 		Policy:    resolver.NewPolicy(kind),
-		Infra:     resolver.NewInfraCache(*infraTTL, retention),
+		Infra:     infra,
 		Cache:     resolver.NewRecordCache(),
 		Zones:     zones,
 		Transport: srv,
 		Clock:     &resolver.RealClock{},
 		RNG:       rand.New(rand.NewSource(*seed)),
 		Timeout:   *timeout,
+		Metrics:   reg,
 	})
 	go srv.Serve(eng)
 	log.Printf("resolving with policy %s on %s (%d zones)", kind, srv.Addr(), len(zones))

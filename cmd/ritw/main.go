@@ -41,7 +41,30 @@ var (
 	outFile  = flag.String("out", "", "also write the dataset CSV here (single-combo commands)")
 	plotDir  = flag.String("plotdir", "", "write SVG figures into this directory")
 	parallel = flag.Int("parallel", 0, "worker-pool width for batch runs (0 = all cores)")
+	progress = flag.Bool("progress", false, "report live batch completion on stderr")
 )
+
+// batchOpts are the options every batch entry point shares; with
+// -progress they include the stderr reporter.
+func batchOpts(scale core.Scale) []core.Option {
+	opts := []core.Option{
+		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel),
+	}
+	if *progress {
+		opts = append(opts, core.WithProgress(reportProgress))
+	}
+	return opts
+}
+
+// reportProgress prints one line per completed job. The runner
+// serializes calls, so plain Fprintf is safe.
+func reportProgress(p core.BatchProgress) {
+	status := "done"
+	if p.Err != nil {
+		status = "FAILED: " + p.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "[%s %d/%d] %s %s\n", p.Batch, p.Done, p.Total, p.Job, status)
+}
 
 func main() {
 	flag.Parse()
@@ -123,8 +146,7 @@ func allDatasets(ctx context.Context, scale core.Scale) (map[string]*measure.Dat
 	if table1Cache != nil {
 		return table1Cache, nil
 	}
-	ds, err := core.RunTable1Context(ctx, core.WithSeed(*seed),
-		core.WithScale(scale), core.WithParallelism(*parallel))
+	ds, err := core.RunTable1Context(ctx, batchOpts(scale)...)
 	if err == nil {
 		table1Cache = ds
 	}
@@ -265,8 +287,7 @@ func cmdFig5(ctx context.Context, scale core.Scale) error {
 
 func cmdFig6(ctx context.Context, scale core.Scale) error {
 	fmt.Println("Figure 6: fraction of queries to FRA (config 2C) vs probing interval")
-	dss, err := core.RunIntervalSweepContext(ctx, core.Figure6Intervals(),
-		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel))
+	dss, err := core.RunIntervalSweepContext(ctx, core.Figure6Intervals(), batchOpts(scale)...)
 	if err != nil {
 		return err
 	}

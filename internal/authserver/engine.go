@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ritw/internal/dnswire"
+	"ritw/internal/obs"
 	"ritw/internal/zone"
 )
 
@@ -59,6 +60,61 @@ type Config struct {
 	// Now supplies time for rate limiting (virtual in the simulator,
 	// wall-clock in socket servers). Required when RRL is set.
 	Now func() time.Duration
+	// Metrics, if set, registers the engine's counters and a per-site
+	// response-latency histogram there. Counters are additive, so many
+	// engines (one per simulated site) may share a registry.
+	Metrics *obs.Registry
+}
+
+// latencyBoundsUs are the response-latency histogram buckets in
+// microseconds: serving is single-digit µs in-process, up to tens of
+// ms through the OS stack under load.
+var latencyBoundsUs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000}
+
+// authMetrics caches obs instruments so the serving path touches only
+// atomics (all fields stay nil — no-ops — without a registry).
+type authMetrics struct {
+	queries   *obs.Counter
+	responses *obs.Counter
+	dropped   *obs.Counter
+	chaos     *obs.Counter
+	rrlSend   *obs.Counter
+	rrlSlip   *obs.Counter
+	rrlDrop   *obs.Counter
+	// rcodes is indexed by RCode for the standard codes; anything
+	// higher lands in rcodeHigh.
+	rcodes    [6]*obs.Counter
+	rcodeHigh *obs.Counter
+	latency   *obs.Histogram
+}
+
+func newAuthMetrics(r *obs.Registry, identity string) authMetrics {
+	m := authMetrics{
+		queries:   r.Counter("authserver_queries_total"),
+		responses: r.Counter("authserver_responses_total"),
+		dropped:   r.Counter("authserver_dropped_total"),
+		chaos:     r.Counter("authserver_chaos_total"),
+		rrlSend:   r.Counter(`authserver_rrl_total{action="send"}`),
+		rrlSlip:   r.Counter(`authserver_rrl_total{action="slip"}`),
+		rrlDrop:   r.Counter(`authserver_rrl_total{action="drop"}`),
+		rcodeHigh: r.Counter(obs.LabelName("authserver_rcode_total", "rcode", "OTHER")),
+	}
+	for rc := range m.rcodes {
+		m.rcodes[rc] = r.Counter(obs.LabelName("authserver_rcode_total", "rcode", dnswire.RCode(rc).String()))
+	}
+	name := "authserver_response_latency_us"
+	if identity != "" {
+		name = obs.LabelName(name, "site", identity)
+	}
+	m.latency = r.Histogram(name, latencyBoundsUs)
+	return m
+}
+
+func (m *authMetrics) rcode(rc dnswire.RCode) *obs.Counter {
+	if int(rc) < len(m.rcodes) {
+		return m.rcodes[rc]
+	}
+	return m.rcodeHigh
 }
 
 // Engine answers DNS queries authoritatively.
@@ -67,6 +123,7 @@ type Engine struct {
 	cfg   Config
 	rrl   *rrlState
 	stats Stats
+	m     authMetrics
 }
 
 // NewEngine builds an authoritative engine. It panics if RRL is
@@ -78,6 +135,7 @@ func NewEngine(cfg Config) *Engine {
 			ByType:  make(map[dnswire.Type]int),
 			ByRCode: make(map[dnswire.RCode]int),
 		},
+		m: newAuthMetrics(cfg.Metrics, cfg.Identity),
 	}
 	if cfg.RRL != nil {
 		if cfg.Now == nil {
@@ -135,8 +193,15 @@ func (e *Engine) HandleQuery(src netip.Addr, payload []byte, maxUDP int) []byte 
 // rate limiter share a short critical section, keeping OnQuery and
 // OnNotify serialized as their users expect.
 func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP int) []byte {
+	// The latency histogram needs a start timestamp; skip the clock
+	// read entirely when metrics are off so the bare path is unchanged.
+	var start time.Time
+	if e.m.latency != nil {
+		start = time.Now()
+	}
 	query, err := dnswire.Unpack(payload)
 	if err != nil || query.Response {
+		e.m.dropped.Inc()
 		e.mu.Lock()
 		e.stats.Dropped++
 		e.mu.Unlock()
@@ -146,6 +211,8 @@ func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP 
 	resp, err := dnswire.NewResponse(query)
 	if err != nil {
 		// No question: FORMERR with a bare header.
+		e.m.queries.Inc()
+		e.m.dropped.Inc()
 		e.mu.Lock()
 		e.stats.Queries++
 		e.stats.Dropped++
@@ -187,6 +254,11 @@ func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP 
 		e.answerAuthoritative(resp, q)
 	}
 
+	e.m.queries.Inc()
+	e.m.rcode(resp.RCode).Inc()
+	if servedChaos {
+		e.m.chaos.Inc()
+	}
 	action := rrlSend
 	e.mu.Lock()
 	e.stats.Queries++
@@ -211,13 +283,18 @@ func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP 
 
 	switch action {
 	case rrlDrop:
+		e.m.rrlDrop.Inc()
 		return dst
 	case rrlSlip:
+		e.m.rrlSlip.Inc()
 		if out := appendSlip(dst, query); len(out) > len(dst) {
-			e.countResponse()
+			e.countResponse(start)
 			return out
 		}
 		return dst
+	}
+	if e.rrl != nil {
+		e.m.rrlSend.Inc()
 	}
 
 	out, err := resp.AppendPack(dst)
@@ -228,13 +305,17 @@ func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP 
 		out = appendTruncate(dst, resp, maxUDP)
 	}
 	if len(out) > len(dst) {
-		e.countResponse()
+		e.countResponse(start)
 	}
 	return out
 }
 
 // countResponse bumps the response counter once a reply is emitted.
-func (e *Engine) countResponse() {
+func (e *Engine) countResponse(start time.Time) {
+	e.m.responses.Inc()
+	if e.m.latency != nil {
+		e.m.latency.Observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+	}
 	e.mu.Lock()
 	e.stats.Responses++
 	e.mu.Unlock()

@@ -4,8 +4,10 @@ import (
 	"net/netip"
 	"strings"
 	"testing"
+	"time"
 
 	"ritw/internal/dnswire"
+	"ritw/internal/obs"
 	"ritw/internal/zone"
 )
 
@@ -394,4 +396,115 @@ func TestNotifyHandoff(t *testing.T) {
 	if resp.RCode != dnswire.RCodeNotImp {
 		t.Errorf("unhooked notify rcode = %v", resp.RCode)
 	}
+}
+
+// TestEngineMetricsSnapshot asserts the obs wiring on the serving hot
+// path: query/response/rcode counters, the CHAOS counter, the dropped
+// counter, and the per-site latency histogram.
+func TestEngineMetricsSnapshot(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e := NewEngine(Config{
+		Zones:    []*zone.Zone{z},
+		Identity: "fra1.ourtestdomain.nl",
+		Metrics:  reg,
+	})
+	// NOERROR from the wildcard, REFUSED out of zone, CHAOS identity.
+	ask(t, e, dnswire.NewQuery(1, dnswire.MustParseName("m1.ourtestdomain.nl"), dnswire.TypeTXT))
+	ask(t, e, dnswire.NewQuery(2, dnswire.MustParseName("other.example"), dnswire.TypeA))
+	chaos := dnswire.NewQuery(3, dnswire.MustParseName("hostname.bind"), dnswire.TypeTXT)
+	chaos.Questions[0].Class = dnswire.ClassCHAOS
+	ask(t, e, chaos)
+	// Unparseable garbage is dropped without a response.
+	if out := e.HandleQuery(clientAddr, []byte{0xde, 0xad}, 0); out != nil {
+		t.Fatal("garbage produced a response")
+	}
+
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"authserver_queries_total":                3,
+		"authserver_responses_total":              3,
+		"authserver_dropped_total":                1,
+		"authserver_chaos_total":                  1,
+		`authserver_rcode_total{rcode="NOERROR"}`: 2,
+		`authserver_rcode_total{rcode="REFUSED"}`: 1,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	h, ok := s.Histograms[`authserver_response_latency_us{site="fra1.ourtestdomain.nl"}`]
+	if !ok {
+		t.Fatal("latency histogram missing")
+	}
+	if h.Count != 3 {
+		t.Errorf("latency observations = %d, want 3", h.Count)
+	}
+}
+
+// TestEngineRRLMetrics asserts the send/slip/drop action counters.
+func TestEngineRRLMetrics(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e := NewEngine(Config{
+		Zones:   []*zone.Zone{z},
+		RRL:     &RRLConfig{RatePerSec: 1, Burst: 1, SlipRatio: 2},
+		Now:     func() time.Duration { return 0 },
+		Metrics: reg,
+	})
+	src := netip.MustParseAddr("198.51.100.20")
+	for i := 0; i < 5; i++ {
+		q := dnswire.NewQuery(uint16(i), dnswire.MustParseName("flood.ourtestdomain.nl"), dnswire.TypeTXT)
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.HandleQuery(src, wire, 0)
+	}
+	s := reg.Snapshot()
+	// 1 sent (burst), then limited: slip every 2nd → 2 slips, 2 drops.
+	for name, want := range map[string]int64{
+		`authserver_rrl_total{action="send"}`: 1,
+		`authserver_rrl_total{action="slip"}`: 2,
+		`authserver_rrl_total{action="drop"}`: 2,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// BenchmarkServeUDPParallel measures the concurrent serving hot path
+// (what the UDP worker pool runs) with and without metrics, pinning
+// the acceptance bound that observability costs <= 3%: instruments are
+// atomic-only, so the delta should be a handful of nanoseconds.
+func BenchmarkServeUDPParallel(b *testing.B) {
+	bench := func(b *testing.B, reg *obs.Registry) {
+		z, err := zone.ParseString(testZoneText, dnswire.Root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := NewEngine(Config{Zones: []*zone.Zone{z}, Identity: "fra1", Metrics: reg})
+		q := dnswire.NewQuery(1, dnswire.MustParseName("bench.ourtestdomain.nl"), dnswire.TypeTXT)
+		wire, _ := q.Pack()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			buf := make([]byte, 0, udpReadSize)
+			for pb.Next() {
+				buf = e.AppendQuery(buf[:0], clientAddr, wire, 0)
+				if len(buf) == 0 {
+					b.Fatal("dropped")
+				}
+			}
+		})
+	}
+	b.Run("bare", func(b *testing.B) { bench(b, nil) })
+	b.Run("metrics", func(b *testing.B) { bench(b, obs.NewRegistry()) })
 }

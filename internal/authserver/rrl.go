@@ -30,12 +30,16 @@ type RRLConfig struct {
 type rrlState struct {
 	cfg     RRLConfig
 	buckets map[netip.Addr]*rrlBucket
-	slip    int
 }
 
 type rrlBucket struct {
 	tokens float64
 	last   time.Duration
+	// slip counts limited responses for this source so every
+	// SlipRatio-th one goes out truncated. It must be per source: a
+	// shared counter lets one flooded source absorb the slip cadence
+	// and starve every other limited source of its TC fallback signal.
+	slip int
 }
 
 func newRRL(cfg RRLConfig) *rrlState {
@@ -86,8 +90,8 @@ func (r *rrlState) check(src netip.Addr, now time.Duration) rrlAction {
 		return rrlSend
 	}
 	if r.cfg.SlipRatio > 0 {
-		r.slip++
-		if r.slip%r.cfg.SlipRatio == 0 {
+		b.slip++
+		if b.slip%r.cfg.SlipRatio == 0 {
 			return rrlSlip
 		}
 	}

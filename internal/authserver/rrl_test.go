@@ -148,3 +148,42 @@ func TestRRLDefaults(t *testing.T) {
 		t.Errorf("defaults = %+v", st.cfg)
 	}
 }
+
+// TestRRLSlipCadencePerSource pins the per-bucket slip fix: with the
+// slip counter on the shared limiter state, two interleaved limited
+// sources split one global cadence — at ratio 2 one source got every
+// TC hint and the other got none. Each source must see its own
+// every-Nth pattern.
+func TestRRLSlipCadencePerSource(t *testing.T) {
+	e, _ := rrlEngine(t, RRLConfig{RatePerSec: 1, Burst: 1, SlipRatio: 2})
+	srcA := netip.MustParseAddr("198.51.100.10")
+	srcB := netip.MustParseAddr("198.51.100.11")
+	// Spend each source's single burst token.
+	for _, src := range []netip.Addr{srcA, srcB} {
+		if e.HandleQuery(src, rrlQuery(t, 0), 0) == nil {
+			t.Fatalf("burst query from %s dropped", src)
+		}
+	}
+	// Interleave limited queries; count TC slips per source.
+	slips := map[netip.Addr]int{}
+	for i := 1; i <= 8; i++ {
+		for _, src := range []netip.Addr{srcA, srcB} {
+			out := e.HandleQuery(src, rrlQuery(t, i), 0)
+			if out == nil {
+				continue
+			}
+			resp, err := dnswire.Unpack(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.Truncated {
+				t.Fatalf("limited response to %s not truncated", src)
+			}
+			slips[src]++
+		}
+	}
+	if slips[srcA] != 4 || slips[srcB] != 4 {
+		t.Errorf("slips = A:%d B:%d, want 4 each (every 2nd limited response)",
+			slips[srcA], slips[srcB])
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"ritw/internal/atlas"
 	"ritw/internal/measure"
+	"ritw/internal/obs"
 )
 
 // RunOpts is the shared configuration surface of every experiment
@@ -29,6 +30,14 @@ type RunOpts struct {
 	// Interval overrides the probing cadence (default: the paper's
 	// 2 minutes, via measure.DefaultRunConfig).
 	Interval time.Duration
+	// Metrics, if set, aggregates obs counters across every run in the
+	// batch (simulator events, packets, engine counters, runner job
+	// counts). Counters are additive so concurrent runs can share it;
+	// it never influences results.
+	Metrics *obs.Registry
+	// Progress, if set, is called after every job in a batch finishes.
+	// Calls are serialized by the runner.
+	Progress func(BatchProgress)
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -73,6 +82,16 @@ func WithInterval(d time.Duration) Option {
 	return func(o *RunOpts) { o.Interval = d }
 }
 
+// WithMetrics aggregates batch-wide obs counters into r.
+func WithMetrics(r *obs.Registry) Option {
+	return func(o *RunOpts) { o.Metrics = r }
+}
+
+// WithProgress reports live batch completion to fn (serialized).
+func WithProgress(fn func(BatchProgress)) Option {
+	return func(o *RunOpts) { o.Progress = fn }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -100,5 +119,6 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64) measure.RunConf
 	if o.Interval > 0 {
 		cfg.Interval = o.Interval
 	}
+	cfg.Metrics = o.Metrics
 	return cfg
 }

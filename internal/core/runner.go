@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ritw/internal/measure"
+	"ritw/internal/obs"
 )
 
 // Job is one independent simulation run inside a batch: a Table-1
@@ -33,12 +34,33 @@ type Job struct {
 type Runner struct {
 	// Parallelism is the worker-pool width (<= 0 means GOMAXPROCS).
 	Parallelism int
+	// Metrics, if set, receives batch counters (jobs started/finished/
+	// failed, per-batch wall-clock) and is handed to every run so the
+	// whole stack aggregates into one registry.
+	Metrics *obs.Registry
+	// Progress, if set, is called after each job completes. Calls are
+	// serialized, so a terminal reporter needs no locking of its own.
+	Progress func(BatchProgress)
 }
 
-// NewRunner builds a Runner from the shared options surface; only
-// WithParallelism is consulted.
+// BatchProgress is one live progress tick from a batch entry point.
+type BatchProgress struct {
+	// Batch names the batch ("table1", "interval sweep", ...).
+	Batch string
+	// Job names the job that just finished.
+	Job string
+	// Done and Total count completed and scheduled jobs; Failed is how
+	// many of Done failed.
+	Done, Total, Failed int
+	// Err is the finished job's error, nil on success.
+	Err error
+}
+
+// NewRunner builds a Runner from the shared options surface
+// (WithParallelism, WithMetrics, WithProgress).
 func NewRunner(opts ...Option) *Runner {
-	return &Runner{Parallelism: NewRunOpts(opts...).parallelism()}
+	o := NewRunOpts(opts...)
+	return &Runner{Parallelism: o.parallelism(), Metrics: o.Metrics, Progress: o.Progress}
 }
 
 // RunJobs executes the jobs with at most Parallelism in flight and
@@ -46,11 +68,13 @@ func NewRunner(opts ...Option) *Runner {
 // remaining jobs and is returned wrapped with the job's name; a
 // cancelled ctx surfaces as ctx.Err().
 func (r *Runner) RunJobs(ctx context.Context, jobs []Job) ([]*measure.Dataset, error) {
-	return runJobs(ctx, r.Parallelism, jobs)
+	return runJobs(ctx, r.Parallelism, "jobs", jobs, r.Metrics, r.Progress)
 }
 
 // runJobs is the pool core shared by Runner and the batch helpers.
-func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Dataset, error) {
+// reg and progress may be nil; both observe only and never affect the
+// datasets.
+func runJobs(ctx context.Context, parallelism int, batch string, jobs []Job, reg *obs.Registry, progress func(BatchProgress)) ([]*measure.Dataset, error) {
 	if parallelism <= 0 {
 		parallelism = NewRunOpts().parallelism()
 	}
@@ -64,6 +88,15 @@ func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Datas
 		return nil, nil
 	}
 
+	started := reg.Counter("runner_jobs_started_total")
+	finished := reg.Counter("runner_jobs_finished_total")
+	failedC := reg.Counter("runner_jobs_failed_total")
+	t0 := time.Now()
+	defer func() {
+		reg.Gauge(obs.LabelName("runner_batch_wallclock_ms", "batch", batch)).
+			Set(float64(time.Since(t0)) / float64(time.Millisecond))
+	}()
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -73,6 +106,9 @@ func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Datas
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+
+		progMu       sync.Mutex
+		done, failed int
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -80,12 +116,34 @@ func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Datas
 			cancel() // abandon the rest of the batch
 		})
 	}
+	finishJob := func(name string, err error) {
+		if err != nil {
+			failedC.Inc()
+		} else {
+			finished.Inc()
+		}
+		if progress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		if err != nil {
+			failed++
+		}
+		progress(BatchProgress{
+			Batch: batch, Job: name,
+			Done: done, Total: len(jobs), Failed: failed, Err: err,
+		})
+		progMu.Unlock()
+	}
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				started.Inc()
 				ds, err := jobs[i].Run(ctx)
+				finishJob(jobs[i].Name, err)
 				if err != nil {
 					if ctx.Err() != nil {
 						fail(ctx.Err())
@@ -112,6 +170,19 @@ func runJobs(ctx context.Context, parallelism int, jobs []Job) ([]*measure.Datas
 	return out, nil
 }
 
+// obsFor resolves a batch's registry and progress hook: per-call
+// options win over the Runner's own settings.
+func (r *Runner) obsFor(o RunOpts) (*obs.Registry, func(BatchProgress)) {
+	reg, progress := r.Metrics, r.Progress
+	if o.Metrics != nil {
+		reg = o.Metrics
+	}
+	if o.Progress != nil {
+		progress = o.Progress
+	}
+	return reg, progress
+}
+
 // parallelismFor resolves the batch's pool width: a WithParallelism
 // passed to the call wins, otherwise the Runner's own setting.
 func (r *Runner) parallelismFor(o RunOpts) int {
@@ -124,6 +195,7 @@ func (r *Runner) parallelismFor(o RunOpts) int {
 // Combination runs one Table-1 combination under the shared options.
 func (r *Runner) Combination(ctx context.Context, comboID string, opts ...Option) (*measure.Dataset, error) {
 	o := NewRunOpts(opts...)
+	o.Metrics, _ = r.obsFor(o)
 	combo, err := measure.CombinationByID(comboID)
 	if err != nil {
 		return nil, err
@@ -136,6 +208,8 @@ func (r *Runner) Combination(ctx context.Context, comboID string, opts ...Option
 // at seed Seed+i, matching the serial API of earlier versions.
 func (r *Runner) Table1(ctx context.Context, opts ...Option) (map[string]*measure.Dataset, error) {
 	o := NewRunOpts(opts...)
+	reg, progress := r.obsFor(o)
+	o.Metrics = reg // flow the resolved registry into each run config
 	combos := measure.Table1()
 	jobs := make([]Job, len(combos))
 	for i, combo := range combos {
@@ -144,7 +218,7 @@ func (r *Runner) Table1(ctx context.Context, opts ...Option) (map[string]*measur
 			return measure.RunContext(ctx, cfg)
 		}}
 	}
-	dss, err := runJobs(ctx, r.parallelismFor(o), jobs)
+	dss, err := runJobs(ctx, r.parallelismFor(o), "table1", jobs, reg, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +235,8 @@ func (r *Runner) Table1(ctx context.Context, opts ...Option) (map[string]*measur
 // versions.
 func (r *Runner) IntervalSweep(ctx context.Context, intervals []time.Duration, opts ...Option) ([]*measure.Dataset, error) {
 	o := NewRunOpts(opts...)
+	reg, progress := r.obsFor(o)
+	o.Metrics = reg
 	combo, err := measure.CombinationByID("2C")
 	if err != nil {
 		return nil, err
@@ -173,7 +249,7 @@ func (r *Runner) IntervalSweep(ctx context.Context, intervals []time.Duration, o
 			return measure.RunContext(ctx, cfg)
 		}}
 	}
-	return runJobs(ctx, r.parallelismFor(o), jobs)
+	return runJobs(ctx, r.parallelismFor(o), "interval sweep", jobs, reg, progress)
 }
 
 // Replicates runs the same combination n times at seeds Seed..Seed+n-1
@@ -181,6 +257,8 @@ func (r *Runner) IntervalSweep(ctx context.Context, intervals []time.Duration, o
 // studies — and returns the datasets in seed order.
 func (r *Runner) Replicates(ctx context.Context, comboID string, n int, opts ...Option) ([]*measure.Dataset, error) {
 	o := NewRunOpts(opts...)
+	reg, progress := r.obsFor(o)
+	o.Metrics = reg
 	combo, err := measure.CombinationByID(comboID)
 	if err != nil {
 		return nil, err
@@ -192,7 +270,7 @@ func (r *Runner) Replicates(ctx context.Context, comboID string, n int, opts ...
 			return measure.RunContext(ctx, cfg)
 		}}
 	}
-	return runJobs(ctx, r.parallelismFor(o), jobs)
+	return runJobs(ctx, r.parallelismFor(o), fmt.Sprintf("%s replicates", comboID), jobs, reg, progress)
 }
 
 // RunCombinationContext executes the paper's standard measurement for

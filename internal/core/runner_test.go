@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
 	"ritw/internal/measure"
+	"ritw/internal/obs"
 )
 
 // datasetBytes serializes everything in a dataset that analysis can
@@ -230,5 +232,76 @@ func TestReplicates(t *testing.T) {
 	}
 	if !bytes.Equal(datasetBytes(t, dss[0]), datasetBytes(t, single)) {
 		t.Error("replicate 0 differs from the single-run API at the same seed")
+	}
+}
+
+// TestRunnerMetricsAndProgress asserts the batch observability wiring:
+// job counters, the batch wall-clock gauge, and serialized progress
+// callbacks with a monotonically increasing done count.
+func TestRunnerMetricsAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var events []BatchProgress
+	r := &Runner{
+		Parallelism: 4,
+		Metrics:     reg,
+		Progress: func(p BatchProgress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		},
+	}
+	const n = 6
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (*measure.Dataset, error) {
+			if i == 3 {
+				return nil, errors.New("boom")
+			}
+			return &measure.Dataset{ComboID: fmt.Sprintf("j%d", i)}, nil
+		}}
+	}
+	_, err := r.RunJobs(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("expected the failing job's error")
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counter("runner_jobs_started_total"); got < 1 || got > n {
+		t.Errorf("started = %d, want 1..%d", got, n)
+	}
+	finished := s.Counter("runner_jobs_finished_total")
+	failed := s.Counter("runner_jobs_failed_total")
+	if failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+	if finished+failed != int64(len(events)) {
+		t.Errorf("finished=%d failed=%d but %d progress events", finished, failed, len(events))
+	}
+	if _, ok := s.Gauges[`runner_batch_wallclock_ms{batch="jobs"}`]; !ok {
+		t.Error("batch wall-clock gauge missing")
+	}
+
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	sawErr := false
+	for i, p := range events {
+		if p.Batch != "jobs" || p.Total != n {
+			t.Fatalf("event %d = %+v", i, p)
+		}
+		if p.Done != i+1 {
+			t.Errorf("event %d done = %d, want %d (serialized, monotonic)", i, p.Done, i+1)
+		}
+		if p.Err != nil {
+			sawErr = true
+			if p.Job != "j3" || p.Failed < 1 {
+				t.Errorf("error event = %+v", p)
+			}
+		}
+	}
+	if !sawErr {
+		t.Error("failing job never reported through progress")
 	}
 }

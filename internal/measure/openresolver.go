@@ -11,6 +11,7 @@ import (
 	"ritw/internal/dnswire"
 	"ritw/internal/geo"
 	"ritw/internal/netsim"
+	"ritw/internal/obs"
 	"ritw/internal/resolver"
 	"ritw/internal/simbind"
 )
@@ -38,6 +39,8 @@ type OpenResolverConfig struct {
 	Mix []atlas.PolicyShare
 	// ClientTimeout is the scanner's per-query give-up time.
 	ClientTimeout time.Duration
+	// Metrics aggregates obs counters like RunConfig.Metrics.
+	Metrics *obs.Registry
 }
 
 // DefaultOpenResolverConfig returns a paper-compatible scan setup.
@@ -98,7 +101,7 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 		Duration: cfg.Duration,
 		SiteAddr: make(map[string]netip.Addr),
 	}
-	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds)
+	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"ritw/internal/dnswire"
 	"ritw/internal/geo"
 	"ritw/internal/netsim"
+	"ritw/internal/obs"
 	"ritw/internal/resolver"
 	"ritw/internal/simbind"
 	"ritw/internal/zone"
@@ -101,6 +102,14 @@ type RunConfig struct {
 	// the run — the §7 "Other Considerations" scenario (a DDoS or
 	// failure at one site) that motivates multiple authoritatives.
 	Outage *Outage
+	// Metrics, if set, aggregates obs counters from the simulator, the
+	// authoritative engines and the resolver population. Counters are
+	// additive, so concurrent runs may share one registry; per-address
+	// SRTT gauges are deliberately NOT wired here (replicas reuse the
+	// same simulated address plan, which would make them last-write-
+	// wins noise — see resolver.InfraCache.SetMetrics). Purely
+	// observational: datasets stay byte-identical for a given seed.
+	Metrics *obs.Registry
 }
 
 // Outage describes a site failure window within a run.
@@ -163,6 +172,9 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	sim := netsim.NewSimulator()
 	net := netsim.NewNetwork(sim, model, cfg.Seed+1)
 	net.LossRate = cfg.LossRate
+	if cfg.Metrics != nil {
+		net.SetMetrics(cfg.Metrics)
+	}
 
 	ds := &Dataset{
 		ComboID:  cfg.Combo.ID,
@@ -173,7 +185,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	}
 
 	// Authoritative sites, one per Table-1 datacenter.
-	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds)
+	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +222,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 			Clock:     clock,
 			RNG:       rand.New(rand.NewSource(cfg.Seed + 1000 + int64(i))),
 			Timeout:   800 * time.Millisecond,
+			Metrics:   cfg.Metrics,
 		})
 		simbind.BindResolver(host, eng)
 		resolverAddr[i] = host.Addr
@@ -330,7 +343,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 
 // buildAuthSites deploys one authoritative per combination site and
 // wires the server-side capture into ds.
-func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, ds *Dataset) ([]netip.Addr, map[string]*netsim.Host, error) {
+func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, ds *Dataset, metrics *obs.Registry) ([]netip.Addr, map[string]*netsim.Host, error) {
 	authAddrs := make([]netip.Addr, 0, len(combo.Sites))
 	authHosts := make(map[string]*netsim.Host, len(combo.Sites))
 	for _, code := range combo.Sites {
@@ -355,6 +368,7 @@ func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combinatio
 					At:    sim.Now(),
 				})
 			},
+			Metrics: metrics,
 		})
 		simbind.BindAuth(host, eng)
 		authAddrs = append(authAddrs, host.Addr)

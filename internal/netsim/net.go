@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ritw/internal/geo"
+	"ritw/internal/obs"
 )
 
 // PacketHandler receives a datagram delivered to a host. src is the
@@ -73,6 +74,19 @@ type Network struct {
 	stretch  map[pairKey]float64
 	catch    map[pairKey]*Host
 	nextIPv4 uint32
+
+	sent    *obs.Counter
+	dropped *obs.Counter
+}
+
+// SetMetrics counts sends and drops (netsim_packets_sent_total /
+// netsim_packets_dropped_total) in r, and wires the simulator's event
+// counter too. Purely observational: the RNG stream and event order
+// are untouched, so seeded runs stay deterministic.
+func (n *Network) SetMetrics(r *obs.Registry) {
+	n.sent = r.Counter("netsim_packets_sent_total")
+	n.dropped = r.Counter("netsim_packets_dropped_total")
+	n.Sim.SetMetrics(r)
 }
 
 type pairKey struct{ a, b netip.Addr }
@@ -250,19 +264,23 @@ func (n *Network) isMember(h *Host, svc netip.Addr) bool {
 // concrete member via the catchment; the receiver still sees the
 // anycast address as dst so it can answer from that identity.
 func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
+	n.sent.Inc()
 	target, ok := n.hosts[dst]
 	serviceAddr := dst
 	if !ok {
 		if members, isAny := n.anycast[dst]; isAny && len(members) > 0 {
 			target = n.Catchment(from, dst)
 		} else {
+			n.dropped.Inc()
 			return // unroutable: silently dropped, like the real thing
 		}
 	}
 	if target.Down {
+		n.dropped.Inc()
 		return
 	}
 	if n.rng.Float64() < n.LossRate || n.rng.Float64() < from.LossRate || n.rng.Float64() < target.LossRate {
+		n.dropped.Inc()
 		return
 	}
 	base := n.PathRTTms(from, target)
@@ -272,8 +290,10 @@ func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 	copy(buf, payload)
 	src := srcAddr
 	n.Sim.Schedule(delay, func() {
-		if target.handler != nil && !target.Down {
-			target.handler(src, serviceAddr, buf)
+		if target.handler == nil || target.Down {
+			n.dropped.Inc()
+			return
 		}
+		target.handler(src, serviceAddr, buf)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ritw/internal/geo"
+	"ritw/internal/obs"
 )
 
 func newTestNet(seed int64) *Network {
@@ -328,4 +329,37 @@ func BenchmarkSendDeliver(b *testing.B) {
 		}
 	}
 	n.Sim.Run()
+}
+
+// TestNetworkMetrics asserts the obs wiring: events processed, packets
+// sent, and packets dropped (unroutable, down host) are counted.
+func TestNetworkMetrics(t *testing.T) {
+	n := newTestNet(9)
+	reg := obs.NewRegistry()
+	n.SetMetrics(reg)
+	a := n.AddHost(geo.MustSite("FRA").Coord)
+	b := n.AddHost(geo.MustSite("AMS").Coord)
+	delivered := 0
+	b.Handle(func(_, _ netip.Addr, _ []byte) { delivered++ })
+
+	a.Send(b.Addr, []byte("ok")) // delivered
+	n.Sim.Run()
+	a.Send(netip.MustParseAddr("192.0.2.99"), []byte("x")) // unroutable
+	b.Down = true
+	a.Send(b.Addr, []byte("y")) // dropped at down target
+	n.Sim.Run()
+
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("netsim_packets_sent_total"); got != 3 {
+		t.Errorf("sent = %d, want 3", got)
+	}
+	if got := s.Counter("netsim_packets_dropped_total"); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if got := s.Counter("netsim_events_total"); got < 1 {
+		t.Errorf("events = %d, want at least the delivery event", got)
+	}
 }

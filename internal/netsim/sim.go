@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"context"
 	"time"
+
+	"ritw/internal/obs"
 )
 
 // Simulator is a deterministic discrete-event executor with a virtual
@@ -21,6 +23,14 @@ type Simulator struct {
 	now    time.Duration
 	queue  eventHeap
 	nextID uint64
+	events *obs.Counter
+}
+
+// SetMetrics counts processed events as netsim_events_total in r.
+// Metrics never influence scheduling, so instrumented runs stay
+// byte-identical to bare ones.
+func (s *Simulator) SetMetrics(r *obs.Registry) {
+	s.events = r.Counter("netsim_events_total")
 }
 
 // NewSimulator returns an empty simulator at virtual time zero.
@@ -104,6 +114,7 @@ func (s *Simulator) step() {
 	if ev.at > s.now {
 		s.now = ev.at
 	}
+	s.events.Inc()
 	ev.fn()
 }
 

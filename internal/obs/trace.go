@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"net/netip"
+	"time"
+)
+
+// TraceOutcome classifies how a traced query finished.
+type TraceOutcome uint8
+
+const (
+	// OutcomeAnswered means an upstream answer was relayed.
+	OutcomeAnswered TraceOutcome = iota
+	// OutcomeCacheHit means the record cache answered locally.
+	OutcomeCacheHit
+	// OutcomeLocal means the engine answered without upstream traffic
+	// (CHAOS identity, FORMERR, unservable zone).
+	OutcomeLocal
+	// OutcomeServFail means every upstream attempt failed (timeouts or
+	// error rcodes) and the client got SERVFAIL.
+	OutcomeServFail
+)
+
+// String names the outcome for logs and reporters.
+func (o TraceOutcome) String() string {
+	switch o {
+	case OutcomeAnswered:
+		return "answered"
+	case OutcomeCacheHit:
+		return "cachehit"
+	case OutcomeLocal:
+		return "local"
+	case OutcomeServFail:
+		return "servfail"
+	}
+	return "unknown"
+}
+
+// QueryTrace describes one completed client query end to end. It is a
+// value (no retained pointers), so hooks may ship it across goroutines
+// freely.
+type QueryTrace struct {
+	// Client is the querying client's address.
+	Client netip.Addr
+	// QName and QType identify the question.
+	QName string
+	QType uint16
+	// Outcome classifies the result.
+	Outcome TraceOutcome
+	// RCode is the DNS rcode sent to the client.
+	RCode uint8
+	// Server is the upstream that produced the final answer (unset for
+	// cache hits and local answers).
+	Server netip.Addr
+	// Attempts counts upstream sends for this query, including error
+	// rcode failovers and timeout retries.
+	Attempts int
+	// Failovers counts upstream attempts abandoned on an error rcode
+	// (SERVFAIL/REFUSED) before the final one.
+	Failovers int
+	// Duration is the client-perceived handling time, from query
+	// arrival to the final reply.
+	Duration time.Duration
+}
+
+// TraceHook observes completed queries. The resolver calls the hook
+// inside its serialization (like authserver.Config.OnQuery), so calls
+// never overlap — but they sit on the serving path, so hooks must
+// return quickly and must not call back into the engine.
+type TraceHook interface {
+	TraceQuery(QueryTrace)
+}
+
+// TraceFunc adapts a function to TraceHook.
+type TraceFunc func(QueryTrace)
+
+// TraceQuery implements TraceHook.
+func (f TraceFunc) TraceQuery(t QueryTrace) { f(t) }

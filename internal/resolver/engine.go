@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ritw/internal/dnswire"
+	"ritw/internal/obs"
 )
 
 // Transport sends a datagram toward dst. Inbound datagrams are pushed
@@ -73,6 +74,13 @@ type Config struct {
 	Timeout time.Duration
 	// MaxRetries bounds upstream attempts per client query (default 3).
 	MaxRetries int
+	// Metrics, if set, registers the engine's counters there. Several
+	// engines may share one registry: the counters are additive, so the
+	// registry then reports population-wide totals.
+	Metrics *obs.Registry
+	// Trace, if set, observes completed client queries. The hook is
+	// called under the engine's serialization — see obs.TraceHook.
+	Trace obs.TraceHook
 }
 
 // Stats counts engine activity.
@@ -83,6 +91,33 @@ type Stats struct {
 	UpstreamAnswers int
 	Timeouts        int
 	ServFails       int
+	// ErrorFailovers counts upstream attempts abandoned because the
+	// server returned SERVFAIL/REFUSED and another server was tried.
+	ErrorFailovers int
+}
+
+// engineMetrics caches the obs counters so the serving path touches
+// only atomics (all fields stay nil — a no-op — without a registry).
+type engineMetrics struct {
+	clientQueries *obs.Counter
+	cacheHits     *obs.Counter
+	upstream      *obs.Counter
+	answers       *obs.Counter
+	timeouts      *obs.Counter
+	servfails     *obs.Counter
+	failovers     *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		clientQueries: r.Counter("resolver_client_queries_total"),
+		cacheHits:     r.Counter("resolver_cache_hits_total"),
+		upstream:      r.Counter("resolver_upstream_queries_total"),
+		answers:       r.Counter("resolver_upstream_answers_total"),
+		timeouts:      r.Counter("resolver_timeouts_total"),
+		servfails:     r.Counter("resolver_servfail_total"),
+		failovers:     r.Counter("resolver_error_failovers_total"),
+	}
 }
 
 // Engine is the recursive resolver: it accepts client queries, answers
@@ -95,6 +130,7 @@ type Engine struct {
 	pending map[uint16]*pendingQuery
 	nextID  uint16
 	stats   Stats
+	m       engineMetrics
 }
 
 // pendingQuery is an in-flight upstream transaction.
@@ -105,8 +141,10 @@ type pendingQuery struct {
 	servers    []netip.Addr
 	tried      map[netip.Addr]bool
 	upstream   netip.Addr
+	startedAt  time.Duration
 	sentAt     time.Duration
 	attempts   int
+	failovers  int
 	done       bool
 }
 
@@ -125,6 +163,7 @@ func NewEngine(cfg Config) *Engine {
 		cfg:     cfg,
 		pending: make(map[uint16]*pendingQuery),
 		nextID:  uint16(cfg.RNG.Intn(1 << 16)),
+		m:       newEngineMetrics(cfg.Metrics),
 	}
 }
 
@@ -173,6 +212,7 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.ClientQueries++
+	e.m.clientQueries.Inc()
 	question, ok := q.Question()
 	if !ok {
 		e.replyRCode(client, q, dnswire.RCodeFormErr)
@@ -181,6 +221,7 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 	if question.Class == dnswire.ClassCHAOS {
 		// A recursive answers CHAOS identity queries itself — exactly
 		// why the paper uses Internet-class TXT instead.
+		e.traceLocal(client, question, obs.OutcomeLocal, dnswire.RCodeNoError)
 		e.replyChaos(client, q, question)
 		return
 	}
@@ -188,6 +229,8 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 	if e.cfg.Cache != nil {
 		if rcode, answers, hit := e.cfg.Cache.Get(question.Name, question.Type, question.Class, now); hit {
 			e.stats.CacheHits++
+			e.m.cacheHits.Inc()
+			e.traceLocal(client, question, obs.OutcomeCacheHit, rcode)
 			e.replyAnswer(client, q, rcode, answers)
 			return
 		}
@@ -195,6 +238,8 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 	servers := e.serversFor(question.Name)
 	if len(servers) == 0 {
 		e.stats.ServFails++
+		e.m.servfails.Inc()
+		e.traceLocal(client, question, obs.OutcomeServFail, dnswire.RCodeServFail)
 		e.replyRCode(client, q, dnswire.RCodeServFail)
 		return
 	}
@@ -204,6 +249,7 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 		question:   question,
 		servers:    servers,
 		tried:      make(map[netip.Addr]bool),
+		startedAt:  now,
 	}
 	e.sendUpstreamLocked(pq)
 }
@@ -243,11 +289,17 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 		return
 	}
 	e.stats.UpstreamQueries++
+	e.m.upstream.Inc()
 	e.cfg.Infra.NoteQuery(server)
 	e.cfg.Transport.Send(server, wire)
 
+	// Pin the timer to this attempt: an error-rcode failover can leave
+	// this timer outstanding while pq is re-registered under a fresh
+	// ID, and the attempt count distinguishes the two even if the ID
+	// allocator were ever to hand back the same ID.
+	attempt := pq.attempts
 	e.cfg.Clock.AfterFunc(e.cfg.Timeout, func() {
-		e.onTimeout(id, pq)
+		e.onTimeout(id, pq, attempt)
 	})
 }
 
@@ -260,19 +312,22 @@ func (e *Engine) allocateIDLocked() uint16 {
 	}
 }
 
-func (e *Engine) onTimeout(id uint16, pq *pendingQuery) {
+func (e *Engine) onTimeout(id uint16, pq *pendingQuery, attempt int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	current, ok := e.pending[id]
-	if !ok || current != pq || pq.done {
-		return // already answered
+	if !ok || current != pq || pq.done || pq.attempts != attempt {
+		return // already answered or superseded by a failover
 	}
 	delete(e.pending, id)
 	e.stats.Timeouts++
+	e.m.timeouts.Inc()
 	e.cfg.Infra.Timeout(pq.upstream, e.cfg.Clock.Now())
 	if pq.attempts >= e.cfg.MaxRetries {
 		pq.done = true
 		e.stats.ServFails++
+		e.m.servfails.Inc()
+		e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
 		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
 		return
 	}
@@ -291,13 +346,42 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 	if src != pq.upstream {
 		return
 	}
+	// The echoed question must match the upstream query too, or an
+	// attacker who wins the ID guess could still have an unrelated
+	// answer cached under the pending name. Upstream queries always go
+	// out IN-class (dnswire.NewQuery), so that is what must come back.
+	if q, ok := resp.Question(); !ok || !q.Name.Equal(pq.question.Name) ||
+		q.Type != pq.question.Type || q.Class != dnswire.ClassINET {
+		return
+	}
 	delete(e.pending, resp.ID)
-	pq.done = true
 
 	now := e.cfg.Clock.Now()
 	rttMs := float64(now-pq.sentAt) / float64(time.Millisecond)
 	e.cfg.Infra.Observe(pq.upstream, rttMs, now)
 	e.stats.UpstreamAnswers++
+	e.m.answers.Inc()
+
+	if resp.RCode == dnswire.RCodeServFail || resp.RCode == dnswire.RCodeRefused {
+		// The server answered but could not serve. Real recursives
+		// (BIND, Unbound) fail over to another authoritative rather
+		// than relaying the error; only once every server is exhausted
+		// (or the retry budget spent) does the client see SERVFAIL.
+		if pq.attempts < e.cfg.MaxRetries && len(pq.tried) < len(pq.servers) {
+			pq.failovers++
+			e.stats.ErrorFailovers++
+			e.m.failovers.Inc()
+			e.sendUpstreamLocked(pq)
+			return
+		}
+		pq.done = true
+		e.stats.ServFails++
+		e.m.servfails.Inc()
+		e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
+		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		return
+	}
+	pq.done = true
 
 	if e.cfg.Cache != nil {
 		switch {
@@ -308,7 +392,42 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 				resp.RCode, negativeTTL(resp), now)
 		}
 	}
+	e.traceDone(pq, obs.OutcomeAnswered, resp.RCode)
 	e.replyAnswer(pq.clientAddr, pq.clientMsg, resp.RCode, resp.Answers)
+}
+
+// traceDone emits a trace for a query that went upstream. Callers hold
+// e.mu.
+func (e *Engine) traceDone(pq *pendingQuery, outcome obs.TraceOutcome, rcode dnswire.RCode) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace.TraceQuery(obs.QueryTrace{
+		Client:    pq.clientAddr,
+		QName:     pq.question.Name.Key(),
+		QType:     uint16(pq.question.Type),
+		Outcome:   outcome,
+		RCode:     uint8(rcode),
+		Server:    pq.upstream,
+		Attempts:  pq.attempts,
+		Failovers: pq.failovers,
+		Duration:  e.cfg.Clock.Now() - pq.startedAt,
+	})
+}
+
+// traceLocal emits a trace for a query answered without upstream
+// traffic (cache hit, CHAOS, unservable zone). Callers hold e.mu.
+func (e *Engine) traceLocal(client netip.Addr, question dnswire.Question, outcome obs.TraceOutcome, rcode dnswire.RCode) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace.TraceQuery(obs.QueryTrace{
+		Client:  client,
+		QName:   question.Name.Key(),
+		QType:   uint16(question.Type),
+		Outcome: outcome,
+		RCode:   uint8(rcode),
+	})
 }
 
 // negativeTTL extracts the RFC 2308 negative TTL from a response's SOA.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ritw/internal/dnswire"
+	"ritw/internal/obs"
 )
 
 // fakeTransport records every sent packet.
@@ -475,5 +476,260 @@ func TestEngineWithoutRecordCache(t *testing.T) {
 	up = tr.take()
 	if len(up) != 1 || up[0].dst != srvA {
 		t.Errorf("expected upstream requery, got %+v", up)
+	}
+}
+
+// authRcode builds an upstream error response echoing the query.
+func authRcode(t *testing.T, upstream []byte, rcode dnswire.RCode) []byte {
+	t.Helper()
+	q, err := dnswire.Unpack(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.RCode = rcode
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// forgedAnswer builds a response from the right server with the right
+// ID whose question section has been tampered with.
+func forgedAnswer(t *testing.T, upstream []byte, mutate func(resp *dnswire.Message)) []byte {
+	t.Helper()
+	q, err := dnswire.Unpack(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Answers = []dnswire.RR{{
+		Name: resp.Questions[0].Name, Class: dnswire.ClassINET, TTL: 300,
+		Data: dnswire.TXT{Strings: []string{"forged"}},
+	}}
+	mutate(resp)
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestEngineErrorRcodeFailsOver pins the failover fix: an upstream
+// SERVFAIL (or REFUSED) must try another authoritative, not be relayed
+// to the client, matching BIND/Unbound behaviour.
+func TestEngineErrorRcodeFailsOver(t *testing.T) {
+	for _, rcode := range []dnswire.RCode{dnswire.RCodeServFail, dnswire.RCodeRefused} {
+		t.Run(rcode.String(), func(t *testing.T) {
+			e, tr, clk := newTestEngine(t, KindUniform)
+			e.HandlePacket(clientAddr, clientQuery(t, 11, "lame"))
+			first := tr.take()
+			if len(first) != 1 {
+				t.Fatal("no upstream query")
+			}
+			e.HandlePacket(first[0].dst, authRcode(t, first[0].payload, rcode))
+			retry := tr.take()
+			if len(retry) != 1 {
+				t.Fatalf("expected a failover query, got %d packets", len(retry))
+			}
+			if retry[0].dst == clientAddr {
+				t.Fatal("error rcode relayed to client instead of failing over")
+			}
+			if retry[0].dst == first[0].dst {
+				t.Error("failover re-queried the failing server")
+			}
+			st := e.Stats()
+			if st.ErrorFailovers != 1 || st.ServFails != 0 {
+				t.Errorf("stats = %+v, want 1 error failover and no servfail", st)
+			}
+			// The healthy server answers; the client sees NOERROR.
+			clk.advance(10 * time.Millisecond)
+			e.HandlePacket(retry[0].dst, authAnswer(t, retry[0].payload, "ok", 5))
+			out := tr.take()
+			if len(out) != 1 || out[0].dst != clientAddr {
+				t.Fatalf("client answer missing: %+v", out)
+			}
+			resp, _ := dnswire.Unpack(out[0].payload)
+			if resp.RCode != dnswire.RCodeNoError {
+				t.Errorf("client rcode = %v", resp.RCode)
+			}
+		})
+	}
+}
+
+// TestEngineServFailOnceServersExhausted: only after every configured
+// server returned an error does the client get SERVFAIL, and the error
+// is not cached.
+func TestEngineServFailOnceServersExhausted(t *testing.T) {
+	e, tr, _ := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 12, "allbad"))
+	first := tr.take()
+	e.HandlePacket(first[0].dst, authRcode(t, first[0].payload, dnswire.RCodeServFail))
+	second := tr.take()
+	if len(second) != 1 || second[0].dst == clientAddr {
+		t.Fatalf("expected failover, got %+v", second)
+	}
+	e.HandlePacket(second[0].dst, authRcode(t, second[0].payload, dnswire.RCodeServFail))
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("expected SERVFAIL to client, got %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("client rcode = %v", resp.RCode)
+	}
+	st := e.Stats()
+	if st.ServFails != 1 || st.ErrorFailovers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// SERVFAIL must not be cached: the same name goes upstream again.
+	e.HandlePacket(clientAddr, clientQuery(t, 13, "allbad"))
+	up := tr.take()
+	if len(up) != 1 || up[0].dst == clientAddr {
+		t.Errorf("error response was cached: %+v", up)
+	}
+}
+
+// TestEngineErrorFailoverRespectsMaxRetries: the retry budget caps
+// error failovers even while untried servers remain.
+func TestEngineErrorFailoverRespectsMaxRetries(t *testing.T) {
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:     NewPolicy(KindRoundRobin),
+		Infra:      NewInfraCache(10*time.Minute, HardExpire),
+		Zones:      []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB, srvC}}},
+		Transport:  tr,
+		Clock:      clk,
+		RNG:        rand.New(rand.NewSource(7)),
+		MaxRetries: 2,
+	})
+	e.HandlePacket(clientAddr, clientQuery(t, 14, "capped"))
+	first := tr.take()
+	e.HandlePacket(first[0].dst, authRcode(t, first[0].payload, dnswire.RCodeServFail))
+	second := tr.take()
+	if len(second) != 1 || second[0].dst == clientAddr {
+		t.Fatalf("expected one failover, got %+v", second)
+	}
+	e.HandlePacket(second[0].dst, authRcode(t, second[0].payload, dnswire.RCodeServFail))
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("MaxRetries=2 must stop after two attempts, got %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("client rcode = %v", resp.RCode)
+	}
+}
+
+// TestEnginePoisonedQuestionRejected pins the question-echo check: a
+// response from the right address with the right ID but a tampered
+// question section must be dropped, not cached.
+func TestEnginePoisonedQuestionRejected(t *testing.T) {
+	e, tr, clk := newTestEngine(t, KindUniform)
+	e.HandlePacket(clientAddr, clientQuery(t, 15, "poison"))
+	up := tr.take()
+	if len(up) != 1 {
+		t.Fatal("no upstream query")
+	}
+	evil, err := testZone.Child("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgeries := map[string]func(resp *dnswire.Message){
+		"wrong name":  func(resp *dnswire.Message) { resp.Questions[0].Name = evil },
+		"wrong type":  func(resp *dnswire.Message) { resp.Questions[0].Type = dnswire.TypeA },
+		"wrong class": func(resp *dnswire.Message) { resp.Questions[0].Class = dnswire.ClassCHAOS },
+	}
+	for name, mutate := range forgeries {
+		e.HandlePacket(up[0].dst, forgedAnswer(t, up[0].payload, mutate))
+		if out := tr.take(); len(out) != 0 {
+			t.Fatalf("%s forgery reached the client: %d packets", name, len(out))
+		}
+	}
+	// The transaction survives the forgeries; the real answer lands.
+	clk.advance(10 * time.Millisecond)
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "good", 5))
+	out := tr.take()
+	if len(out) != 1 || out[0].dst != clientAddr {
+		t.Fatalf("legit answer lost after forgeries: %+v", out)
+	}
+	resp, _ := dnswire.Unpack(out[0].payload)
+	if got := resp.Answers[0].Data.(dnswire.TXT).Joined(); got != "good" {
+		t.Errorf("client got %q", got)
+	}
+	// And nothing forged was cached under the pending name.
+	e.HandlePacket(clientAddr, clientQuery(t, 16, "poison"))
+	cached := tr.take()
+	if len(cached) != 1 || cached[0].dst != clientAddr {
+		t.Fatalf("expected cache answer, got %+v", cached)
+	}
+	cresp, _ := dnswire.Unpack(cached[0].payload)
+	if got := cresp.Answers[0].Data.(dnswire.TXT).Joined(); got != "good" {
+		t.Errorf("cache was poisoned: %q", got)
+	}
+}
+
+// TestEngineMetricsAndTrace asserts the obs wiring: counters aggregate
+// in the registry and the trace hook sees one record per completed
+// client query.
+func TestEngineMetricsAndTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	var traces []obs.QueryTrace
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:    NewPolicy(KindUniform),
+		Infra:     NewInfraCache(10*time.Minute, HardExpire),
+		Cache:     NewRecordCache(),
+		Zones:     []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport: tr,
+		Clock:     clk,
+		RNG:       rand.New(rand.NewSource(42)),
+		Metrics:   reg,
+		Trace:     obs.TraceFunc(func(q obs.QueryTrace) { traces = append(traces, q) }),
+	})
+	e.HandlePacket(clientAddr, clientQuery(t, 21, "traced"))
+	up := tr.take()
+	clk.advance(30 * time.Millisecond)
+	e.HandlePacket(up[0].dst, authAnswer(t, up[0].payload, "v", 60))
+	tr.take()
+	e.HandlePacket(clientAddr, clientQuery(t, 22, "traced")) // cache hit
+	tr.take()
+
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"resolver_client_queries_total":   2,
+		"resolver_upstream_queries_total": 1,
+		"resolver_upstream_answers_total": 1,
+		"resolver_cache_hits_total":       1,
+		"resolver_servfail_total":         0,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	first, second := traces[0], traces[1]
+	if first.Outcome != obs.OutcomeAnswered || first.Attempts != 1 || first.Server != up[0].dst {
+		t.Errorf("first trace = %+v", first)
+	}
+	if first.QName != "traced.ourtestdomain.nl." || first.Client != clientAddr {
+		t.Errorf("first trace identity = %+v", first)
+	}
+	if first.Duration != 30*time.Millisecond {
+		t.Errorf("first trace duration = %v", first.Duration)
+	}
+	if second.Outcome != obs.OutcomeCacheHit {
+		t.Errorf("second trace = %+v", second)
 	}
 }

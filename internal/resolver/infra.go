@@ -15,6 +15,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"ritw/internal/obs"
 )
 
 // Retention selects how the infrastructure cache treats entries that
@@ -72,6 +74,7 @@ type InfraCache struct {
 	// goroutines in socket deployments.
 	mu      sync.Mutex
 	entries map[netip.Addr]*entry
+	metrics *obs.Registry
 }
 
 type entry struct {
@@ -81,6 +84,7 @@ type entry struct {
 	queries    int
 	timeouts   int
 	lastUpdate time.Duration
+	gauge      *obs.Gauge
 }
 
 // NewInfraCache creates an infrastructure cache.
@@ -93,6 +97,28 @@ func NewInfraCache(ttl time.Duration, retention Retention) *InfraCache {
 	}
 }
 
+// SetMetrics publishes per-server SRTT snapshots as gauges named
+// resolver_srtt_ms{server="..."} in r. Intended for socket deployments
+// (cmd/resolvd) where server addresses are globally meaningful; in
+// simulator runs each replica reuses the same 10.x plan, so sharing a
+// registry across engines would make the gauges last-write-wins noise.
+func (c *InfraCache) SetMetrics(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = r
+}
+
+// publishLocked refreshes addr's SRTT gauge. Callers hold c.mu.
+func (c *InfraCache) publishLocked(addr netip.Addr, e *entry) {
+	if c.metrics == nil {
+		return
+	}
+	if e.gauge == nil {
+		e.gauge = c.metrics.Gauge(obs.LabelName("resolver_srtt_ms", "server", addr.String()))
+	}
+	e.gauge.Set(e.srtt)
+}
+
 // Observe records a successful round trip of rtt milliseconds to addr
 // at virtual time now.
 func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) {
@@ -100,14 +126,21 @@ func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) 
 	defer c.mu.Unlock()
 	e, ok := c.entries[addr]
 	if !ok || !e.hasRTT || c.expired(e, now) && c.Retention == HardExpire {
-		queries := 0
+		// Reset the estimate, but keep the lifetime accounting: queries
+		// and timeouts both describe the server, not the estimate, and
+		// dropping timeouts here corrupted timeout-rate analyses after
+		// every HardExpire reset.
+		var queries, timeouts int
+		var gauge *obs.Gauge
 		if ok {
-			queries = e.queries
+			queries, timeouts, gauge = e.queries, e.timeouts, e.gauge
 		}
-		e = &entry{srtt: rttMs, rttvar: rttMs / 2, hasRTT: true, queries: queries}
+		e = &entry{srtt: rttMs, rttvar: rttMs / 2, hasRTT: true,
+			queries: queries, timeouts: timeouts, gauge: gauge}
 		c.entries[addr] = e
 		e.queries++
 		e.lastUpdate = now
+		c.publishLocked(addr, e)
 		return
 	}
 	// Jacobson/Karels-style smoothing, as BIND and Unbound both do.
@@ -119,6 +152,7 @@ func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) 
 	e.srtt = (1-c.Alpha)*e.srtt + c.Alpha*rttMs
 	e.queries++
 	e.lastUpdate = now
+	c.publishLocked(addr, e)
 }
 
 // NoteQuery counts a query sent to addr without changing the estimate.
@@ -154,6 +188,7 @@ func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
 	}
 	e.timeouts++
 	e.lastUpdate = now
+	c.publishLocked(addr, e)
 }
 
 // State returns the cache's view of addr at time now, applying the
@@ -198,6 +233,7 @@ func (c *InfraCache) Scale(addr netip.Addr, factor float64) {
 	defer c.mu.Unlock()
 	if e, ok := c.entries[addr]; ok {
 		e.srtt *= factor
+		c.publishLocked(addr, e)
 	}
 }
 

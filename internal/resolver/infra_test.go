@@ -5,6 +5,8 @@ import (
 	"net/netip"
 	"testing"
 	"time"
+
+	"ritw/internal/obs"
 )
 
 var (
@@ -154,5 +156,43 @@ func TestServerStateRTO(t *testing.T) {
 	st := ServerState{SRTT: 100, RTTVar: 25}
 	if st.RTO() != 200 {
 		t.Errorf("RTO = %v, want 200", st.RTO())
+	}
+}
+
+// TestInfraResetPreservesAccounting pins the HardExpire reset fix:
+// expiring the RTT estimate must not zero the lifetime query/timeout
+// counters, which describe the server rather than the estimate.
+func TestInfraResetPreservesAccounting(t *testing.T) {
+	c := NewInfraCache(time.Minute, HardExpire)
+	c.Observe(srvA, 50, 0)
+	c.Timeout(srvA, 10*time.Second)
+	// Well past the TTL: the next Observe takes the reset branch.
+	c.Observe(srvA, 80, 5*time.Minute)
+	st := c.State(srvA, 5*time.Minute)
+	if st.SRTT != 80 {
+		t.Errorf("SRTT = %v, want fresh estimate 80", st.SRTT)
+	}
+	if st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1 preserved across the reset", st.Timeouts)
+	}
+	if st.Queries != 2 {
+		t.Errorf("Queries = %d, want 2 preserved across the reset", st.Queries)
+	}
+}
+
+// TestInfraSRTTGauges checks that SetMetrics publishes per-server
+// smoothed RTT snapshots as labelled gauges.
+func TestInfraSRTTGauges(t *testing.T) {
+	c := NewInfraCache(0, DecayKeep)
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	c.Observe(srvA, 40, 0)
+	c.Observe(srvB, 90, 0)
+	s := reg.Snapshot()
+	if got := s.Gauge(`resolver_srtt_ms{server="192.0.2.1"}`); got != 40 {
+		t.Errorf("srvA gauge = %v, want 40", got)
+	}
+	if got := s.Gauge(`resolver_srtt_ms{server="192.0.2.2"}`); got != 90 {
+		t.Errorf("srvB gauge = %v, want 90", got)
 	}
 }
