@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,38 +23,60 @@ import (
 	"ritw/internal/dnswire"
 )
 
-func main() {
-	server := flag.String("server", "127.0.0.1:53", "server address (host:port)")
-	useTCP := flag.Bool("tcp", false, "query over TCP instead of UDP")
-	doAXFR := flag.Bool("axfr", false, "perform a full zone transfer of <name> and print the zone")
-	chaos := flag.Bool("chaos", false, "send a CHAOS-class TXT query (hostname.bind style)")
-	recurse := flag.Bool("rd", true, "set the recursion-desired flag")
-	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
-	edns := flag.Bool("edns", true, "advertise EDNS0")
-	flag.Parse()
+// errUsage marks argument errors: the flag set already printed the
+// usage text, so main only needs the exit status.
+var errUsage = errors.New("dnsq: usage")
 
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dnsq [flags] <name> [type]")
-		flag.PrintDefaults()
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp), errors.Is(err, errUsage):
 		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+		os.Exit(1)
 	}
-	name, err := dnswire.ParseName(flag.Arg(0))
+}
+
+// run parses args and performs one query, printing the response to
+// stdout. Split from main so tests can drive the full CLI path against
+// an in-process server.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dnsq", flag.ContinueOnError)
+	server := fs.String("server", "127.0.0.1:53", "server address (host:port)")
+	useTCP := fs.Bool("tcp", false, "query over TCP instead of UDP")
+	doAXFR := fs.Bool("axfr", false, "perform a full zone transfer of <name> and print the zone")
+	chaos := fs.Bool("chaos", false, "send a CHAOS-class TXT query (hostname.bind style)")
+	recurse := fs.Bool("rd", true, "set the recursion-desired flag")
+	timeout := fs.Duration("timeout", 3*time.Second, "query timeout")
+	edns := fs.Bool("edns", true, "advertise EDNS0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if fs.NArg() < 1 {
+		fmt.Fprintln(fs.Output(), "usage: dnsq [flags] <name> [type]")
+		fs.PrintDefaults()
+		return errUsage
+	}
+	name, err := dnswire.ParseName(fs.Arg(0))
 	if err != nil {
-		fatal("bad name: %v", err)
+		return fmt.Errorf("bad name: %w", err)
 	}
 	if *doAXFR {
 		z, err := axfr.Fetch(*server, name, *timeout)
 		if err != nil {
-			fatal("axfr: %v", err)
+			return fmt.Errorf("axfr: %w", err)
 		}
-		fmt.Printf(";; transferred %d records\n%s", z.NumRecords(), z.String())
-		return
+		fmt.Fprintf(stdout, ";; transferred %d records\n%s", z.NumRecords(), z.String())
+		return nil
 	}
 	qtype := dnswire.TypeTXT
-	if flag.NArg() >= 2 {
-		qtype, err = dnswire.ParseType(flag.Arg(1))
+	if fs.NArg() >= 2 {
+		qtype, err = dnswire.ParseType(fs.Arg(1))
 		if err != nil {
-			fatal("bad type: %v", err)
+			return fmt.Errorf("bad type: %w", err)
 		}
 	}
 
@@ -70,7 +93,7 @@ func main() {
 	}
 	wire, err := q.Pack()
 	if err != nil {
-		fatal("pack: %v", err)
+		return fmt.Errorf("pack: %w", err)
 	}
 
 	start := time.Now()
@@ -81,18 +104,19 @@ func main() {
 		respWire, err = queryUDP(*server, wire, *timeout)
 	}
 	if err != nil {
-		fatal("query: %v", err)
+		return fmt.Errorf("query: %w", err)
 	}
 	rtt := time.Since(start)
 
 	resp, err := dnswire.Unpack(respWire)
 	if err != nil {
-		fatal("bad response: %v", err)
+		return fmt.Errorf("bad response: %w", err)
 	}
 	if resp.ID != id {
-		fatal("response ID %d does not match query %d", resp.ID, id)
+		return fmt.Errorf("response ID %d does not match query %d", resp.ID, id)
 	}
-	printResponse(resp, rtt, len(respWire))
+	printResponse(stdout, resp, rtt, len(respWire))
+	return nil
 }
 
 func queryUDP(server string, wire []byte, timeout time.Duration) ([]byte, error) {
@@ -137,8 +161,8 @@ func queryTCP(server string, wire []byte, timeout time.Duration) ([]byte, error)
 	return resp, nil
 }
 
-func printResponse(resp *dnswire.Message, rtt time.Duration, size int) {
-	fmt.Printf(";; status: %s, id: %d, flags:", resp.RCode, resp.ID)
+func printResponse(w io.Writer, resp *dnswire.Message, rtt time.Duration, size int) {
+	fmt.Fprintf(w, ";; status: %s, id: %d, flags:", resp.RCode, resp.ID)
 	for _, f := range []struct {
 		on   bool
 		name string
@@ -147,12 +171,12 @@ func printResponse(resp *dnswire.Message, rtt time.Duration, size int) {
 		{resp.RecursionDesired, "rd"}, {resp.RecursionAvailable, "ra"},
 	} {
 		if f.on {
-			fmt.Printf(" %s", f.name)
+			fmt.Fprintf(w, " %s", f.name)
 		}
 	}
-	fmt.Printf("\n;; query time: %v, size: %d bytes\n", rtt.Round(time.Microsecond), size)
+	fmt.Fprintf(w, "\n;; query time: %v, size: %d bytes\n", rtt.Round(time.Microsecond), size)
 	if q, ok := resp.Question(); ok {
-		fmt.Printf("\n;; QUESTION\n;%s\n", q)
+		fmt.Fprintf(w, "\n;; QUESTION\n;%s\n", q)
 	}
 	sections := []struct {
 		name string
@@ -164,14 +188,9 @@ func printResponse(resp *dnswire.Message, rtt time.Duration, size int) {
 		if len(sec.rrs) == 0 {
 			continue
 		}
-		fmt.Printf("\n;; %s\n", sec.name)
+		fmt.Fprintf(w, "\n;; %s\n", sec.name)
 		for _, rr := range sec.rrs {
-			fmt.Println(rr.String())
+			fmt.Fprintln(w, rr.String())
 		}
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dnsq: "+format+"\n", args...)
-	os.Exit(1)
 }

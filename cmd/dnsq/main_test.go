@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+const testZoneText = `
+$ORIGIN ourtestdomain.nl.
+$TTL 3600
+@   IN SOA ns1 hostmaster 2017032301 7200 3600 604800 300
+    IN NS ns1
+ns1 IN A 192.0.2.1
+probe-1 5 IN TXT "site=FRA"
+`
+
+// startServer brings up a real UDP+TCP authoritative on a loopback
+// port for end-to-end CLI queries.
+func startServer(t *testing.T) string {
+	t.Helper()
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := authserver.NewServer(authserver.NewEngine(authserver.Config{
+		Zones:    []*zone.Zone{z},
+		Identity: "fra1.ourtestdomain.nl",
+	}))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error, "" for errUsage
+	}{
+		{"no args", nil, ""},
+		{"bad name", []string{"bad..name"}, "bad name"},
+		{"bad type", []string{"probe-1.ourtestdomain.nl", "BOGUS"}, "bad type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fsOut := &bytes.Buffer{}
+			err := run(tc.args, fsOut)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if tc.want == "" {
+				if !errors.Is(err, errUsage) {
+					t.Errorf("err = %v, want errUsage", err)
+				}
+				return
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// An unknown flag surfaces as a parse error, not a panic or exit.
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+// TestRunQueriesLiveServer drives the whole CLI path — flag parsing,
+// wire packing, a real socket round trip, and response printing —
+// against an in-process authoritative.
+func TestRunQueriesLiveServer(t *testing.T) {
+	addr := startServer(t)
+
+	t.Run("udp TXT", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "probe-1.ourtestdomain.nl", "TXT"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		for _, want := range []string{"status: NOERROR", "aa", ";; ANSWER", "site=FRA"} {
+			if !strings.Contains(got, want) {
+				t.Errorf("output missing %q:\n%s", want, got)
+			}
+		}
+	})
+
+	t.Run("tcp TXT", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "-tcp", "probe-1.ourtestdomain.nl", "TXT"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "site=FRA") {
+			t.Errorf("TCP answer missing TXT record:\n%s", out.String())
+		}
+	})
+
+	t.Run("chaos identity", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "-chaos", "hostname.bind"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "fra1.ourtestdomain.nl") {
+			t.Errorf("CHAOS response missing identity:\n%s", out.String())
+		}
+	})
+
+	t.Run("nxdomain", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "nosuch.ourtestdomain.nl", "TXT"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "NXDOMAIN") {
+			t.Errorf("want NXDOMAIN status:\n%s", out.String())
+		}
+	})
+}

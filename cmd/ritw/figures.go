@@ -6,8 +6,6 @@ import (
 	"path/filepath"
 	"sort"
 
-	"ritw/internal/analysis"
-	"ritw/internal/ditl"
 	"ritw/internal/geo"
 	"ritw/internal/measure"
 	"ritw/internal/plot"
@@ -30,10 +28,10 @@ func writePlot(name, svg string) error {
 }
 
 // plotFig2 renders the box plot of queries-to-probe-all.
-func plotFig2(dss map[string]*measure.Dataset) error {
+func plotFig2(srcs map[string]*source) error {
 	var groups []plot.BoxGroup
 	for _, combo := range measure.Table1() {
-		res := analysis.ProbeAll(dss[combo.ID])
+		res := srcs[combo.ID].probeAll()
 		groups = append(groups, plot.BoxGroup{
 			Label: fmt.Sprintf("%s (%.1f%%)", res.ComboID, res.PercentAll),
 			Box:   res.Box,
@@ -45,10 +43,10 @@ func plotFig2(dss map[string]*measure.Dataset) error {
 }
 
 // plotFig3 renders share-vs-RTT bars for every combination.
-func plotFig3(dss map[string]*measure.Dataset) error {
+func plotFig3(srcs map[string]*source) error {
 	for _, combo := range measure.Table1() {
 		var bars []plot.ShareRTTBar
-		for _, s := range analysis.ShareVsRTT(dss[combo.ID]) {
+		for _, s := range srcs[combo.ID].shareVsRTT() {
 			bars = append(bars, plot.ShareRTTBar{Label: s.Site, Share: s.Share, MedianRTT: s.MedianRTT})
 		}
 		svg := plot.ShareRTTChart("Query share and median RTT — "+combo.ID, bars)
@@ -61,18 +59,17 @@ func plotFig3(dss map[string]*measure.Dataset) error {
 
 // plotFig4 renders the sorted per-recursive preference curves for the
 // two-site combinations, one chart per combination with the EU curves.
-func plotFig4(dss map[string]*measure.Dataset) error {
+func plotFig4(srcs map[string]*source) error {
 	for _, id := range []string{"2A", "2B", "2C"} {
-		p := analysis.Preference(dss[id])
+		p := srcs[id].preference()
 		var series []plot.Series
-		for si, site := range dss[id].Sites {
+		for _, site := range srcs[id].sites() {
 			fracs := p.Curves[geo.Europe][site]
 			xs := make([]float64, len(fracs))
 			for i := range fracs {
 				xs[i] = float64(i)
 			}
 			series = append(series, plot.Series{Name: site + " (EU)", X: xs, Y: fracs})
-			_ = si
 		}
 		svg := plot.LineChart(
 			fmt.Sprintf("Per-recursive query fraction — %s (weak %.0f%%, strong %.0f%%)",
@@ -86,11 +83,12 @@ func plotFig4(dss map[string]*measure.Dataset) error {
 }
 
 // plotFig5 renders the RTT-sensitivity scatter of 2B.
-func plotFig5(dss map[string]*measure.Dataset) error {
+func plotFig5(srcs map[string]*source) error {
 	var points []plot.ScatterPoint
-	for _, p := range analysis.RTTSensitivity(dss["2B"]) {
+	sites := srcs["2B"].sites()
+	for _, p := range srcs["2B"].rttSensitivity() {
 		color := 0
-		if p.Site == dss["2B"].Sites[1] {
+		if p.Site == sites[1] {
 			color = 1
 		}
 		points = append(points, plot.ScatterPoint{
@@ -103,14 +101,14 @@ func plotFig5(dss map[string]*measure.Dataset) error {
 }
 
 // plotFig6 renders the interval sweep as one line per continent.
-func plotFig6(dss []*measure.Dataset) error {
+func plotFig6(srcs []*source) error {
 	byCont := map[geo.Continent]plot.Series{}
-	for _, ds := range dss {
-		shares := analysis.SiteShareByContinent(ds, "FRA")
+	for _, src := range srcs {
+		shares := src.siteShare("FRA")
 		for _, cont := range geo.Continents() {
 			s := byCont[cont]
 			s.Name = cont.String()
-			s.X = append(s.X, ds.Interval.Minutes())
+			s.X = append(s.X, src.interval().Minutes())
 			s.Y = append(s.Y, shares[cont])
 			byCont[cont] = s
 		}
@@ -124,11 +122,12 @@ func plotFig6(dss []*measure.Dataset) error {
 			"query interval (minutes)", "fraction of queries", series, 0, 1))
 }
 
-// plotFig7 renders the rank bands of a production trace: the mean
-// per-rank shares of up to 40 sampled busy recursives, one stacked
-// column each, sorted by top-share.
-func plotFig7(name, title string, trace *ditl.Trace, minQueries int) error {
-	per := trace.PerRecursive()
+// plotFig7 renders the rank bands of a production trace from its
+// per-recursive per-server counts: the per-rank shares of up to 40
+// sampled busy recursives, one stacked column each, sorted by
+// top-share. Both the materialized trace and the streaming rank
+// aggregator expose this pivot.
+func plotFig7(name, title string, per map[string]map[string]int, minQueries int) error {
 	type recBands struct {
 		top    float64
 		shares []float64

@@ -13,6 +13,12 @@
 //	ritw middlebox | ipv6 | hardening
 //	ritw planner                  # §7 deployment evaluation
 //	ritw all                      # everything above
+//
+// With -stream, runs push records into incremental aggregators instead
+// of materializing datasets: the figures are identical, but peak memory
+// is bounded by per-VP analysis state rather than query volume. -maxmem
+// additionally caps the streaming quantile sketches (implies -stream;
+// medians become approximate past the cap).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -30,25 +37,64 @@ import (
 
 	"ritw/internal/analysis"
 	"ritw/internal/core"
+	"ritw/internal/ditl"
 	"ritw/internal/geo"
 	"ritw/internal/measure"
+	"ritw/internal/obs"
 )
 
 var (
-	seed     = flag.Int64("seed", 42, "experiment seed")
-	scaleStr = flag.String("scale", "small", "population scale: small, medium, full")
-	comboID  = flag.String("combo", "2C", "combination for fig3")
-	outFile  = flag.String("out", "", "also write the dataset CSV here (single-combo commands)")
-	plotDir  = flag.String("plotdir", "", "write SVG figures into this directory")
-	parallel = flag.Int("parallel", 0, "worker-pool width for batch runs (0 = all cores)")
-	progress = flag.Bool("progress", false, "report live batch completion on stderr")
+	seed       = flag.Int64("seed", 42, "experiment seed")
+	scaleStr   = flag.String("scale", "small", "population scale: small, medium, full")
+	comboID    = flag.String("combo", "2C", "combination for fig3")
+	outFile    = flag.String("out", "", "also write the dataset CSV here (single-combo commands)")
+	plotDir    = flag.String("plotdir", "", "write SVG figures into this directory")
+	parallel   = flag.Int("parallel", 0, "worker-pool width for batch runs (0 = all cores)")
+	progress   = flag.Bool("progress", false, "report live batch completion on stderr")
+	stream     = flag.Bool("stream", false, "stream records into incremental aggregators instead of materializing datasets")
+	maxMem     = flag.Int("maxmem", 0, "cap streaming analysis memory: MiB budget for the RTT quantile sketches (implies -stream; 0 = exact)")
+	probesFlag = flag.Int("probes", 0, "override the probe count implied by -scale (0 = scale default)")
+	metricsOut = flag.Bool("metrics", false, "dump the observability registry to stderr when the command finishes")
 )
+
+// metricsReg collects cross-layer counters and gauges (simulator
+// events, records streamed, sink spill bytes, aggregator peak sizes)
+// when -metrics is set; nil otherwise — obs instruments are nil-safe.
+var metricsReg *obs.Registry
+
+// streaming reports whether the record path should bypass dataset
+// materialization; any memory cap implies it.
+func streaming() bool { return *stream || *maxMem > 0 }
+
+// sketchCap translates -maxmem into a per-sketch sample cap. An
+// aggregator keeps one RTT sketch per site plus one per
+// (continent, site) cell — a few dozen at most — so spreading the
+// budget across 64 sketches of 8-byte samples bounds the total.
+func sketchCap() int {
+	if *maxMem <= 0 {
+		return 0
+	}
+	return *maxMem << 20 / (64 * 8)
+}
+
+// scaleProbes is the effective population size: -probes wins over the
+// scale's default.
+func scaleProbes(scale core.Scale) int {
+	if *probesFlag > 0 {
+		return *probesFlag
+	}
+	return scale.Probes()
+}
 
 // batchOpts are the options every batch entry point shares; with
 // -progress they include the stderr reporter.
 func batchOpts(scale core.Scale) []core.Option {
 	opts := []core.Option{
 		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel),
+		core.WithProbes(*probesFlag),
+	}
+	if metricsReg != nil {
+		opts = append(opts, core.WithMetrics(metricsReg))
 	}
 	if *progress {
 		opts = append(opts, core.WithProgress(reportProgress))
@@ -75,6 +121,9 @@ func main() {
 	}
 	scale, err := parseScale(*scaleStr)
 	check(err)
+	if *metricsOut {
+		metricsReg = obs.NewRegistry()
+	}
 
 	// Ctrl-C abandons in-flight simulation batches cleanly instead of
 	// killing the process mid-write.
@@ -108,6 +157,7 @@ func main() {
 			check(cmds[n](ctx, scale))
 			fmt.Println()
 		}
+		dumpMetrics()
 		return
 	}
 	cmd, ok := cmds[name]
@@ -116,6 +166,13 @@ func main() {
 		os.Exit(2)
 	}
 	check(cmd(ctx, scale))
+	dumpMetrics()
+}
+
+func dumpMetrics() {
+	if metricsReg != nil {
+		check(metricsReg.WriteText(os.Stderr))
+	}
 }
 
 func parseScale(s string) (core.Scale, error) {
@@ -137,24 +194,176 @@ func check(err error) {
 	}
 }
 
+// source serves one run's analyses from either the materialized
+// dataset (default) or the streaming aggregator that consumed the run
+// (-stream). Both paths produce identical figures; only the memory
+// profile differs.
+type source struct {
+	ds  *measure.Dataset     // materialized records; nil in stream mode
+	agg *analysis.Aggregator // streaming aggregator; nil otherwise
+	sum *measure.Dataset     // run summary (ActiveProbes, Sites, Interval)
+}
+
+func materializedSource(ds *measure.Dataset) *source { return &source{ds: ds, sum: ds} }
+
+func (s *source) activeProbes() int       { return s.sum.ActiveProbes }
+func (s *source) sites() []string         { return s.sum.Sites }
+func (s *source) interval() time.Duration { return s.sum.Interval }
+
+func (s *source) numRecords() int {
+	if s.agg != nil {
+		return s.agg.NumRecords()
+	}
+	return len(s.ds.Records)
+}
+
+func (s *source) probeAll() analysis.ProbeAllResult {
+	if s.agg != nil {
+		return s.agg.ProbeAll()
+	}
+	return analysis.ProbeAll(s.ds)
+}
+
+func (s *source) shareVsRTT() []analysis.SiteShare {
+	if s.agg != nil {
+		return s.agg.ShareVsRTT()
+	}
+	return analysis.ShareVsRTT(s.ds)
+}
+
+func (s *source) table2() map[geo.Continent]map[string]analysis.ContinentSiteShare {
+	if s.agg != nil {
+		return s.agg.Table2()
+	}
+	return analysis.Table2(s.ds)
+}
+
+func (s *source) preference() analysis.PreferenceResult {
+	if s.agg != nil {
+		return s.agg.Preference()
+	}
+	return analysis.Preference(s.ds)
+}
+
+func (s *source) preferenceCI(rounds int, seed int64) (weak, strong analysis.Interval, err error) {
+	if s.agg != nil {
+		return s.agg.PreferenceCI(rounds, seed)
+	}
+	return analysis.PreferenceCI(s.ds, rounds, seed)
+}
+
+func (s *source) rttSensitivity() []analysis.RTTSensitivityPoint {
+	if s.agg != nil {
+		return s.agg.RTTSensitivity()
+	}
+	return analysis.RTTSensitivity(s.ds)
+}
+
+func (s *source) siteShare(site string) map[geo.Continent]float64 {
+	if s.agg != nil {
+		return s.agg.SiteShareByContinent(site)
+	}
+	return analysis.SiteShareByContinent(s.ds, site)
+}
+
+func (s *source) hardening() analysis.HardeningResult {
+	if s.agg != nil {
+		return s.agg.PreferenceHardening()
+	}
+	return analysis.PreferenceHardening(s.ds)
+}
+
+func (s *source) authSide(minQueries int) (weakFrac, strongFrac float64, resolvers int) {
+	if s.agg != nil {
+		return s.agg.AuthSidePreference(minQueries)
+	}
+	return analysis.AuthSidePreference(s.ds, minQueries)
+}
+
+// aggFor builds one streaming aggregator under the CLI's seed, memory
+// cap and metrics registry. label feeds the peak-size gauge.
+func aggFor(label string, sites []string, duration time.Duration) *analysis.Aggregator {
+	return analysis.NewAggregator(analysis.AggConfig{
+		ComboID:    label,
+		Sites:      sites,
+		Duration:   duration,
+		MaxSamples: sketchCap(),
+		Seed:       *seed,
+		Metrics:    metricsReg,
+	})
+}
+
 // runAll executes all seven combinations once — fanned out across
 // cores by the Runner — and caches the result across subcommands of
-// `ritw all`.
-var table1Cache map[string]*measure.Dataset
+// `ritw all`. In stream mode each combination's records flow straight
+// into its aggregator and are never materialized.
+var table1Cache map[string]*source
 
-func allDatasets(ctx context.Context, scale core.Scale) (map[string]*measure.Dataset, error) {
+func allSources(ctx context.Context, scale core.Scale) (map[string]*source, error) {
 	if table1Cache != nil {
 		return table1Cache, nil
 	}
-	ds, err := core.RunTable1Context(ctx, batchOpts(scale)...)
-	if err == nil {
-		table1Cache = ds
+	opts := batchOpts(scale)
+	srcs := make(map[string]*source)
+	if streaming() {
+		var (
+			mu    sync.Mutex
+			aggs  = make(map[string]*analysis.Aggregator)
+			spill *os.File
+		)
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				return nil, err
+			}
+			spill = f
+		}
+		sinkFor := func(key string) measure.Sink {
+			combo, err := measure.CombinationByID(key)
+			if err != nil {
+				return measure.Discard
+			}
+			agg := aggFor(key, combo.Sites, measure.DefaultRunConfig(combo, 0).Duration)
+			mu.Lock()
+			aggs[key] = agg
+			mu.Unlock()
+			if spill != nil && key == *comboID {
+				// -out spills the requested combination's records to CSV
+				// during the run instead of from a materialized dataset.
+				return measure.Tee(agg, measure.NewCSVSink(spill, key))
+			}
+			return agg
+		}
+		opts = append(opts, core.WithSink(sinkFor), core.WithStreamOnly(true))
+		dss, err := core.RunTable1Context(ctx, opts...)
+		if spill != nil {
+			if cerr := spill.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		for id, ds := range dss {
+			srcs[id] = &source{agg: aggs[id], sum: ds}
+		}
+	} else {
+		dss, err := core.RunTable1Context(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for id, ds := range dss {
+			srcs[id] = materializedSource(ds)
+		}
 	}
-	return ds, err
+	table1Cache = srcs
+	return srcs, nil
 }
 
-func maybeWriteOut(ds *measure.Dataset) error {
-	if *outFile == "" {
+// maybeWriteOut honours -out for materialized runs; in stream mode the
+// CSV was already spilled during the run (see allSources).
+func maybeWriteOut(src *source) error {
+	if *outFile == "" || src.ds == nil {
 		return nil
 	}
 	f, err := os.Create(*outFile)
@@ -162,73 +371,73 @@ func maybeWriteOut(ds *measure.Dataset) error {
 		return err
 	}
 	defer f.Close()
-	return ds.WriteCSV(f)
+	return src.ds.WriteCSV(f)
 }
 
 func cmdTable1(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 1: combinations of authoritatives and the VPs they see")
 	fmt.Printf("%-4s %-25s %8s %9s\n", "ID", "locations", "VPs", "queries")
 	for _, combo := range measure.Table1() {
-		ds := dss[combo.ID]
+		src := srcs[combo.ID]
 		fmt.Printf("%-4s %-25s %8d %9d\n", combo.ID, strings.Join(combo.Sites, ", "),
-			ds.ActiveProbes, len(ds.Records))
+			src.activeProbes(), src.numRecords())
 	}
 	return nil
 }
 
 func cmdFig2(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 2: queries to probe all authoritatives, after the first query")
 	fmt.Printf("%-10s %9s %6s %6s %6s %6s %6s\n", "combo(%all)", "VPs", "p10", "q1", "med", "q3", "p90")
 	for _, combo := range measure.Table1() {
-		res := analysis.ProbeAll(dss[combo.ID])
+		res := srcs[combo.ID].probeAll()
 		fmt.Printf("%-3s(%4.1f%%) %9d %6.1f %6.1f %6.1f %6.1f %6.1f\n",
 			res.ComboID, res.PercentAll, res.VPs,
 			res.Box.P10, res.Box.Q1, res.Box.Median, res.Box.Q3, res.Box.P90)
 	}
-	return plotFig2(dss)
+	return plotFig2(srcs)
 }
 
 func cmdFig3(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 3: median RTT (top) and query share (bottom) per authoritative")
 	for _, combo := range measure.Table1() {
-		shares := analysis.ShareVsRTT(dss[combo.ID])
+		shares := srcs[combo.ID].shareVsRTT()
 		fmt.Printf("%s:", combo.ID)
 		for _, s := range shares {
 			fmt.Printf("  %s rtt=%.0fms share=%.2f", s.Site, s.MedianRTT, s.Share)
 		}
 		fmt.Println()
 	}
-	if err := plotFig3(dss); err != nil {
+	if err := plotFig3(srcs); err != nil {
 		return err
 	}
-	if ds, ok := dss[*comboID]; ok {
-		return maybeWriteOut(ds)
+	if src, ok := srcs[*comboID]; ok {
+		return maybeWriteOut(src)
 	}
 	return nil
 }
 
 func cmdFig4(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 4: per-recursive preference (VPs with >=50ms RTT gap)")
 	fmt.Printf("%-5s %10s %20s %20s\n", "combo", "qualified", "weak [95%CI]", "strong [95%CI]")
 	for _, id := range []string{"2A", "2B", "2C"} {
-		p := analysis.Preference(dss[id])
-		weak, strong, err := analysis.PreferenceCI(dss[id], 300, *seed)
+		p := srcs[id].preference()
+		weak, strong, err := srcs[id].preferenceCI(300, *seed)
 		if err != nil {
 			return err
 		}
@@ -238,21 +447,22 @@ func cmdFig4(ctx context.Context, scale core.Scale) error {
 			100*p.StrongFrac, 100*strong.Lo, 100*strong.Hi)
 	}
 	fmt.Println("(paper: weak 61/59/69%, strong 10/12/37% for 2A/2B/2C)")
-	return plotFig4(dss)
+	return plotFig4(srcs)
 }
 
 func cmdTable2(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Table 2: query share (%) and median RTT (ms) per continent")
 	for _, id := range []string{"2A", "2B", "2C"} {
-		ds := dss[id]
-		t2 := analysis.Table2(ds)
-		fmt.Printf("config %s (%s/%s):\n", id, ds.Sites[0], ds.Sites[1])
+		src := srcs[id]
+		t2 := src.table2()
+		sites := src.sites()
+		fmt.Printf("config %s (%s/%s):\n", id, sites[0], sites[1])
 		fmt.Printf("  %-4s", "cont")
-		for _, site := range ds.Sites {
+		for _, site := range sites {
 			fmt.Printf(" %14s", site)
 		}
 		fmt.Println()
@@ -262,7 +472,7 @@ func cmdTable2(ctx context.Context, scale core.Scale) error {
 				continue
 			}
 			fmt.Printf("  %-4s", cont)
-			for _, site := range ds.Sites {
+			for _, site := range sites {
 				c := cells[site]
 				fmt.Printf("  %3.0f%% %6.0fms", c.SharePct, c.MedianRTT)
 			}
@@ -273,44 +483,88 @@ func cmdTable2(ctx context.Context, scale core.Scale) error {
 }
 
 func cmdFig5(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 5: RTT sensitivity of 2B (fraction of queries vs median RTT)")
-	for _, p := range analysis.RTTSensitivity(dss["2B"]) {
+	for _, p := range srcs["2B"].rttSensitivity() {
 		fmt.Printf("  %s -> %s: rtt=%.0fms fraction=%.2f (VPs=%d)\n",
 			p.Continent, p.Site, p.MedianRTT, p.Fraction, p.VPs)
 	}
-	return plotFig5(dss)
+	return plotFig5(srcs)
 }
 
 func cmdFig6(ctx context.Context, scale core.Scale) error {
 	fmt.Println("Figure 6: fraction of queries to FRA (config 2C) vs probing interval")
-	dss, err := core.RunIntervalSweepContext(ctx, core.Figure6Intervals(), batchOpts(scale)...)
+	intervals := core.Figure6Intervals()
+	opts := batchOpts(scale)
+	var (
+		mu   sync.Mutex
+		aggs map[string]*analysis.Aggregator
+	)
+	if streaming() {
+		aggs = make(map[string]*analysis.Aggregator)
+		combo, err := measure.CombinationByID("2C")
+		if err != nil {
+			return err
+		}
+		duration := measure.DefaultRunConfig(combo, 0).Duration
+		sinkFor := func(key string) measure.Sink {
+			agg := aggFor("2C@"+key, combo.Sites, duration)
+			mu.Lock()
+			aggs[key] = agg
+			mu.Unlock()
+			return agg
+		}
+		opts = append(opts, core.WithSink(sinkFor), core.WithStreamOnly(true))
+	}
+	dss, err := core.RunIntervalSweepContext(ctx, intervals, opts...)
 	if err != nil {
 		return err
+	}
+	srcs := make([]*source, len(dss))
+	for i, ds := range dss {
+		if streaming() {
+			srcs[i] = &source{agg: aggs[intervals[i].String()], sum: ds}
+		} else {
+			srcs[i] = materializedSource(ds)
+		}
 	}
 	fmt.Printf("%-9s", "interval")
 	for _, cont := range geo.Continents() {
 		fmt.Printf(" %6s", cont)
 	}
 	fmt.Println()
-	for _, ds := range dss {
-		shares := analysis.SiteShareByContinent(ds, "FRA")
-		fmt.Printf("%-9s", ds.Interval)
+	for _, src := range srcs {
+		shares := src.siteShare("FRA")
+		fmt.Printf("%-9s", src.interval())
 		for _, cont := range geo.Continents() {
 			fmt.Printf(" %6.2f", shares[cont])
 		}
 		fmt.Println()
 	}
-	return plotFig6(dss)
+	return plotFig6(srcs)
 }
 
 func cmdFig7Root(ctx context.Context, scale core.Scale) error {
-	trace, rb, err := core.RunRootTrace(*seed, scale)
-	if err != nil {
-		return err
+	var (
+		trace *ditl.Trace
+		rb    analysis.RankBands
+		per   map[string]map[string]int
+	)
+	if streaming() {
+		st, err := core.RunRootTraceStream(*seed, scale)
+		if err != nil {
+			return err
+		}
+		trace, rb, per = st.Trace, st.Bands, st.Agg.PerRecursive()
+	} else {
+		t, b, err := core.RunRootTrace(*seed, scale)
+		if err != nil {
+			return err
+		}
+		trace, rb, per = t, b, t.PerRecursive()
 	}
 	fmt.Println("Figure 7 (top): root letters, recursives with >=250 queries/hour")
 	fmt.Printf("  captured: %d queries from %d recursives at %d letters\n",
@@ -320,30 +574,44 @@ func cmdFig7Root(ctx context.Context, scale core.Scale) error {
 	fmt.Printf("  query >=6 letters:     %.1f%% (paper ~60%%)\n", 100*rb.AtLeast6)
 	fmt.Printf("  query all 10 letters:  %.1f%% (paper ~2%%)\n", 100*rb.All)
 	fmt.Printf("  mean top-letter share: %.2f\n", rb.MeanTopShare)
-	return plotFig7("fig7_root.svg", "Root letters: per-recursive rank bands", trace, 250)
+	return plotFig7("fig7_root.svg", "Root letters: per-recursive rank bands", per, 250)
 }
 
 func cmdFig7NL(ctx context.Context, scale core.Scale) error {
-	trace, rb, err := core.RunNLTrace(*seed, scale)
-	if err != nil {
-		return err
+	var (
+		trace *ditl.Trace
+		rb    analysis.RankBands
+		per   map[string]map[string]int
+	)
+	if streaming() {
+		st, err := core.RunNLTraceStream(*seed, scale)
+		if err != nil {
+			return err
+		}
+		trace, rb, per = st.Trace, st.Bands, st.Agg.PerRecursive()
+	} else {
+		t, b, err := core.RunNLTrace(*seed, scale)
+		if err != nil {
+			return err
+		}
+		trace, rb, per = t, b, t.PerRecursive()
 	}
 	fmt.Println("Figure 7 (bottom): .nl, 4 of 8 authoritatives observed")
 	fmt.Printf("  captured: %d queries from %d recursives\n", trace.TotalQueries, trace.Recursives)
 	fmt.Printf("  busy recursives: %d\n", rb.Recursives)
 	fmt.Printf("  query one NS only: %.1f%%\n", 100*rb.OnlyOne)
 	fmt.Printf("  query all 4 NSes:  %.1f%% (paper: the majority)\n", 100*rb.All)
-	return plotFig7("fig7_nl.svg", ".nl: per-recursive rank bands", trace, 125)
+	return plotFig7("fig7_nl.svg", ".nl: per-recursive rank bands", per, 125)
 }
 
 func cmdMiddlebox(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
-	ds := dss["2A"]
-	p := analysis.Preference(ds)
-	aw, as, n := analysis.AuthSidePreference(ds, 5)
+	src := srcs["2A"]
+	p := src.preference()
+	aw, as, n := src.authSide(5)
 	fmt.Println("§3.1 middlebox check: client-side vs authoritative-side view (2A)")
 	fmt.Printf("  client side: weak=%.2f strong=%.2f (%d qualified VPs)\n",
 		p.WeakFrac, p.StrongFrac, p.QualifiedVPs)
@@ -358,8 +626,21 @@ func cmdIPv6(ctx context.Context, scale core.Scale) error {
 	}
 	run := func(v6 bool, seedOff int64) (analysis.PreferenceResult, int, error) {
 		cfg := measure.DefaultRunConfig(combo, *seed+seedOff)
-		cfg.Population.NumProbes = scale.Probes()
+		cfg.Population.NumProbes = scaleProbes(scale)
 		cfg.IPv6Subset = v6
+		cfg.Metrics = metricsReg
+		if streaming() {
+			label := "2B-ipv6-all"
+			if v6 {
+				label = "2B-ipv6-subset"
+			}
+			agg := aggFor(label, combo.Sites, cfg.Duration)
+			sum, err := measure.RunStreamContext(ctx, cfg, agg)
+			if err != nil {
+				return analysis.PreferenceResult{}, 0, err
+			}
+			return agg.Preference(), sum.ActiveProbes, nil
+		}
 		ds, err := measure.RunContext(ctx, cfg)
 		if err != nil {
 			return analysis.PreferenceResult{}, 0, err
@@ -381,13 +662,13 @@ func cmdIPv6(ctx context.Context, scale core.Scale) error {
 }
 
 func cmdHardening(ctx context.Context, scale core.Scale) error {
-	dss, err := allDatasets(ctx, scale)
+	srcs, err := allSources(ctx, scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println("§4.3: weak preferences harden over the hour")
 	for _, id := range []string{"2A", "2B", "2C"} {
-		h := analysis.PreferenceHardening(dss[id])
+		h := srcs[id].hardening()
 		fmt.Printf("  %s: first half %.3f -> second half %.3f (%d weak VPs)\n",
 			id, h.FirstHalf, h.SecondHalf, h.VPs)
 	}
@@ -418,7 +699,8 @@ func cmdPlanner(context.Context, core.Scale) error {
 }
 
 // cmdOutage injects a 20-minute failure of FRA into 2B and reports the
-// failover behaviour (§7 "Other Considerations").
+// failover behaviour (§7 "Other Considerations"). The windowed outage
+// analysis needs the record timeline, so it always materializes.
 func cmdOutage(ctx context.Context, scale core.Scale) error {
 	combo, err := measure.CombinationByID("2B")
 	if err != nil {
@@ -454,7 +736,7 @@ func cmdOpenResolver(ctx context.Context, scale core.Scale) error {
 		return err
 	}
 	cfg := measure.DefaultOpenResolverConfig(combo, *seed)
-	cfg.NumResolvers = scale.Probes() / 4
+	cfg.NumResolvers = scaleProbes(scale) / 4
 	ds, err := measure.RunOpenResolversContext(ctx, cfg)
 	if err != nil {
 		return err
@@ -472,6 +754,6 @@ func cmdOpenResolver(ctx context.Context, scale core.Scale) error {
 // atlasConfig builds the scaled population config.
 func atlasConfig(scale core.Scale) atlas.Config {
 	pc := atlas.DefaultConfig(*seed)
-	pc.NumProbes = scale.Probes()
+	pc.NumProbes = scaleProbes(scale)
 	return pc
 }

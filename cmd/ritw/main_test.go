@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"os"
 	"testing"
 
 	"ritw/internal/core"
@@ -44,6 +46,80 @@ func TestCommandTableCoversAll(t *testing.T) {
 	for _, name := range order {
 		if cmds[name] == nil {
 			t.Errorf("ordering references unknown command %q", name)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed. The command functions write straight
+// to stdout, so this is the CLI's observable output.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+// TestStreamOutputMatchesMaterialized is the refactor's contract: at
+// the same seed, every figure and table command prints byte-identical
+// output whether records are materialized into datasets or streamed
+// into incremental aggregators (-stream, exact mode).
+func TestStreamOutputMatchesMaterialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the figure suite twice")
+	}
+	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
+	oldPlot, oldOut, oldParallel := *plotDir, *outFile, *parallel
+	defer func() {
+		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
+		*plotDir, *outFile, *parallel = oldPlot, oldOut, oldParallel
+		table1Cache = nil
+	}()
+	*seed, *probesFlag, *maxMem = 7, 150, 0
+	*plotDir, *outFile, *parallel = "", "", 4
+
+	cmds := []struct {
+		name string
+		fn   func(context.Context, core.Scale) error
+	}{
+		{"table1", cmdTable1}, {"fig2", cmdFig2}, {"fig3", cmdFig3},
+		{"fig4", cmdFig4}, {"table2", cmdTable2}, {"fig5", cmdFig5},
+		{"fig6", cmdFig6}, {"fig7root", cmdFig7Root}, {"fig7nl", cmdFig7NL},
+		{"middlebox", cmdMiddlebox}, {"ipv6", cmdIPv6}, {"hardening", cmdHardening},
+	}
+	run := func(streamMode bool) map[string]string {
+		*stream = streamMode
+		table1Cache = nil
+		out := make(map[string]string, len(cmds))
+		for _, c := range cmds {
+			out[c.name] = captureStdout(t, func() error {
+				return c.fn(context.Background(), core.ScaleSmall)
+			})
+		}
+		return out
+	}
+	mat := run(false)
+	str := run(true)
+	for _, c := range cmds {
+		if mat[c.name] != str[c.name] {
+			t.Errorf("%s output differs between modes\nmaterialized:\n%s\nstreaming:\n%s",
+				c.name, mat[c.name], str[c.name])
 		}
 	}
 }

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/geo"
+	"ritw/internal/measure"
+	"ritw/internal/obs"
+)
+
+// feedArrivalOrder streams a dataset through the aggregator in raw
+// record order — the completion order a live run emits — rather than
+// the sorted per-VP order the wrappers use. Results must not care.
+func feedArrivalOrder(a *Aggregator, ds *measure.Dataset) {
+	for _, r := range ds.Records {
+		a.OnQuery(r)
+	}
+	for _, ar := range ds.AuthRecords {
+		a.OnAuth(ar)
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestAggregatorMatchesWrappers is the tentpole invariant: one
+// streaming pass in arrival order reproduces every slice-based
+// analysis bit for bit (modulo NaN cells, which compare unequal to
+// themselves).
+func TestAggregatorMatchesWrappers(t *testing.T) {
+	for _, id := range []string{"2B", "2C", "4B"} {
+		ds := dataset(t, id)
+		a := AggregatorFor(ds)
+		feedArrivalOrder(a, ds)
+
+		if got, want := a.NumRecords(), len(ds.Records); got != want {
+			t.Errorf("%s: NumRecords = %d, want %d", id, got, want)
+		}
+		if got, want := a.NumAuthRecords(), len(ds.AuthRecords); got != want {
+			t.Errorf("%s: NumAuthRecords = %d, want %d", id, got, want)
+		}
+
+		if got, want := a.ProbeAll(), ProbeAll(ds); got != want {
+			t.Errorf("%s: ProbeAll\n got %+v\nwant %+v", id, got, want)
+		}
+
+		gotShares, wantShares := a.ShareVsRTT(), ShareVsRTT(ds)
+		if len(gotShares) != len(wantShares) {
+			t.Fatalf("%s: ShareVsRTT lengths %d/%d", id, len(gotShares), len(wantShares))
+		}
+		for i := range gotShares {
+			g, w := gotShares[i], wantShares[i]
+			if g.Site != w.Site || g.Share != w.Share || g.Queries != w.Queries ||
+				!eqNaN(g.MedianRTT, w.MedianRTT) {
+				t.Errorf("%s: ShareVsRTT[%d]\n got %+v\nwant %+v", id, i, g, w)
+			}
+		}
+
+		if got, want := a.Preference(), Preference(ds); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Preference\n got %+v\nwant %+v", id, got, want)
+		}
+
+		gotT2, wantT2 := a.Table2(), Table2(ds)
+		if len(gotT2) != len(wantT2) {
+			t.Fatalf("%s: Table2 continents %d/%d", id, len(gotT2), len(wantT2))
+		}
+		for cont, wantCells := range wantT2 {
+			for site, w := range wantCells {
+				g := gotT2[cont][site]
+				if g.SharePct != w.SharePct || g.Queries != w.Queries ||
+					!eqNaN(g.MedianRTT, w.MedianRTT) {
+					t.Errorf("%s: Table2[%v][%s]\n got %+v\nwant %+v", id, cont, site, g, w)
+				}
+			}
+		}
+
+		gotRS, wantRS := a.RTTSensitivity(), RTTSensitivity(ds)
+		if len(gotRS) != len(wantRS) {
+			t.Fatalf("%s: RTTSensitivity lengths %d/%d", id, len(gotRS), len(wantRS))
+		}
+		for i := range gotRS {
+			g, w := gotRS[i], wantRS[i]
+			if g.Continent != w.Continent || g.Site != w.Site || g.Fraction != w.Fraction ||
+				g.VPs != w.VPs || !eqNaN(g.MedianRTT, w.MedianRTT) {
+				t.Errorf("%s: RTTSensitivity[%d]\n got %+v\nwant %+v", id, i, g, w)
+			}
+		}
+
+		for _, site := range ds.Sites {
+			got, want := a.SiteShareByContinent(site), SiteShareByContinent(ds, site)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: SiteShareByContinent(%s)\n got %+v\nwant %+v", id, site, got, want)
+			}
+		}
+
+		if got, want := a.PreferenceHardening(), PreferenceHardening(ds); got != want {
+			t.Errorf("%s: PreferenceHardening\n got %+v\nwant %+v", id, got, want)
+		}
+
+		gw, gs, gn := a.AuthSidePreference(5)
+		ww, ws, wn := AuthSidePreference(ds, 5)
+		if gw != ww || gs != ws || gn != wn {
+			t.Errorf("%s: AuthSidePreference = %v/%v/%d, want %v/%v/%d", id, gw, gs, gn, ww, ws, wn)
+		}
+
+		if len(ds.Sites) == 2 {
+			gWeak, gStrong, gErr := a.PreferenceCI(200, 1)
+			wWeak, wStrong, wErr := PreferenceCI(ds, 200, 1)
+			if gErr != nil || wErr != nil {
+				t.Fatalf("%s: CI errors %v/%v", id, gErr, wErr)
+			}
+			if gWeak != wWeak || gStrong != wStrong {
+				t.Errorf("%s: PreferenceCI = %+v/%+v, want %+v/%+v", id, gWeak, gStrong, wWeak, wStrong)
+			}
+		} else {
+			if _, _, err := a.PreferenceCI(100, 1); err == nil {
+				t.Errorf("%s: PreferenceCI should reject non-pair combos", id)
+			}
+		}
+	}
+}
+
+// TestAggregatorAsRunSink drives the aggregator directly from a
+// streaming run — no dataset ever materialized — and checks it agrees
+// with the wrappers over the equivalent materialized run.
+func TestAggregatorAsRunSink(t *testing.T) {
+	combo, err := measure.CombinationByID("2C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := measure.DefaultRunConfig(combo, 23)
+	pc := cfg.Population
+	pc.NumProbes = 150
+	cfg.Population = pc
+
+	ds, err := measure.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAggregator(AggConfig{ComboID: combo.ID, Sites: combo.Sites, Duration: cfg.Duration})
+	if _, err := measure.RunStream(cfg, a); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.ProbeAll(), ProbeAll(ds); got != want {
+		t.Errorf("ProbeAll from run sink\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.Preference(), Preference(ds); !reflect.DeepEqual(got, want) {
+		t.Errorf("Preference from run sink\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.PreferenceHardening(), PreferenceHardening(ds); got != want {
+		t.Errorf("Hardening from run sink\n got %+v\nwant %+v", got, want)
+	}
+	if a.NumRecords() != len(ds.Records) || a.NumAuthRecords() != len(ds.AuthRecords) {
+		t.Errorf("streamed %d/%d records, want %d/%d",
+			a.NumRecords(), a.NumAuthRecords(), len(ds.Records), len(ds.AuthRecords))
+	}
+	if a.Size() == 0 {
+		t.Error("aggregator retained no state")
+	}
+}
+
+// TestAggregatorCrafted replays the crafted-semantics scenarios
+// through arrival-order streaming.
+func TestAggregatorCrafted(t *testing.T) {
+	ds := craftedDataset([]string{"A", "B"})
+	fast := map[string]float64{"A": 10, "B": 100}
+	addVP(ds, 1, geo.Europe, fast, []string{"A", "A", "B", "A", "A", "A", "A", "A", "A", "B"})
+	addVP(ds, 2, geo.Oceania, fast, []string{"B", "", "B", "A", "B", "B", "B", "B", "B", "B"})
+	addVP(ds, 3, geo.Europe, fast, []string{"A", "B", "A"})
+	addVP(ds, 4, geo.Asia, fast, []string{"A", "", "B", "A", "A", "A", "B", "B", "A", "A", "A", "A"})
+
+	a := AggregatorFor(ds)
+	feedArrivalOrder(a, ds)
+	if got, want := a.ProbeAll(), ProbeAll(ds); got != want {
+		t.Errorf("ProbeAll\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.Preference(), Preference(ds); !reflect.DeepEqual(got, want) {
+		t.Errorf("Preference\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := a.PreferenceHardening(), PreferenceHardening(ds); got != want {
+		t.Errorf("Hardening\n got %+v\nwant %+v", got, want)
+	}
+	shares := a.ShareVsRTT()
+	want := ShareVsRTT(ds)
+	for i := range shares {
+		if shares[i].Queries != want[i].Queries || !eqNaN(shares[i].MedianRTT, want[i].MedianRTT) {
+			t.Errorf("ShareVsRTT[%d] = %+v, want %+v", i, shares[i], want[i])
+		}
+	}
+}
+
+// TestAggregatorBoundedMode checks MaxSamples caps retained samples
+// while keeping medians close, and that it strictly shrinks the state.
+func TestAggregatorBoundedMode(t *testing.T) {
+	ds := dataset(t, "2C")
+	exact := AggregatorFor(ds)
+	feedArrivalOrder(exact, ds)
+
+	bounded := NewAggregator(AggConfig{
+		ComboID: ds.ComboID, Sites: ds.Sites, Duration: ds.Duration,
+		MaxSamples: 128, Seed: 42,
+	})
+	feedArrivalOrder(bounded, ds)
+
+	if bounded.Size() >= exact.Size() {
+		t.Errorf("bounded size %d not below exact %d", bounded.Size(), exact.Size())
+	}
+	eShares, bShares := exact.ShareVsRTT(), bounded.ShareVsRTT()
+	for i := range eShares {
+		// Counts are exact either way; only sampled medians move.
+		if bShares[i].Queries != eShares[i].Queries || bShares[i].Share != eShares[i].Share {
+			t.Errorf("bounded counts drifted: %+v vs %+v", bShares[i], eShares[i])
+		}
+		if e, b := eShares[i].MedianRTT, bShares[i].MedianRTT; !math.IsNaN(e) {
+			if rel := math.Abs(b-e) / math.Max(e, 1); rel > 0.25 {
+				t.Errorf("site %s bounded median %.1f vs exact %.1f", eShares[i].Site, b, e)
+			}
+		}
+	}
+	// Preference is per-VP state, untouched by the sample cap.
+	if !reflect.DeepEqual(bounded.Preference(), exact.Preference()) {
+		t.Error("bounded mode changed the preference result")
+	}
+}
+
+// TestAggregatorMetrics checks the peak-size gauge lands in the
+// registry at Close.
+func TestAggregatorMetrics(t *testing.T) {
+	ds := dataset(t, "2B")
+	reg := obs.NewRegistry()
+	a := NewAggregator(AggConfig{
+		ComboID: ds.ComboID, Sites: ds.Sites, Duration: ds.Duration, Metrics: reg,
+	})
+	feedArrivalOrder(a, ds)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g := reg.Snapshot().Gauge(`analysis_aggregator_peak_size{combo="2B"}`)
+	if g != float64(a.Size()) || g == 0 {
+		t.Errorf("peak gauge = %v, want %d", g, a.Size())
+	}
+}
+
+func TestAggregatorEmpty(t *testing.T) {
+	a := NewAggregator(AggConfig{ComboID: "X", Sites: []string{"FRA"}, Duration: time.Hour})
+	if res := a.ProbeAll(); res.VPs != 0 || res.PercentAll != 0 {
+		t.Errorf("empty ProbeAll = %+v", res)
+	}
+	if res := a.Preference(); res.QualifiedVPs != 0 {
+		t.Errorf("empty Preference = %+v", res)
+	}
+	if _, _, n := a.AuthSidePreference(1); n != 0 {
+		t.Errorf("empty AuthSidePreference resolvers = %d", n)
+	}
+	if a.Size() != 0 {
+		t.Errorf("empty size = %d", a.Size())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankAggMatchesRanks(t *testing.T) {
+	per := map[string]map[string]int{
+		"r1": {"a": 300},
+		"r2": {"a": 100, "b": 50, "c": 40, "d": 30, "e": 20, "f": 60},
+		"r3": {"a": 50, "b": 50, "c": 50, "d": 50, "e": 50, "f": 50, "g": 50, "h": 50, "i": 50, "j": 50},
+		"r4": {"a": 3},
+	}
+	agg := NewRankAgg()
+	total := 0
+	for rec, byServer := range per {
+		for srv, n := range byServer {
+			// Split one count across two observations: they must merge.
+			agg.Observe(rec, srv, n/2)
+			agg.Observe(rec, srv, n-n/2)
+			total += n
+		}
+	}
+	if agg.TotalQueries() != total {
+		t.Errorf("total = %d, want %d", agg.TotalQueries(), total)
+	}
+	if agg.Recursives() != len(per) {
+		t.Errorf("recursives = %d, want %d", agg.Recursives(), len(per))
+	}
+	if got, want := agg.Bands(10, 250), Ranks(per, 10, 250); got != want {
+		t.Errorf("bands\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(agg.PerRecursive(), per) {
+		t.Error("per-recursive pivot differs")
+	}
+}

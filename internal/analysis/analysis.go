@@ -7,8 +7,6 @@
 package analysis
 
 import (
-	"fmt"
-	"math/rand"
 	"sort"
 
 	"ritw/internal/geo"
@@ -110,44 +108,7 @@ type ProbeAllResult struct {
 // answered queries are skipped, mirroring the paper's server-side
 // filter.
 func ProbeAll(ds *measure.Dataset) ProbeAllResult {
-	sites := make(map[string]bool)
-	for _, s := range ds.Sites {
-		sites[s] = true
-	}
-	need := len(sites)
-	var reached []float64
-	all, considered := 0, 0
-	for _, vp := range VPs(ds) {
-		answered := 0
-		seen := make(map[string]bool)
-		reachedAt := -1
-		for i, r := range vp.Records {
-			if !r.OK || r.Site == "" {
-				continue
-			}
-			answered++
-			seen[r.Site] = true
-			if len(seen) == need && reachedAt == -1 {
-				reachedAt = i // index in query order; 0 = first query
-			}
-		}
-		if answered < 5 {
-			continue
-		}
-		considered++
-		if reachedAt >= 0 {
-			all++
-			reached = append(reached, float64(reachedAt)) // queries after the first
-		}
-	}
-	res := ProbeAllResult{ComboID: ds.ComboID, VPs: considered}
-	if considered > 0 {
-		res.PercentAll = 100 * float64(all) / float64(considered)
-	}
-	if b, err := stats.NewBoxPlot(reached); err == nil {
-		res.Box = b
-	}
-	return res
+	return aggregate(ds).ProbeAll()
 }
 
 // SiteShare is one bar of Figure 3: a site's share of all answered
@@ -163,41 +124,7 @@ type SiteShare struct {
 // tally starts once a VP has reached the hot-cache condition (has
 // queried every site at least once).
 func ShareVsRTT(ds *measure.Dataset) []SiteShare {
-	need := len(ds.Sites)
-	counts := make(map[string]int)
-	rtts := make(map[string][]float64)
-	total := 0
-	for _, vp := range VPs(ds) {
-		seen := make(map[string]bool)
-		hot := false
-		for _, r := range vp.Records {
-			if !r.OK || r.Site == "" {
-				continue
-			}
-			if hot {
-				counts[r.Site]++
-				rtts[r.Site] = append(rtts[r.Site], r.RTTms)
-				total++
-			}
-			seen[r.Site] = true
-			if len(seen) == need {
-				hot = true
-			}
-		}
-	}
-	out := make([]SiteShare, 0, need)
-	for _, s := range ds.Sites {
-		ss := SiteShare{
-			Site:      s,
-			Queries:   counts[s],
-			MedianRTT: stats.Median(rtts[s]),
-		}
-		if total > 0 {
-			ss.Share = float64(counts[s]) / float64(total)
-		}
-		out = append(out, ss)
-	}
-	return out
+	return aggregate(ds).ShareVsRTT()
 }
 
 // ContinentSiteShare is one cell pair of Table 2: the share of a
@@ -211,36 +138,7 @@ type ContinentSiteShare struct {
 // Table2 computes the per-continent query distribution and median RTT
 // for each site of a dataset (the paper's Table 2 rows).
 func Table2(ds *measure.Dataset) map[geo.Continent]map[string]ContinentSiteShare {
-	counts := make(map[geo.Continent]map[string]int)
-	rtts := make(map[geo.Continent]map[string][]float64)
-	totals := make(map[geo.Continent]int)
-	for _, r := range ds.Records {
-		if !r.OK || r.Site == "" {
-			continue
-		}
-		if counts[r.Continent] == nil {
-			counts[r.Continent] = make(map[string]int)
-			rtts[r.Continent] = make(map[string][]float64)
-		}
-		counts[r.Continent][r.Site]++
-		rtts[r.Continent][r.Site] = append(rtts[r.Continent][r.Site], r.RTTms)
-		totals[r.Continent]++
-	}
-	out := make(map[geo.Continent]map[string]ContinentSiteShare)
-	for cont, byc := range counts {
-		out[cont] = make(map[string]ContinentSiteShare)
-		for _, site := range ds.Sites {
-			cell := ContinentSiteShare{
-				Queries:   byc[site],
-				MedianRTT: stats.Median(rtts[cont][site]),
-			}
-			if totals[cont] > 0 {
-				cell.SharePct = 100 * float64(byc[site]) / float64(totals[cont])
-			}
-			out[cont][site] = cell
-		}
-	}
-	return out
+	return aggregate(ds).Table2()
 }
 
 // PreferenceResult reproduces Figure 4's preference quantification for
@@ -263,64 +161,7 @@ type PreferenceResult struct {
 // than five answered queries are excluded, as in the paper's
 // middlebox cross-check.
 func Preference(ds *measure.Dataset) PreferenceResult {
-	res := PreferenceResult{
-		ComboID: ds.ComboID,
-		Curves:  make(map[geo.Continent]map[string][]float64),
-	}
-	if len(ds.Sites) != 2 {
-		return res
-	}
-	s0, s1 := ds.Sites[0], ds.Sites[1]
-	weak, strong := 0, 0
-	for _, vp := range VPs(ds) {
-		counts := vp.SiteCounts()
-		n := counts[s0] + counts[s1]
-		if n < 5 {
-			continue
-		}
-		f0 := float64(counts[s0]) / float64(n)
-		if res.Curves[vp.Continent] == nil {
-			res.Curves[vp.Continent] = map[string][]float64{s0: nil, s1: nil}
-		}
-		res.Curves[vp.Continent][s0] = append(res.Curves[vp.Continent][s0], f0)
-		res.Curves[vp.Continent][s1] = append(res.Curves[vp.Continent][s1], 1-f0)
-
-		// The gap is only defined for VPs that measured both sites; a
-		// VP that never reached one site cannot qualify (the paper
-		// quantifies preference by the median RTT difference).
-		if counts[s0] == 0 || counts[s1] == 0 {
-			continue
-		}
-		r0, r1 := vp.MedianRTTTo(s0), vp.MedianRTTTo(s1)
-		gap := r0 - r1
-		if gap < 0 {
-			gap = -gap
-		}
-		if gap < MinRTTGapMs {
-			continue
-		}
-		res.QualifiedVPs++
-		top := f0
-		if 1-f0 > top {
-			top = 1 - f0
-		}
-		if top >= WeakPreference {
-			weak++
-		}
-		if top >= StrongPreference {
-			strong++
-		}
-	}
-	for _, bySite := range res.Curves {
-		for s := range bySite {
-			sort.Sort(sort.Reverse(sort.Float64Slice(bySite[s])))
-		}
-	}
-	if res.QualifiedVPs > 0 {
-		res.WeakFrac = float64(weak) / float64(res.QualifiedVPs)
-		res.StrongFrac = float64(strong) / float64(res.QualifiedVPs)
-	}
-	return res
+	return aggregate(ds).Preference()
 }
 
 // Interval is a bootstrap confidence interval.
@@ -333,49 +174,7 @@ type Interval struct {
 // paper's point estimates do not carry. It resamples the qualified
 // VPs' top-site shares.
 func PreferenceCI(ds *measure.Dataset, rounds int, seed int64) (weak, strong Interval, err error) {
-	if len(ds.Sites) != 2 {
-		return Interval{}, Interval{}, fmt.Errorf("analysis: preference CI needs a two-site dataset")
-	}
-	s0, s1 := ds.Sites[0], ds.Sites[1]
-	var topShares []float64
-	for _, vp := range VPs(ds) {
-		counts := vp.SiteCounts()
-		n := counts[s0] + counts[s1]
-		if n < 5 || counts[s0] == 0 || counts[s1] == 0 {
-			continue
-		}
-		r0, r1 := vp.MedianRTTTo(s0), vp.MedianRTTTo(s1)
-		gap := r0 - r1
-		if gap < 0 {
-			gap = -gap
-		}
-		if gap < MinRTTGapMs {
-			continue
-		}
-		f0 := float64(counts[s0]) / float64(n)
-		top := f0
-		if 1-f0 > top {
-			top = 1 - f0
-		}
-		topShares = append(topShares, top)
-	}
-	if len(topShares) == 0 {
-		return Interval{}, Interval{}, fmt.Errorf("analysis: no qualified VPs")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	wl, wh, err := stats.BootstrapCI(topShares, func(xs []float64) float64 {
-		return stats.Fraction(xs, func(x float64) bool { return x >= WeakPreference })
-	}, 0.95, rounds, rng)
-	if err != nil {
-		return Interval{}, Interval{}, err
-	}
-	sl, sh, err := stats.BootstrapCI(topShares, func(xs []float64) float64 {
-		return stats.Fraction(xs, func(x float64) bool { return x >= StrongPreference })
-	}, 0.95, rounds, rng)
-	if err != nil {
-		return Interval{}, Interval{}, err
-	}
-	return Interval{wl, wh}, Interval{sl, sh}, nil
+	return aggregate(ds).PreferenceCI(rounds, seed)
 }
 
 // RTTSensitivityPoint is one point of Figure 5: a continent's median
@@ -390,51 +189,14 @@ type RTTSensitivityPoint struct {
 
 // RTTSensitivity computes Figure 5 from a two-site dataset.
 func RTTSensitivity(ds *measure.Dataset) []RTTSensitivityPoint {
-	t2 := Table2(ds)
-	vpsPerCont := make(map[geo.Continent]int)
-	for _, vp := range VPs(ds) {
-		vpsPerCont[vp.Continent]++
-	}
-	var out []RTTSensitivityPoint
-	for _, cont := range geo.Continents() {
-		cells, ok := t2[cont]
-		if !ok {
-			continue
-		}
-		for _, site := range ds.Sites {
-			cell := cells[site]
-			out = append(out, RTTSensitivityPoint{
-				Continent: cont,
-				Site:      site,
-				MedianRTT: cell.MedianRTT,
-				Fraction:  cell.SharePct / 100,
-				VPs:       vpsPerCont[cont],
-			})
-		}
-	}
-	return out
+	return aggregate(ds).RTTSensitivity()
 }
 
 // SiteShareByContinent returns the fraction of each continent's
 // answered queries that went to the named site — one curve point of
 // Figure 6 per continent.
 func SiteShareByContinent(ds *measure.Dataset, site string) map[geo.Continent]float64 {
-	counts := make(map[geo.Continent]int)
-	totals := make(map[geo.Continent]int)
-	for _, r := range ds.Records {
-		if !r.OK || r.Site == "" {
-			continue
-		}
-		totals[r.Continent]++
-		if r.Site == site {
-			counts[r.Continent]++
-		}
-	}
-	out := make(map[geo.Continent]float64)
-	for cont, total := range totals {
-		out[cont] = float64(counts[cont]) / float64(total)
-	}
-	return out
+	return aggregate(ds).SiteShareByContinent(site)
 }
 
 // HardeningResult quantifies §4.3's observation that weak preferences
@@ -451,99 +213,14 @@ type HardeningResult struct {
 // PreferenceHardening splits each weak-preference VP's queries at the
 // measurement midpoint and compares its top-site share across halves.
 func PreferenceHardening(ds *measure.Dataset) HardeningResult {
-	if len(ds.Sites) != 2 {
-		return HardeningResult{}
-	}
-	s0 := ds.Sites[0]
-	mid := ds.Duration / 2
-	var res HardeningResult
-	var sum1, sum2 float64
-	for _, vp := range VPs(ds) {
-		counts := vp.SiteCounts()
-		n := counts[s0] + counts[ds.Sites[1]]
-		if n < 10 {
-			continue
-		}
-		f0 := float64(counts[s0]) / float64(n)
-		top := f0
-		topSite := s0
-		if 1-f0 > top {
-			top = 1 - f0
-			topSite = ds.Sites[1]
-		}
-		// Weak but not already strong in aggregate.
-		if top < WeakPreference || top >= 0.95 {
-			continue
-		}
-		h1n, h1t, h2n, h2t := 0, 0, 0, 0
-		for _, r := range vp.Records {
-			if !r.OK || r.Site == "" {
-				continue
-			}
-			if r.SentAt < mid {
-				h1t++
-				if r.Site == topSite {
-					h1n++
-				}
-			} else {
-				h2t++
-				if r.Site == topSite {
-					h2n++
-				}
-			}
-		}
-		if h1t == 0 || h2t == 0 {
-			continue
-		}
-		res.VPs++
-		sum1 += float64(h1n) / float64(h1t)
-		sum2 += float64(h2n) / float64(h2t)
-	}
-	if res.VPs > 0 {
-		res.FirstHalf = sum1 / float64(res.VPs)
-		res.SecondHalf = sum2 / float64(res.VPs)
-	}
-	return res
+	return aggregate(ds).PreferenceHardening()
 }
 
 // AuthSidePreference recomputes the Figure-4 preference curve from the
 // authoritative-side capture, for recursives that sent at least
 // minQueries — the paper's middlebox sanity check (§3.1).
 func AuthSidePreference(ds *measure.Dataset, minQueries int) (weakFrac, strongFrac float64, resolvers int) {
-	perSrc := make(map[string]map[string]int) // src -> site -> count
-	for _, ar := range ds.AuthRecords {
-		key := ar.Src.String()
-		if perSrc[key] == nil {
-			perSrc[key] = make(map[string]int)
-		}
-		perSrc[key][ar.Site]++
-	}
-	weak, strong := 0, 0
-	for _, bySite := range perSrc {
-		total, top := 0, 0
-		for _, n := range bySite {
-			total += n
-			if n > top {
-				top = n
-			}
-		}
-		if total < minQueries {
-			continue
-		}
-		resolvers++
-		frac := float64(top) / float64(total)
-		if frac >= WeakPreference {
-			weak++
-		}
-		if frac >= StrongPreference {
-			strong++
-		}
-	}
-	if resolvers > 0 {
-		weakFrac = float64(weak) / float64(resolvers)
-		strongFrac = float64(strong) / float64(resolvers)
-	}
-	return weakFrac, strongFrac, resolvers
+	return aggregate(ds).AuthSidePreference(minQueries)
 }
 
 // RankBands reproduces Figure 7's headline numbers: among recursives
@@ -561,11 +238,19 @@ type RankBands struct {
 }
 
 // Ranks computes rank bands from per-recursive per-server counts.
+// Recursives are folded in sorted-key order so the float accumulation
+// (MeanTopShare) is bit-stable across runs and map layouts.
 func Ranks(perRecursive map[string]map[string]int, totalServers, minQueries int) RankBands {
 	var rb RankBands
 	only1, ge6, all := 0, 0, 0
 	var topSum float64
-	for _, byServer := range perRecursive {
+	recs := make([]string, 0, len(perRecursive))
+	for rec := range perRecursive {
+		recs = append(recs, rec)
+	}
+	sort.Strings(recs)
+	for _, rec := range recs {
+		byServer := perRecursive[rec]
 		total := 0
 		used := 0
 		top := 0

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+
+	"ritw/internal/analysis"
+)
+
+// benchScale picks the population for the streaming benchmark from
+// RITW_BENCH_SCALE (small, medium, full). The default is small so the
+// CI bench smoke stays cheap; the numbers recorded in BENCH.md come
+// from a full-scale run.
+func benchScale(b *testing.B) Scale {
+	switch s := os.Getenv("RITW_BENCH_SCALE"); s {
+	case "", "small":
+		return ScaleSmall
+	case "medium":
+		return ScaleMedium
+	case "full":
+		return ScaleFull
+	default:
+		b.Fatalf("RITW_BENCH_SCALE=%q, want small|medium|full", s)
+		return 0
+	}
+}
+
+// liveHeap forces a full collection and returns the live heap, so the
+// deltas below count retained bytes, not allocation churn.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+func heapDelta(base uint64) int64 {
+	d := int64(liveHeap()) - int64(base)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// figureSet is what a figure pipeline actually keeps after a run: the
+// computed results, not the raw records.
+type figureSet struct {
+	probeAll  analysis.ProbeAllResult
+	shares    []analysis.SiteShare
+	pref      analysis.PreferenceResult
+	hardening analysis.HardeningResult
+}
+
+// BenchmarkStreamingVsMaterialized compares the peak retained heap of
+// the two record paths while producing the same 2C figures: the
+// materialized path holds the full dataset (every QueryRecord and
+// AuthRecord) until the wrappers finish, while the streaming path
+// holds only the aggregator's per-VP state. The live-MiB metric is the
+// retained-heap delta with the artifacts still referenced.
+func BenchmarkStreamingVsMaterialized(b *testing.B) {
+	scale := benchScale(b)
+	ctx := context.Background()
+
+	b.Run("materialized", func(b *testing.B) {
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			base := liveHeap()
+			ds, err := RunCombinationContext(ctx, "2C", WithSeed(42), WithScale(scale))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := figureSet{
+				probeAll:  analysis.ProbeAll(ds),
+				shares:    analysis.ShareVsRTT(ds),
+				pref:      analysis.Preference(ds),
+				hardening: analysis.PreferenceHardening(ds),
+			}
+			if d := heapDelta(base); d > peak {
+				peak = d
+			}
+			runtime.KeepAlive(ds)
+			runtime.KeepAlive(res)
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "live-MiB")
+	})
+
+	b.Run("streaming", func(b *testing.B) {
+		var peak int64
+		for i := 0; i < b.N; i++ {
+			base := liveHeap()
+			agg, _, err := RunCombinationAggregated(ctx, "2C",
+				analysis.AggConfig{MaxSamples: 1024, Seed: 42},
+				WithSeed(42), WithScale(scale))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := figureSet{
+				probeAll:  agg.ProbeAll(),
+				shares:    agg.ShareVsRTT(),
+				pref:      agg.Preference(),
+				hardening: agg.PreferenceHardening(),
+			}
+			if d := heapDelta(base); d > peak {
+				peak = d
+			}
+			runtime.KeepAlive(agg)
+			runtime.KeepAlive(res)
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "live-MiB")
+	})
+}

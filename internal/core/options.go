@@ -38,6 +38,20 @@ type RunOpts struct {
 	// Progress, if set, is called after every job in a batch finishes.
 	// Calls are serialized by the runner.
 	Progress func(BatchProgress)
+	// SinkFor, if set, supplies a streaming sink per run; records are
+	// pushed into it as they complete instead of (or, without
+	// StreamOnly, in addition to) being materialized. The key is the
+	// run's identity within its batch: the combination ID for Table-1
+	// runs, the interval string for the Figure-6 sweep, and
+	// "<combo>/<index>" for replicates. Each run closes its own sink,
+	// and batch runs call SinkFor concurrently, so it must be safe for
+	// concurrent use and return independent sinks.
+	SinkFor func(key string) measure.Sink
+	// StreamOnly drops record materialization: runs return summary-only
+	// datasets and records exist solely in the SinkFor sinks. This is
+	// the bounded-memory batch mode — peak memory stops scaling with
+	// population size.
+	StreamOnly bool
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -92,6 +106,19 @@ func WithProgress(fn func(BatchProgress)) Option {
 	return func(o *RunOpts) { o.Progress = fn }
 }
 
+// WithSink streams every run's records into the sink f returns for the
+// run's batch key (see RunOpts.SinkFor for the key scheme). f is
+// called once per run, concurrently across a batch.
+func WithSink(f func(key string) measure.Sink) Option {
+	return func(o *RunOpts) { o.SinkFor = f }
+}
+
+// WithStreamOnly stops runs from materializing records; combined with
+// WithSink it is the bounded-memory batch mode.
+func WithStreamOnly(on bool) Option {
+	return func(o *RunOpts) { o.StreamOnly = on }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -110,7 +137,8 @@ func (o RunOpts) parallelism() int {
 
 // runConfig builds the measure.RunConfig for one run of combo at
 // seed offset off (batch entry points space runs by their index).
-func (o RunOpts) runConfig(combo measure.Combination, off int64) measure.RunConfig {
+// key identifies the run to SinkFor.
+func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) measure.RunConfig {
 	seed := o.Seed + off
 	cfg := measure.DefaultRunConfig(combo, seed)
 	pc := atlas.DefaultConfig(seed)
@@ -120,5 +148,9 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64) measure.RunConf
 		cfg.Interval = o.Interval
 	}
 	cfg.Metrics = o.Metrics
+	if o.SinkFor != nil {
+		cfg.Sink = o.SinkFor(key)
+	}
+	cfg.StreamOnly = o.StreamOnly
 	return cfg
 }

@@ -200,7 +200,7 @@ func (r *Runner) Combination(ctx context.Context, comboID string, opts ...Option
 	if err != nil {
 		return nil, err
 	}
-	return measure.RunContext(ctx, o.runConfig(combo, 0))
+	return measure.RunContext(ctx, o.runConfig(combo, 0, combo.ID))
 }
 
 // Table1 executes all seven Table-1 combinations concurrently and
@@ -213,7 +213,7 @@ func (r *Runner) Table1(ctx context.Context, opts ...Option) (map[string]*measur
 	combos := measure.Table1()
 	jobs := make([]Job, len(combos))
 	for i, combo := range combos {
-		cfg := o.runConfig(combo, int64(i))
+		cfg := o.runConfig(combo, int64(i), combo.ID)
 		jobs[i] = Job{Name: "combination " + combo.ID, Run: func(ctx context.Context) (*measure.Dataset, error) {
 			return measure.RunContext(ctx, cfg)
 		}}
@@ -243,7 +243,7 @@ func (r *Runner) IntervalSweep(ctx context.Context, intervals []time.Duration, o
 	}
 	jobs := make([]Job, len(intervals))
 	for i, ivl := range intervals {
-		cfg := o.runConfig(combo, int64(i))
+		cfg := o.runConfig(combo, int64(i), ivl.String())
 		cfg.Interval = ivl
 		jobs[i] = Job{Name: fmt.Sprintf("interval %v", ivl), Run: func(ctx context.Context) (*measure.Dataset, error) {
 			return measure.RunContext(ctx, cfg)
@@ -265,7 +265,7 @@ func (r *Runner) Replicates(ctx context.Context, comboID string, n int, opts ...
 	}
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
-		cfg := o.runConfig(combo, int64(i))
+		cfg := o.runConfig(combo, int64(i), fmt.Sprintf("%s/%d", comboID, i))
 		jobs[i] = Job{Name: fmt.Sprintf("%s replicate %d", comboID, i), Run: func(ctx context.Context) (*measure.Dataset, error) {
 			return measure.RunContext(ctx, cfg)
 		}}

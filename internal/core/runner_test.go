@@ -201,7 +201,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.parallelism() != 3 {
 		t.Errorf("parallelism = %d, want 3", o.parallelism())
 	}
-	cfg := NewRunOpts(WithSeed(7), WithInterval(9*time.Minute)).runConfig(measure.Combination{ID: "2B", Sites: []string{"DUB", "FRA"}}, 2)
+	cfg := NewRunOpts(WithSeed(7), WithInterval(9*time.Minute)).runConfig(measure.Combination{ID: "2B", Sites: []string{"DUB", "FRA"}}, 2, "2B")
 	if cfg.Seed != 9 {
 		t.Errorf("runConfig seed = %d, want base+offset = 9", cfg.Seed)
 	}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"io"
+	"net/netip"
+	"time"
+
+	"ritw/internal/analysis"
+	"ritw/internal/ditl"
+	"ritw/internal/measure"
+)
+
+// RunCombinationAggregated runs one Table-1 combination in stream-only
+// mode straight into an analysis aggregator: the record slices are
+// never materialized, so peak memory is bounded by the aggregator's
+// per-VP state rather than the population's query volume. The returned
+// dataset is summary-only (ActiveProbes, sites, duration).
+func RunCombinationAggregated(ctx context.Context, comboID string, aggCfg analysis.AggConfig, opts ...Option) (*analysis.Aggregator, *measure.Dataset, error) {
+	combo, err := measure.CombinationByID(comboID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if aggCfg.ComboID == "" {
+		aggCfg.ComboID = combo.ID
+	}
+	if aggCfg.Sites == nil {
+		aggCfg.Sites = combo.Sites
+	}
+	o := NewRunOpts(opts...)
+	cfg := o.runConfig(combo, 0, combo.ID)
+	if aggCfg.Duration == 0 {
+		aggCfg.Duration = cfg.Duration
+	}
+	if aggCfg.Metrics == nil {
+		aggCfg.Metrics = o.Metrics
+	}
+	agg := analysis.NewAggregator(aggCfg)
+	summary, err := measure.RunStreamContext(ctx, cfg, agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agg, summary, nil
+}
+
+// TraceStream is the result of a streaming Figure-7 capture: the trace
+// summary (count tables discarded), the rank aggregator the capture fed
+// record by record, and the bands at the figure's query threshold.
+type TraceStream struct {
+	Trace *ditl.Trace
+	Agg   *analysis.RankAgg
+	Bands analysis.RankBands
+}
+
+// runTraceStream synthesizes a production trace with counts discarded,
+// folding the capture into a rank aggregator as it happens.
+func runTraceStream(cfg ditl.Config, minQueries int) (*TraceStream, error) {
+	agg := analysis.NewRankAgg()
+	cfg.DiscardCounts = true
+	prev := cfg.Recorder
+	cfg.Recorder = func(server string, src netip.Addr, at time.Duration) {
+		agg.Observe(src.String(), server, 1)
+		if prev != nil {
+			prev(server, src, at)
+		}
+	}
+	trace, err := ditl.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceStream{
+		Trace: trace,
+		Agg:   agg,
+		Bands: agg.Bands(len(trace.Observed), minQueries),
+	}, nil
+}
+
+// RunRootTraceStream is the streaming variant of RunRootTrace: the
+// capture feeds a rank aggregator directly and the count table is
+// never built. The returned trace carries only the capture summary.
+// Bands are identical to RunRootTrace's at the same seed.
+func RunRootTraceStream(seed int64, scale Scale) (*TraceStream, error) {
+	cfg := ditl.DefaultRootConfig(seed)
+	cfg.NumRecursives = scale.Probes() / 8
+	cfg.MinRate = 60
+	return runTraceStream(cfg, 250)
+}
+
+// RunNLTraceStream is the streaming variant of RunNLTrace.
+func RunNLTraceStream(seed int64, scale Scale) (*TraceStream, error) {
+	cfg := ditl.DefaultNLConfig(seed)
+	cfg.NumRecursives = scale.Probes() / 8
+	cfg.MinRate = 60
+	return runTraceStream(cfg, 125)
+}
+
+// RanksFromTraceCSV streams a trace CSV (ditl.WriteCSV's format) into
+// the Figure-7 rank analysis without materializing the trace.
+// totalServers <= 0 uses the number of distinct servers in the file.
+func RanksFromTraceCSV(r io.Reader, totalServers, minQueries int) (analysis.RankBands, error) {
+	agg := analysis.NewRankAgg()
+	servers := make(map[string]bool)
+	err := ditl.StreamCSV(r, func(server, rec string, n int) error {
+		servers[server] = true
+		agg.Observe(rec, server, n)
+		return nil
+	})
+	if err != nil {
+		return analysis.RankBands{}, err
+	}
+	if totalServers <= 0 {
+		totalServers = len(servers)
+	}
+	return agg.Bands(totalServers, minQueries), nil
+}

@@ -34,30 +34,48 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// StreamCSV reads a trace previously written with WriteCSV row by row,
+// calling fn for each (server, recursive, count) triple without ever
+// materializing the trace. A non-nil error from fn aborts the scan.
+func StreamCSV(r io.Reader, fn func(server, recursive string, queries int) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // field-count errors reported per row below
+	hdr, err := cr.Read()
+	if err == io.EOF {
+		return fmt.Errorf("ditl: empty trace file")
+	}
+	if err != nil {
+		return err
+	}
+	if len(hdr) != 3 || hdr[0] != "server" {
+		return fmt.Errorf("ditl: unexpected header %v", hdr)
+	}
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if len(rec) != 3 {
+			return fmt.Errorf("ditl: row %d has %d fields", row, len(rec))
+		}
+		n, err := strconv.Atoi(rec[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf("ditl: row %d bad count %q", row, rec[2])
+		}
+		if err := fn(rec[0], rec[1], n); err != nil {
+			return err
+		}
+	}
+}
+
 // ReadCSV parses a trace previously written with WriteCSV.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("ditl: empty trace file")
-	}
-	if len(rows[0]) != 3 || rows[0][0] != "server" {
-		return nil, fmt.Errorf("ditl: unexpected header %v", rows[0])
-	}
 	t := &Trace{Counts: make(map[string]map[string]int)}
 	seen := make(map[string]bool)
-	for i, row := range rows[1:] {
-		if len(row) != 3 {
-			return nil, fmt.Errorf("ditl: row %d has %d fields", i+2, len(row))
-		}
-		n, err := strconv.Atoi(row[2])
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("ditl: row %d bad count %q", i+2, row[2])
-		}
-		server, rec := row[0], row[1]
+	err := StreamCSV(r, func(server, rec string, n int) error {
 		if !seen[server] {
 			seen[server] = true
 			t.Observed = append(t.Observed, server)
@@ -65,6 +83,10 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		t.Counts[server][rec] += n
 		t.TotalQueries += n
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Recursives = len(t.PerRecursive())
 	return t, nil

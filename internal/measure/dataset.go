@@ -2,6 +2,7 @@ package measure
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -14,33 +15,28 @@ import (
 	"ritw/internal/geo"
 )
 
+// meta snapshots the dataset's summary fields for the tagged JSONL
+// line and for sinks.
+func (d *Dataset) meta() Meta {
+	return Meta{
+		ComboID:      d.ComboID,
+		Sites:        d.Sites,
+		Interval:     d.Interval,
+		Duration:     d.Duration,
+		ActiveProbes: d.ActiveProbes,
+		SiteAddr:     d.SiteAddr,
+	}
+}
+
 // WriteCSV emits the client-side records in the spirit of the paper's
-// published datasets: one row per probe query.
+// published datasets: one row per probe query. It is the materialized
+// twin of CSVSink and produces identical bytes.
 func (d *Dataset) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := []string{"combo", "probe", "resolver", "vp", "continent", "seq", "sent_ms", "rtt_ms", "site", "ok"}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
+	s := NewCSVSink(w, d.ComboID)
 	for _, r := range d.Records {
-		row := []string{
-			d.ComboID,
-			strconv.Itoa(r.ProbeID),
-			r.Resolver.String(),
-			r.VPKey,
-			r.Continent.String(),
-			strconv.Itoa(r.Seq),
-			strconv.FormatInt(int64(r.SentAt/time.Millisecond), 10),
-			strconv.FormatFloat(r.RTTms, 'f', 3, 64),
-			r.Site,
-			strconv.FormatBool(r.OK),
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+		s.OnQuery(r)
 	}
-	cw.Flush()
-	return cw.Error()
+	return s.Close()
 }
 
 // ReadCSV parses a dataset previously exported with WriteCSV, enabling
@@ -141,29 +137,177 @@ type jsonRecord struct {
 	OK        bool    `json:"ok"`
 }
 
-// WriteJSONL emits one JSON object per line, the other format the
-// measurement community expects.
+func queryJSON(comboID string, r QueryRecord) jsonRecord {
+	return jsonRecord{
+		Combo:     comboID,
+		Probe:     r.ProbeID,
+		Resolver:  r.Resolver.String(),
+		VP:        r.VPKey,
+		Continent: r.Continent.String(),
+		Seq:       r.Seq,
+		SentMs:    int64(r.SentAt / time.Millisecond),
+		RTTms:     r.RTTms,
+		Site:      r.Site,
+		OK:        r.OK,
+	}
+}
+
+// jsonMeta is the tagged dataset-summary JSONL line.
+type jsonMeta struct {
+	Combo        string            `json:"combo"`
+	Sites        []string          `json:"sites,omitempty"`
+	IntervalMs   int64             `json:"interval_ms"`
+	DurationMs   int64             `json:"duration_ms"`
+	ActiveProbes int               `json:"active_probes"`
+	SiteAddr     map[string]string `json:"site_addr,omitempty"`
+}
+
+// jsonAuth is the tagged server-side capture JSONL line.
+type jsonAuth struct {
+	Site  string `json:"site"`
+	Src   string `json:"src"`
+	QName string `json:"qname"`
+	AtNs  int64  `json:"at_ns"`
+}
+
+// jsonLine is a tagged (non-query) JSONL line on output.
+type jsonLine struct {
+	Dataset *jsonMeta `json:"dataset,omitempty"`
+	Auth    *jsonAuth `json:"auth,omitempty"`
+}
+
+// jsonLineIn decodes any JSONL line: tagged summary/auth lines carry
+// their discriminating key, everything else is a flat query record.
+type jsonLineIn struct {
+	Dataset *jsonMeta `json:"dataset"`
+	Auth    *jsonAuth `json:"auth"`
+	jsonRecord
+}
+
+// WriteJSONL emits the dataset as JSON lines, the other format the
+// measurement community expects: one tagged summary line (carrying
+// sites, interval, duration, probe count and site addresses), then one
+// flat object per query record, then one tagged line per auth record.
+// The output round-trips through ReadJSONL.
 func (d *Dataset) WriteJSONL(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	s := NewJSONLSink(w, d.ComboID)
+	s.OnMeta(d.meta())
 	for _, r := range d.Records {
-		jr := jsonRecord{
-			Combo:     d.ComboID,
-			Probe:     r.ProbeID,
-			Resolver:  r.Resolver.String(),
-			VP:        r.VPKey,
-			Continent: r.Continent.String(),
-			Seq:       r.Seq,
-			SentMs:    int64(r.SentAt / time.Millisecond),
-			RTTms:     r.RTTms,
-			Site:      r.Site,
-			OK:        r.OK,
+		s.OnQuery(r)
+	}
+	for _, a := range d.AuthRecords {
+		s.OnAuth(a)
+	}
+	return s.Close()
+}
+
+// ReadJSONL parses a dataset exported with WriteJSONL (or streamed by
+// a JSONLSink). The tagged summary line restores the fields a CSV
+// round-trip loses — interval, site list, site addresses — and auth
+// lines restore the server-side capture. Plain record streams without
+// a summary line are accepted too; summary fields are then
+// reconstructed from the records as ReadCSV does.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	ds := &Dataset{SiteAddr: map[string]netip.Addr{}}
+	sawMeta := false
+	sites := map[string]bool{}
+	var maxSent time.Duration
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		if err := enc.Encode(jr); err != nil {
-			return err
+		var jl jsonLineIn
+		if err := json.Unmarshal(line, &jl); err != nil {
+			return nil, fmt.Errorf("measure: jsonl line %d: %w", lineNo, err)
+		}
+		switch {
+		case jl.Dataset != nil:
+			m := jl.Dataset
+			sawMeta = true
+			ds.ComboID = m.Combo
+			ds.Sites = append([]string(nil), m.Sites...)
+			ds.Interval = time.Duration(m.IntervalMs) * time.Millisecond
+			ds.Duration = time.Duration(m.DurationMs) * time.Millisecond
+			ds.ActiveProbes = m.ActiveProbes
+			for code, s := range m.SiteAddr {
+				addr, err := netip.ParseAddr(s)
+				if err != nil {
+					return nil, fmt.Errorf("measure: jsonl line %d site %s: %w", lineNo, code, err)
+				}
+				ds.SiteAddr[code] = addr
+			}
+		case jl.Auth != nil:
+			src, err := netip.ParseAddr(jl.Auth.Src)
+			if err != nil {
+				return nil, fmt.Errorf("measure: jsonl line %d auth src: %w", lineNo, err)
+			}
+			ds.AuthRecords = append(ds.AuthRecords, AuthRecord{
+				Site:  jl.Auth.Site,
+				Src:   src,
+				QName: jl.Auth.QName,
+				At:    time.Duration(jl.Auth.AtNs),
+			})
+		default:
+			jr := jl.jsonRecord
+			rec := QueryRecord{
+				ProbeID: jr.Probe,
+				VPKey:   jr.VP,
+				Seq:     jr.Seq,
+				SentAt:  time.Duration(jr.SentMs) * time.Millisecond,
+				RTTms:   jr.RTTms,
+				Site:    jr.Site,
+				OK:      jr.OK,
+			}
+			if jr.Resolver != "" {
+				addr, err := netip.ParseAddr(jr.Resolver)
+				if err != nil {
+					return nil, fmt.Errorf("measure: jsonl line %d resolver: %w", lineNo, err)
+				}
+				rec.Resolver = addr
+			}
+			if jr.Continent != "" {
+				cont, err := geo.ParseContinent(jr.Continent)
+				if err != nil {
+					return nil, fmt.Errorf("measure: jsonl line %d: %w", lineNo, err)
+				}
+				rec.Continent = cont
+			}
+			if ds.ComboID == "" {
+				ds.ComboID = jr.Combo
+			}
+			if rec.SentAt > maxSent {
+				maxSent = rec.SentAt
+			}
+			if rec.Site != "" {
+				sites[rec.Site] = true
+			}
+			ds.Records = append(ds.Records, rec)
 		}
 	}
-	return bw.Flush()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lineNo == 0 {
+		return nil, fmt.Errorf("measure: empty jsonl input")
+	}
+	if !sawMeta {
+		for s := range sites {
+			ds.Sites = append(ds.Sites, s)
+		}
+		sort.Strings(ds.Sites)
+		ds.Duration = maxSent.Truncate(time.Minute) + time.Minute
+		probes := map[int]bool{}
+		for _, rec := range ds.Records {
+			probes[rec.ProbeID] = true
+		}
+		ds.ActiveProbes = len(probes)
+	}
+	return ds, nil
 }
 
 // Summary prints the Table-1-style row for this run.
@@ -177,11 +321,4 @@ func (d *Dataset) Summary() string {
 	return fmt.Sprintf("%s sites=%v probes=%d queries=%d answered=%d (%.1f%%)",
 		d.ComboID, d.Sites, d.ActiveProbes, len(d.Records), ok,
 		100*float64(ok)/float64(max(1, len(d.Records))))
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

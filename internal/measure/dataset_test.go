@@ -65,3 +65,90 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestDatasetJSONLRoundTrip(t *testing.T) {
+	ds := smallRun(t, "2C", 120, 9)
+	var buf bytes.Buffer
+	if err := ds.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tagged summary line restores what a CSV round-trip loses.
+	if got.ComboID != ds.ComboID || got.Interval != ds.Interval ||
+		got.Duration != ds.Duration || got.ActiveProbes != ds.ActiveProbes {
+		t.Errorf("summary fields differ: %+v vs %+v", got.meta(), ds.meta())
+	}
+	if len(got.Sites) != len(ds.Sites) {
+		t.Fatalf("sites = %v, want %v", got.Sites, ds.Sites)
+	}
+	for i := range got.Sites {
+		if got.Sites[i] != ds.Sites[i] {
+			t.Fatalf("sites = %v, want %v", got.Sites, ds.Sites)
+		}
+	}
+	// SiteAddr round-trips exactly.
+	if len(got.SiteAddr) != len(ds.SiteAddr) {
+		t.Fatalf("site addrs = %v, want %v", got.SiteAddr, ds.SiteAddr)
+	}
+	for code, addr := range ds.SiteAddr {
+		if got.SiteAddr[code] != addr {
+			t.Errorf("site %s addr = %v, want %v", code, got.SiteAddr[code], addr)
+		}
+	}
+	// Query records: fidelity modulo the millisecond send timestamp.
+	if len(got.Records) != len(ds.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(ds.Records))
+	}
+	for i := range got.Records {
+		g, w := got.Records[i], ds.Records[i]
+		if g.ProbeID != w.ProbeID || g.Resolver != w.Resolver || g.VPKey != w.VPKey ||
+			g.Continent != w.Continent || g.Seq != w.Seq || g.RTTms != w.RTTms ||
+			g.Site != w.Site || g.OK != w.OK {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, g, w)
+		}
+		if d := g.SentAt - w.SentAt; d < -time.Millisecond || d > time.Millisecond {
+			t.Fatalf("record %d sent time off by %v", i, d)
+		}
+	}
+	// Auth records round-trip exactly (nanosecond timestamps).
+	if len(got.AuthRecords) != len(ds.AuthRecords) {
+		t.Fatalf("auth records = %d, want %d", len(got.AuthRecords), len(ds.AuthRecords))
+	}
+	for i := range got.AuthRecords {
+		if got.AuthRecords[i] != ds.AuthRecords[i] {
+			t.Fatalf("auth record %d differs:\n got %+v\nwant %+v",
+				i, got.AuthRecords[i], ds.AuthRecords[i])
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{not json}\n",
+		`{"auth":{"site":"FRA","src":"notanip","qname":"q","at_ns":1}}` + "\n",
+		`{"dataset":{"combo":"2B","site_addr":{"FRA":"notanip"}}}` + "\n",
+		`{"combo":"2B","resolver":"notanip","vp":"v"}` + "\n",
+		`{"combo":"2B","resolver":"1.2.3.4","vp":"v","continent":"XX"}` + "\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadJSONL(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// A bare record stream (no summary line) is reconstructed like CSV.
+	bare := `{"combo":"2B","probe":1,"resolver":"1.2.3.4","vp":"1/1.2.3.4","continent":"EU","seq":0,"sent_ms":60000,"rtt_ms":12.5,"site":"FRA","ok":true}` + "\n"
+	ds, err := ReadJSONL(strings.NewReader(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ComboID != "2B" || ds.ActiveProbes != 1 || len(ds.Sites) != 1 || ds.Sites[0] != "FRA" {
+		t.Errorf("bare stream reconstruction = %+v", ds.meta())
+	}
+	if ds.Duration != 2*time.Minute {
+		t.Errorf("duration = %v", ds.Duration)
+	}
+}

@@ -41,6 +41,11 @@ type OpenResolverConfig struct {
 	ClientTimeout time.Duration
 	// Metrics aggregates obs counters like RunConfig.Metrics.
 	Metrics *obs.Registry
+	// Sink and StreamOnly mirror RunConfig: records stream into Sink
+	// as they complete, and StreamOnly keeps them out of the returned
+	// Dataset.
+	Sink       Sink
+	StreamOnly bool
 }
 
 // DefaultOpenResolverConfig returns a paper-compatible scan setup.
@@ -101,8 +106,11 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 		Duration: cfg.Duration,
 		SiteAddr: make(map[string]netip.Addr),
 	}
-	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds, cfg.Metrics)
+	sink := streamTarget(ds, RunConfig{Sink: cfg.Sink, StreamOnly: cfg.StreamOnly})
+	emit, emitAuth := instrumentedEmit(sink, cfg.Metrics)
+	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds.SiteAddr, emitAuth, cfg.Metrics)
 	if err != nil {
+		sink.Close()
 		return nil, err
 	}
 
@@ -181,7 +189,7 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 				rec.Site = trimSitePrefix(txt.Joined())
 			}
 		}
-		ds.Records = append(ds.Records, *rec)
+		emit(*rec)
 	})
 
 	nextID := uint16(0)
@@ -227,7 +235,7 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 					if r, still := pending[pendingKey(id)]; still && r == rec {
 						delete(pending, pendingKey(id))
 						rec.RTTms = float64(cfg.ClientTimeout) / float64(time.Millisecond)
-						ds.Records = append(ds.Records, *rec)
+						emit(*rec)
 					}
 				})
 			})
@@ -235,9 +243,10 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 	}
 	ds.ActiveProbes = len(targets)
 	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		sink.Close()
 		return nil, err
 	}
-	return ds, nil
+	return ds, finishSink(sink, ds.meta())
 }
 
 // trimSitePrefix strips the "site=" marker from an identity TXT.

@@ -110,6 +110,18 @@ type RunConfig struct {
 	// wins noise — see resolver.InfraCache.SetMetrics). Purely
 	// observational: datasets stay byte-identical for a given seed.
 	Metrics *obs.Registry
+	// Sink, if set, receives every QueryRecord and AuthRecord the
+	// moment it completes, in addition to (or, with StreamOnly,
+	// instead of) the returned Dataset's slices. The run owns the sink
+	// and closes it once the simulation finishes — also on error, so
+	// writer sinks always flush.
+	Sink Sink
+	// StreamOnly suppresses record materialization: the returned
+	// Dataset carries only the summary fields (combo, sites, interval,
+	// duration, active probes, site addresses) and records flow solely
+	// through Sink. This bounds a run's memory by the sink's state
+	// instead of the record count.
+	StreamOnly bool
 }
 
 // Outage describes a site failure window within a run.
@@ -139,6 +151,24 @@ func DefaultRunConfig(combo Combination, seed int64) RunConfig {
 // wrapper around RunContext for callers that never cancel.
 func Run(cfg RunConfig) (*Dataset, error) {
 	return RunContext(context.Background(), cfg)
+}
+
+// RunStream executes one measurement pushing every record into sink
+// and never materializing them: the returned Dataset holds summary
+// fields only. It is the context-free wrapper around RunStreamContext.
+func RunStream(cfg RunConfig, sink Sink) (*Dataset, error) {
+	return RunStreamContext(context.Background(), cfg, sink)
+}
+
+// RunStreamContext is RunContext in stream-only mode: records flow
+// through sink as they complete and the returned Dataset carries only
+// the run summary. The record sequence each vantage point observes is
+// identical to the materialized path's, so aggregator sinks reproduce
+// the slice-based analyses exactly.
+func RunStreamContext(ctx context.Context, cfg RunConfig, sink Sink) (*Dataset, error) {
+	cfg.Sink = sink
+	cfg.StreamOnly = true
+	return RunContext(ctx, cfg)
 }
 
 // RunContext executes one measurement and returns the dataset. The
@@ -183,20 +213,25 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 		Duration: cfg.Duration,
 		SiteAddr: make(map[string]netip.Addr),
 	}
+	sink := streamTarget(ds, cfg)
+	emit, emitAuth := instrumentedEmit(sink, cfg.Metrics)
 
 	// Authoritative sites, one per Table-1 datacenter.
-	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds, cfg.Metrics)
+	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds.SiteAddr, emitAuth, cfg.Metrics)
 	if err != nil {
+		sink.Close()
 		return nil, err
 	}
 
 	if cfg.Outage != nil {
 		host, ok := authHosts[cfg.Outage.Site]
 		if !ok {
+			sink.Close()
 			return nil, fmt.Errorf("measure: outage site %q not in combination %s",
 				cfg.Outage.Site, cfg.Combo.ID)
 		}
 		if cfg.Outage.End <= cfg.Outage.Start {
+			sink.Close()
 			return nil, fmt.Errorf("measure: outage window [%v, %v) is empty",
 				cfg.Outage.Start, cfg.Outage.End)
 		}
@@ -277,7 +312,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 					rec.Site = strings.TrimPrefix(txt.Joined(), "site=")
 				}
 			}
-			ds.Records = append(ds.Records, *rec)
+			emit(*rec)
 		})
 
 		// Query schedule: random phase, then fixed cadence.
@@ -325,7 +360,7 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 				if r, still := prt.pending[id]; still && r == rec {
 					delete(prt.pending, id)
 					rec.RTTms = float64(cfg.ClientTimeout) / float64(time.Millisecond)
-					ds.Records = append(ds.Records, *rec)
+					emit(*rec)
 				}
 			})
 			seq++
@@ -336,14 +371,58 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	ds.ActiveProbes = active
 
 	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		sink.Close()
 		return nil, err
 	}
-	return ds, nil
+	return ds, finishSink(sink, ds.meta())
 }
 
-// buildAuthSites deploys one authoritative per combination site and
-// wires the server-side capture into ds.
-func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, ds *Dataset, metrics *obs.Registry) ([]netip.Addr, map[string]*netsim.Host, error) {
+// streamTarget picks where a run's records go: the dataset itself, the
+// configured sink, or both via a tee. The returned sink always carries
+// ds's metadata through OnMeta, even in stream-only mode, so the
+// summary Dataset a streaming run returns is fully populated.
+func streamTarget(ds *Dataset, cfg RunConfig) Sink {
+	switch {
+	case cfg.Sink == nil && !cfg.StreamOnly:
+		return ds
+	case cfg.Sink == nil:
+		return Discard
+	case cfg.StreamOnly:
+		return cfg.Sink
+	default:
+		return Tee(ds, cfg.Sink)
+	}
+}
+
+// instrumentedEmit wraps the sink's methods with the streamed-record
+// counters. With a nil registry the counters are no-ops.
+func instrumentedEmit(sink Sink, reg *obs.Registry) (func(QueryRecord), func(AuthRecord)) {
+	queries := reg.Counter("measure_records_streamed_total")
+	auths := reg.Counter("measure_auth_records_streamed_total")
+	return func(r QueryRecord) {
+			queries.Inc()
+			sink.OnQuery(r)
+		}, func(a AuthRecord) {
+			auths.Inc()
+			sink.OnAuth(a)
+		}
+}
+
+// finishSink delivers the run summary to meta-aware sinks and closes.
+func finishSink(sink Sink, m Meta) error {
+	if ms, ok := sink.(MetaSink); ok {
+		ms.OnMeta(m)
+	}
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("measure: closing sink: %w", err)
+	}
+	return nil
+}
+
+// buildAuthSites deploys one authoritative per combination site,
+// records each site's address in siteAddr, and streams the
+// server-side capture through onAuth.
+func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, siteAddr map[string]netip.Addr, onAuth func(AuthRecord), metrics *obs.Registry) ([]netip.Addr, map[string]*netsim.Host, error) {
 	authAddrs := make([]netip.Addr, 0, len(combo.Sites))
 	authHosts := make(map[string]*netsim.Host, len(combo.Sites))
 	for _, code := range combo.Sites {
@@ -361,7 +440,7 @@ func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combinatio
 			Zones:    []*zone.Zone{z},
 			Identity: strings.ToLower(code) + "." + TestDomain.String(),
 			OnQuery: func(qi authserver.QueryInfo) {
-				ds.AuthRecords = append(ds.AuthRecords, AuthRecord{
+				onAuth(AuthRecord{
 					Site:  code,
 					Src:   qi.Src,
 					QName: qi.Question.Name.Key(),
@@ -373,7 +452,7 @@ func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combinatio
 		simbind.BindAuth(host, eng)
 		authAddrs = append(authAddrs, host.Addr)
 		authHosts[code] = host
-		ds.SiteAddr[code] = host.Addr
+		siteAddr[code] = host.Addr
 	}
 	return authAddrs, authHosts, nil
 }

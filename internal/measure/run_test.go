@@ -246,11 +246,15 @@ func TestDatasetWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 	jl := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
-	if len(jl) != len(ds.Records) {
-		t.Errorf("jsonl lines = %d, want %d", len(jl), len(ds.Records))
+	// One tagged summary line, one per query record, one per auth record.
+	if want := 1 + len(ds.Records) + len(ds.AuthRecords); len(jl) != want {
+		t.Errorf("jsonl lines = %d, want %d", len(jl), want)
 	}
-	if !strings.Contains(jl[0], `"combo":"2B"`) {
-		t.Errorf("jsonl first line = %q", jl[0])
+	if !strings.Contains(jl[0], `"combo":"2B"`) || !strings.Contains(jl[0], `"dataset"`) {
+		t.Errorf("jsonl summary line = %q", jl[0])
+	}
+	if !strings.Contains(jl[1], `"combo":"2B"`) || strings.Contains(jl[1], `"dataset"`) {
+		t.Errorf("jsonl first record line = %q", jl[1])
 	}
 	if s := ds.Summary(); !strings.Contains(s, "2B") {
 		t.Errorf("summary = %q", s)

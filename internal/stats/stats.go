@@ -52,6 +52,45 @@ func percentileSorted(sorted []float64, p float64) float64 {
 // Median returns the median of xs, NaN for empty input.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
+// Summary is a sorted view of a sample: one sort up front, then any
+// number of Percentile/Median calls without re-sorting. Use it when the
+// same sample is probed at several ranks (box plots, aggregator
+// finalization); Percentile/Median on raw slices re-sort per call.
+type Summary struct {
+	sorted []float64
+}
+
+// NewSummary copies and sorts xs once. An empty sample is allowed; its
+// percentiles are NaN, matching Percentile on an empty slice.
+func NewSummary(xs []float64) Summary {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{sorted: sorted}
+}
+
+// SummaryOfSorted wraps an already-sorted slice without copying. The
+// caller promises not to mutate xs afterwards.
+func SummaryOfSorted(xs []float64) Summary { return Summary{sorted: xs} }
+
+// Percentile returns the p-th percentile of the summarized sample,
+// identical to Percentile(xs, p) on the original sample.
+func (s Summary) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(s.sorted, p)
+}
+
+// Median returns the median of the summarized sample.
+func (s Summary) Median() float64 { return s.Percentile(50) }
+
+// N returns the number of samples behind the summary.
+func (s Summary) N() int { return len(s.sorted) }
+
 // Mean returns the arithmetic mean of xs, NaN for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -118,21 +157,20 @@ type BoxPlot struct {
 	P90    float64 // upper whisker
 }
 
-// NewBoxPlot computes a BoxPlot summary for xs.
+// NewBoxPlot computes a BoxPlot summary for xs. It sorts once via
+// Summary and reads all five ranks off the sorted view.
 func NewBoxPlot(xs []float64) (BoxPlot, error) {
 	if len(xs) == 0 {
 		return BoxPlot{}, ErrNoSamples
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	s := NewSummary(xs)
 	return BoxPlot{
-		N:      len(xs),
-		P10:    percentileSorted(sorted, 10),
-		Q1:     percentileSorted(sorted, 25),
-		Median: percentileSorted(sorted, 50),
-		Q3:     percentileSorted(sorted, 75),
-		P90:    percentileSorted(sorted, 90),
+		N:      s.N(),
+		P10:    s.Percentile(10),
+		Q1:     s.Percentile(25),
+		Median: s.Median(),
+		Q3:     s.Percentile(75),
+		P90:    s.Percentile(90),
 	}, nil
 }
 

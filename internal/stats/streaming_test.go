@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSummaryMatchesBatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 40
+	}
+	s := NewSummary(xs)
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
+		if got, want := s.Percentile(p), Percentile(xs, p); got != want {
+			t.Errorf("p%.0f: summary %v != batch %v", p, got, want)
+		}
+	}
+	if s.Median() != Median(xs) {
+		t.Error("summary median diverges")
+	}
+	if s.N() != len(xs) {
+		t.Errorf("N = %d", s.N())
+	}
+	if !math.IsNaN(NewSummary(nil).Median()) {
+		t.Error("empty summary should yield NaN")
+	}
+}
+
+func TestBoxPlotUnchangedBySummaryRefactor(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 9 || b.Median != 5 || b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("box plot = %+v", b)
+	}
+	if b.P10 != Percentile(xs, 10) || b.P90 != Percentile(xs, 90) {
+		t.Errorf("whiskers diverge from Percentile: %+v", b)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.Float64()*200 - 50
+		r.Observe(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if d := math.Abs(r.Mean() - Mean(xs)); d > 1e-9 {
+		t.Errorf("mean diverges by %v", d)
+	}
+	if d := math.Abs(r.Stddev() - Stddev(xs)); d > 1e-9 {
+		t.Errorf("stddev diverges by %v", d)
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Errorf("extrema diverge: [%v, %v]", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Stddev()) || !math.IsNaN(r.Min()) {
+		t.Error("empty Running should yield NaN")
+	}
+}
+
+func TestQuantileSketchExactMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 400)
+	q := NewQuantileSketch(0, 1) // no cap: exact forever
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 30
+		q.Observe(xs[i])
+	}
+	if !q.Exact() {
+		t.Fatal("uncapped sketch should stay exact")
+	}
+	for _, p := range []float64{10, 50, 90} {
+		if got, want := q.Quantile(p), Percentile(xs, p); got != want {
+			t.Errorf("p%.0f: sketch %v != batch %v", p, got, want)
+		}
+	}
+	// Below the cap a bounded sketch is exact too.
+	qb := NewQuantileSketch(1000, 1)
+	for _, x := range xs {
+		qb.Observe(x)
+	}
+	if !qb.Exact() || qb.Median() != Median(xs) {
+		t.Error("under-cap sketch should be exact")
+	}
+}
+
+func TestQuantileSketchBoundedMode(t *testing.T) {
+	const cap, n = 256, 20000
+	q := NewQuantileSketch(cap, 42)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		q.Observe(rng.Float64() * 100) // uniform on [0, 100)
+	}
+	if q.Retained() != cap {
+		t.Fatalf("retained %d, want cap %d", q.Retained(), cap)
+	}
+	if q.Exact() {
+		t.Fatal("over-cap sketch must not claim exactness")
+	}
+	if q.N() != n {
+		t.Fatalf("N = %d", q.N())
+	}
+	// A uniform stream's sampled median lands near 50.
+	if m := q.Median(); m < 35 || m > 65 {
+		t.Errorf("sampled median %v implausible for U[0,100)", m)
+	}
+	// Determinism: same seed, same stream, same reservoir.
+	q2 := NewQuantileSketch(cap, 42)
+	rng2 := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		q2.Observe(rng2.Float64() * 100)
+	}
+	if q.Median() != q2.Median() {
+		t.Error("seeded reservoir should be deterministic")
+	}
+	if !math.IsNaN(NewQuantileSketch(8, 1).Median()) {
+		t.Error("empty sketch should yield NaN")
+	}
+}
