@@ -33,6 +33,10 @@ func main() {
 	infraTTL := flag.Duration("infra-ttl", 10*time.Minute, "infrastructure-cache TTL (0 = never expire)")
 	decayKeep := flag.Bool("decay-keep", true, "keep stale latency estimates instead of forgetting them")
 	timeout := flag.Duration("timeout", 800*time.Millisecond, "upstream query timeout")
+	backoffBase := flag.Duration("backoff-base", 2*time.Second, "first hold-down interval after consecutive upstream timeouts")
+	backoffMax := flag.Duration("backoff-max", 5*time.Minute, "hold-down cap for the exponential backoff")
+	backoffThreshold := flag.Int("backoff-threshold", 2, "consecutive timeouts before a server is held down")
+	noBackoff := flag.Bool("no-backoff", false, "disable per-server hold-down (retry dead servers at full rate)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "selection RNG seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve a text metrics endpoint on this address (empty = off)")
 	var upstreams multiFlag
@@ -68,6 +72,12 @@ func main() {
 		retention = resolver.DecayKeep
 	}
 	infra := resolver.NewInfraCache(*infraTTL, retention)
+	infra.SetBackoff(resolver.BackoffConfig{
+		Disabled:  *noBackoff,
+		Base:      *backoffBase,
+		Max:       *backoffMax,
+		Threshold: *backoffThreshold,
+	})
 	var reg *obs.Registry
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ritw/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden outputs under testdata/golden")
+
+// TestGoldenOutputs pins the exact text of every figure and table
+// command at a fixed seed in stream mode against checked-in goldens.
+// Any numeric drift — an RNG stream reordered, a default changed, an
+// aggregator losing exactness — shows up as a readable text diff in CI
+// rather than as silently different science. Regenerate deliberately
+// with: go test ./cmd/ritw -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
+	}
+	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
+	oldPlot, oldOut, oldParallel := *plotDir, *outFile, *parallel
+	defer func() {
+		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
+		*plotDir, *outFile, *parallel = oldPlot, oldOut, oldParallel
+		table1Cache = nil
+	}()
+	*seed, *probesFlag, *stream, *maxMem = 7, 150, true, 0
+	*plotDir, *outFile, *parallel = "", "", 4
+	table1Cache = nil
+
+	cmds := []struct {
+		name string
+		fn   func(context.Context, core.Scale) error
+	}{
+		{"table1", cmdTable1}, {"fig2", cmdFig2}, {"fig3", cmdFig3},
+		{"fig4", cmdFig4}, {"table2", cmdTable2}, {"fig5", cmdFig5},
+		{"fig6", cmdFig6}, {"fig7root", cmdFig7Root}, {"fig7nl", cmdFig7NL},
+		{"middlebox", cmdMiddlebox}, {"ipv6", cmdIPv6}, {"hardening", cmdHardening},
+	}
+	for _, c := range cmds {
+		got := captureStdout(t, func() error {
+			return c.fn(context.Background(), core.ScaleSmall)
+		})
+		path := filepath.Join("testdata", "golden", c.name+".txt")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update to create): %v", c.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s output drifted from %s\n--- got ---\n%s--- want ---\n%s",
+				c.name, path, got, want)
+		}
+	}
+}

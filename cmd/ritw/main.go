@@ -115,7 +115,7 @@ func reportProgress(p core.BatchProgress) {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|all>")
+		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -146,12 +146,13 @@ func main() {
 		"planner":   cmdPlanner,
 		"outage":    cmdOutage,
 		"openres":   cmdOpenResolver,
+		"scenarios": cmdScenarios,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
 			"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
-			"outage", "openres"}
+			"outage", "openres", "scenarios"}
 		for _, n := range order {
 			fmt.Printf("==== %s ====\n", n)
 			check(cmds[n](ctx, scale))

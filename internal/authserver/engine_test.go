@@ -485,26 +485,29 @@ func TestEngineRRLMetrics(t *testing.T) {
 // the acceptance bound that observability costs <= 3%: instruments are
 // atomic-only, so the delta should be a handful of nanoseconds.
 func BenchmarkServeUDPParallel(b *testing.B) {
-	bench := func(b *testing.B, reg *obs.Registry) {
-		z, err := zone.ParseString(testZoneText, dnswire.Root)
-		if err != nil {
-			b.Fatal(err)
-		}
-		e := NewEngine(Config{Zones: []*zone.Zone{z}, Identity: "fra1", Metrics: reg})
-		q := dnswire.NewQuery(1, dnswire.MustParseName("bench.ourtestdomain.nl"), dnswire.TypeTXT)
-		wire, _ := q.Pack()
-		b.ReportAllocs()
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			buf := make([]byte, 0, udpReadSize)
-			for pb.Next() {
-				buf = e.AppendQuery(buf[:0], clientAddr, wire, 0)
-				if len(buf) == 0 {
-					b.Fatal("dropped")
-				}
-			}
-		})
+	b.Run("bare", func(b *testing.B) { serveUDPBench(b, nil) })
+	b.Run("metrics", func(b *testing.B) { serveUDPBench(b, obs.NewRegistry()) })
+}
+
+// serveUDPBench is the benchmark body, shared with the CI bench
+// regression gate (benchgate_test.go) so both measure the same path.
+func serveUDPBench(b *testing.B, reg *obs.Registry) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.Run("bare", func(b *testing.B) { bench(b, nil) })
-	b.Run("metrics", func(b *testing.B) { bench(b, obs.NewRegistry()) })
+	e := NewEngine(Config{Zones: []*zone.Zone{z}, Identity: "fra1", Metrics: reg})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("bench.ourtestdomain.nl"), dnswire.TypeTXT)
+	wire, _ := q.Pack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 0, udpReadSize)
+		for pb.Next() {
+			buf = e.AppendQuery(buf[:0], clientAddr, wire, 0)
+			if len(buf) == 0 {
+				b.Fatal("dropped")
+			}
+		}
+	})
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+
+	"ritw/internal/analysis"
+)
+
+// streamingRetainedBudget bounds the live heap the streaming figure
+// pipeline may retain at ScaleSmall. The recorded baseline is ~0.5 MiB
+// against ~4.8 MiB materialized (see BENCH.md); 2 MiB of headroom
+// absorbs GC timing noise while still catching the failure this guards
+// against — an aggregator accidentally holding on to record slices.
+const streamingRetainedBudget = 2 << 20
+
+// TestBenchGateStreamingRetainedHeap is the CI regression gate for
+// BenchmarkStreamingVsMaterialized: the streaming path's retained heap
+// must stay under the checked-in budget and well under the
+// materialized path's, or bounded-memory batch mode has quietly
+// stopped being bounded. Gated behind RITW_BENCH_GATE=1.
+func TestBenchGateStreamingRetainedHeap(t *testing.T) {
+	if os.Getenv("RITW_BENCH_GATE") == "" {
+		t.Skip("set RITW_BENCH_GATE=1 to run the bench regression gate")
+	}
+	ctx := context.Background()
+
+	measure := func(run func() (any, error)) int64 {
+		base := liveHeap()
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := heapDelta(base)
+		runtime.KeepAlive(res)
+		return d
+	}
+
+	materialized := measure(func() (any, error) {
+		ds, err := RunCombinationContext(ctx, "2C", WithSeed(42), WithScale(ScaleSmall))
+		if err != nil {
+			return nil, err
+		}
+		// Keep the dataset referenced alongside the figures: the point of
+		// this arm is the cost of holding the records until the end.
+		return []any{ds, figureSet{
+			probeAll:  analysis.ProbeAll(ds),
+			shares:    analysis.ShareVsRTT(ds),
+			pref:      analysis.Preference(ds),
+			hardening: analysis.PreferenceHardening(ds),
+		}}, nil
+	})
+	streaming := measure(func() (any, error) {
+		agg, _, err := RunCombinationAggregated(ctx, "2C",
+			analysis.AggConfig{MaxSamples: 1024, Seed: 42},
+			WithSeed(42), WithScale(ScaleSmall))
+		if err != nil {
+			return nil, err
+		}
+		return figureSet{
+			probeAll:  agg.ProbeAll(),
+			shares:    agg.ShareVsRTT(),
+			pref:      agg.Preference(),
+			hardening: agg.PreferenceHardening(),
+		}, nil
+	})
+
+	t.Logf("retained heap: streaming %.2f MiB, materialized %.2f MiB",
+		float64(streaming)/(1<<20), float64(materialized)/(1<<20))
+	if streaming > streamingRetainedBudget {
+		t.Errorf("streaming path retains %d bytes, budget %d", streaming, int64(streamingRetainedBudget))
+	}
+	if streaming*2 > materialized {
+		t.Errorf("streaming retained heap %d should stay well under materialized %d",
+			streaming, materialized)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"ritw/internal/atlas"
+	"ritw/internal/faults"
 	"ritw/internal/measure"
 	"ritw/internal/obs"
+	"ritw/internal/resolver"
 )
 
 // RunOpts is the shared configuration surface of every experiment
@@ -52,6 +54,12 @@ type RunOpts struct {
 	// the bounded-memory batch mode — peak memory stops scaling with
 	// population size.
 	StreamOnly bool
+	// Faults applies a fault schedule to every run in the batch (see
+	// measure.RunConfig.Faults). Scenario batches override it per run.
+	Faults *faults.Schedule
+	// Backoff overrides the resolver population's hold-down policy for
+	// every run (nil keeps resolver.DefaultBackoff).
+	Backoff *resolver.BackoffConfig
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -119,6 +127,16 @@ func WithStreamOnly(on bool) Option {
 	return func(o *RunOpts) { o.StreamOnly = on }
 }
 
+// WithFaults applies a fault schedule to every run in the batch.
+func WithFaults(s *faults.Schedule) Option {
+	return func(o *RunOpts) { o.Faults = s }
+}
+
+// WithBackoff overrides the resolvers' hold-down policy in every run.
+func WithBackoff(b *resolver.BackoffConfig) Option {
+	return func(o *RunOpts) { o.Backoff = b }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -152,5 +170,7 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) mea
 		cfg.Sink = o.SinkFor(key)
 	}
 	cfg.StreamOnly = o.StreamOnly
+	cfg.Faults = o.Faults
+	cfg.Backoff = o.Backoff
 	return cfg
 }

@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"ritw/internal/faults"
 	"ritw/internal/measure"
 	"ritw/internal/obs"
+	"ritw/internal/resolver"
 )
 
 // Job is one independent simulation run inside a batch: a Table-1
@@ -271,6 +273,61 @@ func (r *Runner) Replicates(ctx context.Context, comboID string, n int, opts ...
 		}}
 	}
 	return runJobs(ctx, r.parallelismFor(o), fmt.Sprintf("%s replicates", comboID), jobs, reg, progress)
+}
+
+// Scenario is one named fault experiment: a combination, a fault
+// schedule, and optionally a resolver backoff override. Scenario
+// batches run every entry at the SAME seed (offset 0), so the
+// populations and healthy traffic are identical across scenarios and
+// any difference in outcome is attributable to the schedule alone.
+type Scenario struct {
+	// Name labels the scenario and is its SinkFor key.
+	Name string
+	// ComboID selects the authoritative deployment (default "2B").
+	ComboID string
+	// Faults is the scenario's fault schedule (nil = healthy baseline).
+	Faults *faults.Schedule
+	// Backoff overrides the resolvers' hold-down policy for this
+	// scenario only (nil = the batch default from WithBackoff, or
+	// resolver.DefaultBackoff).
+	Backoff *resolver.BackoffConfig
+}
+
+// Scenarios executes the fault scenarios concurrently and returns
+// their datasets in scenario order.
+func (r *Runner) Scenarios(ctx context.Context, scenarios []Scenario, opts ...Option) ([]*measure.Dataset, error) {
+	o := NewRunOpts(opts...)
+	reg, progress := r.obsFor(o)
+	o.Metrics = reg
+	jobs := make([]Job, len(scenarios))
+	for i, sc := range scenarios {
+		comboID := sc.ComboID
+		if comboID == "" {
+			comboID = "2B"
+		}
+		combo, err := measure.CombinationByID(comboID)
+		if err != nil {
+			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+		}
+		cfg := o.runConfig(combo, 0, sc.Name)
+		cfg.Faults = sc.Faults
+		if sc.Backoff != nil {
+			cfg.Backoff = sc.Backoff
+		}
+		if err := sc.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+		}
+		jobs[i] = Job{Name: "scenario " + sc.Name, Run: func(ctx context.Context) (*measure.Dataset, error) {
+			return measure.RunContext(ctx, cfg)
+		}}
+	}
+	return runJobs(ctx, r.parallelismFor(o), "scenarios", jobs, reg, progress)
+}
+
+// RunScenariosContext executes the fault scenarios, fanned out across
+// cores, and returns their datasets in scenario order.
+func RunScenariosContext(ctx context.Context, scenarios []Scenario, opts ...Option) ([]*measure.Dataset, error) {
+	return NewRunner(opts...).Scenarios(ctx, scenarios, opts...)
 }
 
 // RunCombinationContext executes the paper's standard measurement for

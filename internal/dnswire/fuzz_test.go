@@ -1,0 +1,66 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseMessage drives Unpack with arbitrary wire bytes and checks
+// the decoder's core contract: anything it accepts must re-encode
+// (unknown RR types survive as Raw), the re-encoding must parse to the
+// same header and section shape, and packing must be a fixpoint —
+// Pack(Unpack(Pack(m))) is byte-identical to Pack(m). The servers sit
+// on this path for every hostile packet the soak tests throw, so the
+// decoder must never panic and never accept what it cannot re-emit.
+func FuzzParseMessage(f *testing.F) {
+	q := NewQuery(0x1234, MustParseName("www.ourtestdomain.nl."), TypeA)
+	q.SetEDNS0(DefaultEDNSSize, true)
+	if b, err := q.Pack(); err == nil {
+		f.Add(b)
+	}
+	resp, _ := NewResponse(q)
+	if resp != nil {
+		resp.Answers = append(resp.Answers, RR{
+			Name: MustParseName("www.ourtestdomain.nl."), Class: ClassINET, TTL: 300,
+			Data: CNAME{Target: MustParseName("ns1.ourtestdomain.nl.")},
+		}, RR{
+			Name: MustParseName("ns1.ourtestdomain.nl."), Class: ClassINET, TTL: 300,
+			Data: Raw{RRType: 99, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		})
+		if b, err := resp.Pack(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})                                            // empty
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0})          // header claims a question
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xc0, 0}) // self-pointing compression
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		packed, err := m.Pack()
+		if err != nil {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		m2, err := Unpack(packed)
+		if err != nil {
+			t.Fatalf("re-encoded message does not parse: %v", err)
+		}
+		if m2.Header != m.Header {
+			t.Fatalf("header changed across round-trip: %+v vs %+v", m.Header, m2.Header)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) ||
+			len(m2.Authority) != len(m.Authority) || len(m2.Additional) != len(m.Additional) {
+			t.Fatalf("section counts changed across round-trip")
+		}
+		packed2, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("second Pack failed: %v", err)
+		}
+		if !bytes.Equal(packed, packed2) {
+			t.Fatalf("Pack is not a fixpoint:\n%x\n%x", packed, packed2)
+		}
+	})
+}

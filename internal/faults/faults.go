@@ -1,0 +1,329 @@
+// Package faults is the deterministic fault-schedule layer behind
+// every robustness experiment: a declarative Schedule of site outages,
+// up/down flapping, time-windowed loss bursts, latency inflation and
+// partial partitions, compiled into an Injector that the network
+// simulator consults on every packet. The same seed and schedule
+// always reproduce the same packet fate sequence, so failure datasets
+// are as replayable as healthy ones.
+//
+// The paper's §7 resilience argument — multiple authoritatives and
+// anycast exist so recursives can route around failures — needs more
+// than the single one-shot outage the original reproduction modelled.
+// NXNSAttack-style retry amplification, catchment shifts under flap,
+// and asymmetric reachability all require overlapping, windowed,
+// per-path fault primitives, which is what this package provides.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Outage takes one authoritative site fully down for [Start, End):
+// every packet to or from the site vanishes at the network layer.
+type Outage struct {
+	// Site is the airport code of the failing authoritative.
+	Site string
+	// Start and End bound the failure in virtual time from run start.
+	Start, End time.Duration
+}
+
+// Flap cycles a site between down and up within [Start, End): each
+// Period begins with Period*DownFrac of downtime followed by uptime.
+// It models the pathological BGP/etc. instability between a clean
+// outage and a healthy site.
+type Flap struct {
+	Site       string
+	Start, End time.Duration
+	// Period is the length of one down/up cycle.
+	Period time.Duration
+	// DownFrac is the fraction of each period spent down, in (0, 1].
+	DownFrac float64
+}
+
+// LossBurst adds packet loss on the paths between a site and (a subset
+// of) the resolvers for [Start, End).
+type LossBurst struct {
+	Site       string
+	Start, End time.Duration
+	// Rate is the extra per-packet loss probability, in (0, 1].
+	Rate float64
+	// Fraction selects how many resolvers the burst affects: 0 means
+	// every resolver, otherwise a deterministic Fraction-sized subset.
+	Fraction float64
+}
+
+// Slowdown inflates latency between a site and (a subset of) the
+// resolvers for [Start, End): each one-way delay becomes
+// delay*Factor + AddRTT/2.
+type Slowdown struct {
+	Site       string
+	Start, End time.Duration
+	// AddRTT is added round-trip time; each direction pays half.
+	AddRTT time.Duration
+	// Factor multiplies the base delay (0 means 1: no scaling).
+	Factor float64
+	// Fraction selects affected resolvers (0 = all), like LossBurst.
+	Fraction float64
+}
+
+// Partition makes a site unreachable for a deterministic subset of the
+// resolvers during [Start, End) while the rest keep serving through it
+// — the split-brain view where some recursives see a site as dead and
+// others do not.
+type Partition struct {
+	Site       string
+	Start, End time.Duration
+	// Fraction of resolvers that lose the site, in (0, 1].
+	Fraction float64
+}
+
+// Schedule is a declarative set of faults for one run. The zero value
+// is an empty schedule (no faults). Schedules are pure data: Compile
+// binds them to concrete addresses and a seed.
+type Schedule struct {
+	Outages    []Outage
+	Flaps      []Flap
+	Bursts     []LossBurst
+	Slowdowns  []Slowdown
+	Partitions []Partition
+	// ReportBucket is the bucket width of the per-site cut timeline in
+	// the run report (default 5 minutes).
+	ReportBucket time.Duration
+}
+
+// Empty reports whether the schedule declares no faults at all.
+func (s *Schedule) Empty() bool {
+	return s == nil || len(s.Outages)+len(s.Flaps)+len(s.Bursts)+
+		len(s.Slowdowns)+len(s.Partitions) == 0
+}
+
+// window is one half-open [start, end) interval.
+type window struct{ start, end time.Duration }
+
+func (w window) contains(t time.Duration) bool { return t >= w.start && t < w.end }
+
+// checkWindow validates one fault's time bounds. Zero-length and
+// inverted windows are configuration errors, not no-ops: a schedule
+// that silently did nothing cost a debugging afternoon once.
+func checkWindow(kind, site string, start, end time.Duration) error {
+	if start < 0 {
+		return fmt.Errorf("faults: %s %s starts at negative time %v", kind, site, start)
+	}
+	if end <= start {
+		return fmt.Errorf("faults: %s %s window [%v, %v) is empty", kind, site, start, end)
+	}
+	return nil
+}
+
+// Validate checks the schedule's internal consistency: windows must be
+// non-empty and non-negative, rates and fractions in range, and the
+// down windows of any one site (outages plus expanded flap cycles)
+// must not overlap — overlapping downtime for the same site is almost
+// always a schedule bug, and its recovery time would be ambiguous.
+// Down windows of different sites may overlap freely; that is the
+// multi-site failure case the subsystem exists for.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for _, o := range s.Outages {
+		if err := checkWindow("outage", o.Site, o.Start, o.End); err != nil {
+			return err
+		}
+	}
+	for _, f := range s.Flaps {
+		if err := checkWindow("flap", f.Site, f.Start, f.End); err != nil {
+			return err
+		}
+		if f.Period <= 0 {
+			return fmt.Errorf("faults: flap %s has non-positive period %v", f.Site, f.Period)
+		}
+		if f.DownFrac <= 0 || f.DownFrac > 1 {
+			return fmt.Errorf("faults: flap %s down-fraction %v outside (0, 1]", f.Site, f.DownFrac)
+		}
+	}
+	for _, b := range s.Bursts {
+		if err := checkWindow("loss burst", b.Site, b.Start, b.End); err != nil {
+			return err
+		}
+		if b.Rate <= 0 || b.Rate > 1 {
+			return fmt.Errorf("faults: loss burst %s rate %v outside (0, 1]", b.Site, b.Rate)
+		}
+		if b.Fraction < 0 || b.Fraction > 1 {
+			return fmt.Errorf("faults: loss burst %s fraction %v outside [0, 1]", b.Site, b.Fraction)
+		}
+	}
+	for _, sl := range s.Slowdowns {
+		if err := checkWindow("slowdown", sl.Site, sl.Start, sl.End); err != nil {
+			return err
+		}
+		if sl.AddRTT < 0 {
+			return fmt.Errorf("faults: slowdown %s adds negative RTT %v", sl.Site, sl.AddRTT)
+		}
+		if sl.Factor < 0 {
+			return fmt.Errorf("faults: slowdown %s has negative factor %v", sl.Site, sl.Factor)
+		}
+		if sl.AddRTT == 0 && (sl.Factor == 0 || sl.Factor == 1) {
+			return fmt.Errorf("faults: slowdown %s is a no-op (no added RTT, factor %v)", sl.Site, sl.Factor)
+		}
+		if sl.Fraction < 0 || sl.Fraction > 1 {
+			return fmt.Errorf("faults: slowdown %s fraction %v outside [0, 1]", sl.Site, sl.Fraction)
+		}
+	}
+	for _, p := range s.Partitions {
+		if err := checkWindow("partition", p.Site, p.Start, p.End); err != nil {
+			return err
+		}
+		if p.Fraction <= 0 || p.Fraction > 1 {
+			return fmt.Errorf("faults: partition %s fraction %v outside (0, 1]", p.Site, p.Fraction)
+		}
+	}
+	// Per-site down windows (outages + flap cycles) must not overlap.
+	for site, wins := range s.downWindows() {
+		for i := 1; i < len(wins); i++ {
+			if wins[i].start < wins[i-1].end {
+				return fmt.Errorf("faults: site %s has overlapping down windows [%v, %v) and [%v, %v)",
+					site, wins[i-1].start, wins[i-1].end, wins[i].start, wins[i].end)
+			}
+		}
+	}
+	return nil
+}
+
+// downWindows expands outages and flaps into per-site sorted down
+// windows. Flap cycles are clipped to the flap's envelope.
+func (s *Schedule) downWindows() map[string][]window {
+	out := make(map[string][]window)
+	for _, o := range s.Outages {
+		out[o.Site] = append(out[o.Site], window{o.Start, o.End})
+	}
+	for _, f := range s.Flaps {
+		if f.Period <= 0 || f.DownFrac <= 0 {
+			continue // Validate reports these; keep expansion total
+		}
+		downLen := time.Duration(float64(f.Period) * f.DownFrac)
+		for t := f.Start; t < f.End; t += f.Period {
+			end := t + downLen
+			if end > f.End {
+				end = f.End
+			}
+			if end > t {
+				out[f.Site] = append(out[f.Site], window{t, end})
+			}
+		}
+	}
+	for site := range out {
+		wins := out[site]
+		sort.Slice(wins, func(i, j int) bool { return wins[i].start < wins[j].start })
+		out[site] = wins
+	}
+	return out
+}
+
+// EventWindow is one schedule entry flattened for impact analysis:
+// the envelope of a fault, labelled by kind and site.
+type EventWindow struct {
+	Kind       string // "outage", "flap", "loss", "slowdown", "partition"
+	Site       string
+	Start, End time.Duration
+}
+
+// EventWindows lists every configured fault as a labelled window, in
+// schedule order — the before/during/after units the impact analysis
+// reports on. A flap appears as its whole envelope, not per cycle.
+func (s *Schedule) EventWindows() []EventWindow {
+	if s == nil {
+		return nil
+	}
+	var out []EventWindow
+	for _, o := range s.Outages {
+		out = append(out, EventWindow{"outage", o.Site, o.Start, o.End})
+	}
+	for _, f := range s.Flaps {
+		out = append(out, EventWindow{"flap", f.Site, f.Start, f.End})
+	}
+	for _, b := range s.Bursts {
+		out = append(out, EventWindow{"loss", b.Site, b.Start, b.End})
+	}
+	for _, sl := range s.Slowdowns {
+		out = append(out, EventWindow{"slowdown", sl.Site, sl.Start, sl.End})
+	}
+	for _, p := range s.Partitions {
+		out = append(out, EventWindow{"partition", p.Site, p.Start, p.End})
+	}
+	return out
+}
+
+// Describe renders the schedule as one human-readable line per fault,
+// in schedule order.
+func (s *Schedule) Describe() []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	for _, o := range s.Outages {
+		out = append(out, fmt.Sprintf("outage %s down [%v, %v)", o.Site, o.Start, o.End))
+	}
+	for _, f := range s.Flaps {
+		out = append(out, fmt.Sprintf("flap %s [%v, %v) period %v down %.0f%%",
+			f.Site, f.Start, f.End, f.Period, 100*f.DownFrac))
+	}
+	for _, b := range s.Bursts {
+		out = append(out, fmt.Sprintf("loss %s [%v, %v) rate %.0f%%%s",
+			b.Site, b.Start, b.End, 100*b.Rate, fractionSuffix(b.Fraction)))
+	}
+	for _, sl := range s.Slowdowns {
+		factor := sl.Factor
+		if factor == 0 {
+			factor = 1
+		}
+		out = append(out, fmt.Sprintf("slowdown %s [%v, %v) +%v rtt x%.1f%s",
+			sl.Site, sl.Start, sl.End, sl.AddRTT, factor, fractionSuffix(sl.Fraction)))
+	}
+	for _, p := range s.Partitions {
+		out = append(out, fmt.Sprintf("partition %s [%v, %v) %.0f%% of resolvers",
+			p.Site, p.Start, p.End, 100*p.Fraction))
+	}
+	return out
+}
+
+func fractionSuffix(f float64) string {
+	if f == 0 || f == 1 {
+		return ""
+	}
+	return fmt.Sprintf(" (%.0f%% of resolvers)", 100*f)
+}
+
+// Transition is one site state change implied by the schedule.
+type Transition struct {
+	Site string
+	At   time.Duration
+	Down bool
+}
+
+// Transitions lists every down/up edge of the schedule's outages and
+// flap cycles, sorted by time (ties by site for determinism).
+func (s *Schedule) Transitions() []Transition {
+	if s == nil {
+		return nil
+	}
+	var out []Transition
+	for site, wins := range s.downWindows() {
+		for _, w := range wins {
+			out = append(out, Transition{Site: site, At: w.start, Down: true})
+			out = append(out, Transition{Site: site, At: w.end, Down: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Down && !out[j].Down
+	})
+	return out
+}

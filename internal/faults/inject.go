@@ -1,0 +1,337 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ritw/internal/obs"
+)
+
+// Bindings ties a declarative Schedule to one concrete simulated
+// topology: which address each site answers on, and which addresses
+// are the recursive resolvers a partial fault may select among.
+type Bindings struct {
+	// SiteAddr maps airport codes to the site's concrete host address.
+	SiteAddr map[string]netip.Addr
+	// Resolvers lists the recursive resolver host addresses; partial
+	// faults (Fraction < 1) pick deterministic subsets of these.
+	Resolvers []netip.Addr
+}
+
+// DefaultReportBucket is the cut-timeline bucket width when the
+// schedule does not set one.
+const DefaultReportBucket = 5 * time.Minute
+
+// Injector is a compiled Schedule: the per-packet oracle netsim
+// consults. All decisions derive from the schedule, the bindings and
+// the seed, so a run replays identically. It is used from the single
+// simulator goroutine and is not safe for concurrent use.
+type Injector struct {
+	bucket time.Duration
+	// siteOf maps concrete site addresses back to airport codes.
+	siteOf map[netip.Addr]string
+	// downBy holds merged sorted down windows per site address.
+	downBy map[netip.Addr][]window
+
+	bursts []compiledBurst
+	slows  []compiledSlow
+	parts  []compiledPart
+
+	rng *rand.Rand
+
+	cut         map[string][]int64 // per-site per-bucket fault drops
+	drops       int64
+	delayed     int64
+	transitions []Transition
+
+	mDrops   *obs.Counter
+	mDelayed *obs.Counter
+}
+
+type compiledBurst struct {
+	site     string
+	addr     netip.Addr
+	win      window
+	rate     float64
+	affected map[netip.Addr]bool // nil = all peers
+}
+
+type compiledSlow struct {
+	site     string
+	addr     netip.Addr
+	win      window
+	addOne   time.Duration // AddRTT/2: the one-way share
+	factor   float64
+	affected map[netip.Addr]bool
+}
+
+type compiledPart struct {
+	site     string
+	addr     netip.Addr
+	win      window
+	affected map[netip.Addr]bool // never nil: partitions are partial
+}
+
+// Compile validates the schedule and binds it to concrete addresses.
+// Every referenced site must appear in b.SiteAddr. The seed feeds both
+// the loss-burst sampler and the deterministic subset selection, and
+// must be distinct from the RNG streams netsim itself consumes so a
+// fault-free schedule leaves those streams untouched.
+func Compile(s *Schedule, b Bindings, seed int64) (*Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		bucket: DefaultReportBucket,
+		siteOf: make(map[netip.Addr]string),
+		downBy: make(map[netip.Addr][]window),
+		rng:    rand.New(rand.NewSource(seed)),
+		cut:    make(map[string][]int64),
+	}
+	if s == nil {
+		return inj, nil
+	}
+	if s.ReportBucket > 0 {
+		inj.bucket = s.ReportBucket
+	}
+	resolve := func(kind, site string) (netip.Addr, error) {
+		addr, ok := b.SiteAddr[site]
+		if !ok {
+			return netip.Addr{}, fmt.Errorf("faults: %s references unknown site %q", kind, site)
+		}
+		inj.siteOf[addr] = site
+		return addr, nil
+	}
+	for site, wins := range s.downWindows() {
+		addr, err := resolve("down window", site)
+		if err != nil {
+			return nil, err
+		}
+		inj.downBy[addr] = wins
+	}
+	for i, bu := range s.Bursts {
+		addr, err := resolve("loss burst", bu.Site)
+		if err != nil {
+			return nil, err
+		}
+		inj.bursts = append(inj.bursts, compiledBurst{
+			site: bu.Site, addr: addr, win: window{bu.Start, bu.End},
+			rate:     bu.Rate,
+			affected: subset(b.Resolvers, bu.Fraction, seed, "burst", i),
+		})
+	}
+	for i, sl := range s.Slowdowns {
+		addr, err := resolve("slowdown", sl.Site)
+		if err != nil {
+			return nil, err
+		}
+		factor := sl.Factor
+		if factor == 0 {
+			factor = 1
+		}
+		inj.slows = append(inj.slows, compiledSlow{
+			site: sl.Site, addr: addr, win: window{sl.Start, sl.End},
+			addOne: sl.AddRTT / 2, factor: factor,
+			affected: subset(b.Resolvers, sl.Fraction, seed, "slow", i),
+		})
+	}
+	for i, p := range s.Partitions {
+		addr, err := resolve("partition", p.Site)
+		if err != nil {
+			return nil, err
+		}
+		aff := subset(b.Resolvers, p.Fraction, seed, "part", i)
+		if aff == nil {
+			// Fraction == 1: partition from every resolver. Keep an
+			// explicit (possibly empty) set so probes and other
+			// non-resolver peers still reach the site.
+			aff = make(map[netip.Addr]bool, len(b.Resolvers))
+			for _, r := range b.Resolvers {
+				aff[r] = true
+			}
+		}
+		inj.parts = append(inj.parts, compiledPart{
+			site: p.Site, addr: addr, win: window{p.Start, p.End}, affected: aff,
+		})
+	}
+	inj.transitions = s.Transitions()
+	return inj, nil
+}
+
+// subset deterministically picks ~frac of the resolver addresses by
+// hashing each address with a per-fault salt: membership depends only
+// on (seed, fault identity, address), never on slice order. frac 0 or
+// 1 returns nil, meaning "all peers".
+func subset(resolvers []netip.Addr, frac float64, seed int64, kind string, idx int) map[netip.Addr]bool {
+	if frac <= 0 || frac >= 1 {
+		return nil
+	}
+	out := make(map[netip.Addr]bool)
+	for _, r := range resolvers {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%s/%d/%s", seed, kind, idx, r)
+		// FNV's high bits barely change for inputs differing only in the
+		// trailing address byte; finalize with a splitmix64-style mixer
+		// before thresholding on the top bits.
+		if float64(mix64(h.Sum64()))/float64(math.MaxUint64) < frac {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit mixing.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SetMetrics attaches fault counters to reg. Pass nil to detach.
+func (inj *Injector) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		inj.mDrops, inj.mDelayed = nil, nil
+		return
+	}
+	inj.mDrops = reg.Counter("faults_drops_total")
+	inj.mDelayed = reg.Counter("faults_delayed_total")
+}
+
+// downAt reports whether the site at addr is inside a down window.
+func (inj *Injector) downAt(addr netip.Addr, now time.Duration) (string, bool) {
+	wins := inj.downBy[addr]
+	for _, w := range wins {
+		if w.contains(now) {
+			return inj.siteOf[addr], true
+		}
+		if w.start > now {
+			break // windows are sorted
+		}
+	}
+	return "", false
+}
+
+// affects reports whether a compiled path fault applies to the packet
+// (src, dst) at time now, given the fault's site address and affected
+// peer set.
+func pathMatch(siteAddr netip.Addr, affected map[netip.Addr]bool, win window, src, dst netip.Addr, now time.Duration) bool {
+	if !win.contains(now) {
+		return false
+	}
+	var peer netip.Addr
+	switch {
+	case dst == siteAddr:
+		peer = src
+	case src == siteAddr:
+		peer = dst
+	default:
+		return false
+	}
+	return affected == nil || affected[peer]
+}
+
+// Drop decides whether the packet (src → dst, at virtual time now)
+// dies to a scheduled fault. Down windows and partitions cut
+// deterministically; loss bursts sample the injector's own RNG so the
+// network's streams stay untouched.
+func (inj *Injector) Drop(src, dst netip.Addr, now time.Duration) bool {
+	if inj == nil {
+		return false
+	}
+	if site, down := inj.downAt(dst, now); down {
+		inj.recordCut(site, now)
+		return true
+	}
+	if site, down := inj.downAt(src, now); down {
+		inj.recordCut(site, now)
+		return true
+	}
+	for i := range inj.parts {
+		p := &inj.parts[i]
+		if pathMatch(p.addr, p.affected, p.win, src, dst, now) {
+			inj.recordCut(p.site, now)
+			return true
+		}
+	}
+	for i := range inj.bursts {
+		b := &inj.bursts[i]
+		if pathMatch(b.addr, b.affected, b.win, src, dst, now) && inj.rng.Float64() < b.rate {
+			inj.recordCut(b.site, now)
+			return true
+		}
+	}
+	return false
+}
+
+// Shape returns the (possibly inflated) one-way delay for a packet
+// that survived Drop. Multiple matching slowdowns compound.
+func (inj *Injector) Shape(src, dst netip.Addr, now, oneWay time.Duration) time.Duration {
+	if inj == nil || len(inj.slows) == 0 {
+		return oneWay
+	}
+	shaped := false
+	for i := range inj.slows {
+		sl := &inj.slows[i]
+		if pathMatch(sl.addr, sl.affected, sl.win, src, dst, now) {
+			oneWay = time.Duration(float64(oneWay)*sl.factor) + sl.addOne
+			shaped = true
+		}
+	}
+	if shaped {
+		inj.delayed++
+		inj.mDelayed.Inc()
+	}
+	return oneWay
+}
+
+func (inj *Injector) recordCut(site string, now time.Duration) {
+	inj.drops++
+	inj.mDrops.Inc()
+	idx := int(now / inj.bucket)
+	tl := inj.cut[site]
+	for len(tl) <= idx {
+		tl = append(tl, 0)
+	}
+	tl[idx]++
+	inj.cut[site] = tl
+}
+
+// Report is the injector's post-run account: how many packets each
+// fault family consumed, and the per-site timeline of cut traffic.
+// The timeline is the direct evidence for backoff working — with
+// hold-down, the cut counts to a dead site decay bucket over bucket
+// instead of holding at the retry plateau.
+type Report struct {
+	// Bucket is the timeline bucket width.
+	Bucket time.Duration
+	// Cut counts fault-dropped packets per site per bucket.
+	Cut map[string][]int64
+	// Drops is the total packets removed by faults.
+	Drops int64
+	// Delayed is the number of packets whose latency a slowdown shaped.
+	Delayed int64
+	// Transitions are the schedule's down/up edges, sorted by time.
+	Transitions []Transition
+}
+
+// Report snapshots the injector's counters. Call it after the run.
+func (inj *Injector) Report() *Report {
+	if inj == nil {
+		return nil
+	}
+	r := &Report{
+		Bucket:      inj.bucket,
+		Cut:         make(map[string][]int64, len(inj.cut)),
+		Drops:       inj.drops,
+		Delayed:     inj.delayed,
+		Transitions: append([]Transition(nil), inj.transitions...),
+	}
+	for site, tl := range inj.cut {
+		r.Cut[site] = append([]int64(nil), tl...)
+	}
+	return r
+}

@@ -11,6 +11,7 @@ import (
 	"ritw/internal/atlas"
 	"ritw/internal/authserver"
 	"ritw/internal/dnswire"
+	"ritw/internal/faults"
 	"ritw/internal/geo"
 	"ritw/internal/netsim"
 	"ritw/internal/obs"
@@ -69,6 +70,10 @@ type Dataset struct {
 	ActiveProbes int
 	// SiteAddr maps site code to its authoritative address.
 	SiteAddr map[string]netip.Addr
+	// Faults is the injector's post-run account (nil when the run had
+	// no fault schedule): fault-dropped packets per site per bucket,
+	// totals, and the schedule's down/up transitions.
+	Faults *faults.Report
 }
 
 // RunConfig parameterizes one measurement run.
@@ -101,7 +106,20 @@ type RunConfig struct {
 	// Outage, if set, takes one authoritative site down for part of
 	// the run — the §7 "Other Considerations" scenario (a DDoS or
 	// failure at one site) that motivates multiple authoritatives.
+	// It is shorthand for a one-entry Faults schedule and may be
+	// combined with Faults (both are merged and validated together).
 	Outage *Outage
+	// Faults, if set, is the full fault schedule for the run: multiple
+	// overlapping site outages, flapping, loss bursts, latency
+	// inflation and partial partitions, all consulted per packet and
+	// reproducible from the run seed (the injector draws from its own
+	// Seed+7 stream, so a fault-free schedule leaves the dataset
+	// byte-identical to a run without one).
+	Faults *faults.Schedule
+	// Backoff overrides the resolver population's hold-down policy
+	// (nil keeps resolver.DefaultBackoff; see BackoffConfig.Disabled
+	// for the pre-hardening full-rate retry behaviour).
+	Backoff *resolver.BackoffConfig
 	// Metrics, if set, aggregates obs counters from the simulator, the
 	// authoritative engines and the resolver population. Counters are
 	// additive, so concurrent runs may share one registry; per-address
@@ -217,26 +235,28 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	emit, emitAuth := instrumentedEmit(sink, cfg.Metrics)
 
 	// Authoritative sites, one per Table-1 datacenter.
-	authAddrs, authHosts, err := buildAuthSites(sim, net, cfg.Combo, ds.SiteAddr, emitAuth, cfg.Metrics)
+	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds.SiteAddr, emitAuth, cfg.Metrics)
 	if err != nil {
 		sink.Close()
 		return nil, err
 	}
 
+	// Merge the legacy one-site Outage shorthand into the fault
+	// schedule and validate it up front; the schedule is compiled into
+	// a per-packet injector once the resolver addresses exist.
+	sched := cfg.Faults
 	if cfg.Outage != nil {
-		host, ok := authHosts[cfg.Outage.Site]
-		if !ok {
-			sink.Close()
-			return nil, fmt.Errorf("measure: outage site %q not in combination %s",
-				cfg.Outage.Site, cfg.Combo.ID)
+		merged := faults.Schedule{}
+		if sched != nil {
+			merged = *sched
 		}
-		if cfg.Outage.End <= cfg.Outage.Start {
-			sink.Close()
-			return nil, fmt.Errorf("measure: outage window [%v, %v) is empty",
-				cfg.Outage.Start, cfg.Outage.End)
-		}
-		sim.ScheduleAt(cfg.Outage.Start, func() { host.Down = true })
-		sim.ScheduleAt(cfg.Outage.End, func() { host.Down = false })
+		merged.Outages = append(append([]faults.Outage(nil), merged.Outages...),
+			faults.Outage{Site: cfg.Outage.Site, Start: cfg.Outage.Start, End: cfg.Outage.End})
+		sched = &merged
+	}
+	if err := sched.Validate(); err != nil {
+		sink.Close()
+		return nil, err
 	}
 
 	// Recursive resolvers.
@@ -248,9 +268,13 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	publicMembers := make([]*netsim.Host, 0, len(pop.PublicSites))
 	for i, spec := range pop.Resolvers {
 		host := net.AddHost(spec.Loc)
+		infra := resolver.NewInfraCache(spec.InfraTTL, spec.Retention)
+		if cfg.Backoff != nil {
+			infra.SetBackoff(*cfg.Backoff)
+		}
 		eng := resolver.NewEngine(resolver.Config{
 			Policy:    resolver.NewPolicy(spec.Kind),
-			Infra:     resolver.NewInfraCache(spec.InfraTTL, spec.Retention),
+			Infra:     infra,
 			Cache:     resolver.NewRecordCache(),
 			Zones:     zones,
 			Transport: simbind.HostTransport{Host: host},
@@ -269,6 +293,25 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if len(publicMembers) > 0 {
 		publicAddr = net.AllocAddr()
 		net.AddAnycast(publicAddr, publicMembers)
+	}
+
+	// Compile the fault schedule now that site and resolver addresses
+	// are fixed. The injector draws on its own Seed+7 stream, so runs
+	// without faults never install one and stay byte-identical.
+	var inj *faults.Injector
+	if !sched.Empty() {
+		inj, err = faults.Compile(sched, faults.Bindings{
+			SiteAddr:  ds.SiteAddr,
+			Resolvers: resolverAddr,
+		}, cfg.Seed+7)
+		if err != nil {
+			sink.Close()
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			inj.SetMetrics(cfg.Metrics)
+		}
+		net.SetFaults(inj)
 	}
 
 	// Probes.
@@ -373,6 +416,9 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
 		sink.Close()
 		return nil, err
+	}
+	if inj != nil {
+		ds.Faults = inj.Report()
 	}
 	return ds, finishSink(sink, ds.meta())
 }

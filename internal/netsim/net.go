@@ -74,10 +74,30 @@ type Network struct {
 	stretch  map[pairKey]float64
 	catch    map[pairKey]*Host
 	nextIPv4 uint32
+	faults   FaultModel
 
-	sent    *obs.Counter
-	dropped *obs.Counter
+	sent       *obs.Counter
+	dropped    *obs.Counter
+	faultDrops *obs.Counter
 }
+
+// FaultModel is consulted on every packet after routing and the static
+// loss checks. Drop removes the packet outright; Shape may inflate the
+// one-way delay of a surviving packet. src and dst are the concrete
+// endpoint addresses (anycast already resolved to the catchment
+// member), and now is the simulator's virtual clock. Implementations
+// must be deterministic given the packet sequence — netsim calls them
+// from the single simulator goroutine in event order.
+type FaultModel interface {
+	Drop(src, dst netip.Addr, now time.Duration) bool
+	Shape(src, dst netip.Addr, now, oneWay time.Duration) time.Duration
+}
+
+// SetFaults installs fm as the network's fault model (nil removes it).
+// The model's decisions are layered on top of Host.Down and the static
+// loss rates, which keep their existing RNG draws, so installing a
+// model that never drops or shapes leaves a seeded run byte-identical.
+func (n *Network) SetFaults(fm FaultModel) { n.faults = fm }
 
 // SetMetrics counts sends and drops (netsim_packets_sent_total /
 // netsim_packets_dropped_total) in r, and wires the simulator's event
@@ -86,6 +106,7 @@ type Network struct {
 func (n *Network) SetMetrics(r *obs.Registry) {
 	n.sent = r.Counter("netsim_packets_sent_total")
 	n.dropped = r.Counter("netsim_packets_dropped_total")
+	n.faultDrops = r.Counter("netsim_fault_drops_total")
 	n.Sim.SetMetrics(r)
 }
 
@@ -283,9 +304,17 @@ func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 		n.dropped.Inc()
 		return
 	}
+	if n.faults != nil && n.faults.Drop(from.Addr, target.Addr, n.Sim.Now()) {
+		n.faultDrops.Inc()
+		n.dropped.Inc()
+		return
+	}
 	base := n.PathRTTms(from, target)
 	oneWay := base/2 + n.Model.JitterMs(n.rng, base)/2
 	delay := time.Duration(oneWay * float64(time.Millisecond))
+	if n.faults != nil {
+		delay = n.faults.Shape(from.Addr, target.Addr, n.Sim.Now(), delay)
+	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	src := srcAddr

@@ -94,6 +94,9 @@ type Stats struct {
 	// ErrorFailovers counts upstream attempts abandoned because the
 	// server returned SERVFAIL/REFUSED and another server was tried.
 	ErrorFailovers int
+	// HoldDownSkips counts servers excluded from selection because
+	// they were inside a backoff hold-down window.
+	HoldDownSkips int
 }
 
 // engineMetrics caches the obs counters so the serving path touches
@@ -106,6 +109,7 @@ type engineMetrics struct {
 	timeouts      *obs.Counter
 	servfails     *obs.Counter
 	failovers     *obs.Counter
+	holdSkips     *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -117,6 +121,7 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		timeouts:      r.Counter("resolver_timeouts_total"),
 		servfails:     r.Counter("resolver_servfail_total"),
 		failovers:     r.Counter("resolver_error_failovers_total"),
+		holdSkips:     r.Counter("resolver_holddown_skips_total"),
 	}
 }
 
@@ -259,15 +264,26 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	now := e.cfg.Clock.Now()
 	candidates := pq.servers
+	// Prefer servers outside a hold-down window. The filter is advisory:
+	// if every server is held down, keep the full list — a query must
+	// always have somewhere to go, and the occasional probe through a
+	// hold-down is also how a recovered server gets rediscovered.
+	if usable := e.usableLocked(candidates, now); len(usable) > 0 && len(usable) < len(candidates) {
+		e.stats.HoldDownSkips += len(candidates) - len(usable)
+		e.m.holdSkips.Add(int64(len(candidates) - len(usable)))
+		candidates = usable
+	}
 	// After a timeout, prefer servers not yet tried for this query.
-	if len(pq.tried) > 0 && len(pq.tried) < len(pq.servers) {
-		fresh := make([]netip.Addr, 0, len(pq.servers))
-		for _, s := range pq.servers {
+	if len(pq.tried) > 0 {
+		fresh := make([]netip.Addr, 0, len(candidates))
+		for _, s := range candidates {
 			if !pq.tried[s] {
 				fresh = append(fresh, s)
 			}
 		}
-		candidates = fresh
+		if len(fresh) > 0 {
+			candidates = fresh
+		}
 	}
 	server := e.cfg.Policy.Select(now, candidates, e.cfg.Infra, e.cfg.RNG)
 	pq.upstream = server
@@ -301,6 +317,18 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	e.cfg.Clock.AfterFunc(e.cfg.Timeout, func() {
 		e.onTimeout(id, pq, attempt)
 	})
+}
+
+// usableLocked returns the servers not currently in a backoff
+// hold-down, preserving order. Callers hold e.mu.
+func (e *Engine) usableLocked(servers []netip.Addr, now time.Duration) []netip.Addr {
+	out := make([]netip.Addr, 0, len(servers))
+	for _, s := range servers {
+		if e.cfg.Infra.Usable(s, now) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func (e *Engine) allocateIDLocked() uint16 {

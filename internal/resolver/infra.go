@@ -36,6 +36,34 @@ const (
 	DecayKeep
 )
 
+// BackoffConfig tunes the per-server exponential hold-down applied
+// after consecutive timeouts. Once a server times out Threshold times
+// in a row, it is held down for Base, doubling per further timeout up
+// to Max; a successful observation clears the counter. Hold-down is
+// advisory: the engine prefers usable servers but still falls back to
+// a held server when nothing else is left, so a single-server zone
+// never goes fully dark. This is the NXNSAttack lesson — without
+// hold-down a dead authoritative keeps receiving the full retry rate
+// from every recursive; with it the dead site's query volume decays
+// geometrically.
+type BackoffConfig struct {
+	// Disabled turns hold-down off entirely (the pre-hardening shape).
+	Disabled bool
+	// Base is the first hold-down interval (default 2s).
+	Base time.Duration
+	// Max caps the exponential growth (default 5m).
+	Max time.Duration
+	// Threshold is how many consecutive timeouts arm the hold-down
+	// (default 2: one timeout is routine loss, two starts to look like
+	// a dead server).
+	Threshold int
+}
+
+// DefaultBackoff returns the policy resolvers use unless overridden.
+func DefaultBackoff() BackoffConfig {
+	return BackoffConfig{Base: 2 * time.Second, Max: 5 * time.Minute, Threshold: 2}
+}
+
 // ServerState is the infrastructure cache's view of one authoritative
 // server address.
 type ServerState struct {
@@ -53,6 +81,14 @@ type ServerState struct {
 	Timeouts int
 	// LastUpdate is the virtual time of the last RTT observation.
 	LastUpdate time.Duration
+	// ConsecTimeouts counts timeouts since the last successful answer.
+	ConsecTimeouts int
+	// HoldUntil is the virtual time the current hold-down expires (zero
+	// when the server is not held).
+	HoldUntil time.Duration
+	// HeldDown reports the server was inside a hold-down window at the
+	// time of the State call.
+	HeldDown bool
 }
 
 // RTO returns a TCP-style retransmission timeout estimate.
@@ -74,27 +110,57 @@ type InfraCache struct {
 	// goroutines in socket deployments.
 	mu      sync.Mutex
 	entries map[netip.Addr]*entry
+	backoff BackoffConfig
 	metrics *obs.Registry
 }
 
 type entry struct {
-	srtt       float64
-	rttvar     float64
-	hasRTT     bool
-	queries    int
-	timeouts   int
-	lastUpdate time.Duration
-	gauge      *obs.Gauge
+	srtt           float64
+	rttvar         float64
+	hasRTT         bool
+	queries        int
+	timeouts       int
+	consecTimeouts int
+	holdUntil      time.Duration
+	lastUpdate     time.Duration
+	gauge          *obs.Gauge
 }
 
-// NewInfraCache creates an infrastructure cache.
+// NewInfraCache creates an infrastructure cache with the default
+// hold-down policy (see DefaultBackoff).
 func NewInfraCache(ttl time.Duration, retention Retention) *InfraCache {
 	return &InfraCache{
 		TTL:       ttl,
 		Retention: retention,
 		Alpha:     0.3,
 		entries:   make(map[netip.Addr]*entry),
+		backoff:   DefaultBackoff(),
 	}
+}
+
+// SetBackoff replaces the hold-down policy. Zero fields fall back to
+// the defaults, so callers can override just one knob.
+func (c *InfraCache) SetBackoff(b BackoffConfig) {
+	def := DefaultBackoff()
+	if b.Base <= 0 {
+		b.Base = def.Base
+	}
+	if b.Max <= 0 {
+		b.Max = def.Max
+	}
+	if b.Threshold <= 0 {
+		b.Threshold = def.Threshold
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backoff = b
+}
+
+// Backoff returns the active hold-down policy.
+func (c *InfraCache) Backoff() BackoffConfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backoff
 }
 
 // SetMetrics publishes per-server SRTT snapshots as gauges named
@@ -151,6 +217,8 @@ func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) 
 	e.rttvar = (1-c.Alpha)*e.rttvar + c.Alpha*diff
 	e.srtt = (1-c.Alpha)*e.srtt + c.Alpha*rttMs
 	e.queries++
+	e.consecTimeouts = 0
+	e.holdUntil = 0
 	e.lastUpdate = now
 	c.publishLocked(addr, e)
 }
@@ -187,8 +255,33 @@ func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
 		e.srtt = 10000
 	}
 	e.timeouts++
+	e.consecTimeouts++
+	if !c.backoff.Disabled && e.consecTimeouts >= c.backoff.Threshold {
+		// Exponential hold-down: Base at the threshold, doubling per
+		// further consecutive timeout, capped at Max.
+		exp := e.consecTimeouts - c.backoff.Threshold
+		if exp > 30 {
+			exp = 30 // avoid shift overflow; far past Max anyway
+		}
+		hold := c.backoff.Base << exp
+		if hold > c.backoff.Max || hold <= 0 {
+			hold = c.backoff.Max
+		}
+		e.holdUntil = now + hold
+	}
 	e.lastUpdate = now
 	c.publishLocked(addr, e)
+}
+
+// Usable reports whether addr is outside any hold-down window at time
+// now. Unknown servers are always usable. The engine treats this as a
+// preference, not a hard gate: when every candidate is held down it
+// ignores the hold and tries anyway.
+func (c *InfraCache) Usable(addr netip.Addr, now time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[addr]
+	return !ok || e.holdUntil <= now
 }
 
 // State returns the cache's view of addr at time now, applying the
@@ -205,12 +298,15 @@ func (c *InfraCache) State(addr netip.Addr, now time.Duration) ServerState {
 		return ServerState{Queries: e.queries}
 	}
 	st := ServerState{
-		Known:      true,
-		SRTT:       e.srtt,
-		RTTVar:     e.rttvar,
-		Queries:    e.queries,
-		Timeouts:   e.timeouts,
-		LastUpdate: e.lastUpdate,
+		Known:          true,
+		SRTT:           e.srtt,
+		RTTVar:         e.rttvar,
+		Queries:        e.queries,
+		Timeouts:       e.timeouts,
+		LastUpdate:     e.lastUpdate,
+		ConsecTimeouts: e.consecTimeouts,
+		HoldUntil:      e.holdUntil,
+		HeldDown:       e.holdUntil > now,
 	}
 	if c.expired(e, now) {
 		switch c.Retention {
