@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"ritw/internal/core"
@@ -22,15 +23,44 @@ func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
+	runGoldenSuite(t, 0, *updateGolden)
+}
+
+// TestGoldenOutputsSharded replays the full figure suite split across
+// simulation shards and demands the exact bytes of the sequential
+// goldens: the CLI-level pin of the sharded engine's byte-identity
+// contract. An odd shard count stresses the canonical merge with
+// uneven lanes. RITW_CROSSCHECK_SHARDS elevates the shard count for
+// the CI race job.
+func TestGoldenOutputsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
+	}
+	shards := 3
+	if env := os.Getenv("RITW_CROSSCHECK_SHARDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			t.Fatalf("bad RITW_CROSSCHECK_SHARDS=%q", env)
+		}
+		shards = n
+	}
+	runGoldenSuite(t, shards, false)
+}
+
+// runGoldenSuite executes every figure/table command at the pinned
+// seed and compares (or, with update, rewrites) the goldens. shards=0
+// runs the single sequential lane that defines the golden bytes.
+func runGoldenSuite(t *testing.T, shards int, update bool) {
+	t.Helper()
 	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
-	oldPlot, oldOut, oldParallel := *plotDir, *outFile, *parallel
+	oldPlot, oldOut, oldParallel, oldShards := *plotDir, *outFile, *parallel, *shardsFlag
 	defer func() {
 		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
-		*plotDir, *outFile, *parallel = oldPlot, oldOut, oldParallel
+		*plotDir, *outFile, *parallel, *shardsFlag = oldPlot, oldOut, oldParallel, oldShards
 		table1Cache = nil
 	}()
 	*seed, *probesFlag, *stream, *maxMem = 7, 150, true, 0
-	*plotDir, *outFile, *parallel = "", "", 4
+	*plotDir, *outFile, *parallel, *shardsFlag = "", "", 4, shards
 	table1Cache = nil
 
 	cmds := []struct {
@@ -47,7 +77,7 @@ func TestGoldenOutputs(t *testing.T) {
 			return c.fn(context.Background(), core.ScaleSmall)
 		})
 		path := filepath.Join("testdata", "golden", c.name+".txt")
-		if *updateGolden {
+		if update {
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 				t.Fatal(err)
 			}
@@ -61,8 +91,8 @@ func TestGoldenOutputs(t *testing.T) {
 			t.Fatalf("%s: missing golden (run with -update to create): %v", c.name, err)
 		}
 		if got != string(want) {
-			t.Errorf("%s output drifted from %s\n--- got ---\n%s--- want ---\n%s",
-				c.name, path, got, want)
+			t.Errorf("%s (shards=%d) output drifted from %s\n--- got ---\n%s--- want ---\n%s",
+				c.name, shards, path, got, want)
 		}
 	}
 }

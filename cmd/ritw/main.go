@@ -54,6 +54,7 @@ var (
 	stream     = flag.Bool("stream", false, "stream records into incremental aggregators instead of materializing datasets")
 	maxMem     = flag.Int("maxmem", 0, "cap streaming analysis memory: MiB budget for the RTT quantile sketches (implies -stream; 0 = exact)")
 	probesFlag = flag.Int("probes", 0, "override the probe count implied by -scale (0 = scale default)")
+	shardsFlag = flag.Int("shards", 0, "split each simulation across N concurrent lanes; results are byte-identical at any shard count (0 = single lane)")
 	metricsOut = flag.Bool("metrics", false, "dump the observability registry to stderr when the command finishes")
 )
 
@@ -91,7 +92,7 @@ func scaleProbes(scale core.Scale) int {
 func batchOpts(scale core.Scale) []core.Option {
 	opts := []core.Option{
 		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel),
-		core.WithProbes(*probesFlag),
+		core.WithProbes(*probesFlag), core.WithShards(*shardsFlag),
 	}
 	if metricsReg != nil {
 		opts = append(opts, core.WithMetrics(metricsReg))
@@ -630,6 +631,7 @@ func cmdIPv6(ctx context.Context, scale core.Scale) error {
 		cfg.Population.NumProbes = scaleProbes(scale)
 		cfg.IPv6Subset = v6
 		cfg.Metrics = metricsReg
+		cfg.Shards = *shardsFlag
 		if streaming() {
 			label := "2B-ipv6-all"
 			if v6 {
@@ -712,6 +714,7 @@ func cmdOutage(ctx context.Context, scale core.Scale) error {
 	pc := atlasConfig(scale)
 	cfg.Population = pc
 	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
+	cfg.Shards = *shardsFlag
 	ds, err := measure.RunContext(ctx, cfg)
 	if err != nil {
 		return err

@@ -32,6 +32,9 @@ func eqNaN(a, b float64) bool {
 // analysis bit for bit (modulo NaN cells, which compare unequal to
 // themselves).
 func TestAggregatorMatchesWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-checks every aggregator against three materialized runs")
+	}
 	for _, id := range []string{"2B", "2C", "4B"} {
 		ds := dataset(t, id)
 		a := AggregatorFor(ds)

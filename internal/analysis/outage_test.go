@@ -36,17 +36,15 @@ func TestOutageImpact(t *testing.T) {
 	if impact.Before.SiteShare == 0 {
 		t.Error("failed site should have served traffic beforehand")
 	}
-	if impact.During.FailRate <= impact.Before.FailRate {
-		t.Errorf("outage should raise the failure rate: before=%.3f during=%.3f",
-			impact.Before.FailRate, impact.During.FailRate)
-	}
+	// With hold-down failover the client failure rate barely moves
+	// during a single-site outage (resolvers switch within the client
+	// timeout); the robust client-visible fingerprints are the retry
+	// latency penalty and the dead site's share dropping to zero.
 	if impact.During.FailRate > 0.3 {
 		t.Errorf("failover should bound the damage: fail rate %.2f", impact.During.FailRate)
 	}
-	// Retries cost latency: median RTT during the outage is not lower
-	// than before.
-	if impact.During.MedianRTT < impact.Before.MedianRTT-5 {
-		t.Errorf("median RTT dropped during outage: %.1f -> %.1f",
+	if impact.During.MedianRTT < impact.Before.MedianRTT+5 {
+		t.Errorf("outage retries should cost latency: median RTT %.1f -> %.1f",
 			impact.Before.MedianRTT, impact.During.MedianRTT)
 	}
 	// After recovery the failure rate returns to baseline-ish.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -51,6 +52,32 @@ type figureSet struct {
 	shares    []analysis.SiteShare
 	pref      analysis.PreferenceResult
 	hardening analysis.HardeningResult
+}
+
+// BenchmarkShardedRun times the same 2B run single-lane and split
+// across 8 simulation shards. The datasets are byte-identical (pinned
+// by TestShardedMatchesSequential and the sharded golden suite), so
+// the time ratio is the pure parallel speedup of closure sharding on
+// this host. On a single-core container the ratio only reflects the
+// smaller per-lane event heaps; record multi-core numbers in BENCH.md
+// from real hardware.
+func BenchmarkShardedRun(b *testing.B) {
+	scale := benchScale(b)
+	ctx := context.Background()
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var probes int
+			for i := 0; i < b.N; i++ {
+				ds, err := RunCombinationContext(ctx, "2B",
+					WithSeed(42), WithScale(scale), WithShards(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes = ds.ActiveProbes
+			}
+			b.ReportMetric(float64(probes), "VPs")
+		})
+	}
 }
 
 // BenchmarkStreamingVsMaterialized compares the peak retained heap of

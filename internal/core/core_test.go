@@ -68,6 +68,9 @@ func TestRunIntervalSweepTiny(t *testing.T) {
 }
 
 func TestRunRootAndNLTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs both DITL traces end to end")
+	}
 	trace, rb, err := RunRootTrace(11, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)

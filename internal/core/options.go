@@ -60,6 +60,11 @@ type RunOpts struct {
 	// Backoff overrides the resolver population's hold-down policy for
 	// every run (nil keeps resolver.DefaultBackoff).
 	Backoff *resolver.BackoffConfig
+	// Shards splits each run's VP population into that many concurrent
+	// simulation lanes (see measure.RunConfig.Shards). Results are
+	// byte-identical at any shard count; shards only change wall-clock
+	// time, which is what makes million-VP runs tractable.
+	Shards int
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -137,6 +142,13 @@ func WithBackoff(b *resolver.BackoffConfig) Option {
 	return func(o *RunOpts) { o.Backoff = b }
 }
 
+// WithShards runs each simulation split across n concurrent lanes
+// (n <= 1 keeps the single lane). Datasets are byte-identical at any
+// shard count; only wall-clock time changes.
+func WithShards(n int) Option {
+	return func(o *RunOpts) { o.Shards = n }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -172,5 +184,6 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) mea
 	cfg.StreamOnly = o.StreamOnly
 	cfg.Faults = o.Faults
 	cfg.Backoff = o.Backoff
+	cfg.Shards = o.Shards
 	return cfg
 }

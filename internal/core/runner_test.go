@@ -39,6 +39,9 @@ func tinyOpts(seed int64) []Option {
 // TestTable1ParallelDeterminism is the Runner's core guarantee: the
 // same seed yields byte-identical datasets at parallelism 1 and N.
 func TestTable1ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Table-1 batch twice")
+	}
 	ctx := context.Background()
 	serial, err := RunTable1Context(ctx, append(tinyOpts(77), WithParallelism(1))...)
 	if err != nil {
@@ -86,6 +89,9 @@ func TestIntervalSweepParallelDeterminism(t *testing.T) {
 // wrappers must produce the very bytes the old serial implementation
 // did, which the options API reproduces via the same seed spacing.
 func TestLegacyWrappersMatchOptionsAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the same combination twice")
+	}
 	old, err := RunCombination("2B", 9, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)

@@ -93,6 +93,9 @@ func keys(m map[string]*bytes.Buffer) []string {
 // TestRootTraceStreamMatches: the streaming rank path reproduces the
 // materialized bands exactly at the same seed.
 func TestRootTraceStreamMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the root trace twice")
+	}
 	trace, want, err := RunRootTrace(3, ScaleSmall)
 	if err != nil {
 		t.Fatal(err)

@@ -132,6 +132,9 @@ func TestRootRankBandsShape(t *testing.T) {
 }
 
 func TestNLTraceMajorityQueryAllFour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a 400-recursive .nl hour")
+	}
 	cfg := DefaultNLConfig(29)
 	cfg.NumRecursives = 400
 	cfg.Warmup = 10 * time.Minute

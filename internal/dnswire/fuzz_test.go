@@ -2,6 +2,10 @@ package dnswire
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -61,6 +65,90 @@ func FuzzParseMessage(f *testing.F) {
 		}
 		if !bytes.Equal(packed, packed2) {
 			t.Fatalf("Pack is not a fixpoint:\n%x\n%x", packed, packed2)
+		}
+	})
+}
+
+// corpusSeeds loads the checked-in seed inputs of another fuzz target
+// so sibling targets can share one corpus of interesting wire bytes.
+// Each seed file is Go's "go test fuzz v1" encoding: one quoted
+// []byte literal per argument line.
+func corpusSeeds(f *testing.F, target string) [][]byte {
+	f.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("shared corpus %s: %v", dir, err)
+	}
+	var seeds [][]byte
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "[]byte(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			lit, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")"))
+			if err != nil {
+				f.Fatalf("corpus seed %s: %v", e.Name(), err)
+			}
+			seeds = append(seeds, []byte(lit))
+		}
+	}
+	if len(seeds) == 0 {
+		f.Fatalf("shared corpus %s: no seeds decoded", dir)
+	}
+	return seeds
+}
+
+// FuzzAppendPack drives the zero-allocation encoder the servers use
+// with pooled buffers, reusing FuzzParseMessage's corpus as the
+// source of messages. The contract under test is position
+// independence: AppendPack must leave an arbitrary dst prefix
+// untouched and emit exactly the bytes Pack would, wherever the
+// message lands — compression pointers are message-relative, so a
+// pooled buffer or a TCP length prefix must never leak into the
+// encoding. Back-to-back appends into one buffer (the TCP path) must
+// hold the same way.
+func FuzzAppendPack(f *testing.F) {
+	for _, seed := range corpusSeeds(f, "FuzzParseMessage") {
+		f.Add(seed, uint8(0))
+		f.Add(seed, uint8(13))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, prefixLen uint8) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		packed, err := m.Pack()
+		if err != nil {
+			t.Fatalf("accepted message does not Pack: %v", err)
+		}
+
+		prefix := bytes.Repeat([]byte{0xA5}, int(prefixLen))
+		out, err := m.AppendPack(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("AppendPack failed where Pack succeeded: %v", err)
+		}
+		if !bytes.Equal(out[:len(prefix)], prefix) {
+			t.Fatalf("AppendPack rewrote the dst prefix: %x", out[:len(prefix)])
+		}
+		if !bytes.Equal(out[len(prefix):], packed) {
+			t.Fatalf("encoding depends on buffer position:\nat %d: %x\nat 0:  %x",
+				len(prefix), out[len(prefix):], packed)
+		}
+
+		// TCP-style: a second message appended to the same buffer.
+		out2, err := m.AppendPack(out)
+		if err != nil {
+			t.Fatalf("second AppendPack failed: %v", err)
+		}
+		if !bytes.Equal(out2[:len(out)], out) || !bytes.Equal(out2[len(out):], packed) {
+			t.Fatal("back-to-back AppendPack corrupted the buffer")
 		}
 	})
 }

@@ -175,6 +175,70 @@ func TestScheduleValidation(t *testing.T) {
 			}}},
 			wantErr: "is empty",
 		},
+		{
+			// An exact duplicate is the degenerate overlap: same site,
+			// same window, twice. Must be rejected, not merged.
+			name: "duplicate outage same site",
+			sched: Schedule{Outages: []Outage{
+				{Site: "FRA", Start: 10 * time.Minute, End: 30 * time.Minute},
+				{Site: "FRA", Start: 10 * time.Minute, End: 30 * time.Minute},
+			}},
+			wantErr: "overlapping down windows",
+		},
+		{
+			name: "duplicate flaps same site",
+			sched: Schedule{Flaps: []Flap{
+				{Site: "FRA", Start: 0, End: 30 * time.Minute, Period: 10 * time.Minute, DownFrac: 0.5},
+				{Site: "FRA", Start: 0, End: 30 * time.Minute, Period: 10 * time.Minute, DownFrac: 0.5},
+			}},
+			wantErr: "overlapping down windows",
+		},
+		{
+			// Flap down cycles are [0,5) [10,15) [20,25); the outage
+			// touches two of them at both boundaries. Half-open windows
+			// make touching legal — only true overlap is a bug.
+			name: "outage touches flap cycles on both ends",
+			sched: Schedule{
+				Outages: []Outage{{Site: "FRA", Start: 5 * time.Minute, End: 10 * time.Minute}},
+				Flaps: []Flap{{
+					Site: "FRA", Start: 0, End: 30 * time.Minute,
+					Period: 10 * time.Minute, DownFrac: 0.5,
+				}},
+			},
+		},
+		{
+			// A period longer than the envelope yields a single cycle
+			// clipped to the envelope — unusual but well-defined, so it
+			// validates.
+			name: "flap period longer than envelope",
+			sched: Schedule{Flaps: []Flap{{
+				Site: "FRA", Start: 0, End: 30 * time.Minute,
+				Period: 40 * time.Minute, DownFrac: 0.5,
+			}}},
+		},
+		{
+			// DownFrac 1 makes back-to-back down cycles: each ends where
+			// the next starts. That is a continuous outage spelled as a
+			// flap, not an overlap.
+			name: "flap fully down is touching cycles",
+			sched: Schedule{Flaps: []Flap{{
+				Site: "FRA", Start: 0, End: 30 * time.Minute,
+				Period: 10 * time.Minute, DownFrac: 1.0,
+			}}},
+		},
+		{
+			// ...but a second fault inside that span must still be
+			// caught as overlapping.
+			name: "outage inside fully-down flap",
+			sched: Schedule{
+				Outages: []Outage{{Site: "FRA", Start: 12 * time.Minute, End: 13 * time.Minute}},
+				Flaps: []Flap{{
+					Site: "FRA", Start: 0, End: 30 * time.Minute,
+					Period: 10 * time.Minute, DownFrac: 1.0,
+				}},
+			},
+			wantErr: "overlapping down windows",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -192,6 +256,36 @@ func TestScheduleValidation(t *testing.T) {
 				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestFlapCycleClipping pins the expansion geometry behind the
+// validation: the last down cycle of a flap is clipped to the
+// envelope, and a period longer than the envelope degenerates to one
+// clipped cycle instead of escaping it.
+func TestFlapCycleClipping(t *testing.T) {
+	s := Schedule{Flaps: []Flap{{
+		// Cycles start at 0, 10, 20; down length 8 min, so the last
+		// would run to 28 but the envelope ends at 25.
+		Site: "FRA", Start: 0, End: 25 * time.Minute,
+		Period: 10 * time.Minute, DownFrac: 0.8,
+	}}}
+	want := []window{
+		{0, 8 * time.Minute},
+		{10 * time.Minute, 18 * time.Minute},
+		{20 * time.Minute, 25 * time.Minute},
+	}
+	if got := s.downWindows()["FRA"]; !reflect.DeepEqual(got, want) {
+		t.Errorf("clipped cycles = %v, want %v", got, want)
+	}
+
+	long := Schedule{Flaps: []Flap{{
+		Site: "FRA", Start: 5 * time.Minute, End: 30 * time.Minute,
+		Period: time.Hour, DownFrac: 0.9,
+	}}}
+	want = []window{{5 * time.Minute, 30 * time.Minute}}
+	if got := long.downWindows()["FRA"]; !reflect.DeepEqual(got, want) {
+		t.Errorf("over-long period cycles = %v, want %v", got, want)
 	}
 }
 

@@ -43,6 +43,16 @@ type Injector struct {
 
 	rng *rand.Rand
 
+	// Keyed mode (UseKeyedRand): burst loss draws derive from
+	// (seed, burst, src, dst, consult counter) instead of the shared
+	// sequential rng, so a packet's fate is independent of what other
+	// pairs' packets drew before it. Sharded runs require this — each
+	// shard compiles its own injector, and only keyed draws make the
+	// per-shard streams line up with the sequential run.
+	keyed     bool
+	keyedSeed uint64
+	consult   map[burstKey]uint64
+
 	cut         map[string][]int64 // per-site per-bucket fault drops
 	drops       int64
 	delayed     int64
@@ -191,6 +201,54 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// burstKey identifies one burst's consult stream for one directional
+// packet pair. Exact addresses (not hashes) key the counter map so a
+// hash collision can never desync sharded and sequential runs.
+type burstKey struct {
+	idx      int
+	src, dst netip.Addr
+}
+
+// UseKeyedRand switches the injector's loss-burst sampling to keyed
+// draws under seed. The n-th consult of burst i for packets src→dst
+// always sees the same uniform variate, regardless of the order other
+// pairs consult the injector — the property that lets each shard
+// compile its own injector and still match the sequential run. Call
+// before the first packet flows.
+func (inj *Injector) UseKeyedRand(seed uint64) {
+	inj.keyed = true
+	inj.keyedSeed = seed
+	if inj.consult == nil {
+		inj.consult = make(map[burstKey]uint64)
+	}
+}
+
+// addrBits folds an address into 64 bits for key derivation.
+func addrBits(a netip.Addr) uint64 {
+	if a.Is4() {
+		b := a.As4()
+		return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	}
+	b := a.As16()
+	var h uint64
+	for _, x := range b {
+		h = mix64(h ^ uint64(x))
+	}
+	return h
+}
+
+// burstDraw returns the uniform [0,1) variate for the next consult of
+// burst i on the path src→dst.
+func (inj *Injector) burstDraw(i int, src, dst netip.Addr) float64 {
+	k := burstKey{i, src, dst}
+	n := inj.consult[k]
+	inj.consult[k] = n + 1
+	h := mix64(inj.keyedSeed ^ 0x5851f42d4c957f2d ^ uint64(i)<<32)
+	h = mix64(h ^ addrBits(src))
+	h = mix64(h ^ addrBits(dst))
+	return float64(mix64(h^n)) / float64(math.MaxUint64)
+}
+
 // SetMetrics attaches fault counters to reg. Pass nil to detach.
 func (inj *Injector) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
@@ -259,7 +317,16 @@ func (inj *Injector) Drop(src, dst netip.Addr, now time.Duration) bool {
 	}
 	for i := range inj.bursts {
 		b := &inj.bursts[i]
-		if pathMatch(b.addr, b.affected, b.win, src, dst, now) && inj.rng.Float64() < b.rate {
+		if !pathMatch(b.addr, b.affected, b.win, src, dst, now) {
+			continue
+		}
+		var u float64
+		if inj.keyed {
+			u = inj.burstDraw(i, src, dst)
+		} else {
+			u = inj.rng.Float64()
+		}
+		if u < b.rate {
 			inj.recordCut(b.site, now)
 			return true
 		}
@@ -334,4 +401,38 @@ func (inj *Injector) Report() *Report {
 		r.Cut[site] = append([]int64(nil), tl...)
 	}
 	return r
+}
+
+// MergeReports combines per-shard injector reports into the account a
+// single sequential injector would have produced: drop and delay
+// totals sum, cut timelines add element-wise, and the schedule-derived
+// transitions (identical in every shard) are kept once. Nil reports
+// are skipped; all-nil input returns nil.
+func MergeReports(reports ...*Report) *Report {
+	var out *Report
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &Report{
+				Bucket:      r.Bucket,
+				Cut:         make(map[string][]int64),
+				Transitions: append([]Transition(nil), r.Transitions...),
+			}
+		}
+		out.Drops += r.Drops
+		out.Delayed += r.Delayed
+		for site, tl := range r.Cut {
+			dst := out.Cut[site]
+			for len(dst) < len(tl) {
+				dst = append(dst, 0)
+			}
+			for i, v := range tl {
+				dst[i] += v
+			}
+			out.Cut[site] = dst
+		}
+	}
+	return out
 }

@@ -43,6 +43,7 @@ func faultedConfig(seed int64, probes int) RunConfig {
 // byte, fault report included — the injector draws from its own seeded
 // stream (Seed+7), never from shared state.
 func TestFaultScheduleDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() (*Dataset, []byte) {
 		ds, err := Run(faultedConfig(23, 200))
 		if err != nil {
@@ -76,6 +77,7 @@ func TestFaultScheduleDeterminism(t *testing.T) {
 // TestFaultSeedChangesOutcome guards against the injector accidentally
 // ignoring its seed: a different run seed must perturb the burst draws.
 func TestFaultSeedChangesOutcome(t *testing.T) {
+	t.Parallel()
 	ds1, err := Run(faultedConfig(23, 200))
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +142,7 @@ func sum(xs []int64) int64 {
 // client-observed answer rate stays at or above the no-backoff
 // baseline.
 func TestBackoffShedsDeadSiteTraffic(t *testing.T) {
+	t.Parallel()
 	on := deadSiteRun(t, nil) // resolver.DefaultBackoff
 	off := deadSiteRun(t, &resolver.BackoffConfig{Disabled: true})
 
@@ -184,6 +187,7 @@ func TestBackoffShedsDeadSiteTraffic(t *testing.T) {
 // the old single-outage knob and the new schedule compose into one
 // injector, and same-site overlap between them is rejected.
 func TestLegacyOutageMergesIntoSchedule(t *testing.T) {
+	t.Parallel()
 	combo, _ := CombinationByID("2B")
 	cfg := DefaultRunConfig(combo, 11)
 	pc := atlas.DefaultConfig(11)

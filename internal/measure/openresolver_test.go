@@ -10,6 +10,7 @@ import (
 )
 
 func TestRunOpenResolvers(t *testing.T) {
+	t.Parallel()
 	combo, err := CombinationByID("2C")
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +58,7 @@ func TestRunOpenResolvers(t *testing.T) {
 }
 
 func TestRunOpenResolversStickyMix(t *testing.T) {
+	t.Parallel()
 	combo, _ := CombinationByID("2B")
 	cfg := DefaultOpenResolverConfig(combo, 43)
 	cfg.NumResolvers = 80

@@ -28,6 +28,7 @@ func outageRun(t *testing.T) *Dataset {
 }
 
 func TestOutageFailover(t *testing.T) {
+	t.Parallel()
 	ds := outageRun(t)
 	var during, before struct{ fra, dub, failed, total int }
 	for _, r := range ds.Records {
@@ -69,6 +70,7 @@ func TestOutageFailover(t *testing.T) {
 }
 
 func TestOutageRecovery(t *testing.T) {
+	t.Parallel()
 	ds := outageRun(t)
 	var after struct{ fra, total int }
 	for _, r := range ds.Records {
@@ -107,6 +109,7 @@ func TestOutageValidation(t *testing.T) {
 }
 
 func TestPathModelOverride(t *testing.T) {
+	t.Parallel()
 	combo, _ := CombinationByID("2B")
 	model := geo.DefaultPathModel()
 	model.JitterSlope = 0

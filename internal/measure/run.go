@@ -3,7 +3,6 @@ package measure
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"strings"
 	"time"
@@ -140,6 +139,14 @@ type RunConfig struct {
 	// through Sink. This bounds a run's memory by the sink's state
 	// instead of the record count.
 	StreamOnly bool
+	// Shards splits the vantage-point population into that many
+	// independent simulation lanes run concurrently (0 or 1 = one
+	// lane). Partitioning follows resolver closures — a probe lands in
+	// the same shard as every resolver it can use — and all randomness
+	// is keyed to stable entity identities, so the dataset is
+	// byte-identical at any shard count, including 1. Shards trade
+	// memory (per-shard worlds) for wall-clock time; see DESIGN.md §8.4.
+	Shards int
 }
 
 // Outage describes a site failure window within a run.
@@ -192,8 +199,11 @@ func RunStreamContext(ctx context.Context, cfg RunConfig, sink Sink) (*Dataset, 
 // RunContext executes one measurement and returns the dataset. The
 // virtual-time simulation checks ctx between event batches, so a
 // cancelled context abandons the run promptly with ctx.Err(). The
-// dataset is fully deterministic for a given config, independent of
-// wall-clock timing or how many runs execute concurrently.
+// dataset is fully deterministic for a given config — independent of
+// wall-clock timing, of how many runs execute concurrently, and of
+// cfg.Shards: a sharded run emits the exact byte sequence the
+// single-lane run would (the contract TestShardedMatchesSequential
+// pins; the machinery lives in shard.go).
 func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if len(cfg.Combo.Sites) == 0 {
 		return nil, fmt.Errorf("measure: combination has no sites")
@@ -217,33 +227,19 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if cfg.PathModel != nil {
 		model = *cfg.PathModel
 	}
-	sim := netsim.NewSimulator()
-	net := netsim.NewNetwork(sim, model, cfg.Seed+1)
-	net.LossRate = cfg.LossRate
-	if cfg.Metrics != nil {
-		net.SetMetrics(cfg.Metrics)
-	}
 
 	ds := &Dataset{
 		ComboID:  cfg.Combo.ID,
 		Sites:    append([]string(nil), cfg.Combo.Sites...),
 		Interval: cfg.Interval,
 		Duration: cfg.Duration,
-		SiteAddr: make(map[string]netip.Addr),
 	}
 	sink := streamTarget(ds, cfg)
 	emit, emitAuth := instrumentedEmit(sink, cfg.Metrics)
 
-	// Authoritative sites, one per Table-1 datacenter.
-	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, ds.SiteAddr, emitAuth, cfg.Metrics)
-	if err != nil {
-		sink.Close()
-		return nil, err
-	}
-
 	// Merge the legacy one-site Outage shorthand into the fault
-	// schedule and validate it up front; the schedule is compiled into
-	// a per-packet injector once the resolver addresses exist.
+	// schedule and validate it up front; each shard compiles it into a
+	// per-packet injector once addresses are planned.
 	sched := cfg.Faults
 	if cfg.Outage != nil {
 		merged := faults.Schedule{}
@@ -259,167 +255,20 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 		return nil, err
 	}
 
-	// Recursive resolvers.
-	clock := simbind.SimClock{Sim: sim}
-	zones := []resolver.ZoneServers{{Zone: TestDomain, Servers: authAddrs}}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-
-	resolverAddr := make([]netip.Addr, len(pop.Resolvers))
-	publicMembers := make([]*netsim.Host, 0, len(pop.PublicSites))
-	for i, spec := range pop.Resolvers {
-		host := net.AddHost(spec.Loc)
-		infra := resolver.NewInfraCache(spec.InfraTTL, spec.Retention)
-		if cfg.Backoff != nil {
-			infra.SetBackoff(*cfg.Backoff)
-		}
-		eng := resolver.NewEngine(resolver.Config{
-			Policy:    resolver.NewPolicy(spec.Kind),
-			Infra:     infra,
-			Cache:     resolver.NewRecordCache(),
-			Zones:     zones,
-			Transport: simbind.HostTransport{Host: host},
-			Clock:     clock,
-			RNG:       rand.New(rand.NewSource(cfg.Seed + 1000 + int64(i))),
-			Timeout:   800 * time.Millisecond,
-			Metrics:   cfg.Metrics,
-		})
-		simbind.BindResolver(host, eng)
-		resolverAddr[i] = host.Addr
-		if spec.Public {
-			publicMembers = append(publicMembers, host)
-		}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
 	}
-	publicAddr := netip.Addr{}
-	if len(publicMembers) > 0 {
-		publicAddr = net.AllocAddr()
-		net.AddAnycast(publicAddr, publicMembers)
-	}
+	pl := planRun(cfg, pop, model, nShards)
+	ds.SiteAddr = pl.siteAddr
+	ds.ActiveProbes = len(pl.active)
 
-	// Compile the fault schedule now that site and resolver addresses
-	// are fixed. The injector draws on its own Seed+7 stream, so runs
-	// without faults never install one and stay byte-identical.
-	var inj *faults.Injector
-	if !sched.Empty() {
-		inj, err = faults.Compile(sched, faults.Bindings{
-			SiteAddr:  ds.SiteAddr,
-			Resolvers: resolverAddr,
-		}, cfg.Seed+7)
-		if err != nil {
-			sink.Close()
-			return nil, err
-		}
-		if cfg.Metrics != nil {
-			inj.SetMetrics(cfg.Metrics)
-		}
-		net.SetFaults(inj)
-	}
-
-	// Probes.
-	type probeRuntime struct {
-		probe   atlas.Probe
-		host    *netsim.Host
-		pending map[uint16]*QueryRecord
-		rng     *rand.Rand
-	}
-	active := 0
-	for _, p := range pop.Probes {
-		if cfg.IPv6Subset && !p.IPv6 {
-			continue
-		}
-		if rng.Float64() < cfg.ChurnRate {
-			continue // probe offline this run
-		}
-		active++
-		host := net.AddHost(p.Loc)
-		host.LastMileMs = p.LastMileMs
-		prt := &probeRuntime{
-			probe:   p,
-			host:    host,
-			pending: make(map[uint16]*QueryRecord),
-			rng:     rand.New(rand.NewSource(cfg.Seed + 5000 + int64(p.ID))),
-		}
-		host.Handle(func(src, _ netip.Addr, payload []byte) {
-			msg, err := dnswire.Unpack(payload)
-			if err != nil || !msg.Response {
-				return
-			}
-			rec, ok := prt.pending[msg.ID]
-			if !ok {
-				return
-			}
-			delete(prt.pending, msg.ID)
-			rec.RTTms = float64(sim.Now()-rec.SentAt) / float64(time.Millisecond)
-			rec.OK = msg.RCode == dnswire.RCodeNoError && len(msg.Answers) > 0
-			if rec.OK {
-				if txt, ok := msg.Answers[0].Data.(dnswire.TXT); ok {
-					rec.Site = strings.TrimPrefix(txt.Joined(), "site=")
-				}
-			}
-			emit(*rec)
-		})
-
-		// Query schedule: random phase, then fixed cadence.
-		phase := time.Duration(prt.rng.Int63n(int64(cfg.Interval)))
-		seq := 0
-		var tick func()
-		tick = func() {
-			if sim.Now() >= cfg.Duration {
-				return
-			}
-			// Choose a recursive for this query (probes with several
-			// alternate, which is why the paper keys VPs by the
-			// (probe, recursive) pair).
-			ridx := prt.probe.Resolvers[prt.rng.Intn(len(prt.probe.Resolvers))]
-			raddr := publicAddr
-			if !atlas.PublicMarker(ridx) {
-				raddr = resolverAddr[ridx]
-			}
-			if !raddr.IsValid() {
-				return
-			}
-			label := fmt.Sprintf("p%dx%d", prt.probe.ID, seq)
-			qname, err := TestDomain.Child(label)
-			if err != nil {
-				return
-			}
-			id := uint16(seq)
-			q := dnswire.NewQuery(id, qname, dnswire.TypeTXT)
-			wire, err := q.Pack()
-			if err != nil {
-				return
-			}
-			rec := &QueryRecord{
-				ProbeID:   prt.probe.ID,
-				Resolver:  raddr,
-				VPKey:     fmt.Sprintf("%d/%s", prt.probe.ID, raddr),
-				Continent: prt.probe.Continent,
-				Seq:       seq,
-				SentAt:    sim.Now(),
-			}
-			prt.pending[id] = rec
-			prt.host.Send(raddr, wire)
-			// Client-side timeout: record the failure.
-			sim.Schedule(cfg.ClientTimeout, func() {
-				if r, still := prt.pending[id]; still && r == rec {
-					delete(prt.pending, id)
-					rec.RTTms = float64(cfg.ClientTimeout) / float64(time.Millisecond)
-					emit(*rec)
-				}
-			})
-			seq++
-			sim.Schedule(cfg.Interval, tick)
-		}
-		sim.Schedule(phase, tick)
-	}
-	ds.ActiveProbes = active
-
-	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+	rep, err := runShards(ctx, cfg, pl, sched, emit, emitAuth, cfg.Metrics)
+	if err != nil {
 		sink.Close()
 		return nil, err
 	}
-	if inj != nil {
-		ds.Faults = inj.Report()
-	}
+	ds.Faults = rep
 	return ds, finishSink(sink, ds.meta())
 }
 
@@ -465,9 +314,11 @@ func finishSink(sink Sink, m Meta) error {
 	return nil
 }
 
-// buildAuthSites deploys one authoritative per combination site,
-// records each site's address in siteAddr, and streams the
-// server-side capture through onAuth.
+// buildAuthSites deploys one authoritative per combination site and
+// streams the server-side capture through onAuth. A site whose code is
+// already present in siteAddr is placed at that planned address (the
+// sharded path, where every shard must agree on the plan); otherwise
+// the address is allocated and recorded in siteAddr.
 func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combination, siteAddr map[string]netip.Addr, onAuth func(AuthRecord), metrics *obs.Registry) ([]netip.Addr, map[string]*netsim.Host, error) {
 	authAddrs := make([]netip.Addr, 0, len(combo.Sites))
 	authHosts := make(map[string]*netsim.Host, len(combo.Sites))
@@ -480,7 +331,12 @@ func buildAuthSites(sim *netsim.Simulator, net *netsim.Network, combo Combinatio
 		if err != nil {
 			return nil, nil, fmt.Errorf("measure: building zone for %s: %w", code, err)
 		}
-		host := net.AddHost(site.Coord)
+		var host *netsim.Host
+		if addr, planned := siteAddr[code]; planned {
+			host = net.AddHostAddr(addr, site.Coord)
+		} else {
+			host = net.AddHost(site.Coord)
+		}
 		code := code
 		eng := authserver.NewEngine(authserver.Config{
 			Zones:    []*zone.Zone{z},

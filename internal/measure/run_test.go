@@ -30,6 +30,7 @@ func smallRun(t *testing.T, comboID string, probes int, seed int64) *Dataset {
 }
 
 func TestTable1Combinations(t *testing.T) {
+	t.Parallel()
 	combos := Table1()
 	if len(combos) != 7 {
 		t.Fatalf("combinations = %d, want 7", len(combos))
@@ -76,6 +77,7 @@ func TestZoneTextParsesAndIdentifiesSite(t *testing.T) {
 }
 
 func TestRunProducesAnswers(t *testing.T) {
+	t.Parallel()
 	ds := smallRun(t, "2B", 400, 1)
 	if ds.ActiveProbes < 300 || ds.ActiveProbes > 400 {
 		t.Errorf("active probes = %d (churn should remove ~10%%)", ds.ActiveProbes)
@@ -104,6 +106,7 @@ func TestRunProducesAnswers(t *testing.T) {
 }
 
 func TestRunQueriesPerProbeCadence(t *testing.T) {
+	t.Parallel()
 	ds := smallRun(t, "2B", 200, 2)
 	perProbe := map[int]int{}
 	for _, r := range ds.Records {
@@ -118,6 +121,7 @@ func TestRunQueriesPerProbeCadence(t *testing.T) {
 }
 
 func TestRunRTTStructure(t *testing.T) {
+	t.Parallel()
 	// In 2C, European VPs must see FRA much faster than SYD.
 	ds := smallRun(t, "2C", 500, 3)
 	var fraRTT, sydRTT []float64
@@ -154,6 +158,7 @@ func TestRunRTTStructure(t *testing.T) {
 }
 
 func TestRunDeterminism(t *testing.T) {
+	t.Parallel()
 	a := smallRun(t, "2A", 150, 7)
 	b := smallRun(t, "2A", 150, 7)
 	if len(a.Records) != len(b.Records) {
@@ -167,6 +172,7 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 func TestRunAuthSideCapture(t *testing.T) {
+	t.Parallel()
 	ds := smallRun(t, "2B", 200, 4)
 	if len(ds.AuthRecords) == 0 {
 		t.Fatal("no authoritative-side records")
@@ -195,6 +201,7 @@ func TestRunAuthSideCapture(t *testing.T) {
 }
 
 func TestRunIPv6Subset(t *testing.T) {
+	t.Parallel()
 	combo, _ := CombinationByID("2B")
 	cfg := DefaultRunConfig(combo, 5)
 	pc := atlas.DefaultConfig(5)

@@ -1,0 +1,608 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/dnswire"
+	"ritw/internal/faults"
+	"ritw/internal/geo"
+	"ritw/internal/netsim"
+	"ritw/internal/obs"
+	"ritw/internal/resolver"
+	"ritw/internal/simbind"
+)
+
+// This file is the sharded simulation engine (DESIGN.md §8.4). A run
+// is split into three stages:
+//
+//  1. plan: compute everything whose value must not depend on the
+//     partition — the global address plan, churn, public-DNS
+//     catchments, and the resolver-closure components.
+//  2. shards: build one independent world (simulator, network, auth
+//     replicas, resolvers, probes, fault injector) per shard and run
+//     them concurrently. Keyed randomness (netsim/keyed.go) makes
+//     every stochastic outcome a pure function of stable entity keys,
+//     so a shard computes exactly what the sequential run would.
+//  3. merge: each shard emits records in canonical order (virtual
+//     time, then a total record key); a k-way merge interleaves the
+//     shard streams into one canonical sequence feeding the Sink.
+//
+// The single-shard path runs through the same machinery, which is how
+// the byte-identity contract is pinned: shards=1 and shards=N produce
+// the same canonical sequence, record for record.
+
+// plannedProbe is one churn-surviving probe with its globally planned
+// address and, for public-DNS users, the pinned catchment member.
+type plannedProbe struct {
+	probe atlas.Probe
+	addr  netip.Addr
+	// catchIdx is the global resolver index of the public anycast site
+	// serving this probe, or -1 when the probe never uses the service.
+	catchIdx int
+}
+
+// runPlan is the partition-independent description of a run: every
+// address, catchment and churn decision is fixed here, before any
+// shard exists, so all shard counts agree on them.
+type runPlan struct {
+	model        geo.PathModel
+	pop          *atlas.Population
+	siteAddr     map[string]netip.Addr
+	resolverAddr []netip.Addr
+	publicAddr   netip.Addr
+	active       []plannedProbe
+
+	nShards          int
+	probesByShard    [][]int // indices into active
+	resolversByShard [][]int // global resolver indices, ascending
+}
+
+// planRun fixes the global address plan (mirroring the allocation
+// order a single network would use), applies churn, pins public-DNS
+// catchments with the keyed pick, and partitions the population into
+// resolver-closure shards.
+func planRun(cfg RunConfig, pop *atlas.Population, model geo.PathModel, nShards int) *runPlan {
+	pl := &runPlan{
+		model:    model,
+		pop:      pop,
+		siteAddr: make(map[string]netip.Addr, len(cfg.Combo.Sites)),
+		nShards:  nShards,
+	}
+	next := uint32(0x0A000001) // 10.0.0.1, the netsim pool start
+	alloc := func() netip.Addr {
+		v := next
+		next++
+		return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	// Allocation order matches the sequential world build: auth sites,
+	// resolvers, the public anycast service address, then the active
+	// probes in population order.
+	for _, code := range cfg.Combo.Sites {
+		pl.siteAddr[code] = alloc()
+	}
+	pl.resolverAddr = make([]netip.Addr, len(pop.Resolvers))
+	for i := range pop.Resolvers {
+		pl.resolverAddr[i] = alloc()
+	}
+	if len(pop.PublicSites) > 0 {
+		pl.publicAddr = alloc()
+	}
+
+	memberLocs := make([]geo.Coord, len(pop.PublicSites))
+	for i, ri := range pop.PublicSites {
+		memberLocs[i] = pop.Resolvers[ri].Loc
+	}
+
+	churn := rand.New(rand.NewSource(cfg.Seed + 2))
+	for _, p := range pop.Probes {
+		if cfg.IPv6Subset && !p.IPv6 {
+			continue
+		}
+		if churn.Float64() < cfg.ChurnRate {
+			continue // probe offline this run
+		}
+		ap := plannedProbe{probe: p, addr: alloc(), catchIdx: -1}
+		for _, ri := range p.Resolvers {
+			if atlas.PublicMarker(ri) && len(memberLocs) > 0 {
+				// Pin the anycast catchment now, with the same keyed
+				// pick the network would make lazily. Pinning at plan
+				// time means a public-DNS probe's closure contains one
+				// site, not all eight — without it every public user
+				// would collapse into a single giant shard.
+				pick := netsim.KeyedCatchmentPick(model, netsim.DefaultBGPNoise,
+					netsim.CatchmentKey(uint64(cfg.Seed+1), ap.addr, pl.publicAddr),
+					p.Loc, memberLocs)
+				ap.catchIdx = pop.PublicSites[pick]
+			}
+		}
+		pl.active = append(pl.active, ap)
+	}
+
+	pl.partition()
+	return pl
+}
+
+// partition groups resolvers into closure components (two resolvers
+// are connected when some probe can use both) and packs components
+// onto shards, largest first. Probes follow their resolvers, so no
+// packet ever needs to cross a shard boundary: probes talk only to
+// their own resolvers, resolvers only to the per-shard authoritative
+// replicas.
+func (pl *runPlan) partition() {
+	uf := newUnionFind(len(pl.pop.Resolvers))
+	for _, ap := range pl.active {
+		first := -1
+		for _, ri := range ap.probe.Resolvers {
+			if atlas.PublicMarker(ri) {
+				ri = ap.catchIdx
+				if ri < 0 {
+					continue
+				}
+			}
+			if first < 0 {
+				first = ri
+			} else {
+				uf.union(first, ri)
+			}
+		}
+	}
+
+	type component struct {
+		root      int
+		probes    []int
+		resolvers []int
+	}
+	byRoot := make(map[int]*component)
+	comp := func(root int) *component {
+		c, ok := byRoot[root]
+		if !ok {
+			c = &component{root: root}
+			byRoot[root] = c
+		}
+		return c
+	}
+	for ri := range pl.pop.Resolvers {
+		root := uf.find(ri)
+		comp(root).resolvers = append(comp(root).resolvers, ri)
+	}
+	for ai, ap := range pl.active {
+		ri := ap.probe.Resolvers[0]
+		if atlas.PublicMarker(ri) {
+			ri = ap.catchIdx
+		}
+		if ri < 0 {
+			continue // no usable resolver: the probe never sends
+		}
+		root := uf.find(ri)
+		comp(root).probes = append(comp(root).probes, ai)
+	}
+
+	comps := make([]*component, 0, len(byRoot))
+	for _, c := range byRoot {
+		comps = append(comps, c)
+	}
+	// Longest-processing-time packing: heaviest component to the
+	// lightest shard. Root index breaks ties so the assignment is
+	// reproducible run to run.
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i].probes) != len(comps[j].probes) {
+			return len(comps[i].probes) > len(comps[j].probes)
+		}
+		return comps[i].root < comps[j].root
+	})
+	pl.probesByShard = make([][]int, pl.nShards)
+	pl.resolversByShard = make([][]int, pl.nShards)
+	load := make([]int, pl.nShards)
+	for _, c := range comps {
+		s := 0
+		for i := 1; i < pl.nShards; i++ {
+			if load[i] < load[s] {
+				s = i
+			}
+		}
+		load[s] += len(c.probes)
+		pl.probesByShard[s] = append(pl.probesByShard[s], c.probes...)
+		pl.resolversByShard[s] = append(pl.resolversByShard[s], c.resolvers...)
+	}
+	for s := 0; s < pl.nShards; s++ {
+		sort.Ints(pl.probesByShard[s])
+		sort.Ints(pl.resolversByShard[s])
+	}
+}
+
+// unionFind is a plain disjoint-set forest with path halving.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// emitted is one record tagged with its emission instant, the unit of
+// the canonical merge.
+type emitted struct {
+	at    time.Duration
+	query bool
+	q     QueryRecord
+	a     AuthRecord
+}
+
+// emittedLess is the canonical total order on records: virtual time,
+// then auth before query, then a key unique per record kind. Records
+// that compare equal are byte-identical (every rendered field is part
+// of the key), so the order is well-defined independent of partition.
+func emittedLess(x, y emitted) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.query != y.query {
+		return !x.query
+	}
+	if x.query {
+		if x.q.ProbeID != y.q.ProbeID {
+			return x.q.ProbeID < y.q.ProbeID
+		}
+		return x.q.Seq < y.q.Seq
+	}
+	if x.a.Site != y.a.Site {
+		return x.a.Site < y.a.Site
+	}
+	if x.a.Src != y.a.Src {
+		return x.a.Src.Less(y.a.Src)
+	}
+	return x.a.QName < y.a.QName
+}
+
+// emitBatchTarget is how many records a shard accumulates before
+// shipping a batch to the merger. Batching is a throughput decision,
+// not a correctness one: a batch is a concatenation of consecutive
+// sorted same-instant groups, so it is itself a sorted run. Too-small
+// batches lock-step every shard to within a channel buffer of the
+// global merge frontier; 512 records lets shards run far enough ahead
+// that the lanes actually execute in parallel.
+const emitBatchTarget = 512
+
+// shardEmitter buffers a shard's records for the current virtual
+// instant, canonically sorts each completed instant, and ships sorted
+// runs to the merger in batches. Within a shard, same-instant event
+// execution order still depends on heap insertion order — which
+// differs between partitions — so the per-instant sort here (not the
+// merge) is what makes a shard's stream partition-independent.
+type shardEmitter struct {
+	sim   *netsim.Simulator
+	out   chan<- []emitted
+	at    time.Duration
+	group []emitted
+	batch []emitted
+}
+
+func (e *shardEmitter) push(rec emitted) {
+	if len(e.group) > 0 && rec.at != e.at {
+		e.closeGroup()
+	}
+	e.at = rec.at
+	e.group = append(e.group, rec)
+}
+
+func (e *shardEmitter) query(r QueryRecord) {
+	e.push(emitted{at: e.sim.Now(), query: true, q: r})
+}
+
+func (e *shardEmitter) auth(a AuthRecord) {
+	e.push(emitted{at: a.At, a: a})
+}
+
+// closeGroup sorts the completed instant and appends it to the pending
+// batch, shipping the batch once it is large enough.
+func (e *shardEmitter) closeGroup() {
+	g := e.group
+	e.group = e.group[len(e.group):]
+	sort.Slice(g, func(i, j int) bool { return emittedLess(g[i], g[j]) })
+	e.batch = append(e.batch, g...)
+	if len(e.batch) >= emitBatchTarget {
+		e.out <- e.batch
+		e.batch = nil
+		e.group = nil
+	}
+}
+
+// flush ships everything still buffered; call once after the run.
+func (e *shardEmitter) flush() {
+	if len(e.group) > 0 {
+		e.closeGroup()
+	}
+	if len(e.batch) > 0 {
+		e.out <- e.batch
+		e.batch = nil
+	}
+}
+
+// runShards executes the planned run across the plan's shards and
+// feeds the merged canonical record stream into emit/emitAuth on the
+// caller's goroutine. It returns the merged fault report (nil without
+// a schedule) and the first shard error.
+func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, emit func(QueryRecord), emitAuth func(AuthRecord), metrics *obs.Registry) (*faults.Report, error) {
+	chans := make([]chan []emitted, pl.nShards)
+	reports := make([]*faults.Report, pl.nShards)
+	errs := make([]error, pl.nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < pl.nShards; s++ {
+		chans[s] = make(chan []emitted, 8)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer close(chans[s])
+			reports[s], errs[s] = runOneShard(ctx, cfg, pl, sched, s, chans[s], metrics)
+		}(s)
+	}
+	mergeStreams(chans, emit, emitAuth)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return faults.MergeReports(reports...), nil
+}
+
+// mergeStreams k-way merges the per-shard canonical streams. Each
+// stream arrives sorted by (time, record key); repeatedly taking the
+// smallest head yields the one global canonical order, whatever the
+// shard count. The merge naturally paces itself to the slowest shard
+// and the bounded channels backpressure fast shards, so memory stays
+// proportional to shards × channel depth, not to the record count.
+func mergeStreams(chans []chan []emitted, emit func(QueryRecord), emitAuth func(AuthRecord)) {
+	type head struct {
+		group []emitted
+		idx   int
+	}
+	heads := make([]head, len(chans))
+	alive := make([]bool, len(chans))
+	for i, ch := range chans {
+		if g, ok := <-ch; ok {
+			heads[i] = head{group: g}
+			alive[i] = true
+		}
+	}
+	for {
+		best := -1
+		for i := range heads {
+			if !alive[i] {
+				continue
+			}
+			if best < 0 || emittedLess(heads[i].group[heads[i].idx], heads[best].group[heads[best].idx]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		rec := heads[best].group[heads[best].idx]
+		if rec.query {
+			emit(rec.q)
+		} else {
+			emitAuth(rec.a)
+		}
+		heads[best].idx++
+		if heads[best].idx == len(heads[best].group) {
+			if g, ok := <-chans[best]; ok {
+				heads[best] = head{group: g}
+			} else {
+				alive[best] = false
+			}
+		}
+	}
+}
+
+// runOneShard builds shard s's world — its own simulator, network,
+// authoritative replicas, the shard's resolvers and probes — and runs
+// it to completion, streaming canonical batches into out. All
+// stochastic decisions are keyed (UseKeyedRand), so the shard computes
+// exactly the outcomes the sequential run would for its slice of the
+// population.
+func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (*faults.Report, error) {
+	sim := netsim.NewSimulator()
+	net := netsim.NewNetwork(sim, pl.model, cfg.Seed+1)
+	net.LossRate = cfg.LossRate
+	net.UseKeyedRand(uint64(cfg.Seed + 1))
+	if metrics != nil {
+		net.SetMetrics(metrics)
+	}
+	em := &shardEmitter{sim: sim, out: out}
+
+	// Authoritative sites: replicated into every shard. Their engines
+	// keep only per-source state (and measurement runs leave RRL off),
+	// so a replica serving a subset of sources behaves exactly like the
+	// shared engine would toward those sources. buildAuthSites writes
+	// the (already planned, identical) addresses back into its map, so
+	// each shard gets a private copy of the plan's map.
+	siteAddr := make(map[string]netip.Addr, len(pl.siteAddr))
+	for code, addr := range pl.siteAddr {
+		siteAddr[code] = addr
+	}
+	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, siteAddr, em.auth, metrics)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := simbind.SimClock{Sim: sim}
+	zones := []resolver.ZoneServers{{Zone: TestDomain, Servers: authAddrs}}
+	var publicMembers []*netsim.Host
+	for _, ri := range pl.resolversByShard[s] {
+		spec := pl.pop.Resolvers[ri]
+		host := net.AddHostAddr(pl.resolverAddr[ri], spec.Loc)
+		infra := resolver.NewInfraCache(spec.InfraTTL, spec.Retention)
+		if cfg.Backoff != nil {
+			infra.SetBackoff(*cfg.Backoff)
+		}
+		eng := resolver.NewEngine(resolver.Config{
+			Policy:    resolver.NewPolicy(spec.Kind),
+			Infra:     infra,
+			Cache:     resolver.NewRecordCache(),
+			Zones:     zones,
+			Transport: simbind.HostTransport{Host: host},
+			Clock:     clock,
+			RNG:       rand.New(rand.NewSource(cfg.Seed + 1000 + int64(ri))),
+			Timeout:   800 * time.Millisecond,
+			Metrics:   metrics,
+		})
+		simbind.BindResolver(host, eng)
+		if spec.Public {
+			publicMembers = append(publicMembers, host)
+		}
+	}
+	if pl.publicAddr.IsValid() && len(publicMembers) > 0 {
+		net.AddAnycast(pl.publicAddr, publicMembers)
+	}
+
+	// Each shard compiles its own injector against the full global
+	// bindings (subset selection is address-keyed, so every shard
+	// derives the same affected sets) and samples bursts keyed, so the
+	// consult streams line up with the sequential run.
+	var inj *faults.Injector
+	if !sched.Empty() {
+		inj, err = faults.Compile(sched, faults.Bindings{
+			SiteAddr:  pl.siteAddr,
+			Resolvers: pl.resolverAddr,
+		}, cfg.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		inj.UseKeyedRand(uint64(cfg.Seed + 7))
+		if metrics != nil {
+			inj.SetMetrics(metrics)
+		}
+		net.SetFaults(inj)
+	}
+
+	type probeRuntime struct {
+		probe   atlas.Probe
+		host    *netsim.Host
+		pending map[uint16]*QueryRecord
+		rng     *rand.Rand
+	}
+	for _, ai := range pl.probesByShard[s] {
+		ap := pl.active[ai]
+		host := net.AddHostAddr(ap.addr, ap.probe.Loc)
+		host.LastMileMs = ap.probe.LastMileMs
+		if ap.catchIdx >= 0 {
+			member, ok := net.Host(pl.resolverAddr[ap.catchIdx])
+			if !ok {
+				return nil, fmt.Errorf("measure: shard %d missing catchment member for probe %d", s, ap.probe.ID)
+			}
+			net.PinCatchment(ap.addr, pl.publicAddr, member)
+		}
+		prt := &probeRuntime{
+			probe:   ap.probe,
+			host:    host,
+			pending: make(map[uint16]*QueryRecord),
+			rng:     rand.New(rand.NewSource(cfg.Seed + 5000 + int64(ap.probe.ID))),
+		}
+		host.Handle(func(src, _ netip.Addr, payload []byte) {
+			msg, err := dnswire.Unpack(payload)
+			if err != nil || !msg.Response {
+				return
+			}
+			rec, ok := prt.pending[msg.ID]
+			if !ok {
+				return
+			}
+			delete(prt.pending, msg.ID)
+			rec.RTTms = float64(sim.Now()-rec.SentAt) / float64(time.Millisecond)
+			rec.OK = msg.RCode == dnswire.RCodeNoError && len(msg.Answers) > 0
+			if rec.OK {
+				if txt, ok := msg.Answers[0].Data.(dnswire.TXT); ok {
+					rec.Site = strings.TrimPrefix(txt.Joined(), "site=")
+				}
+			}
+			em.query(*rec)
+		})
+
+		// Query schedule: random phase, then fixed cadence. The phase
+		// and per-query resolver choice come from the probe's own
+		// seeded stream, untouched by sharding.
+		phase := time.Duration(prt.rng.Int63n(int64(cfg.Interval)))
+		seq := 0
+		var tick func()
+		tick = func() {
+			if sim.Now() >= cfg.Duration {
+				return
+			}
+			ridx := prt.probe.Resolvers[prt.rng.Intn(len(prt.probe.Resolvers))]
+			raddr := pl.publicAddr
+			if !atlas.PublicMarker(ridx) {
+				raddr = pl.resolverAddr[ridx]
+			}
+			if !raddr.IsValid() {
+				return
+			}
+			label := fmt.Sprintf("p%dx%d", prt.probe.ID, seq)
+			qname, err := TestDomain.Child(label)
+			if err != nil {
+				return
+			}
+			id := uint16(seq)
+			q := dnswire.NewQuery(id, qname, dnswire.TypeTXT)
+			wire, err := q.Pack()
+			if err != nil {
+				return
+			}
+			rec := &QueryRecord{
+				ProbeID:   prt.probe.ID,
+				Resolver:  raddr,
+				VPKey:     fmt.Sprintf("%d/%s", prt.probe.ID, raddr),
+				Continent: prt.probe.Continent,
+				Seq:       seq,
+				SentAt:    sim.Now(),
+			}
+			prt.pending[id] = rec
+			prt.host.Send(raddr, wire)
+			// Client-side timeout: record the failure.
+			sim.Schedule(cfg.ClientTimeout, func() {
+				if r, still := prt.pending[id]; still && r == rec {
+					delete(prt.pending, id)
+					rec.RTTms = float64(cfg.ClientTimeout) / float64(time.Millisecond)
+					em.query(*rec)
+				}
+			})
+			seq++
+			sim.Schedule(cfg.Interval, tick)
+		}
+		sim.Schedule(phase, tick)
+	}
+
+	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		return nil, err
+	}
+	em.flush()
+	if inj != nil {
+		return inj.Report(), nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,162 @@
+package measure
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/atlas"
+	"ritw/internal/faults"
+)
+
+// shardCfg builds a scaled-down run config for the cross-check tests.
+func shardCfg(t *testing.T, comboID string, probes int, seed int64) RunConfig {
+	t.Helper()
+	combo, err := CombinationByID(comboID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunConfig(combo, seed)
+	pc := atlas.DefaultConfig(seed)
+	pc.NumProbes = probes
+	cfg.Population = pc
+	cfg.Duration = 20 * time.Minute
+	return cfg
+}
+
+// runToCSV executes cfg in stream mode, returning the exact CSV bytes
+// plus the materialized dataset from a second, slice-collecting run of
+// the same config.
+func runToCSV(t *testing.T, cfg RunConfig) ([]byte, *Dataset) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := RunStream(cfg, NewCSVSink(&buf, cfg.Combo.ID)); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sink, cfg.StreamOnly = nil, false
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ds
+}
+
+// TestShardedMatchesSequential is the contract of the sharded engine:
+// at the same seed, a run split across any number of shards emits the
+// byte-for-byte identical record stream — and the identical
+// materialized dataset — as the single-lane run. It sweeps shard
+// counts, seeds and site combinations so a regression in any layer of
+// the partition (address plan, churn, catchment pinning, keyed RNG,
+// canonical merge) surfaces as a diff here.
+func TestShardedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full simulations")
+	}
+	t.Parallel()
+	for _, comboID := range []string{"2A", "3B", "4A"} {
+		for _, seed := range []int64{1, 7, 42} {
+			comboID, seed := comboID, seed
+			t.Run(fmt.Sprintf("%s/seed%d", comboID, seed), func(t *testing.T) {
+				t.Parallel()
+				seqCfg := shardCfg(t, comboID, 150, seed)
+				wantCSV, wantDS := runToCSV(t, seqCfg)
+				if len(wantDS.Records) == 0 {
+					t.Fatal("sequential run produced no records")
+				}
+				for _, shards := range []int{2, 4, 8} {
+					gotCfg := seqCfg
+					gotCfg.Shards = shards
+					gotCSV, gotDS := runToCSV(t, gotCfg)
+					if !bytes.Equal(gotCSV, wantCSV) {
+						t.Fatalf("shards=%d: CSV stream differs from sequential (%d vs %d bytes)\n%s",
+							shards, len(gotCSV), len(wantCSV), firstDiff(gotCSV, wantCSV))
+					}
+					if !reflect.DeepEqual(gotDS.Records, wantDS.Records) {
+						t.Fatalf("shards=%d: materialized query records differ", shards)
+					}
+					if !reflect.DeepEqual(gotDS.AuthRecords, wantDS.AuthRecords) {
+						t.Fatalf("shards=%d: auth records differ", shards)
+					}
+					if gotDS.ActiveProbes != wantDS.ActiveProbes {
+						t.Fatalf("shards=%d: active probes %d vs %d",
+							shards, gotDS.ActiveProbes, wantDS.ActiveProbes)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedMatchesSequentialWithFaults repeats the byte-identity
+// check under a schedule exercising every fault family, and also
+// requires the merged per-shard injector reports to reproduce the
+// sequential report exactly.
+func TestShardedMatchesSequentialWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full simulations")
+	}
+	t.Parallel()
+	sched := &faults.Schedule{
+		Outages: []faults.Outage{{Site: "DUB", Start: 4 * time.Minute, End: 8 * time.Minute}},
+		Flaps: []faults.Flap{{Site: "FRA", Start: 10 * time.Minute, End: 14 * time.Minute,
+			Period: time.Minute, DownFrac: 0.5}},
+		Bursts: []faults.LossBurst{{Site: "IAD", Start: 2 * time.Minute, End: 16 * time.Minute,
+			Rate: 0.3, Fraction: 0.5}},
+		Slowdowns: []faults.Slowdown{{Site: "FRA", Start: 1 * time.Minute, End: 9 * time.Minute,
+			AddRTT: 80 * time.Millisecond, Fraction: 0.4}},
+		Partitions: []faults.Partition{{Site: "IAD", Start: 6 * time.Minute, End: 12 * time.Minute,
+			Fraction: 0.3}},
+	}
+	seqCfg := shardCfg(t, "3B", 150, 11) // 3B = DUB/FRA/IAD
+	seqCfg.Faults = sched
+	wantCSV, wantDS := runToCSV(t, seqCfg)
+	if wantDS.Faults == nil || wantDS.Faults.Drops == 0 {
+		t.Fatal("fault schedule had no effect; the variant tests nothing")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		gotCfg := seqCfg
+		gotCfg.Shards = shards
+		gotCSV, gotDS := runToCSV(t, gotCfg)
+		if !bytes.Equal(gotCSV, wantCSV) {
+			t.Fatalf("shards=%d: CSV stream differs under faults\n%s",
+				shards, firstDiff(gotCSV, wantCSV))
+		}
+		if !reflect.DeepEqual(gotDS.Records, wantDS.Records) {
+			t.Fatalf("shards=%d: query records differ under faults", shards)
+		}
+		if !reflect.DeepEqual(gotDS.AuthRecords, wantDS.AuthRecords) {
+			t.Fatalf("shards=%d: auth records differ under faults", shards)
+		}
+		if !reflect.DeepEqual(gotDS.Faults, wantDS.Faults) {
+			t.Fatalf("shards=%d: merged fault report differs:\n%+v\nwant\n%+v",
+				shards, gotDS.Faults, wantDS.Faults)
+		}
+	}
+}
+
+// firstDiff renders the first line where two byte streams diverge.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	hiG, hiW := i+120, i+120
+	if hiG > len(got) {
+		hiG = len(got)
+	}
+	if hiW > len(want) {
+		hiW = len(want)
+	}
+	return fmt.Sprintf("first divergence at byte %d:\n got: …%s…\nwant: …%s…",
+		i, got[lo:hiG], want[lo:hiW])
+}

@@ -26,6 +26,7 @@ func smallCfg(t *testing.T, comboID string, probes int, seed int64) RunConfig {
 }
 
 func TestStreamingMatchesMaterialized(t *testing.T) {
+	t.Parallel()
 	cfg := smallCfg(t, "2C", 100, 21)
 
 	want, err := Run(cfg)
@@ -75,6 +76,7 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 }
 
 func TestCSVSinkMatchesWriteCSV(t *testing.T) {
+	t.Parallel()
 	cfg := smallCfg(t, "2B", 80, 5)
 	var streamed bytes.Buffer
 	ds, err := Run(cfg) // materialized reference
@@ -136,6 +138,7 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 }
 
 func TestEntradaSinkSpillsAuthStream(t *testing.T) {
+	t.Parallel()
 	ds := smallRun(t, "2B", 60, 3)
 	var buf bytes.Buffer
 	sink := NewEntradaSink(&buf)
@@ -210,6 +213,7 @@ func TestTeeAndInstrumentSink(t *testing.T) {
 }
 
 func TestOpenResolverStreaming(t *testing.T) {
+	t.Parallel()
 	combo, err := CombinationByID("2C")
 	if err != nil {
 		t.Fatal(err)

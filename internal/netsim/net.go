@@ -76,6 +76,15 @@ type Network struct {
 	nextIPv4 uint32
 	faults   FaultModel
 
+	// Keyed-randomness mode (see keyed.go): when enabled, per-packet
+	// and per-pair decisions derive from stable keys instead of the
+	// sequential rng, making outcomes independent of event interleaving
+	// across unrelated hosts — the invariant sharded runs rely on.
+	keyed     bool
+	keyedSeed uint64
+	kr        *keyedRand
+	pairCtr   map[dirPair]uint64
+
 	sent       *obs.Counter
 	dropped    *obs.Counter
 	faultDrops *obs.Counter
@@ -119,13 +128,19 @@ func orderedPair(a, b netip.Addr) pairKey {
 	return pairKey{a, b}
 }
 
+// DefaultBGPNoise is the default probability that an anycast catchment
+// decision picks a suboptimal site. Exported so experiment planners
+// that pre-compute catchments (KeyedCatchmentPick) use the exact value
+// the network would.
+const DefaultBGPNoise = 0.15
+
 // NewNetwork creates a network on sim with the given path model and a
 // seeded RNG for all stochastic decisions.
 func NewNetwork(sim *Simulator, model geo.PathModel, seed int64) *Network {
 	return &Network{
 		Sim:      sim,
 		Model:    model,
-		BGPNoise: 0.15,
+		BGPNoise: DefaultBGPNoise,
 		rng:      rand.New(rand.NewSource(seed)),
 		hosts:    make(map[netip.Addr]*Host),
 		anycast:  make(map[netip.Addr][]*Host),
@@ -216,7 +231,18 @@ func (n *Network) Catchment(src *Host, service netip.Addr) *Host {
 		return h
 	}
 	members := n.anycast[service]
-	best := n.pickCatchment(src, members)
+	var best *Host
+	if n.keyed {
+		locs := make([]geo.Coord, len(members))
+		for i, m := range members {
+			locs[i] = m.Loc
+		}
+		pick := KeyedCatchmentPick(n.Model, n.BGPNoise,
+			CatchmentKey(n.keyedSeed, src.Addr, service), src.Loc, locs)
+		best = members[pick]
+	} else {
+		best = n.pickCatchment(src, members)
+	}
 	n.catch[key] = best
 	return best
 }
@@ -265,7 +291,11 @@ func (n *Network) PathRTTms(a, b *Host) float64 {
 	d := a.Loc.DistanceKm(b.Loc)
 	s, ok := n.stretch[key]
 	if !ok {
-		s = n.Model.SampleStretch(n.rng, d)
+		if n.keyed {
+			s = n.Model.SampleStretch(n.kr.reset(StretchKey(n.keyedSeed, a.Addr, b.Addr)), d)
+		} else {
+			s = n.Model.SampleStretch(n.rng, d)
+		}
 		n.stretch[key] = s
 	}
 	return n.Model.BaseRTTMs(d, s) + a.LastMileMs + b.LastMileMs
@@ -300,7 +330,15 @@ func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 		n.dropped.Inc()
 		return
 	}
-	if n.rng.Float64() < n.LossRate || n.rng.Float64() < from.LossRate || n.rng.Float64() < target.LossRate {
+	// In keyed mode every stochastic decision for this packet comes
+	// from one stream seeded by (seed, src, dst, pair packet counter),
+	// so the fate of a packet depends only on its own pair's traffic
+	// history — never on draws consumed by unrelated hosts.
+	prng := n.rng
+	if n.keyed {
+		prng = n.packetRand(from.Addr, target.Addr)
+	}
+	if prng.Float64() < n.LossRate || prng.Float64() < from.LossRate || prng.Float64() < target.LossRate {
 		n.dropped.Inc()
 		return
 	}
@@ -310,7 +348,7 @@ func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 		return
 	}
 	base := n.PathRTTms(from, target)
-	oneWay := base/2 + n.Model.JitterMs(n.rng, base)/2
+	oneWay := base/2 + n.Model.JitterMs(prng, base)/2
 	delay := time.Duration(oneWay * float64(time.Millisecond))
 	if n.faults != nil {
 		delay = n.faults.Shape(from.Addr, target.Addr, n.Sim.Now(), delay)

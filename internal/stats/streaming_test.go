@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -129,5 +130,81 @@ func TestQuantileSketchBoundedMode(t *testing.T) {
 	}
 	if !math.IsNaN(NewQuantileSketch(8, 1).Median()) {
 		t.Error("empty sketch should yield NaN")
+	}
+}
+
+// TestQuantileSketchRankErrorProperty is the property-based check of
+// the error bound documented on QuantileSketch: across randomly drawn
+// distribution shapes, stream lengths and caps, every sampled
+// quantile estimate must sit within four sigmas of its true rank,
+// sigma = sqrt(p(1-p)/cap). The rank of the estimate is measured as a
+// bracket [frac(< est), frac(<= est)] against the exact sorted stream
+// so duplicate-heavy and constant streams are judged fairly. All
+// randomness is seeded, so a failure is reproducible, not flaky.
+func TestQuantileSketchRankErrorProperty(t *testing.T) {
+	gen := rand.New(rand.NewSource(20170901))
+	draw := func(kind int, rng *rand.Rand) float64 {
+		switch kind {
+		case 0: // uniform
+			return rng.Float64() * 100
+		case 1: // heavy-tailed
+			return rng.ExpFloat64() * 30
+		case 2: // gaussian
+			return rng.NormFloat64()*15 + 50
+		case 3: // bimodal (RTT-like: two catchments)
+			if rng.Intn(2) == 0 {
+				return rng.NormFloat64()*2 + 10
+			}
+			return rng.NormFloat64()*5 + 120
+		default: // discrete with heavy duplication
+			return float64(rng.Intn(12))
+		}
+	}
+	caps := []int{64, 256, 1024}
+	quantiles := []float64{5, 10, 25, 50, 75, 90, 95}
+
+	for trial := 0; trial < 30; trial++ {
+		kind := gen.Intn(5)
+		capN := caps[gen.Intn(len(caps))]
+		n := capN*2 + gen.Intn(capN*40)
+		streamSeed, sketchSeed := gen.Int63(), gen.Int63()
+
+		q := NewQuantileSketch(capN, sketchSeed)
+		xs := make([]float64, n)
+		rng := rand.New(rand.NewSource(streamSeed))
+		for i := range xs {
+			xs[i] = draw(kind, rng)
+			q.Observe(xs[i])
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+
+		if q.Exact() {
+			t.Fatalf("trial %d: n=%d cap=%d should be sampled", trial, n, capN)
+		}
+		for _, p := range quantiles {
+			est := q.Quantile(p)
+			// Bracket the estimate's true rank: the fraction of the
+			// exact stream strictly below it and at-or-below it.
+			lo := float64(sort.SearchFloat64s(sorted, est)) / float64(n)
+			hi := float64(sort.Search(n, func(i int) bool { return sorted[i] > est })) / float64(n)
+			want := p / 100
+			sigma := math.Sqrt(want * (1 - want) / float64(capN))
+			tol := 4*sigma + 1/float64(capN) // +1/cap: rank discretization
+			if want < lo-tol || want > hi+tol {
+				t.Errorf("trial %d (kind=%d n=%d cap=%d): p%.0f estimate %v has true rank [%.4f, %.4f], want %.4f ± %.4f",
+					trial, kind, n, capN, p, est, lo, hi, want, tol)
+			}
+		}
+		// Exact-mode property on the same stream: an uncapped sketch
+		// must reproduce Percentile bit-for-bit at an arbitrary p.
+		qe := NewQuantileSketch(0, sketchSeed)
+		for _, x := range xs {
+			qe.Observe(x)
+		}
+		p := gen.Float64() * 100
+		if got, want := qe.Quantile(p), Percentile(xs, p); got != want {
+			t.Errorf("trial %d: exact sketch p%.2f = %v, Percentile = %v", trial, p, got, want)
+		}
 	}
 }
