@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ritw/internal/core"
+	"ritw/internal/netsim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden outputs under testdata/golden")
@@ -23,44 +24,81 @@ func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
-	runGoldenSuite(t, 0, *updateGolden)
+	runGoldenSuite(t, 0, netsim.SchedHeap, *updateGolden)
+}
+
+// crosscheckShards reads the CI shard-count override (default def).
+func crosscheckShards(t *testing.T, def int) int {
+	t.Helper()
+	env := os.Getenv("RITW_CROSSCHECK_SHARDS")
+	if env == "" {
+		return def
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1 {
+		t.Fatalf("bad RITW_CROSSCHECK_SHARDS=%q", env)
+	}
+	return n
+}
+
+// crosscheckSched reads the RITW_SCHED scheduler override (default
+// def), so the CI matrix can drive one golden job per scheduler.
+func crosscheckSched(t *testing.T, def netsim.SchedulerKind) netsim.SchedulerKind {
+	t.Helper()
+	env := os.Getenv("RITW_SCHED")
+	if env == "" {
+		return def
+	}
+	k, err := netsim.ParseSchedulerKind(env)
+	if err != nil {
+		t.Fatalf("bad RITW_SCHED=%q: %v", env, err)
+	}
+	return k
 }
 
 // TestGoldenOutputsSharded replays the full figure suite split across
 // simulation shards and demands the exact bytes of the sequential
 // goldens: the CLI-level pin of the sharded engine's byte-identity
 // contract. An odd shard count stresses the canonical merge with
-// uneven lanes. RITW_CROSSCHECK_SHARDS elevates the shard count for
-// the CI race job.
+// uneven lanes. RITW_CROSSCHECK_SHARDS elevates the shard count and
+// RITW_SCHED selects the scheduler for the CI race job.
 func TestGoldenOutputsSharded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
-	shards := 3
-	if env := os.Getenv("RITW_CROSSCHECK_SHARDS"); env != "" {
-		n, err := strconv.Atoi(env)
-		if err != nil || n < 1 {
-			t.Fatalf("bad RITW_CROSSCHECK_SHARDS=%q", env)
-		}
-		shards = n
+	runGoldenSuite(t, crosscheckShards(t, 3), crosscheckSched(t, netsim.SchedHeap), false)
+}
+
+// TestGoldenOutputsWheel replays the suite on the timing-wheel
+// scheduler — sequential and sharded — against the same goldens the
+// heap defined: the CLI-level pin that scheduler choice never changes
+// a published number.
+func TestGoldenOutputsWheel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
 	}
-	runGoldenSuite(t, shards, false)
+	runGoldenSuite(t, 0, netsim.SchedWheel, false)
+	runGoldenSuite(t, crosscheckShards(t, 3), netsim.SchedWheel, false)
 }
 
 // runGoldenSuite executes every figure/table command at the pinned
 // seed and compares (or, with update, rewrites) the goldens. shards=0
-// runs the single sequential lane that defines the golden bytes.
-func runGoldenSuite(t *testing.T, shards int, update bool) {
+// runs the single sequential lane that defines the golden bytes; kind
+// selects the event scheduler (the goldens must not depend on it).
+func runGoldenSuite(t *testing.T, shards int, kind netsim.SchedulerKind, update bool) {
 	t.Helper()
 	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
 	oldPlot, oldOut, oldParallel, oldShards := *plotDir, *outFile, *parallel, *shardsFlag
+	oldSched := schedKind
 	defer func() {
 		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
 		*plotDir, *outFile, *parallel, *shardsFlag = oldPlot, oldOut, oldParallel, oldShards
+		schedKind = oldSched
 		table1Cache = nil
 	}()
 	*seed, *probesFlag, *stream, *maxMem = 7, 150, true, 0
 	*plotDir, *outFile, *parallel, *shardsFlag = "", "", 4, shards
+	schedKind = kind
 	table1Cache = nil
 
 	cmds := []struct {

@@ -40,6 +40,7 @@ import (
 	"ritw/internal/ditl"
 	"ritw/internal/geo"
 	"ritw/internal/measure"
+	"ritw/internal/netsim"
 	"ritw/internal/obs"
 )
 
@@ -55,8 +56,13 @@ var (
 	maxMem     = flag.Int("maxmem", 0, "cap streaming analysis memory: MiB budget for the RTT quantile sketches (implies -stream; 0 = exact)")
 	probesFlag = flag.Int("probes", 0, "override the probe count implied by -scale (0 = scale default)")
 	shardsFlag = flag.Int("shards", 0, "split each simulation across N concurrent lanes; results are byte-identical at any shard count (0 = single lane)")
+	schedFlag  = flag.String("sched", "heap", "simulator event scheduler: heap (reference) or wheel (timing wheel, faster at large event depths); results are byte-identical either way")
 	metricsOut = flag.Bool("metrics", false, "dump the observability registry to stderr when the command finishes")
 )
+
+// schedKind is the parsed -sched value, fixed in main before any
+// command runs.
+var schedKind netsim.SchedulerKind
 
 // metricsReg collects cross-layer counters and gauges (simulator
 // events, records streamed, sink spill bytes, aggregator peak sizes)
@@ -93,6 +99,7 @@ func batchOpts(scale core.Scale) []core.Option {
 	opts := []core.Option{
 		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel),
 		core.WithProbes(*probesFlag), core.WithShards(*shardsFlag),
+		core.WithScheduler(schedKind),
 	}
 	if metricsReg != nil {
 		opts = append(opts, core.WithMetrics(metricsReg))
@@ -121,6 +128,8 @@ func main() {
 		os.Exit(2)
 	}
 	scale, err := parseScale(*scaleStr)
+	check(err)
+	schedKind, err = netsim.ParseSchedulerKind(*schedFlag)
 	check(err)
 	if *metricsOut {
 		metricsReg = obs.NewRegistry()
@@ -632,6 +641,7 @@ func cmdIPv6(ctx context.Context, scale core.Scale) error {
 		cfg.IPv6Subset = v6
 		cfg.Metrics = metricsReg
 		cfg.Shards = *shardsFlag
+		cfg.Scheduler = schedKind
 		if streaming() {
 			label := "2B-ipv6-all"
 			if v6 {
@@ -715,6 +725,7 @@ func cmdOutage(ctx context.Context, scale core.Scale) error {
 	cfg.Population = pc
 	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
 	cfg.Shards = *shardsFlag
+	cfg.Scheduler = schedKind
 	ds, err := measure.RunContext(ctx, cfg)
 	if err != nil {
 		return err
@@ -741,6 +752,7 @@ func cmdOpenResolver(ctx context.Context, scale core.Scale) error {
 	}
 	cfg := measure.DefaultOpenResolverConfig(combo, *seed)
 	cfg.NumResolvers = scaleProbes(scale) / 4
+	cfg.Scheduler = schedKind
 	ds, err := measure.RunOpenResolversContext(ctx, cfg)
 	if err != nil {
 		return err

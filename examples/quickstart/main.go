@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,8 @@ import (
 
 func main() {
 	fmt.Println("Running combination 2C (FRA + SYD), 1 virtual hour, 2-minute probing...")
-	ds, err := core.RunCombination("2C", 1, core.ScaleSmall)
+	ds, err := core.RunCombinationContext(context.Background(), "2C",
+		core.WithSeed(1), core.WithScale(core.ScaleSmall))
 	if err != nil {
 		log.Fatal(err)
 	}

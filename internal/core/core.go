@@ -7,12 +7,10 @@
 package core
 
 import (
-	"context"
 	"time"
 
 	"ritw/internal/analysis"
 	"ritw/internal/ditl"
-	"ritw/internal/measure"
 )
 
 // Scale selects the size of a reproduction run. Full scale matches the
@@ -42,43 +40,12 @@ func (s Scale) Probes() int {
 	}
 }
 
-// RunCombination executes the paper's standard measurement (1 hour,
-// 2-minute probing) for the named Table-1 combination.
-//
-// It is the context-free positional wrapper kept for existing callers;
-// new code should use RunCombinationContext with options.
-func RunCombination(comboID string, seed int64, scale Scale) (*measure.Dataset, error) {
-	return RunCombinationContext(context.Background(), comboID, WithSeed(seed), WithScale(scale))
-}
-
-// RunTable1 executes all seven Table-1 combinations and returns their
-// datasets keyed by combination ID. Combination i runs at seed+i, so
-// results are identical to the historical serial implementation; runs
-// are fanned out across cores by the Runner.
-//
-// It is the context-free positional wrapper kept for existing callers;
-// new code should use RunTable1Context with options.
-func RunTable1(seed int64, scale Scale) (map[string]*measure.Dataset, error) {
-	return RunTable1Context(context.Background(), WithSeed(seed), WithScale(scale))
-}
-
 // Figure6Intervals are the probing intervals of the paper's Figure 6.
 func Figure6Intervals() []time.Duration {
 	return []time.Duration{
 		2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
 		15 * time.Minute, 20 * time.Minute, 30 * time.Minute,
 	}
-}
-
-// RunIntervalSweep re-runs combination 2C at each probing interval
-// (Figure 6) and returns the datasets in interval order. Interval i
-// runs at seed+i, so results are identical to the historical serial
-// implementation; runs are fanned out across cores by the Runner.
-//
-// It is the context-free positional wrapper kept for existing callers;
-// new code should use RunIntervalSweepContext with options.
-func RunIntervalSweep(seed int64, scale Scale, intervals []time.Duration) ([]*measure.Dataset, error) {
-	return RunIntervalSweepContext(context.Background(), intervals, WithSeed(seed), WithScale(scale))
 }
 
 // RunRootTrace synthesizes the DITL-style root capture (Figure 7 top)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,14 +19,15 @@ func TestScaleProbes(t *testing.T) {
 }
 
 func TestRunCombinationSmall(t *testing.T) {
-	ds, err := RunCombination("2B", 3, ScaleSmall)
+	ctx := context.Background()
+	ds, err := RunCombinationContext(ctx, "2B", WithSeed(3), WithScale(ScaleSmall))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ds.ComboID != "2B" || len(ds.Records) == 0 {
 		t.Fatalf("dataset = %s records=%d", ds.ComboID, len(ds.Records))
 	}
-	if _, err := RunCombination("9Z", 3, ScaleSmall); err == nil {
+	if _, err := RunCombinationContext(ctx, "9Z", WithSeed(3), WithScale(ScaleSmall)); err == nil {
 		t.Error("unknown combination should fail")
 	}
 }
@@ -43,7 +45,9 @@ func TestFigure6Intervals(t *testing.T) {
 }
 
 func TestRunIntervalSweepTiny(t *testing.T) {
-	dss, err := RunIntervalSweep(5, ScaleSmall, []time.Duration{2 * time.Minute, 30 * time.Minute})
+	dss, err := RunIntervalSweepContext(context.Background(),
+		[]time.Duration{2 * time.Minute, 30 * time.Minute},
+		WithSeed(5), WithScale(ScaleSmall))
 	if err != nil {
 		t.Fatal(err)
 	}

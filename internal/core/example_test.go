@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,11 +10,12 @@ import (
 	"ritw/internal/geo"
 )
 
-// ExampleRunCombination reproduces the paper's headline measurement:
-// deploy combination 2C (Frankfurt + Sydney), probe it for a virtual
-// hour, and classify the per-recursive preferences.
-func ExampleRunCombination() {
-	ds, err := core.RunCombination("2C", 1, core.ScaleSmall)
+// ExampleRunCombinationContext reproduces the paper's headline
+// measurement: deploy combination 2C (Frankfurt + Sydney), probe it
+// for a virtual hour, and classify the per-recursive preferences.
+func ExampleRunCombinationContext() {
+	ds, err := core.RunCombinationContext(context.Background(), "2C",
+		core.WithSeed(1), core.WithScale(core.ScaleSmall))
 	if err != nil {
 		log.Fatal(err)
 	}

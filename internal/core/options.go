@@ -7,6 +7,7 @@ import (
 	"ritw/internal/atlas"
 	"ritw/internal/faults"
 	"ritw/internal/measure"
+	"ritw/internal/netsim"
 	"ritw/internal/obs"
 	"ritw/internal/resolver"
 )
@@ -65,6 +66,11 @@ type RunOpts struct {
 	// byte-identical at any shard count; shards only change wall-clock
 	// time, which is what makes million-VP runs tractable.
 	Shards int
+	// Scheduler selects each lane's event scheduler (see
+	// measure.RunConfig.Scheduler; default the reference binary heap).
+	// Like Shards it is a wall-clock knob only — both schedulers
+	// produce byte-identical datasets.
+	Scheduler netsim.SchedulerKind
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -149,6 +155,14 @@ func WithShards(n int) Option {
 	return func(o *RunOpts) { o.Shards = n }
 }
 
+// WithScheduler selects the simulator's event scheduler for every lane
+// (netsim.SchedHeap, the default reference heap, or netsim.SchedWheel,
+// the timing wheel — faster at large event depths). Datasets are
+// byte-identical under either scheduler; only wall-clock time changes.
+func WithScheduler(k netsim.SchedulerKind) Option {
+	return func(o *RunOpts) { o.Scheduler = k }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -185,5 +199,6 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) mea
 	cfg.Faults = o.Faults
 	cfg.Backoff = o.Backoff
 	cfg.Shards = o.Shards
+	cfg.Scheduler = o.Scheduler
 	return cfg
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ritw/internal/measure"
+	"ritw/internal/netsim"
 	"ritw/internal/obs"
 )
 
@@ -85,23 +86,26 @@ func TestIntervalSweepParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestLegacyWrappersMatchOptionsAPI pins the migration: the positional
-// wrappers must produce the very bytes the old serial implementation
-// did, which the options API reproduces via the same seed spacing.
-func TestLegacyWrappersMatchOptionsAPI(t *testing.T) {
+// TestSchedulerChoiceMatchesDatasets pins the API contract of
+// WithScheduler: the timing wheel must produce byte-for-byte the
+// dataset the reference heap does — scheduler choice is a wall-clock
+// knob, never a science knob.
+func TestSchedulerChoiceMatchesDatasets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the same combination twice")
 	}
-	old, err := RunCombination("2B", 9, ScaleSmall)
+	heap, err := RunCombinationContext(context.Background(), "2B", WithSeed(9), WithScale(ScaleSmall),
+		WithScheduler(netsim.SchedHeap))
 	if err != nil {
 		t.Fatal(err)
 	}
-	neu, err := RunCombinationContext(context.Background(), "2B", WithSeed(9), WithScale(ScaleSmall))
+	wheel, err := RunCombinationContext(context.Background(), "2B", WithSeed(9), WithScale(ScaleSmall),
+		WithScheduler(netsim.SchedWheel))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(datasetBytes(t, old), datasetBytes(t, neu)) {
-		t.Error("RunCombination wrapper and options API disagree")
+	if !bytes.Equal(datasetBytes(t, heap), datasetBytes(t, wheel)) {
+		t.Error("heap and wheel schedulers disagree on the dataset")
 	}
 }
 

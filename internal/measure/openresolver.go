@@ -46,6 +46,9 @@ type OpenResolverConfig struct {
 	// Dataset.
 	Sink       Sink
 	StreamOnly bool
+	// Scheduler selects the simulator's event scheduler, as in
+	// RunConfig: a wall-clock knob only, never a science knob.
+	Scheduler netsim.SchedulerKind
 }
 
 // DefaultOpenResolverConfig returns a paper-compatible scan setup.
@@ -97,7 +100,7 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 		return nil, fmt.Errorf("measure: empty mixture")
 	}
 
-	sim := netsim.NewSimulator()
+	sim := netsim.NewSimulatorKind(cfg.Scheduler)
 	net := netsim.NewNetwork(sim, geo.DefaultPathModel(), cfg.Seed+1)
 	ds := &Dataset{
 		ComboID:  cfg.Combo.ID + "-open",

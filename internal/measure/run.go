@@ -147,6 +147,14 @@ type RunConfig struct {
 	// byte-identical at any shard count, including 1. Shards trade
 	// memory (per-shard worlds) for wall-clock time; see DESIGN.md §8.4.
 	Shards int
+	// Scheduler selects the simulator's event scheduler for every lane
+	// (default SchedHeap, the reference binary heap; SchedWheel is the
+	// hierarchical timing wheel, faster at large event depths). Like
+	// Shards this is a wall-clock knob, never a science knob: both
+	// schedulers execute events in exactly ascending (time, id) order,
+	// so the dataset is byte-identical either way — a contract
+	// TestWheelMatchesHeapDataset pins. See DESIGN.md §8.5.
+	Scheduler netsim.SchedulerKind
 }
 
 // Outage describes a site failure window within a run.

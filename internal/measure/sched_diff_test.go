@@ -1,0 +1,84 @@
+package measure
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/faults"
+	"ritw/internal/netsim"
+)
+
+// fiveKindSchedule exercises every fault family against combination 3B
+// (DUB/FRA/IAD); shared by the scheduler and shard differential tests.
+func fiveKindSchedule() *faults.Schedule {
+	return &faults.Schedule{
+		Outages: []faults.Outage{{Site: "DUB", Start: 4 * time.Minute, End: 8 * time.Minute}},
+		Flaps: []faults.Flap{{Site: "FRA", Start: 10 * time.Minute, End: 14 * time.Minute,
+			Period: time.Minute, DownFrac: 0.5}},
+		Bursts: []faults.LossBurst{{Site: "IAD", Start: 2 * time.Minute, End: 16 * time.Minute,
+			Rate: 0.3, Fraction: 0.5}},
+		Slowdowns: []faults.Slowdown{{Site: "FRA", Start: 1 * time.Minute, End: 9 * time.Minute,
+			AddRTT: 80 * time.Millisecond, Fraction: 0.4}},
+		Partitions: []faults.Partition{{Site: "IAD", Start: 6 * time.Minute, End: 12 * time.Minute,
+			Fraction: 0.3}},
+	}
+}
+
+// TestWheelMatchesHeapDataset is the scheduler counterpart of
+// TestShardedMatchesSequential: at the same seed, a run on the timing
+// wheel must emit the byte-for-byte identical record stream — and
+// deep-equal materialized datasets and fault reports — as the
+// reference heap, at every shard count. Together the two tests pin the
+// full knob matrix: {scheduler} × {shards} never changes the science,
+// only the wall clock. The fault schedule exercises all five fault
+// families so the timer-heavy paths (retransmits, hold-downs, flap
+// edges, burst windows) all cross the wheel's cascade boundaries.
+func TestWheelMatchesHeapDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full simulations")
+	}
+	t.Parallel()
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			heapCfg := shardCfg(t, "3B", 120, seed)
+			heapCfg.Faults = fiveKindSchedule()
+			heapCfg.Scheduler = netsim.SchedHeap
+			wantCSV, wantDS := runToCSV(t, heapCfg)
+			if len(wantDS.Records) == 0 {
+				t.Fatal("heap run produced no records")
+			}
+			if wantDS.Faults == nil || wantDS.Faults.Drops == 0 {
+				t.Fatal("fault schedule had no effect; the variant tests nothing")
+			}
+			for _, shards := range []int{1, 4, 8} {
+				gotCfg := heapCfg
+				gotCfg.Scheduler = netsim.SchedWheel
+				gotCfg.Shards = shards
+				gotCSV, gotDS := runToCSV(t, gotCfg)
+				if !bytes.Equal(gotCSV, wantCSV) {
+					t.Fatalf("wheel shards=%d: CSV stream differs from heap\n%s",
+						shards, firstDiff(gotCSV, wantCSV))
+				}
+				if !reflect.DeepEqual(gotDS.Records, wantDS.Records) {
+					t.Fatalf("wheel shards=%d: query records differ from heap", shards)
+				}
+				if !reflect.DeepEqual(gotDS.AuthRecords, wantDS.AuthRecords) {
+					t.Fatalf("wheel shards=%d: auth records differ from heap", shards)
+				}
+				if !reflect.DeepEqual(gotDS.Faults, wantDS.Faults) {
+					t.Fatalf("wheel shards=%d: fault report differs from heap:\n%+v\nwant\n%+v",
+						shards, gotDS.Faults, wantDS.Faults)
+				}
+				if gotDS.ActiveProbes != wantDS.ActiveProbes {
+					t.Fatalf("wheel shards=%d: active probes %d vs %d",
+						shards, gotDS.ActiveProbes, wantDS.ActiveProbes)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +48,12 @@ type plannedProbe struct {
 	// catchIdx is the global resolver index of the public anycast site
 	// serving this probe, or -1 when the probe never uses the service.
 	catchIdx int
+	// vpKeys[i] is the rendered VPKey for the probe's i-th resolver
+	// choice, and labelPrefix the query-name prefix ("p<ID>x"); both
+	// are interned once at plan time so the per-query hot path does no
+	// fmt formatting, only an integer append for the sequence number.
+	vpKeys      []string
+	labelPrefix string
 }
 
 // runPlan is the partition-independent description of a run: every
@@ -121,6 +128,17 @@ func planRun(cfg RunConfig, pop *atlas.Population, model geo.PathModel, nShards 
 					netsim.CatchmentKey(uint64(cfg.Seed+1), ap.addr, pl.publicAddr),
 					p.Loc, memberLocs)
 				ap.catchIdx = pop.PublicSites[pick]
+			}
+		}
+		ap.labelPrefix = "p" + strconv.Itoa(p.ID) + "x"
+		ap.vpKeys = make([]string, len(p.Resolvers))
+		for i, ri := range p.Resolvers {
+			raddr := pl.publicAddr
+			if !atlas.PublicMarker(ri) {
+				raddr = pl.resolverAddr[ri]
+			}
+			if raddr.IsValid() {
+				ap.vpKeys[i] = strconv.Itoa(p.ID) + "/" + raddr.String()
 			}
 		}
 		pl.active = append(pl.active, ap)
@@ -427,7 +445,7 @@ func mergeStreams(chans []chan []emitted, emit func(QueryRecord), emitAuth func(
 // exactly the outcomes the sequential run would for its slice of the
 // population.
 func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (*faults.Report, error) {
-	sim := netsim.NewSimulator()
+	sim := netsim.NewSimulatorKind(cfg.Scheduler)
 	net := netsim.NewNetwork(sim, pl.model, cfg.Seed+1)
 	net.LossRate = cfg.LossRate
 	net.UseKeyedRand(uint64(cfg.Seed + 1))
@@ -502,13 +520,14 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 	}
 
 	type probeRuntime struct {
+		planned *plannedProbe
 		probe   atlas.Probe
 		host    *netsim.Host
 		pending map[uint16]*QueryRecord
 		rng     *rand.Rand
 	}
 	for _, ai := range pl.probesByShard[s] {
-		ap := pl.active[ai]
+		ap := &pl.active[ai]
 		host := net.AddHostAddr(ap.addr, ap.probe.Loc)
 		host.LastMileMs = ap.probe.LastMileMs
 		if ap.catchIdx >= 0 {
@@ -519,6 +538,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			net.PinCatchment(ap.addr, pl.publicAddr, member)
 		}
 		prt := &probeRuntime{
+			planned: ap,
 			probe:   ap.probe,
 			host:    host,
 			pending: make(map[uint16]*QueryRecord),
@@ -554,7 +574,8 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			if sim.Now() >= cfg.Duration {
 				return
 			}
-			ridx := prt.probe.Resolvers[prt.rng.Intn(len(prt.probe.Resolvers))]
+			rpos := prt.rng.Intn(len(prt.probe.Resolvers))
+			ridx := prt.probe.Resolvers[rpos]
 			raddr := pl.publicAddr
 			if !atlas.PublicMarker(ridx) {
 				raddr = pl.resolverAddr[ridx]
@@ -562,7 +583,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			if !raddr.IsValid() {
 				return
 			}
-			label := fmt.Sprintf("p%dx%d", prt.probe.ID, seq)
+			label := prt.planned.labelPrefix + strconv.Itoa(seq)
 			qname, err := TestDomain.Child(label)
 			if err != nil {
 				return
@@ -576,7 +597,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			rec := &QueryRecord{
 				ProbeID:   prt.probe.ID,
 				Resolver:  raddr,
-				VPKey:     fmt.Sprintf("%d/%s", prt.probe.ID, raddr),
+				VPKey:     prt.planned.vpKeys[rpos],
 				Continent: prt.probe.Continent,
 				Seq:       seq,
 				SentAt:    sim.Now(),

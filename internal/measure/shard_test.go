@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"ritw/internal/atlas"
-	"ritw/internal/faults"
 )
 
 // shardCfg builds a scaled-down run config for the cross-check tests.
@@ -98,19 +97,8 @@ func TestShardedMatchesSequentialWithFaults(t *testing.T) {
 		t.Skip("runs many full simulations")
 	}
 	t.Parallel()
-	sched := &faults.Schedule{
-		Outages: []faults.Outage{{Site: "DUB", Start: 4 * time.Minute, End: 8 * time.Minute}},
-		Flaps: []faults.Flap{{Site: "FRA", Start: 10 * time.Minute, End: 14 * time.Minute,
-			Period: time.Minute, DownFrac: 0.5}},
-		Bursts: []faults.LossBurst{{Site: "IAD", Start: 2 * time.Minute, End: 16 * time.Minute,
-			Rate: 0.3, Fraction: 0.5}},
-		Slowdowns: []faults.Slowdown{{Site: "FRA", Start: 1 * time.Minute, End: 9 * time.Minute,
-			AddRTT: 80 * time.Millisecond, Fraction: 0.4}},
-		Partitions: []faults.Partition{{Site: "IAD", Start: 6 * time.Minute, End: 12 * time.Minute,
-			Fraction: 0.3}},
-	}
 	seqCfg := shardCfg(t, "3B", 150, 11) // 3B = DUB/FRA/IAD
-	seqCfg.Faults = sched
+	seqCfg.Faults = fiveKindSchedule()
 	wantCSV, wantDS := runToCSV(t, seqCfg)
 	if wantDS.Faults == nil || wantDS.Faults.Drops == 0 {
 		t.Fatal("fault schedule had no effect; the variant tests nothing")

@@ -1,0 +1,93 @@
+package netsim
+
+import "time"
+
+// event is one queued callback. Stored by value everywhere — in heap
+// nodes, wheel slots and the wheel's due buffer — so the schedulers
+// never allocate per event (the closure a caller passes is the only
+// allocation, and it belongs to the caller).
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for equal timestamps
+	fn  func()
+}
+
+// eventLess is the one total order every scheduler implements:
+// ascending time, scheduling order within an instant.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPushEvent and heapPopEvent implement a plain binary min-heap on
+// a value slice. Hand-rolled instead of container/heap because the
+// stdlib interface boxes every element through `any`, which costs an
+// allocation per Push/Pop — on a path run once per simulated packet,
+// that boxing dominated the heap's own work. The same helpers back the
+// wheel's per-tick due buffer.
+func heapPushEvent(h *[]event, ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func heapPopEvent(h *[]event) event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventLess(s[l], s[min]) {
+			min = l
+		}
+		if r < n && eventLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// heapScheduler is the reference Scheduler: one flat binary min-heap.
+type heapScheduler struct {
+	h []event
+}
+
+func newHeapScheduler() *heapScheduler { return &heapScheduler{} }
+
+// Push implements Scheduler.
+func (s *heapScheduler) Push(at time.Duration, seq uint64, fn func()) {
+	heapPushEvent(&s.h, event{at: at, seq: seq, fn: fn})
+}
+
+// PopLE implements Scheduler.
+func (s *heapScheduler) PopLE(limit time.Duration) (time.Duration, func(), bool) {
+	if len(s.h) == 0 || s.h[0].at > limit {
+		return 0, nil, false
+	}
+	ev := heapPopEvent(&s.h)
+	return ev.at, ev.fn, true
+}
+
+// Len implements Scheduler.
+func (s *heapScheduler) Len() int { return len(s.h) }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 
@@ -63,9 +64,6 @@ func addrBits(a netip.Addr) uint64 {
 	}
 	return h
 }
-
-// dirPair is a directional (src, dst) address pair.
-type dirPair struct{ src, dst netip.Addr }
 
 // pairBits combines two addresses order-sensitively.
 func pairBits(src, dst netip.Addr) uint64 {
@@ -141,7 +139,7 @@ func (n *Network) UseKeyedRand(seed uint64) {
 	n.keyedSeed = seed
 	if n.kr == nil {
 		n.kr = newKeyedRand()
-		n.pairCtr = make(map[dirPair]uint64)
+		n.pairCtr = make(map[uint64]uint64)
 	}
 }
 
@@ -150,14 +148,16 @@ func (n *Network) Keyed() bool { return n.keyed }
 
 // packetRand returns the keyed RNG positioned for the next packet from
 // src to dst, advancing the pair's packet counter. The counter map is
-// keyed by the exact address pair (not a hash): a hash collision
-// between pairs that land in different shards would silently desync
-// the sharded and sequential streams.
-func (n *Network) packetRand(src, dst netip.Addr) *rand.Rand {
-	pk := dirPair{src, dst}
+// keyed by the packed dense-id pair — exact (ids are unique), not a
+// hash: a collision between pairs that land in different shards would
+// silently desync the sharded and sequential streams. The RNG key
+// itself still derives from the addresses, so id assignment order can
+// never change a draw.
+func (n *Network) packetRand(src, dst *Host) *rand.Rand {
+	pk := packIDs(src.id, dst.id)
 	ctr := n.pairCtr[pk]
 	n.pairCtr[pk] = ctr + 1
-	return n.kr.reset(PacketKey(n.keyedSeed, src, dst, ctr))
+	return n.kr.reset(PacketKey(n.keyedSeed, src.Addr, dst.Addr, ctr))
 }
 
 // PinCatchment fixes the anycast catchment decision for traffic from
@@ -165,12 +165,19 @@ func (n *Network) packetRand(src, dst netip.Addr) *rand.Rand {
 // pre-compute catchments (with KeyedCatchmentPick) before the
 // population is partitioned into shards, so every shard — and the
 // sequential run — agrees on the mapping without consuming RNG.
-// member must already be registered as a member of service.
+// member must already be registered as a member of service, and the
+// src host must be registered before pinning (catchments are stored
+// under dense ids).
 func (n *Network) PinCatchment(src, service netip.Addr, member *Host) {
 	if !n.isMember(member, service) {
 		panic("netsim: PinCatchment member does not serve the service")
 	}
-	n.catch[pairKey{src, service}] = member
+	srcHost := n.lookupHost(src)
+	if srcHost == nil {
+		panic(fmt.Sprintf("netsim: PinCatchment source %s not registered", src))
+	}
+	id, _ := n.serviceID(service)
+	n.catch[packIDs(srcHost.id, id)] = member
 }
 
 // KeyedCatchmentPick picks which member of an anycast service receives

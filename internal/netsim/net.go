@@ -29,9 +29,18 @@ type Host struct {
 	// Down marks a failed host: packets to it vanish.
 	Down bool
 
+	// id is the host's dense registration index (see Network: dense
+	// interning). All per-pair state is keyed by id pairs, never by
+	// address, so the hot path does integer map lookups only.
+	id      int32
 	handler PacketHandler
 	net     *Network
 }
+
+// ID returns the host's dense id: its registration index on the
+// network, assigned once at AddHost time. Stable for the lifetime of
+// the network, suitable as an index into caller-side flat tables.
+func (h *Host) ID() int32 { return h.id }
 
 // Handle installs the host's datagram handler.
 func (h *Host) Handle(fn PacketHandler) { h.handler = fn }
@@ -56,8 +65,26 @@ func (h *Host) SendAs(src, dst netip.Addr, payload []byte) {
 	h.net.send(h, src, dst, payload)
 }
 
+// slabRef is one entry of the address slab: the pool offset of an
+// address resolves to the host registered there, the anycast service
+// registered there (svc = service id + 1; 0 = none), or neither.
+type slabRef struct {
+	h   *Host
+	svc int32
+}
+
 // Network glues hosts together with a latency model. All methods must
 // be called from the simulator goroutine (or before Run starts).
+//
+// Dense interning (DESIGN.md §8.5): every host and every anycast
+// service gets a dense int32 id at registration, and addresses inside
+// the simulator's 10.x allocation pool resolve to ids through a flat
+// slab indexed by pool offset — no hashing on the per-packet path. All
+// per-pair pinned state (stretch, catchment, keyed packet counters) is
+// stored under packed id pairs. Ids are storage keys only: every keyed
+// RNG stream is still derived from the *addresses* (keyed.go), so the
+// interning layer cannot change a single random draw — a run's outputs
+// are byte-identical to the map-keyed implementation it replaced.
 type Network struct {
 	Sim   *Simulator
 	Model geo.PathModel
@@ -68,11 +95,22 @@ type Network struct {
 	// between BGP proximity and geographic proximity.
 	BGPNoise float64
 
-	rng      *rand.Rand
-	hosts    map[netip.Addr]*Host
-	anycast  map[netip.Addr][]*Host
-	stretch  map[pairKey]float64
-	catch    map[pairKey]*Host
+	rng *rand.Rand
+	// slab resolves pool addresses (poolBase + offset) to hosts and
+	// services; hostExtra/svcExtra catch addresses outside the pool
+	// (explicit experiment addresses, IPv6).
+	slab      []slabRef
+	hostExtra map[netip.Addr]*Host
+	svcExtra  map[netip.Addr]int32
+	// hosts is the dense id -> host table; svcAddrs/svcMembers the
+	// id -> service tables.
+	hosts      []*Host
+	svcAddrs   []netip.Addr
+	svcMembers [][]*Host
+	// stretch and catch pin per-pair path stretch and per-(host,
+	// service) catchment under packed id pairs.
+	stretch  map[uint64]float64
+	catch    map[uint64]*Host
 	nextIPv4 uint32
 	faults   FaultModel
 
@@ -83,7 +121,7 @@ type Network struct {
 	keyed     bool
 	keyedSeed uint64
 	kr        *keyedRand
-	pairCtr   map[dirPair]uint64
+	pairCtr   map[uint64]uint64
 
 	sent       *obs.Counter
 	dropped    *obs.Counter
@@ -119,40 +157,86 @@ func (n *Network) SetMetrics(r *obs.Registry) {
 	n.Sim.SetMetrics(r)
 }
 
-type pairKey struct{ a, b netip.Addr }
-
-func orderedPair(a, b netip.Addr) pairKey {
-	if b.Less(a) {
-		a, b = b, a
-	}
-	return pairKey{a, b}
-}
-
 // DefaultBGPNoise is the default probability that an anycast catchment
 // decision picks a suboptimal site. Exported so experiment planners
 // that pre-compute catchments (KeyedCatchmentPick) use the exact value
 // the network would.
 const DefaultBGPNoise = 0.15
 
+const (
+	// poolBase is the first address of the automatic allocation pool
+	// (10.0.0.1); poolSlots caps the slab at the rest of 10/8.
+	poolBase  = 0x0A000001
+	poolSlots = 1 << 24
+)
+
+// poolIndex returns addr's slab offset when it lies in the allocation
+// pool.
+func poolIndex(addr netip.Addr) (int, bool) {
+	if !addr.Is4() {
+		return 0, false
+	}
+	b := addr.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	if v < poolBase || v-poolBase >= poolSlots {
+		return 0, false
+	}
+	return int(v - poolBase), true
+}
+
 // NewNetwork creates a network on sim with the given path model and a
 // seeded RNG for all stochastic decisions.
 func NewNetwork(sim *Simulator, model geo.PathModel, seed int64) *Network {
 	return &Network{
-		Sim:      sim,
-		Model:    model,
-		BGPNoise: DefaultBGPNoise,
-		rng:      rand.New(rand.NewSource(seed)),
-		hosts:    make(map[netip.Addr]*Host),
-		anycast:  make(map[netip.Addr][]*Host),
-		stretch:  make(map[pairKey]float64),
-		catch:    make(map[pairKey]*Host),
-		nextIPv4: 0x0A000001, // 10.0.0.1
+		Sim:       sim,
+		Model:     model,
+		BGPNoise:  DefaultBGPNoise,
+		rng:       rand.New(rand.NewSource(seed)),
+		hostExtra: make(map[netip.Addr]*Host),
+		svcExtra:  make(map[netip.Addr]int32),
+		stretch:   make(map[uint64]float64),
+		catch:     make(map[uint64]*Host),
+		nextIPv4:  poolBase,
 	}
 }
 
 // RNG exposes the network's random source so colocated models (probe
 // placement, resolver assignment) can share the deterministic stream.
 func (n *Network) RNG() *rand.Rand { return n.rng }
+
+// lookupHost resolves addr to its registered host, or nil.
+func (n *Network) lookupHost(addr netip.Addr) *Host {
+	if i, ok := poolIndex(addr); ok {
+		if i < len(n.slab) {
+			return n.slab[i].h
+		}
+		return nil
+	}
+	return n.hostExtra[addr]
+}
+
+// serviceID resolves addr to its anycast service id.
+func (n *Network) serviceID(addr netip.Addr) (int32, bool) {
+	if i, ok := poolIndex(addr); ok {
+		if i < len(n.slab) && n.slab[i].svc != 0 {
+			return n.slab[i].svc - 1, true
+		}
+		return 0, false
+	}
+	id, ok := n.svcExtra[addr]
+	return id, ok
+}
+
+// slabAt grows the slab to cover offset i and returns a pointer to its
+// entry.
+func (n *Network) slabAt(i int) *slabRef {
+	if i >= len(n.slab) {
+		grown := make([]slabRef, i+1)
+		copy(grown, n.slab)
+		n.slab = grown
+	}
+	return &n.slab[i]
+}
 
 // AllocAddr returns a fresh unique address from the simulator's
 // private pool.
@@ -161,10 +245,10 @@ func (n *Network) AllocAddr() netip.Addr {
 		v := n.nextIPv4
 		n.nextIPv4++
 		addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
-		if _, taken := n.hosts[addr]; taken {
+		if n.lookupHost(addr) != nil {
 			continue
 		}
-		if _, taken := n.anycast[addr]; taken {
+		if _, taken := n.serviceID(addr); taken {
 			continue
 		}
 		return addr
@@ -180,21 +264,26 @@ func (n *Network) AddHost(loc geo.Coord) *Host {
 // AddHostAddr registers a host with an explicit address; it panics if
 // the address is taken (static experiment configs want to fail fast).
 func (n *Network) AddHostAddr(addr netip.Addr, loc geo.Coord) *Host {
-	if _, dup := n.hosts[addr]; dup {
+	if n.lookupHost(addr) != nil {
 		panic(fmt.Sprintf("netsim: duplicate host %s", addr))
 	}
-	if _, dup := n.anycast[addr]; dup {
+	if _, taken := n.serviceID(addr); taken {
 		panic(fmt.Sprintf("netsim: host %s collides with anycast service", addr))
 	}
-	h := &Host{Addr: addr, Loc: loc, net: n}
-	n.hosts[addr] = h
+	h := &Host{Addr: addr, Loc: loc, id: int32(len(n.hosts)), net: n}
+	n.hosts = append(n.hosts, h)
+	if i, ok := poolIndex(addr); ok {
+		n.slabAt(i).h = h
+	} else {
+		n.hostExtra[addr] = h
+	}
 	return h
 }
 
 // Host returns the registered host for addr.
 func (n *Network) Host(addr netip.Addr) (*Host, bool) {
-	h, ok := n.hosts[addr]
-	return h, ok
+	h := n.lookupHost(addr)
+	return h, h != nil
 }
 
 // AddAnycast registers addr as an anycast service answered by the
@@ -203,21 +292,51 @@ func (n *Network) AddAnycast(addr netip.Addr, members []*Host) {
 	if len(members) == 0 {
 		panic("netsim: anycast service needs at least one member")
 	}
-	if _, dup := n.hosts[addr]; dup {
+	if n.lookupHost(addr) != nil {
 		panic(fmt.Sprintf("netsim: anycast %s collides with host", addr))
 	}
-	n.anycast[addr] = append([]*Host(nil), members...)
+	if _, dup := n.serviceID(addr); dup {
+		panic(fmt.Sprintf("netsim: duplicate anycast service %s", addr))
+	}
+	id := int32(len(n.svcAddrs))
+	n.svcAddrs = append(n.svcAddrs, addr)
+	n.svcMembers = append(n.svcMembers, append([]*Host(nil), members...))
+	if i, ok := poolIndex(addr); ok {
+		n.slabAt(i).svc = id + 1
+	} else {
+		n.svcExtra[addr] = id
+	}
 }
 
 // AnycastMembers returns the member hosts behind an anycast address.
 func (n *Network) AnycastMembers(addr netip.Addr) []*Host {
-	return n.anycast[addr]
+	id, ok := n.serviceID(addr)
+	if !ok {
+		return nil
+	}
+	return n.svcMembers[id]
 }
 
 // IsAnycast reports whether addr names an anycast service.
 func (n *Network) IsAnycast(addr netip.Addr) bool {
-	_, ok := n.anycast[addr]
+	_, ok := n.serviceID(addr)
 	return ok
+}
+
+// packIDs combines two dense ids order-sensitively into a storage key.
+// Exact, not hashed: ids are unique, so distinct pairs can never
+// collide — a collision would silently desync sharded and sequential
+// keyed-RNG streams.
+func packIDs(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// packIDsUnordered combines two dense ids order-insensitively.
+func packIDsUnordered(a, b int32) uint64 {
+	if b < a {
+		a, b = b, a
+	}
+	return packIDs(a, b)
 }
 
 // Catchment resolves which member of an anycast service receives
@@ -226,11 +345,19 @@ func (n *Network) IsAnycast(addr netip.Addr) bool {
 // the measurements. With probability BGPNoise the choice is not the
 // lowest-latency site, reflecting real catchment inefficiency.
 func (n *Network) Catchment(src *Host, service netip.Addr) *Host {
-	key := pairKey{src.Addr, service}
+	id, ok := n.serviceID(service)
+	if !ok {
+		return nil
+	}
+	return n.catchmentID(src, id, service)
+}
+
+func (n *Network) catchmentID(src *Host, id int32, service netip.Addr) *Host {
+	key := packIDs(src.id, id)
 	if h, ok := n.catch[key]; ok {
 		return h
 	}
-	members := n.anycast[service]
+	members := n.svcMembers[id]
 	var best *Host
 	if n.keyed {
 		locs := make([]geo.Coord, len(members))
@@ -287,7 +414,7 @@ func (n *Network) PathRTTms(a, b *Host) float64 {
 	if a == b {
 		return 0.2 // loopback
 	}
-	key := orderedPair(a.Addr, b.Addr)
+	key := packIDsUnordered(a.id, b.id)
 	d := a.Loc.DistanceKm(b.Loc)
 	s, ok := n.stretch[key]
 	if !ok {
@@ -303,7 +430,11 @@ func (n *Network) PathRTTms(a, b *Host) float64 {
 
 // isMember reports whether h serves the anycast address svc.
 func (n *Network) isMember(h *Host, svc netip.Addr) bool {
-	for _, m := range n.anycast[svc] {
+	id, ok := n.serviceID(svc)
+	if !ok {
+		return false
+	}
+	for _, m := range n.svcMembers[id] {
 		if m == h {
 			return true
 		}
@@ -316,11 +447,11 @@ func (n *Network) isMember(h *Host, svc netip.Addr) bool {
 // anycast address as dst so it can answer from that identity.
 func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 	n.sent.Inc()
-	target, ok := n.hosts[dst]
+	target := n.lookupHost(dst)
 	serviceAddr := dst
-	if !ok {
-		if members, isAny := n.anycast[dst]; isAny && len(members) > 0 {
-			target = n.Catchment(from, dst)
+	if target == nil {
+		if id, isAny := n.serviceID(dst); isAny {
+			target = n.catchmentID(from, id, dst)
 		} else {
 			n.dropped.Inc()
 			return // unroutable: silently dropped, like the real thing
@@ -336,7 +467,7 @@ func (n *Network) send(from *Host, srcAddr, dst netip.Addr, payload []byte) {
 	// history — never on draws consumed by unrelated hosts.
 	prng := n.rng
 	if n.keyed {
-		prng = n.packetRand(from.Addr, target.Addr)
+		prng = n.packetRand(from, target)
 	}
 	if prng.Float64() < n.LossRate || prng.Float64() < from.LossRate || prng.Float64() < target.LossRate {
 		n.dropped.Inc()

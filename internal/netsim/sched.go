@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheduler is the simulator's event queue: the pluggable core of the
+// discrete-event executor. Both implementations guarantee the exact
+// same execution order — strictly ascending (at, seq) — so swapping
+// one for the other changes wall-clock time only, never a single
+// simulated outcome. That is the API's contract: scheduler choice is a
+// performance knob, not a science knob, and the differential tests
+// (sched_test.go, measure's TestWheelMatchesHeap*) pin it byte for
+// byte.
+//
+// Schedulers are single-goroutine structures, like the Simulator that
+// owns them.
+type Scheduler interface {
+	// Push enqueues fn at absolute virtual time at. seq is the
+	// simulator's monotone scheduling counter and breaks ties between
+	// events at the same instant (FIFO by scheduling order).
+	Push(at time.Duration, seq uint64, fn func())
+	// PopLE removes and returns the earliest event — smallest at, then
+	// smallest seq — whose timestamp is <= limit. ok is false when no
+	// such event is pending (the queue may still hold later events).
+	PopLE(limit time.Duration) (at time.Duration, fn func(), ok bool)
+	// Len returns the number of pending events.
+	Len() int
+}
+
+// SchedulerKind selects a Scheduler implementation. The zero value is
+// the binary-heap reference, so zero-valued configs keep today's
+// behaviour.
+type SchedulerKind uint8
+
+const (
+	// SchedHeap is the reference implementation: a flat generic binary
+	// min-heap. O(log n) per operation, no per-event allocation (the
+	// container/heap any-boxing of earlier versions is gone), simplest
+	// possible code. The default.
+	SchedHeap SchedulerKind = iota
+	// SchedWheel is the hierarchical timing wheel: O(1) amortized per
+	// operation regardless of queue depth, zero allocations on the
+	// steady-state per-packet path. Packet timers are bounded and
+	// near-future events dominate simulation workloads, which is
+	// exactly the profile wheels are built for. Results are
+	// byte-identical to SchedHeap.
+	SchedWheel
+)
+
+// String returns the kind's flag spelling.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedHeap:
+		return "heap"
+	case SchedWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", uint8(k))
+	}
+}
+
+// ParseSchedulerKind parses a flag value ("heap" or "wheel").
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "heap":
+		return SchedHeap, nil
+	case "wheel":
+		return SchedWheel, nil
+	}
+	return 0, fmt.Errorf("netsim: unknown scheduler %q (want heap or wheel)", s)
+}
+
+// NewScheduler constructs a scheduler of the given kind.
+func NewScheduler(k SchedulerKind) Scheduler {
+	switch k {
+	case SchedWheel:
+		return newWheelScheduler()
+	default:
+		return newHeapScheduler()
+	}
+}

@@ -10,7 +10,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"context"
 	"time"
 
@@ -18,10 +17,11 @@ import (
 )
 
 // Simulator is a deterministic discrete-event executor with a virtual
-// clock. The zero value is not usable; create one with NewSimulator.
+// clock. The zero value is not usable; create one with NewSimulator
+// (binary-heap event queue) or NewSimulatorKind (choice of Scheduler).
 type Simulator struct {
 	now    time.Duration
-	queue  eventHeap
+	sched  Scheduler
 	nextID uint64
 	events *obs.Counter
 }
@@ -33,9 +33,18 @@ func (s *Simulator) SetMetrics(r *obs.Registry) {
 	s.events = r.Counter("netsim_events_total")
 }
 
-// NewSimulator returns an empty simulator at virtual time zero.
+// NewSimulator returns an empty simulator at virtual time zero, using
+// the reference binary-heap scheduler.
 func NewSimulator() *Simulator {
-	return &Simulator{}
+	return NewSimulatorKind(SchedHeap)
+}
+
+// NewSimulatorKind returns an empty simulator at virtual time zero
+// using the given scheduler. The choice affects wall-clock performance
+// only: both schedulers execute events in the identical order, so any
+// seeded run produces byte-identical results under either.
+func NewSimulatorKind(k SchedulerKind) *Simulator {
+	return &Simulator{sched: NewScheduler(k)}
 }
 
 // Now returns the current virtual time.
@@ -49,7 +58,7 @@ func (s *Simulator) Schedule(d time.Duration, fn func()) {
 		d = 0
 	}
 	s.nextID++
-	heap.Push(&s.queue, event{at: s.now + d, seq: s.nextID, fn: fn})
+	s.sched.Push(s.now+d, s.nextID, fn)
 }
 
 // ScheduleAt runs fn at absolute virtual time t (clamped to now).
@@ -57,11 +66,13 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) {
 	s.Schedule(t-s.now, fn)
 }
 
+// maxDeadline drains every event regardless of timestamp.
+const maxDeadline = time.Duration(1<<63 - 1)
+
 // Run executes events until the queue drains and returns the final
 // virtual time.
 func (s *Simulator) Run() time.Duration {
-	for len(s.queue) > 0 {
-		s.step()
+	for s.step(maxDeadline) {
 	}
 	return s.now
 }
@@ -69,8 +80,7 @@ func (s *Simulator) Run() time.Duration {
 // RunUntil executes events with timestamps <= deadline, leaves later
 // events queued, and advances the clock to deadline.
 func (s *Simulator) RunUntil(deadline time.Duration) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
-		s.step()
+	for s.step(deadline) {
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -87,14 +97,21 @@ const ctxCheckStride = 1024
 // when cancelled. A nil return means the simulation reached deadline.
 // Cancellation leaves the simulator mid-run; callers must discard it.
 func (s *Simulator) RunUntilContext(ctx context.Context, deadline time.Duration) error {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		default:
 		}
-		for i := 0; i < ctxCheckStride && len(s.queue) > 0 && s.queue[0].at <= deadline; i++ {
-			s.step()
+		ran := false
+		for i := 0; i < ctxCheckStride; i++ {
+			if !s.step(deadline) {
+				break
+			}
+			ran = true
+		}
+		if !ran {
+			break
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -107,41 +124,19 @@ func (s *Simulator) RunUntilContext(ctx context.Context, deadline time.Duration)
 }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.sched.Len() }
 
-func (s *Simulator) step() {
-	ev := heap.Pop(&s.queue).(event)
-	if ev.at > s.now {
-		s.now = ev.at
+// step pops and runs the earliest event at or before deadline,
+// reporting whether one existed.
+func (s *Simulator) step(deadline time.Duration) bool {
+	at, fn, ok := s.sched.PopLE(deadline)
+	if !ok {
+		return false
+	}
+	if at > s.now {
+		s.now = at
 	}
 	s.events.Inc()
-	ev.fn()
-}
-
-// event is one queued callback.
-type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tiebreak for equal timestamps
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	fn()
+	return true
 }

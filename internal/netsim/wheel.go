@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"slices"
+	"time"
+)
+
+// Hierarchical timing-wheel scheduler. See DESIGN.md §8.5 for the full
+// argument; the load-bearing facts are:
+//
+//   - Virtual time is bucketed into ticks of wheelTick (1ms). Packet
+//     timers in this simulator are bounded (RTTs, retransmit timers,
+//     probe intervals), and near-future events dominate, so almost
+//     every Push lands in level 0 or 1 and costs O(1) with no
+//     allocation.
+//   - Three levels of 256 slots cover 256ms, ~65.5s and ~4.66h of
+//     future time; anything beyond the level-2 horizon waits in an
+//     overflow slice that is rescanned once per level-2 rotation.
+//   - Exactness: bucketing by tick loses sub-tick order, so when the
+//     cursor reaches a tick its slot is sorted once by (at, seq) and
+//     consumed front-to-back ("run"); events that land on an
+//     already-reached tick afterwards (zero-delay reschedules while
+//     draining, cascade coincidences) go to a small (at, seq)
+//     min-heap ("due") merged against the run on pop. Every event
+//     still parked in a wheel slot has tick > cursor, hence a
+//     timestamp strictly after everything in run/due — so the global
+//     pop order is exactly ascending (at, seq), identical to the
+//     reference heap. That is what keeps scheduler choice a
+//     wall-clock knob and never a science knob.
+type wheelScheduler struct {
+	// cursor is the current tick: every event with tick <= cursor has
+	// been moved to run/due (or popped). It only advances inside PopLE.
+	cursor uint64
+	// run is the current tick's slot, sorted ascending by (at, seq);
+	// run[runIdx:] is still pending. Sorting once and popping by index
+	// beats a binary heap on both comparisons and locality, which is
+	// where the wheel's large-depth advantage over the global heap
+	// comes from.
+	run    []event
+	runIdx int
+	// due holds stragglers whose tick was already reached when they
+	// were pushed. Almost always tiny (same-instant reschedules).
+	due []event
+	// level[l][s] holds events with cursor-relative distance in
+	// [256^l, 256^(l+1)) ticks, bucketed by bits l*8..l*8+7 of their
+	// tick. cnt[l] is the total event count across level l's slots,
+	// used to skip empty stretches of time in one jump.
+	level [wheelLevels][wheelSlots][]event
+	cnt   [wheelLevels]int
+	// overflow holds events beyond the level-2 horizon (> ~4.66h out);
+	// rescanned at every level-2 wrap. Simulation runs are an hour of
+	// virtual time, so this is normally empty.
+	overflow []event
+	// keys is scratch for the per-tick sort (see advanceOne).
+	keys []uint64
+	// spare[l] recycles slot backings across cascades. A cascaded slot
+	// sits idle for a whole level-l rotation before refilling, so
+	// leaving its (large) buffer parked there would grow one buffer
+	// per slot — 256 per level. Rotating the emptied buffer to the
+	// next cascaded slot keeps the big buffers down to the handful of
+	// simultaneously active slots.
+	spare [wheelLevels][]event
+}
+
+const (
+	// wheelTick is the wheel granularity. 1ms splits sub-millisecond
+	// bursts (common: a resolver fanning out retries) across ticks
+	// finely enough that per-tick sorts stay small, while keeping slot
+	// occupancy high.
+	wheelTick = time.Millisecond
+	// wheelBits/wheelSlots: 256 slots per level.
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelLevels = 3
+	slotMask    = wheelSlots - 1
+	// Span (in ticks) covered by all levels together: 2^24 ticks,
+	// ~4.66h at 1ms. The overflow rescan fires when the cursor crosses
+	// a multiple of this.
+	wheelSpan = 1 << (wheelLevels * wheelBits)
+)
+
+func newWheelScheduler() *wheelScheduler { return &wheelScheduler{} }
+
+// Push implements Scheduler.
+func (w *wheelScheduler) Push(at time.Duration, seq uint64, fn func()) {
+	w.insert(event{at: at, seq: seq, fn: fn})
+}
+
+func (w *wheelScheduler) insert(ev event) {
+	t := uint64(ev.at) / uint64(wheelTick)
+	if ev.at < 0 {
+		t = 0 // Simulator.Schedule clamps, but stay safe on raw use
+	}
+	if t <= w.cursor {
+		// The event's tick has already been reached. The due heap
+		// restores exact order against the current run.
+		heapPushEvent(&w.due, ev)
+		return
+	}
+	switch delta := t - w.cursor; {
+	case delta < wheelSlots:
+		slot := t & slotMask
+		w.level[0][slot] = append(w.level[0][slot], ev)
+		w.cnt[0]++
+	case delta < wheelSlots*wheelSlots:
+		slot := (t >> wheelBits) & slotMask
+		w.level[1][slot] = append(w.level[1][slot], ev)
+		w.cnt[1]++
+	case delta < wheelSpan:
+		slot := (t >> (2 * wheelBits)) & slotMask
+		w.level[2][slot] = append(w.level[2][slot], ev)
+		w.cnt[2]++
+	default:
+		w.overflow = append(w.overflow, ev)
+	}
+}
+
+// PopLE implements Scheduler. It advances the cursor only as far as
+// needed to expose the earliest event at or before limit.
+func (w *wheelScheduler) PopLE(limit time.Duration) (time.Duration, func(), bool) {
+	var limitTick uint64
+	if limit > 0 {
+		limitTick = uint64(limit) / uint64(wheelTick)
+	}
+	for {
+		// Everything still parked in the wheel has tick > cursor, i.e.
+		// a later timestamp than anything in run/due, so the smaller of
+		// the run front and the due top is the global minimum.
+		if w.runIdx < len(w.run) {
+			ev := w.run[w.runIdx]
+			if len(w.due) > 0 && eventLess(w.due[0], ev) {
+				if w.due[0].at > limit {
+					return 0, nil, false
+				}
+				d := heapPopEvent(&w.due)
+				return d.at, d.fn, true
+			}
+			if ev.at > limit {
+				return 0, nil, false
+			}
+			w.run[w.runIdx].fn = nil // release the closure
+			w.runIdx++
+			return ev.at, ev.fn, true
+		}
+		if len(w.due) > 0 {
+			if w.due[0].at > limit {
+				return 0, nil, false
+			}
+			d := heapPopEvent(&w.due)
+			return d.at, d.fn, true
+		}
+		if w.cnt[0]+w.cnt[1]+w.cnt[2] == 0 && len(w.overflow) == 0 {
+			return 0, nil, false
+		}
+		if w.cursor >= limitTick {
+			return 0, nil, false
+		}
+		if w.cnt[0] == 0 {
+			// Nothing until at least the next cascade boundary: jump
+			// straight to the last tick before it. The skipped ticks
+			// only touch provably-empty level-0 slots; cascade
+			// boundaries of any level holding events are never jumped
+			// over, because the jump target stops one tick short of
+			// the nearest boundary of the lowest non-empty level.
+			next := w.cursor | slotMask
+			if w.cnt[1] == 0 {
+				next = w.cursor | (wheelSlots*wheelSlots - 1)
+				if w.cnt[2] == 0 {
+					next = w.cursor | (wheelSpan - 1)
+				}
+			}
+			if next >= limitTick {
+				// All remaining events are past limit.
+				w.cursor = limitTick
+				return 0, nil, false
+			}
+			w.cursor = next
+		}
+		w.advanceOne()
+	}
+}
+
+// advanceOne moves the cursor forward one tick, cascading higher-level
+// slots at their wrap boundaries and making the newly current level-0
+// slot the run. Only called with run and due drained.
+func (w *wheelScheduler) advanceOne() {
+	c := w.cursor + 1
+	w.cursor = c
+	if c&(wheelSpan-1) == 0 && len(w.overflow) > 0 {
+		w.rescanOverflow()
+	}
+	if c&(wheelSlots*wheelSlots-1) == 0 && w.cnt[2] > 0 {
+		w.cascade(2, (c>>(2*wheelBits))&slotMask)
+	}
+	if c&slotMask == 0 && w.cnt[1] > 0 {
+		w.cascade(1, (c>>wheelBits)&slotMask)
+	}
+	slot := c & slotMask
+	evs := w.level[0][slot]
+	if len(evs) == 0 {
+		return
+	}
+	w.cnt[0] -= len(evs)
+	w.sortIntoRun(c, evs, slot)
+}
+
+// sortIntoRun orders the tick's events into w.run. Every path that
+// fills a slot (Push, cascade, overflow rescan) appends in ascending
+// seq order, so the slot index is already the seq tiebreak; that lets
+// the sort run on packed uint64 keys — sub-tick time offset (< 2^20
+// ns) in the high bits, slot index in the low 24 — instead of 24-byte
+// structs with pointer fields. Plain integer sort plus one gather: no
+// comparator calls, no write barriers. The consumed run becomes the
+// slot's empty backing array (no clearing needed — every pop nils the
+// popped event's closure), so steady state allocates nothing.
+func (w *wheelScheduler) sortIntoRun(tick uint64, evs []event, slot uint64) {
+	if len(evs) >= 1<<24 {
+		// Index no longer fits the packed key; sort the structs
+		// directly. Unreachable at sane scales (16.7M events in one
+		// millisecond tick).
+		old := w.run
+		w.level[0][slot] = old[:0]
+		slices.SortFunc(evs, func(a, b event) int {
+			if eventLess(a, b) {
+				return -1
+			}
+			return 1
+		})
+		w.run = evs
+		w.runIdx = 0
+		return
+	}
+	base := time.Duration(tick) * wheelTick
+	keys := w.keys[:0]
+	for i := range evs {
+		keys = append(keys, uint64(evs[i].at-base)<<24|uint64(i))
+	}
+	slices.Sort(keys)
+	out := w.run[:0]
+	for _, k := range keys {
+		out = append(out, evs[k&(1<<24-1)])
+	}
+	w.keys = keys[:0]
+	w.level[0][slot] = evs[:0]
+	w.run = out
+	w.runIdx = 0
+}
+
+// cascade empties level's slot into lower levels (or due). Reinserts
+// always land strictly below level: an event sits in level l only
+// while its distance is >= 256^l ticks, and its cascade boundary is at
+// most its own tick, so the recomputed distance is < 256^l.
+func (w *wheelScheduler) cascade(level int, slot uint64) {
+	evs := w.level[level][slot]
+	if len(evs) == 0 {
+		return
+	}
+	w.level[level][slot] = w.spare[level]
+	w.cnt[level] -= len(evs)
+	for i := range evs {
+		w.insert(evs[i])
+		evs[i] = event{} // release the closure held by the old backing array
+	}
+	w.spare[level] = evs[:0]
+}
+
+// rescanOverflow refiles overflow events that have come within the
+// wheel's span; the rest stay for the next rotation. In-place filter:
+// insert may re-append to w.overflow, but only over already-visited
+// positions, so the iteration is safe.
+func (w *wheelScheduler) rescanOverflow() {
+	old := w.overflow
+	w.overflow = old[:0]
+	for i := range old {
+		w.insert(old[i])
+	}
+	for i := len(w.overflow); i < len(old); i++ {
+		old[i] = event{}
+	}
+}
+
+// Len implements Scheduler.
+func (w *wheelScheduler) Len() int {
+	return (len(w.run) - w.runIdx) + len(w.due) +
+		w.cnt[0] + w.cnt[1] + w.cnt[2] + len(w.overflow)
+}

@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"math/bits"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -136,6 +137,16 @@ type Engine struct {
 	nextID  uint16
 	stats   Stats
 	m       engineMetrics
+
+	// zoneIDs holds each zone's server list pre-interned in the infra
+	// cache (parallel to cfg.Zones), so the per-query path works with
+	// dense ids instead of address-keyed map lookups.
+	zoneIDs [][]ServerID
+	// Scratch buffers for candidate filtering in sendUpstreamLocked,
+	// reused across queries under mu. Safe because Policy.Select does
+	// not retain the candidate slice.
+	idxA, idxB []int32
+	selScratch []netip.Addr
 }
 
 // pendingQuery is an in-flight upstream transaction.
@@ -144,13 +155,45 @@ type pendingQuery struct {
 	clientMsg  *dnswire.Message
 	question   dnswire.Question
 	servers    []netip.Addr
-	tried      map[netip.Addr]bool
+	serverIDs  []ServerID
+	// triedMask records which of servers (by index) this query already
+	// tried; triedMap is the spill for indices past 64 and for a
+	// policy that returns an address outside the candidate list.
+	triedMask  uint64
+	triedMap   map[netip.Addr]bool
 	upstream   netip.Addr
+	upstreamID ServerID
 	startedAt  time.Duration
 	sentAt     time.Duration
 	attempts   int
 	failovers  int
 	done       bool
+}
+
+func (pq *pendingQuery) triedCount() int {
+	return bits.OnesCount64(pq.triedMask) + len(pq.triedMap)
+}
+
+func (pq *pendingQuery) hasTried(i int) bool {
+	if i < 64 {
+		return pq.triedMask&(1<<uint(i)) != 0
+	}
+	return pq.triedMap[pq.servers[i]]
+}
+
+func (pq *pendingQuery) markTried(i int) {
+	if i < 64 {
+		pq.triedMask |= 1 << uint(i)
+		return
+	}
+	pq.markTriedAddr(pq.servers[i])
+}
+
+func (pq *pendingQuery) markTriedAddr(addr netip.Addr) {
+	if pq.triedMap == nil {
+		pq.triedMap = make(map[netip.Addr]bool)
+	}
+	pq.triedMap[addr] = true
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -164,11 +207,23 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
 	}
+	// Intern every configured server once, up front: queries then carry
+	// dense ids and the hot path never hashes an address. Interning
+	// alone does not create infra-cache state (see InfraCache.IDFor).
+	zoneIDs := make([][]ServerID, len(cfg.Zones))
+	for zi, zs := range cfg.Zones {
+		ids := make([]ServerID, len(zs.Servers))
+		for i, s := range zs.Servers {
+			ids[i] = cfg.Infra.IDFor(s)
+		}
+		zoneIDs[zi] = ids
+	}
 	return &Engine{
 		cfg:     cfg,
 		pending: make(map[uint16]*pendingQuery),
 		nextID:  uint16(cfg.RNG.Intn(1 << 16)),
 		m:       newEngineMetrics(cfg.Metrics),
+		zoneIDs: zoneIDs,
 	}
 }
 
@@ -185,18 +240,26 @@ func (e *Engine) Infra() *InfraCache { return e.cfg.Infra }
 // Policy exposes the configured selection policy.
 func (e *Engine) Policy() Policy { return e.cfg.Policy }
 
+// zoneFor returns the index of the configured zone that is the longest
+// suffix of qname, or -1.
+func (e *Engine) zoneFor(qname dnswire.Name) int {
+	best, bestIdx := -1, -1
+	for i, zs := range e.cfg.Zones {
+		if qname.IsSubdomainOf(zs.Zone) && zs.Zone.NumLabels() > best {
+			best = zs.Zone.NumLabels()
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
 // serversFor returns the configured server set whose zone is the
 // longest suffix of qname.
 func (e *Engine) serversFor(qname dnswire.Name) []netip.Addr {
-	best := -1
-	var servers []netip.Addr
-	for _, zs := range e.cfg.Zones {
-		if qname.IsSubdomainOf(zs.Zone) && zs.Zone.NumLabels() > best {
-			best = zs.Zone.NumLabels()
-			servers = zs.Servers
-		}
+	if i := e.zoneFor(qname); i >= 0 {
+		return e.cfg.Zones[i].Servers
 	}
-	return servers
+	return nil
 }
 
 // HandlePacket processes one datagram received by the resolver, from
@@ -240,8 +303,8 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 			return
 		}
 	}
-	servers := e.serversFor(question.Name)
-	if len(servers) == 0 {
+	zone := e.zoneFor(question.Name)
+	if zone < 0 || len(e.cfg.Zones[zone].Servers) == 0 {
 		e.stats.ServFails++
 		e.m.servfails.Inc()
 		e.traceLocal(client, question, obs.OutcomeServFail, dnswire.RCodeServFail)
@@ -252,42 +315,75 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 		clientAddr: client,
 		clientMsg:  q,
 		question:   question,
-		servers:    servers,
-		tried:      make(map[netip.Addr]bool),
+		servers:    e.cfg.Zones[zone].Servers,
+		serverIDs:  e.zoneIDs[zone],
 		startedAt:  now,
 	}
 	e.sendUpstreamLocked(pq)
 }
 
 // sendUpstreamLocked selects a server and dispatches the query.
-// Callers hold e.mu.
+// Callers hold e.mu. Candidate filtering runs on dense indices into
+// pq.servers with engine-owned scratch buffers: no per-query
+// allocation, no address hashing.
 func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	now := e.cfg.Clock.Now()
-	candidates := pq.servers
+	n := len(pq.servers)
 	// Prefer servers outside a hold-down window. The filter is advisory:
 	// if every server is held down, keep the full list — a query must
 	// always have somewhere to go, and the occasional probe through a
 	// hold-down is also how a recovered server gets rediscovered.
-	if usable := e.usableLocked(candidates, now); len(usable) > 0 && len(usable) < len(candidates) {
-		e.stats.HoldDownSkips += len(candidates) - len(usable)
-		e.m.holdSkips.Add(int64(len(candidates) - len(usable)))
-		candidates = usable
+	idx := e.idxA[:0]
+	for i := 0; i < n; i++ {
+		if e.cfg.Infra.UsableID(pq.serverIDs[i], now) {
+			idx = append(idx, int32(i))
+		}
 	}
+	if len(idx) == 0 {
+		for i := 0; i < n; i++ {
+			idx = append(idx, int32(i))
+		}
+	} else if len(idx) < n {
+		e.stats.HoldDownSkips += n - len(idx)
+		e.m.holdSkips.Add(int64(n - len(idx)))
+	}
+	e.idxA = idx
 	// After a timeout, prefer servers not yet tried for this query.
-	if len(pq.tried) > 0 {
-		fresh := make([]netip.Addr, 0, len(candidates))
-		for _, s := range candidates {
-			if !pq.tried[s] {
-				fresh = append(fresh, s)
+	if pq.triedCount() > 0 {
+		fresh := e.idxB[:0]
+		for _, i := range idx {
+			if !pq.hasTried(int(i)) {
+				fresh = append(fresh, i)
 			}
 		}
+		e.idxB = fresh
 		if len(fresh) > 0 {
-			candidates = fresh
+			idx = fresh
 		}
 	}
-	server := e.cfg.Policy.Select(now, candidates, e.cfg.Infra, e.cfg.RNG)
+	sel := e.selScratch[:0]
+	for _, i := range idx {
+		sel = append(sel, pq.servers[i])
+	}
+	e.selScratch = sel
+	server := e.cfg.Policy.Select(now, sel, e.cfg.Infra, e.cfg.RNG)
 	pq.upstream = server
-	pq.tried[server] = true
+	chosen := -1
+	for j, a := range sel {
+		if a == server {
+			chosen = int(idx[j])
+			break
+		}
+	}
+	if chosen >= 0 {
+		pq.upstreamID = pq.serverIDs[chosen]
+		pq.markTried(chosen)
+	} else {
+		// Defensive: a policy returned an address outside the candidate
+		// list. Track it by address so retry preference still works.
+		pq.upstreamID = e.cfg.Infra.IDFor(server)
+		pq.markTriedAddr(server)
+	}
 	pq.sentAt = now
 	pq.attempts++
 
@@ -306,7 +402,7 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	}
 	e.stats.UpstreamQueries++
 	e.m.upstream.Inc()
-	e.cfg.Infra.NoteQuery(server)
+	e.cfg.Infra.NoteQueryID(pq.upstreamID)
 	e.cfg.Transport.Send(server, wire)
 
 	// Pin the timer to this attempt: an error-rcode failover can leave
@@ -317,18 +413,6 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	e.cfg.Clock.AfterFunc(e.cfg.Timeout, func() {
 		e.onTimeout(id, pq, attempt)
 	})
-}
-
-// usableLocked returns the servers not currently in a backoff
-// hold-down, preserving order. Callers hold e.mu.
-func (e *Engine) usableLocked(servers []netip.Addr, now time.Duration) []netip.Addr {
-	out := make([]netip.Addr, 0, len(servers))
-	for _, s := range servers {
-		if e.cfg.Infra.Usable(s, now) {
-			out = append(out, s)
-		}
-	}
-	return out
 }
 
 func (e *Engine) allocateIDLocked() uint16 {
@@ -350,7 +434,7 @@ func (e *Engine) onTimeout(id uint16, pq *pendingQuery, attempt int) {
 	delete(e.pending, id)
 	e.stats.Timeouts++
 	e.m.timeouts.Inc()
-	e.cfg.Infra.Timeout(pq.upstream, e.cfg.Clock.Now())
+	e.cfg.Infra.TimeoutID(pq.upstreamID, e.cfg.Clock.Now())
 	if pq.attempts >= e.cfg.MaxRetries {
 		pq.done = true
 		e.stats.ServFails++
@@ -386,7 +470,7 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 
 	now := e.cfg.Clock.Now()
 	rttMs := float64(now-pq.sentAt) / float64(time.Millisecond)
-	e.cfg.Infra.Observe(pq.upstream, rttMs, now)
+	e.cfg.Infra.ObserveID(pq.upstreamID, rttMs, now)
 	e.stats.UpstreamAnswers++
 	e.m.answers.Inc()
 
@@ -395,7 +479,7 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 		// (BIND, Unbound) fail over to another authoritative rather
 		// than relaying the error; only once every server is exhausted
 		// (or the retry budget spent) does the client see SERVFAIL.
-		if pq.attempts < e.cfg.MaxRetries && len(pq.tried) < len(pq.servers) {
+		if pq.attempts < e.cfg.MaxRetries && pq.triedCount() < len(pq.servers) {
 			pq.failovers++
 			e.stats.ErrorFailovers++
 			e.m.failovers.Inc()

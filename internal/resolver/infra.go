@@ -94,10 +94,24 @@ type ServerState struct {
 // RTO returns a TCP-style retransmission timeout estimate.
 func (s ServerState) RTO() float64 { return s.SRTT + 4*s.RTTVar }
 
+// ServerID is a dense handle for a server address in one InfraCache:
+// its interning index, assigned by IDFor in first-intern order. The
+// engine resolves each zone's server list to ids once and uses the
+// *ID methods on the per-query path, replacing address-keyed map
+// lookups with array indexing.
+type ServerID int32
+
 // InfraCache tracks per-authoritative latency, like BIND's address
 // database or Unbound's infra cache. The BIND and Unbound defaults the
 // paper cites are 10 and 15 minutes; NewInfraCache takes the TTL so a
 // resolver population can mix both.
+//
+// State lives in a dense table indexed by ServerID (struct-of-arrays
+// hot path, DESIGN.md §8.5); the address-keyed methods intern through
+// the ids map and stay fully supported. Interning an id does not
+// "know" a server: entries only come into existence — for Len and
+// State purposes — when a mutating method (Observe, NoteQuery,
+// Timeout) first touches them.
 type InfraCache struct {
 	TTL       time.Duration
 	Retention Retention
@@ -109,7 +123,10 @@ type InfraCache struct {
 	// to external readers (monitoring, analyses) that may run on other
 	// goroutines in socket deployments.
 	mu      sync.Mutex
-	entries map[netip.Addr]*entry
+	ids     map[netip.Addr]ServerID
+	table   []entry
+	addrs   []netip.Addr // id -> address, for metric labels
+	touched int          // entries brought into existence by a mutating method
 	backoff BackoffConfig
 	metrics *obs.Registry
 }
@@ -118,6 +135,7 @@ type entry struct {
 	srtt           float64
 	rttvar         float64
 	hasRTT         bool
+	touched        bool
 	queries        int
 	timeouts       int
 	consecTimeouts int
@@ -133,7 +151,7 @@ func NewInfraCache(ttl time.Duration, retention Retention) *InfraCache {
 		TTL:       ttl,
 		Retention: retention,
 		Alpha:     0.3,
-		entries:   make(map[netip.Addr]*entry),
+		ids:       make(map[netip.Addr]ServerID),
 		backoff:   DefaultBackoff(),
 	}
 }
@@ -174,13 +192,51 @@ func (c *InfraCache) SetMetrics(r *obs.Registry) {
 	c.metrics = r
 }
 
-// publishLocked refreshes addr's SRTT gauge. Callers hold c.mu.
-func (c *InfraCache) publishLocked(addr netip.Addr, e *entry) {
+// IDFor interns addr and returns its dense id. Idempotent; the first
+// call for an address assigns the next index. Interning alone does not
+// create cache state: Len and State treat the server as unknown until
+// a mutating method touches it.
+func (c *InfraCache) IDFor(addr netip.Addr) ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idForLocked(addr)
+}
+
+func (c *InfraCache) idForLocked(addr netip.Addr) ServerID {
+	if id, ok := c.ids[addr]; ok {
+		return id
+	}
+	id := ServerID(len(c.table))
+	c.ids[addr] = id
+	c.table = append(c.table, entry{})
+	c.addrs = append(c.addrs, addr)
+	return id
+}
+
+// Addr returns the address interned under id.
+func (c *InfraCache) Addr(id ServerID) netip.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[id]
+}
+
+// touchLocked marks id's entry as existing and returns it.
+func (c *InfraCache) touchLocked(id ServerID) *entry {
+	e := &c.table[id]
+	if !e.touched {
+		e.touched = true
+		c.touched++
+	}
+	return e
+}
+
+// publishLocked refreshes id's SRTT gauge. Callers hold c.mu.
+func (c *InfraCache) publishLocked(id ServerID, e *entry) {
 	if c.metrics == nil {
 		return
 	}
 	if e.gauge == nil {
-		e.gauge = c.metrics.Gauge(obs.LabelName("resolver_srtt_ms", "server", addr.String()))
+		e.gauge = c.metrics.Gauge(obs.LabelName("resolver_srtt_ms", "server", c.addrs[id].String()))
 	}
 	e.gauge.Set(e.srtt)
 }
@@ -190,23 +246,29 @@ func (c *InfraCache) publishLocked(addr netip.Addr, e *entry) {
 func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[addr]
-	if !ok || !e.hasRTT || c.expired(e, now) && c.Retention == HardExpire {
+	c.observeLocked(c.idForLocked(addr), rttMs, now)
+}
+
+// ObserveID is Observe for an interned server.
+func (c *InfraCache) ObserveID(id ServerID, rttMs float64, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeLocked(id, rttMs, now)
+}
+
+func (c *InfraCache) observeLocked(id ServerID, rttMs float64, now time.Duration) {
+	e := c.touchLocked(id)
+	if !e.hasRTT || c.expired(e, now) && c.Retention == HardExpire {
 		// Reset the estimate, but keep the lifetime accounting: queries
 		// and timeouts both describe the server, not the estimate, and
 		// dropping timeouts here corrupted timeout-rate analyses after
 		// every HardExpire reset.
-		var queries, timeouts int
-		var gauge *obs.Gauge
-		if ok {
-			queries, timeouts, gauge = e.queries, e.timeouts, e.gauge
-		}
-		e = &entry{srtt: rttMs, rttvar: rttMs / 2, hasRTT: true,
-			queries: queries, timeouts: timeouts, gauge: gauge}
-		c.entries[addr] = e
+		e.srtt, e.rttvar, e.hasRTT = rttMs, rttMs/2, true
+		e.consecTimeouts = 0
+		e.holdUntil = 0
 		e.queries++
 		e.lastUpdate = now
-		c.publishLocked(addr, e)
+		c.publishLocked(id, e)
 		return
 	}
 	// Jacobson/Karels-style smoothing, as BIND and Unbound both do.
@@ -220,19 +282,21 @@ func (c *InfraCache) Observe(addr netip.Addr, rttMs float64, now time.Duration) 
 	e.consecTimeouts = 0
 	e.holdUntil = 0
 	e.lastUpdate = now
-	c.publishLocked(addr, e)
+	c.publishLocked(id, e)
 }
 
 // NoteQuery counts a query sent to addr without changing the estimate.
 func (c *InfraCache) NoteQuery(addr netip.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[addr]; ok {
-		e.queries++
-	} else {
-		c.entries[addr] = &entry{}
-		c.entries[addr].queries++
-	}
+	c.touchLocked(c.idForLocked(addr)).queries++
+}
+
+// NoteQueryID is NoteQuery for an interned server.
+func (c *InfraCache) NoteQueryID(id ServerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(id).queries++
 }
 
 // Timeout penalizes addr after an unanswered query, doubling its SRTT
@@ -240,11 +304,18 @@ func (c *InfraCache) NoteQuery(addr netip.Addr) {
 func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[addr]
-	if !ok {
-		e = &entry{}
-		c.entries[addr] = e
-	}
+	c.timeoutLocked(c.idForLocked(addr), now)
+}
+
+// TimeoutID is Timeout for an interned server.
+func (c *InfraCache) TimeoutID(id ServerID, now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeoutLocked(id, now)
+}
+
+func (c *InfraCache) timeoutLocked(id ServerID, now time.Duration) {
+	e := c.touchLocked(id)
 	if !e.hasRTT {
 		// No successful measurement yet: start from a pessimistic
 		// prior rather than doubling zero.
@@ -270,7 +341,7 @@ func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
 		e.holdUntil = now + hold
 	}
 	e.lastUpdate = now
-	c.publishLocked(addr, e)
+	c.publishLocked(id, e)
 }
 
 // Usable reports whether addr is outside any hold-down window at time
@@ -280,8 +351,15 @@ func (c *InfraCache) Timeout(addr netip.Addr, now time.Duration) {
 func (c *InfraCache) Usable(addr netip.Addr, now time.Duration) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[addr]
-	return !ok || e.holdUntil <= now
+	id, ok := c.ids[addr]
+	return !ok || c.table[id].holdUntil <= now
+}
+
+// UsableID is Usable for an interned server.
+func (c *InfraCache) UsableID(id ServerID, now time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table[id].holdUntil <= now
 }
 
 // State returns the cache's view of addr at time now, applying the
@@ -289,8 +367,23 @@ func (c *InfraCache) Usable(addr netip.Addr, now time.Duration) bool {
 func (c *InfraCache) State(addr netip.Addr, now time.Duration) ServerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[addr]
+	id, ok := c.ids[addr]
 	if !ok {
+		return ServerState{}
+	}
+	return c.stateLocked(id, now)
+}
+
+// StateID is State for an interned server.
+func (c *InfraCache) StateID(id ServerID, now time.Duration) ServerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked(id, now)
+}
+
+func (c *InfraCache) stateLocked(id ServerID, now time.Duration) ServerState {
+	e := &c.table[id]
+	if !e.touched {
 		return ServerState{}
 	}
 	if !e.hasRTT && e.timeouts == 0 {
@@ -327,17 +420,33 @@ func (c *InfraCache) State(addr netip.Addr, now time.Duration) ServerState {
 func (c *InfraCache) Scale(addr netip.Addr, factor float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[addr]; ok {
-		e.srtt *= factor
-		c.publishLocked(addr, e)
+	if id, ok := c.ids[addr]; ok {
+		c.scaleLocked(id, factor)
 	}
 }
 
-// Len returns the number of tracked servers.
+// ScaleID is Scale for an interned server.
+func (c *InfraCache) ScaleID(id ServerID, factor float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scaleLocked(id, factor)
+}
+
+func (c *InfraCache) scaleLocked(id ServerID, factor float64) {
+	e := &c.table[id]
+	if !e.touched {
+		return
+	}
+	e.srtt *= factor
+	c.publishLocked(id, e)
+}
+
+// Len returns the number of tracked servers: those a mutating method
+// has touched. Interned-but-untouched ids do not count.
 func (c *InfraCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.touched
 }
 
 func (c *InfraCache) expired(e *entry, now time.Duration) bool {
