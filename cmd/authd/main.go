@@ -39,6 +39,7 @@ func main() {
 	site := flag.String("site", "", "site code for the built-in zone (with -combo)")
 	rrlRate := flag.Float64("rrl", 0, "response rate limit per source in responses/sec (0 = off)")
 	udpWorkers := flag.Int("udp-workers", 0, "concurrent UDP read loops (0 = all cores)")
+	reusePort := flag.Bool("reuseport", false, "shard the UDP port across one SO_REUSEPORT socket per worker (Linux; ignored elsewhere)")
 	axfrAllow := flag.String("axfr-allow", "", "comma-separated prefixes allowed to AXFR (empty = allow all)")
 	metricsAddr := flag.String("metrics-addr", "", "serve a text metrics endpoint on this address (empty = off)")
 	verbose := flag.Bool("v", false, "log every query")
@@ -105,6 +106,7 @@ func main() {
 	}
 	srv := authserver.NewServer(authserver.NewEngine(cfg))
 	srv.UDPWorkers = *udpWorkers
+	srv.UDPReusePort = *reusePort
 	if *axfrAllow != "" {
 		allow, err := parseAXFRAllow(*axfrAllow)
 		if err != nil {

@@ -51,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	recurse := fs.Bool("rd", true, "set the recursion-desired flag")
 	timeout := fs.Duration("timeout", 3*time.Second, "query timeout")
 	edns := fs.Bool("edns", true, "advertise EDNS0")
+	ignoreTC := fs.Bool("ignore-tc", false, "print a truncated UDP response as-is instead of retrying over TCP")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,12 +102,11 @@ func run(args []string, stdout io.Writer) error {
 	if *useTCP {
 		respWire, err = queryTCP(*server, wire, *timeout)
 	} else {
-		respWire, err = queryUDP(*server, wire, *timeout)
+		respWire, err = queryUDP(*server, wire, *timeout, id)
 	}
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
 	}
-	rtt := time.Since(start)
 
 	resp, err := dnswire.Unpack(respWire)
 	if err != nil {
@@ -115,11 +115,35 @@ func run(args []string, stdout io.Writer) error {
 	if resp.ID != id {
 		return fmt.Errorf("response ID %d does not match query %d", resp.ID, id)
 	}
+	// A truncated UDP response means the answer did not fit the
+	// datagram; RFC 7766 says to retry the same question over TCP,
+	// like dig does, unless the caller asked to see the truncation.
+	if resp.Truncated && !*useTCP && !*ignoreTC {
+		fmt.Fprintln(stdout, ";; truncated, retrying over TCP")
+		respWire, err = queryTCP(*server, wire, *timeout)
+		if err != nil {
+			return fmt.Errorf("tcp retry: %w", err)
+		}
+		resp, err = dnswire.Unpack(respWire)
+		if err != nil {
+			return fmt.Errorf("bad tcp response: %w", err)
+		}
+		if resp.ID != id {
+			return fmt.Errorf("tcp response ID %d does not match query %d", resp.ID, id)
+		}
+	}
+	rtt := time.Since(start)
 	printResponse(stdout, resp, rtt, len(respWire))
 	return nil
 }
 
-func queryUDP(server string, wire []byte, timeout time.Duration) ([]byte, error) {
+// queryUDP sends one datagram and reads until a response carrying
+// wantID arrives or the deadline passes. Stray datagrams — late
+// responses to an earlier client of the same ephemeral port, scans,
+// spoofed junk — are skipped rather than treated as fatal: an
+// ID-mismatched packet says nothing about whether the real answer is
+// still coming.
+func queryUDP(server string, wire []byte, timeout time.Duration, wantID uint16) ([]byte, error) {
 	conn, err := net.Dial("udp", server)
 	if err != nil {
 		return nil, err
@@ -130,11 +154,16 @@ func queryUDP(server string, wire []byte, timeout time.Duration) ([]byte, error)
 	}
 	conn.SetReadDeadline(time.Now().Add(timeout))
 	buf := make([]byte, 65535)
-	n, err := conn.Read(buf)
-	if err != nil {
-		return nil, err
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 || binary.BigEndian.Uint16(buf[:2]) != wantID {
+			continue
+		}
+		return buf[:n], nil
 	}
-	return buf[:n], nil
 }
 
 func queryTCP(server string, wire []byte, timeout time.Duration) ([]byte, error) {

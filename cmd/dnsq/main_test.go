@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"net"
 	"strings"
 	"testing"
 
@@ -12,13 +13,16 @@ import (
 	"ritw/internal/zone"
 )
 
-const testZoneText = `
+// testZoneText includes a TXT record whose answer exceeds 512 bytes
+// (three 200-byte strings) so a non-EDNS UDP query gets truncated.
+var testZoneText = `
 $ORIGIN ourtestdomain.nl.
 $TTL 3600
 @   IN SOA ns1 hostmaster 2017032301 7200 3600 604800 300
     IN NS ns1
 ns1 IN A 192.0.2.1
 probe-1 5 IN TXT "site=FRA"
+big 5 IN TXT "` + strings.Repeat("a", 200) + `" "` + strings.Repeat("b", 200) + `" "` + strings.Repeat("c", 200) + `"
 `
 
 // startServer brings up a real UDP+TCP authoritative on a loopback
@@ -122,4 +126,91 @@ func TestRunQueriesLiveServer(t *testing.T) {
 			t.Errorf("want NXDOMAIN status:\n%s", out.String())
 		}
 	})
+}
+
+// TestTruncationFallsBackToTCP forces a truncated UDP response (>512B
+// TXT answer, EDNS off) and checks dnsq retries over TCP and prints the
+// whole answer, while -ignore-tc surfaces the truncated response as-is.
+func TestTruncationFallsBackToTCP(t *testing.T) {
+	addr := startServer(t)
+
+	t.Run("retries over TCP", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "-edns=false", "big.ourtestdomain.nl", "TXT"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		if !strings.Contains(got, ";; truncated, retrying over TCP") {
+			t.Errorf("output missing TCP retry notice:\n%s", got)
+		}
+		if !strings.Contains(got, strings.Repeat("c", 200)) {
+			t.Errorf("TCP retry should carry the full TXT answer:\n%s", got)
+		}
+		if strings.Contains(got, " tc") {
+			t.Errorf("final response should not be truncated:\n%s", got)
+		}
+	})
+
+	t.Run("ignore-tc keeps the truncated response", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-server", addr, "-edns=false", "-ignore-tc", "big.ourtestdomain.nl", "TXT"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		if strings.Contains(got, "retrying over TCP") {
+			t.Errorf("-ignore-tc must not retry:\n%s", got)
+		}
+		if !strings.Contains(got, " tc") {
+			t.Errorf("truncated response should show the tc flag:\n%s", got)
+		}
+		if strings.Contains(got, strings.Repeat("c", 200)) {
+			t.Errorf("truncated response should not carry the full answer:\n%s", got)
+		}
+	})
+}
+
+// TestStrayDatagramsAreSkipped runs dnsq against a fake server that
+// answers with an ID-mismatched datagram before the real response; the
+// stray must be skipped, not treated as a fatal mismatch.
+func TestStrayDatagramsAreSkipped(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 65535)
+		n, raddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		resp, err := dnswire.NewResponse(q)
+		if err != nil {
+			return
+		}
+		// First a stray with a different ID, then the real answer.
+		stray := *resp
+		stray.ID = resp.ID + 1
+		strayWire, _ := stray.Pack()
+		pc.WriteTo(strayWire, raddr)
+		resp.Answers = []dnswire.RR{{
+			Name: q.Questions[0].Name, Class: dnswire.ClassINET, TTL: 5,
+			Data: dnswire.TXT{Strings: []string{"real-answer"}},
+		}}
+		wire, _ := resp.Pack()
+		pc.WriteTo(wire, raddr)
+	}()
+
+	var out bytes.Buffer
+	err = run([]string{"-server", pc.LocalAddr().String(), "-timeout", "5s", "probe-1.ourtestdomain.nl", "TXT"}, &out)
+	if err != nil {
+		t.Fatalf("stray datagram should be skipped, got: %v", err)
+	}
+	if !strings.Contains(out.String(), "real-answer") {
+		t.Errorf("missing the real answer:\n%s", out.String())
+	}
 }

@@ -1,0 +1,176 @@
+package main
+
+// The blast subcommand fronts internal/blast: an open-loop UDP load
+// harness against the in-process authoritative fleet (default) or any
+// remote server (-addr). It is dispatched before flag.Parse in main
+// because it owns its own flag set:
+//
+//	ritw blast -qps 50000 -duration 5s            # in-process fleet
+//	ritw blast -addr 192.0.2.53:53 -qnames x.nl.  # remote target
+//	ritw blast -sweep -qps 1000000                # throughput curve
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ritw/internal/blast"
+	"ritw/internal/dnswire"
+)
+
+func cmdBlast(args []string) {
+	fs := flag.NewFlagSet("ritw blast", flag.ExitOnError)
+	addr := fs.String("addr", "", "comma-separated remote targets (empty = spawn the in-process fleet)")
+	qps := fs.Float64("qps", 10000, "aggregate offered query rate")
+	duration := fs.Duration("duration", 3*time.Second, "send-phase length per run")
+	workers := fs.Int("workers", 0, "socket shards (0 = all cores)")
+	batch := fs.Int("batch", 64, "datagrams per sendmmsg/recvmmsg call")
+	timeout := fs.Duration("timeout", time.Second, "per-query timeout before counting a loss")
+	modeStr := fs.String("mode", "auto", "socket I/O: auto, mmsg (batched), udp (portable)")
+	qnames := fs.String("qnames", "", "comma-separated query names (required with -addr)")
+	qtypeStr := fs.String("qtype", "TXT", "query type (A, AAAA, TXT, ...)")
+	edns := fs.Uint("edns", 0, "advertise EDNS0 with this UDP size (0 = no OPT)")
+	doBit := fs.Bool("do", false, "set the DO bit on the advertised OPT (needs -edns)")
+	validate := fs.Bool("validate", false, "fully decode every response (slow; surfaces malformed packets)")
+	strict := fs.Bool("strict", false, "exit nonzero on any parse/encode/send error or zero answers (CI smoke)")
+	quiet := fs.Bool("quiet", false, "suppress the live dashboard")
+	sweep := fs.Bool("sweep", false, "run a throughput sweep up to -qps and print the Markdown curve")
+	sweepSteps := fs.Int("sweep-steps", 6, "points in the sweep ladder (each doubling up to -qps)")
+	fleetServers := fs.Int("fleet-servers", 1, "in-process fleet: number of authoritative instances")
+	fleetNames := fs.Int("fleet-names", 1024, "in-process fleet: distinct names in the synthetic zone")
+	fleetNX := fs.Float64("fleet-nx", 0, "in-process fleet: fraction of extra NXDOMAIN names in the query set")
+	reusePort := fs.Bool("reuseport", true, "in-process fleet: SO_REUSEPORT-shard each server's UDP port (Linux)")
+	fs.Parse(args)
+
+	cfg := blast.Config{
+		QPS:      *qps,
+		Duration: *duration,
+		Workers:  *workers,
+		Batch:    *batch,
+		Timeout:  *timeout,
+		EDNSSize: uint16(*edns),
+		DNSSECOK: *doBit,
+		Validate: *validate,
+	}
+	var err error
+	cfg.Mode, err = blast.ParseMode(*modeStr)
+	check(err)
+	cfg.QType, err = parseQType(*qtypeStr)
+	check(err)
+
+	var fleet *blast.Fleet
+	if *addr != "" {
+		cfg.Addrs = strings.Split(*addr, ",")
+		if *qnames == "" {
+			check(fmt.Errorf("blast: -addr needs -qnames"))
+		}
+		for _, s := range strings.Split(*qnames, ",") {
+			n, err := dnswire.ParseName(strings.TrimSpace(s))
+			check(err)
+			cfg.Names = append(cfg.Names, n)
+		}
+	} else {
+		fleet, err = blast.SpawnFleet(blast.FleetConfig{
+			Servers:    *fleetServers,
+			Names:      *fleetNames,
+			NXRatio:    *fleetNX,
+			UDPWorkers: *workers,
+			ReusePort:  *reusePort,
+		})
+		check(err)
+		defer fleet.Close()
+		cfg.Addrs = fleet.Addrs()
+		cfg.Names = fleet.Names()
+		fmt.Fprintf(os.Stderr, "fleet: %d server(s) on %s, %d names\n",
+			len(cfg.Addrs), strings.Join(cfg.Addrs, " "), len(cfg.Names))
+	}
+	if !*quiet {
+		cfg.OnProgress = func(p blast.Progress) {
+			fmt.Fprintf(os.Stderr, "\r[%6.1fs] sent %d (%.0f/s) answered %d (%.0f/s) timeouts %d errs %d p50 %.0fµs p99 %.0fµs   ",
+				p.Elapsed.Seconds(), p.Sent, p.SentRate, p.Answered, p.AnsweredRate,
+				p.Timeouts, p.Errors, p.P50us, p.P99us)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *sweep {
+		rates := blast.SweepRates(*qps, *sweepSteps)
+		points, err := blast.Sweep(ctx, cfg, rates, func(p blast.SweepPoint) {
+			fmt.Fprintf(os.Stderr, "\rsweep %.0f qps: answered %.0f qps, loss %.2f%%                    \n",
+				p.Offered, p.Res.AnsweredQPS(), 100*p.Res.LossFrac())
+		})
+		if err != nil && err != context.Canceled {
+			check(err)
+		}
+		fmt.Printf("\nThroughput sweep (%s, %d workers, batch %d):\n\n",
+			modeLabel(cfg), pickWorkers(points), *batch)
+		fmt.Print(blast.SweepTable(points))
+		return
+	}
+
+	res, err := blast.Run(ctx, cfg)
+	if err != nil && err != context.Canceled {
+		check(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Print(res.Table())
+	if fleet != nil {
+		st := fleet.Stats()
+		fmt.Printf("fleet engines served %d queries (%d dropped)\n", st.Queries, st.Dropped)
+	}
+	if *strict {
+		if errs := res.ParseErrors + res.EncodeErrors + res.SendErrors; errs > 0 || res.Answered == 0 {
+			fmt.Fprintf(os.Stderr, "ritw blast: strict: %d errors, %d answered\n", errs, res.Answered)
+			os.Exit(1)
+		}
+	}
+}
+
+// modeLabel resolves ModeAuto to the path the run actually takes.
+func modeLabel(cfg blast.Config) string {
+	if cfg.Mode == blast.ModeAuto {
+		if blast.BatchedSupported() {
+			return "mmsg"
+		}
+		return "udp"
+	}
+	return cfg.Mode.String()
+}
+
+// pickWorkers reports the worker count of the first completed point
+// (all points share it; 0 if the sweep was cancelled immediately).
+func pickWorkers(points []blast.SweepPoint) int {
+	if len(points) == 0 {
+		return 0
+	}
+	return points[0].Res.Workers
+}
+
+// parseQType maps the common mnemonic names onto wire types.
+func parseQType(s string) (dnswire.Type, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return dnswire.TypeA, nil
+	case "AAAA":
+		return dnswire.TypeAAAA, nil
+	case "NS":
+		return dnswire.TypeNS, nil
+	case "TXT":
+		return dnswire.TypeTXT, nil
+	case "SOA":
+		return dnswire.TypeSOA, nil
+	case "CNAME":
+		return dnswire.TypeCNAME, nil
+	case "MX":
+		return dnswire.TypeMX, nil
+	}
+	return 0, fmt.Errorf("blast: unknown qtype %q", s)
+}

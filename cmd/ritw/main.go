@@ -13,6 +13,7 @@
 //	ritw middlebox | ipv6 | hardening
 //	ritw planner                  # §7 deployment evaluation
 //	ritw all                      # everything above
+//	ritw blast -qps 50000         # open-loop UDP load harness (ritw blast -h)
 //
 // With -stream, runs push records into incremental aggregators instead
 // of materializing datasets: the figures are identical, but peak memory
@@ -121,9 +122,16 @@ func reportProgress(p core.BatchProgress) {
 }
 
 func main() {
+	// blast owns its own flag set (load-harness knobs share nothing
+	// with the figure pipeline), so it dispatches before flag.Parse.
+	if len(os.Args) > 1 && os.Args[1] == "blast" {
+		cmdBlast(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|all>")
+		fmt.Fprintln(os.Stderr, "       ritw blast [flags]   (open-loop load harness; see ritw blast -h)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -274,11 +274,22 @@ func (e *Engine) AppendQuery(dst []byte, src netip.Addr, payload []byte, maxUDP 
 	}
 	q := resp.Questions[0]
 
-	// Respect the client's EDNS0 advertised size.
+	// Respect the client's EDNS0 advertised size, echoing the DO bit
+	// (RFC 6891 §6.1.3-6.1.4: the responder's OPT carries its own
+	// payload size, and DO must be copied so a security-aware client
+	// knows DNSSEC records were considered). A positive maxUDP is a
+	// hard transport limit — TCP's 64 KiB framing — that the OPT
+	// neither raises nor lowers; maxUDP <= 0 means UDP, where the
+	// advertised size bounds the datagram in *both* directions,
+	// floored at the classic 512 so a buggy advertisement below the
+	// RFC minimum cannot force-truncate everything.
 	if opt, ok := query.OPT(); ok {
-		resp.SetEDNS0(dnswire.DefaultEDNSSize, false)
-		if int(opt.UDPSize) > maxUDP {
+		resp.SetEDNS0(dnswire.DefaultEDNSSize, opt.DNSSECOK)
+		if maxUDP <= 0 {
 			maxUDP = int(opt.UDPSize)
+			if maxUDP < dnswire.MaxUDPSize {
+				maxUDP = dnswire.MaxUDPSize
+			}
 		}
 	}
 	if maxUDP <= 0 {

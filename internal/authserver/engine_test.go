@@ -214,11 +214,13 @@ func TestEDNSEchoAndSize(t *testing.T) {
 	}
 }
 
-func TestTruncationOver512(t *testing.T) {
-	// Build a zone whose TXT answer exceeds 512 bytes.
+// bigTXTEngine serves t.big.nl with a TXT answer of chunks x 200-byte
+// strings, for truncation tests that need a response of a known size.
+func bigTXTEngine(t *testing.T, chunks int) *Engine {
+	t.Helper()
 	var sb strings.Builder
 	sb.WriteString("$ORIGIN big.nl.\n@ IN SOA ns hm 1 2 3 4 5\nt IN TXT")
-	for i := 0; i < 5; i++ {
+	for i := 0; i < chunks; i++ {
 		sb.WriteString(" \"")
 		sb.WriteString(strings.Repeat("x", 200))
 		sb.WriteString("\"")
@@ -228,7 +230,12 @@ func TestTruncationOver512(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(Config{Zones: []*zone.Zone{z}})
+	return NewEngine(Config{Zones: []*zone.Zone{z}})
+}
+
+func TestTruncationOver512(t *testing.T) {
+	// A zone whose TXT answer exceeds 512 bytes.
+	e := bigTXTEngine(t, 5)
 	q := dnswire.NewQuery(14, dnswire.MustParseName("t.big.nl"), dnswire.TypeTXT)
 	wire, _ := q.Pack()
 	out := e.HandleQuery(clientAddr, wire, 0)
@@ -253,6 +260,86 @@ func TestTruncationOver512(t *testing.T) {
 	}
 	if resp2.Truncated || len(resp2.Answers) != 1 {
 		t.Errorf("EDNS response: tc=%v an=%d", resp2.Truncated, len(resp2.Answers))
+	}
+}
+
+// TestEDNSSizeClamp pins RFC 6891 clamping in both directions: the
+// client's advertised size bounds the UDP response downward (a 512
+// advertisement gets TC, not an oversized datagram) but never raises
+// the limit past the caller's transport cap, and advertisements below
+// the RFC-minimum 512 are floored rather than honoured.
+func TestEDNSSizeClamp(t *testing.T) {
+	e := bigTXTEngine(t, 5) // ~1KB answer
+	name := dnswire.MustParseName("t.big.nl")
+
+	t.Run("advertising 512 gets TC", func(t *testing.T) {
+		q := dnswire.NewQuery(20, name, dnswire.TypeTXT)
+		q.SetEDNS0(512, false)
+		wire, _ := q.Pack()
+		out := e.HandleQuery(clientAddr, wire, 0)
+		if len(out) > 512 {
+			t.Fatalf("response %d bytes exceeds the advertised 512", len(out))
+		}
+		resp, err := dnswire.Unpack(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Truncated {
+			t.Error("oversize answer for a 512 advertiser must set TC")
+		}
+	})
+
+	t.Run("advertisement cannot raise a transport limit", func(t *testing.T) {
+		q := dnswire.NewQuery(21, name, dnswire.TypeTXT)
+		q.SetEDNS0(4096, false)
+		wire, _ := q.Pack()
+		out := e.HandleQuery(clientAddr, wire, 600)
+		if len(out) > 600 {
+			t.Fatalf("response %d bytes exceeds the 600-byte transport limit", len(out))
+		}
+		resp, err := dnswire.Unpack(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Truncated {
+			t.Error("response over the transport limit must set TC")
+		}
+	})
+
+	t.Run("advertisement below 512 is floored", func(t *testing.T) {
+		// A ~460-byte response fits in 512 but not in a bogus 300-byte
+		// advertisement; the floor means it is served whole.
+		e := bigTXTEngine(t, 2)
+		q := dnswire.NewQuery(22, name, dnswire.TypeTXT)
+		q.SetEDNS0(300, false)
+		wire, _ := q.Pack()
+		out := e.HandleQuery(clientAddr, wire, 0)
+		resp, err := dnswire.Unpack(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Truncated || len(resp.Answers) != 1 {
+			t.Errorf("sub-512 advertisement must be floored at 512: tc=%v an=%d",
+				resp.Truncated, len(resp.Answers))
+		}
+	})
+}
+
+// TestEDNSEchoesDOBit pins RFC 6891 §6.1.4: the DO bit of the query's
+// OPT must be copied into the response's OPT.
+func TestEDNSEchoesDOBit(t *testing.T) {
+	e := testEngine(t)
+	for _, do := range []bool{true, false} {
+		q := dnswire.NewQuery(23, dnswire.MustParseName("probe-do.ourtestdomain.nl"), dnswire.TypeTXT)
+		q.SetEDNS0(4096, do)
+		resp := ask(t, e, q)
+		opt, ok := resp.OPT()
+		if !ok {
+			t.Fatal("EDNS query should get EDNS response")
+		}
+		if opt.DNSSECOK != do {
+			t.Errorf("response DO = %v, query DO = %v", opt.DNSSECOK, do)
+		}
 	}
 }
 

@@ -1,0 +1,41 @@
+//go:build linux
+
+package authserver
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT. The stdlib syscall package predates the
+// option and never grew the constant; the value is ABI-stable across
+// Linux architectures.
+const soReusePort = 0xf
+
+// reusePortSupported reports whether this platform can shard one UDP
+// port across several sockets.
+const reusePortSupported = true
+
+// listenUDPReusePort binds a UDP socket on addr with SO_REUSEPORT set
+// before bind, so several sockets share the port and the kernel shards
+// inbound datagrams between them by flow hash. Compared to N workers
+// blocked on one socket, each datagram wakes exactly one reader and
+// the socket lock stops being a single point of contention.
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

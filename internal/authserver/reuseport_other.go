@@ -1,0 +1,17 @@
+//go:build !linux
+
+package authserver
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported reports whether this platform can shard one UDP
+// port across several sockets. Off Linux the server falls back to N
+// workers sharing a single socket.
+const reusePortSupported = false
+
+func listenUDPReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errors.New("authserver: SO_REUSEPORT unsupported on this platform")
+}

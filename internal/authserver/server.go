@@ -26,18 +26,26 @@ type Server struct {
 	Engine *Engine
 	// ReadTimeout bounds TCP connection idle time (default 10s).
 	ReadTimeout time.Duration
-	// UDPWorkers is the number of concurrent UDP read loops sharing
-	// the socket (default GOMAXPROCS). Each worker owns its receive
-	// buffer and draws response buffers from a shared pool, so the
-	// steady-state serving path does not allocate.
+	// UDPWorkers is the number of concurrent UDP read loops (default
+	// GOMAXPROCS). Each worker owns its receive buffer and draws
+	// response buffers from a shared pool, so the steady-state serving
+	// path does not allocate.
 	UDPWorkers int
+	// UDPReusePort shards the UDP port across one SO_REUSEPORT socket
+	// per worker instead of N workers blocking on a shared socket, so
+	// the kernel fans datagrams out by flow hash and the socket lock
+	// stops being the contention point at high rates. Ignored on
+	// platforms without SO_REUSEPORT (the shared-socket layout is
+	// used there).
+	UDPReusePort bool
 	// AXFRAllow decides per source address whether zone transfers are
 	// served; nil allows all (the historical behaviour). Refused
 	// sources get RCode REFUSED, like an unconfigured secondary.
 	AXFRAllow func(src netip.Addr) bool
 
 	mu       sync.Mutex
-	udpConn  *net.UDPConn
+	udpConn  *net.UDPConn   // first UDP socket (Addr reports its address)
+	udpConns []*net.UDPConn // all UDP sockets (>1 with UDPReusePort)
 	tcpLn    *net.TCPListener
 	closed   bool
 	wg       sync.WaitGroup
@@ -72,43 +80,76 @@ func (s *Server) ListenAndServe(addr string) error {
 // is cancelled the server shuts down as if Close had been called, so
 // daemons stop serving on SIGTERM without racing their own listeners.
 func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return fmt.Errorf("authserver: resolve %q: %w", addr, err)
+	workers := s.UDPWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	udpConn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return fmt.Errorf("authserver: udp listen: %w", err)
+
+	closeAll := func(conns []*net.UDPConn) {
+		for _, c := range conns {
+			c.Close()
+		}
 	}
-	tcpAddr, err := net.ResolveTCPAddr("tcp", udpConn.LocalAddr().String())
+	var udpConns []*net.UDPConn
+	if s.UDPReusePort && reusePortSupported {
+		// One SO_REUSEPORT socket per worker, all on the same port;
+		// the first bind resolves ":0" so the rest bind the concrete
+		// address.
+		first, err := listenUDPReusePort(addr)
+		if err != nil {
+			return fmt.Errorf("authserver: udp listen: %w", err)
+		}
+		udpConns = append(udpConns, first)
+		for i := 1; i < workers; i++ {
+			c, err := listenUDPReusePort(first.LocalAddr().String())
+			if err != nil {
+				closeAll(udpConns)
+				return fmt.Errorf("authserver: udp reuseport listen: %w", err)
+			}
+			udpConns = append(udpConns, c)
+		}
+	} else {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return fmt.Errorf("authserver: resolve %q: %w", addr, err)
+		}
+		c, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return fmt.Errorf("authserver: udp listen: %w", err)
+		}
+		udpConns = append(udpConns, c)
+	}
+	tcpAddr, err := net.ResolveTCPAddr("tcp", udpConns[0].LocalAddr().String())
 	if err != nil {
-		udpConn.Close()
+		closeAll(udpConns)
 		return err
 	}
 	tcpLn, err := net.ListenTCP("tcp", tcpAddr)
 	if err != nil {
-		udpConn.Close()
+		closeAll(udpConns)
 		return fmt.Errorf("authserver: tcp listen: %w", err)
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		udpConn.Close()
+		closeAll(udpConns)
 		tcpLn.Close()
 		return errors.New("authserver: server closed")
 	}
-	s.udpConn = udpConn
+	s.udpConn = udpConns[0]
+	s.udpConns = udpConns
 	s.tcpLn = tcpLn
 	s.mu.Unlock()
 
-	workers := s.UDPWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	s.wg.Add(workers + 1)
 	for i := 0; i < workers; i++ {
-		go s.serveUDP(udpConn)
+		// Sharded: worker i owns socket i. Shared: all block on one.
+		conn := udpConns[0]
+		if len(udpConns) > 1 {
+			conn = udpConns[i]
+		}
+		go s.serveUDP(conn)
 	}
 	go s.serveTCP(tcpLn)
 
@@ -136,8 +177,8 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	if s.udpConn != nil {
-		s.udpConn.Close()
+	for _, c := range s.udpConns {
+		c.Close()
 	}
 	if s.tcpLn != nil {
 		s.tcpLn.Close()

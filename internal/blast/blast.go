@@ -1,0 +1,788 @@
+// Package blast is the live-socket load harness: an open-loop,
+// concurrent UDP query engine in the style of ZDNS that drives real
+// authoritative servers — the in-process fleet or any remote address —
+// at a target aggregate QPS and records what came back.
+//
+// Architecture, in one breath: the offered load is split across
+// Workers, each owning one connected UDP socket (its own ephemeral
+// port, so the kernel demultiplexes responses per worker), a
+// token-bucket pacer, a set of pre-encoded query templates, and a
+// 65536-slot in-flight table indexed by DNS message ID. The sender
+// goroutine paces batches onto the wire — `sendmmsg` on Linux, a
+// single-packet portable fallback elsewhere — stamping each ID's slot
+// with a send time; the receiver goroutine drains the socket
+// (`recvmmsg` / single reads), correlates responses by (socket, ID),
+// and turns the slot stamp into a latency sample. A slot that is
+// overwritten or still stamped when the run drains is a timeout, so
+// Sent == Answered + Timeouts holds exactly.
+//
+// Open loop means the send schedule never waits for responses: when
+// the server falls behind, latency and loss rise but offered load does
+// not sag, which is what makes the offered-vs-achieved throughput
+// curve meaningful (closed-loop harnesses self-throttle and hide the
+// knee; see DESIGN.md §8.6).
+//
+// Results flow into an obs.Registry (live dashboard) and per-worker
+// stats.QuantileSketch reservoirs (final percentiles).
+package blast
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/obs"
+	"ritw/internal/stats"
+)
+
+// Mode selects the socket I/O implementation.
+type Mode int
+
+const (
+	// ModeAuto uses batched sendmmsg/recvmmsg where the platform
+	// supports it and the portable single-packet path elsewhere.
+	ModeAuto Mode = iota
+	// ModeBatched forces the batched syscalls; Run errors where they
+	// are unavailable.
+	ModeBatched
+	// ModePortable forces the single-packet net.UDPConn path.
+	ModePortable
+)
+
+// ParseMode parses "auto", "mmsg" or "udp".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "auto":
+		return ModeAuto, nil
+	case "mmsg":
+		return ModeBatched, nil
+	case "udp":
+		return ModePortable, nil
+	}
+	return 0, fmt.Errorf("blast: unknown mode %q (auto|mmsg|udp)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBatched:
+		return "mmsg"
+	case ModePortable:
+		return "udp"
+	}
+	return "auto"
+}
+
+// BatchedSupported reports whether this platform has the
+// sendmmsg/recvmmsg fast path.
+func BatchedSupported() bool { return mmsgSupported }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addrs are the target server addresses (host:port). Workers are
+	// assigned round-robin across them, so a fleet of targets shares
+	// the offered load evenly.
+	Addrs []string
+	// QPS is the aggregate offered query rate across all workers.
+	QPS float64
+	// Duration is the length of the send phase; the run then drains
+	// in-flight queries for Timeout before accounting.
+	Duration time.Duration
+	// Workers is the number of socket shards (default GOMAXPROCS).
+	Workers int
+	// Batch bounds how many datagrams one sendmmsg/recvmmsg call
+	// moves, and how far a stalled sender may burst to catch up with
+	// its schedule (default 64).
+	Batch int
+	// Timeout is how long a query may stay unanswered before it
+	// counts as lost (default 1s).
+	Timeout time.Duration
+	// Names is the query set; senders walk it round-robin. Required.
+	Names []dnswire.Name
+	// QType is the query type (default TXT).
+	QType dnswire.Type
+	// EDNSSize, when nonzero, advertises EDNS0 with that UDP size.
+	EDNSSize uint16
+	// DNSSECOK sets the DO bit on the advertised OPT.
+	DNSSECOK bool
+	// Mode selects batched vs portable socket I/O.
+	Mode Mode
+	// Validate fully decodes every response instead of the header-only
+	// fast path, surfacing malformed packets as parse errors. Costs
+	// allocations per response; meant for smoke tests, not 1M-QPS runs.
+	Validate bool
+	// Metrics, when set, receives the run's counters and latency
+	// histogram. Leave nil to give the run a private registry (always
+	// the case for sweep points, which must not share counters).
+	Metrics *obs.Registry
+	// SketchCap bounds each worker's latency reservoir (0 = exact).
+	SketchCap int
+	// Seed fixes the reservoir sampling choices.
+	Seed int64
+	// OnProgress, when set, is called every ProgressInterval with a
+	// snapshot of the run (the live dashboard hook).
+	OnProgress func(Progress)
+	// ProgressInterval is the OnProgress cadence (default 1s).
+	ProgressInterval time.Duration
+}
+
+// Progress is a live snapshot handed to Config.OnProgress.
+type Progress struct {
+	Elapsed   time.Duration
+	Sent      int64
+	Answered  int64
+	Timeouts  int64
+	Unmatched int64
+	Errors    int64 // parse + send + encode errors
+	// SentRate and AnsweredRate are measured over the last interval.
+	SentRate     float64
+	AnsweredRate float64
+	// P50us/P99us are histogram estimates over the whole run so far.
+	P50us, P99us float64
+}
+
+// Result is the accounting of one run. Sent == Answered + Timeouts
+// holds exactly: every sent query either matched a response or was
+// reaped as a timeout (at ID reuse or in the final sweep).
+type Result struct {
+	Mode        string
+	Offered     float64
+	Workers     int
+	SendSeconds float64 // actual send-phase duration
+
+	Sent         int64
+	Answered     int64
+	Timeouts     int64
+	Unmatched    int64 // responses with no in-flight query (stray/dup)
+	Truncated    int64 // answered responses carrying TC
+	ParseErrors  int64
+	EncodeErrors int64
+	SendErrors   int64
+
+	RCodes  map[dnswire.RCode]int64
+	Latency stats.Summary // microseconds
+}
+
+// SentQPS is the achieved send rate.
+func (r Result) SentQPS() float64 {
+	if r.SendSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.SendSeconds
+}
+
+// AnsweredQPS is the achieved answer rate — the serving-path
+// throughput the sweep curve records.
+func (r Result) AnsweredQPS() float64 {
+	if r.SendSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Answered) / r.SendSeconds
+}
+
+// LossFrac is the fraction of sent queries that timed out.
+func (r Result) LossFrac() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Timeouts) / float64(r.Sent)
+}
+
+// maxQuery bounds an encoded query template: a 255-byte name plus
+// fixed header, question and OPT overhead stays far below this.
+const maxQuery = 512
+
+// recvBufSize fits any EDNS response we advertise for.
+const recvBufSize = 4096
+
+// latencyBoundsUs are the dashboard histogram buckets in microseconds:
+// loopback serving sits in the tens of µs; a saturated queue or a WAN
+// target climbs through milliseconds.
+var latencyBoundsUs = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000, 1000000}
+
+// blastMetrics caches the run's obs instruments.
+type blastMetrics struct {
+	sent       *obs.Counter
+	answered   *obs.Counter
+	timeouts   *obs.Counter
+	unmatched  *obs.Counter
+	truncated  *obs.Counter
+	parseErrs  *obs.Counter
+	encodeErrs *obs.Counter
+	sendErrs   *obs.Counter
+	latency    *obs.Histogram
+	rcodes     [16]*obs.Counter
+	rcodeHigh  *obs.Counter
+}
+
+func newBlastMetrics(r *obs.Registry) *blastMetrics {
+	m := &blastMetrics{
+		sent:       r.Counter("blast_sent_total"),
+		answered:   r.Counter("blast_answered_total"),
+		timeouts:   r.Counter("blast_timeouts_total"),
+		unmatched:  r.Counter("blast_unmatched_total"),
+		truncated:  r.Counter("blast_truncated_total"),
+		parseErrs:  r.Counter("blast_parse_errors_total"),
+		encodeErrs: r.Counter("blast_encode_errors_total"),
+		sendErrs:   r.Counter("blast_send_errors_total"),
+		latency:    r.Histogram("blast_latency_us", latencyBoundsUs),
+		rcodeHigh:  r.Counter(obs.LabelName("blast_rcode_total", "rcode", "OTHER")),
+	}
+	for rc := range m.rcodes {
+		m.rcodes[rc] = r.Counter(obs.LabelName("blast_rcode_total", "rcode", dnswire.RCode(rc).String()))
+	}
+	return m
+}
+
+func (m *blastMetrics) rcode(rc dnswire.RCode) *obs.Counter {
+	if int(rc) < len(m.rcodes) {
+		return m.rcodes[rc]
+	}
+	return m.rcodeHigh
+}
+
+// packetIO abstracts the two socket paths so the worker loops are
+// identical for batched and portable I/O.
+type packetIO interface {
+	// send transmits bufs in order and reports how many the kernel
+	// accepted; a short count with nil error means retry the rest on
+	// the next pacing round.
+	send(bufs [][]byte) (int, error)
+	// recv fills bufs with up to len(bufs) datagrams, records their
+	// lengths in sizes, and reports how many arrived. A non-nil error
+	// (deadline, closed socket) ends the receive loop after the
+	// returned messages are processed.
+	recv(bufs [][]byte, sizes []int) (int, error)
+}
+
+// portableIO is the single-packet fallback over net.UDPConn.
+type portableIO struct{ conn *net.UDPConn }
+
+func (p portableIO) send(bufs [][]byte) (int, error) {
+	for i, b := range bufs {
+		if _, err := p.conn.Write(b); err != nil {
+			return i, err
+		}
+	}
+	return len(bufs), nil
+}
+
+func (p portableIO) recv(bufs [][]byte, sizes []int) (int, error) {
+	n, err := p.conn.Read(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}
+
+// worker is one socket shard: its own connected UDP socket, pacer
+// state, templates, and in-flight table.
+type worker struct {
+	conn *net.UDPConn
+	io   packetIO
+
+	templates [][]byte
+	sendBufs  [][]byte
+	sendIDs   []uint16
+	recvBufs  [][]byte
+	recvSizes []int
+
+	// inflight[id] is the send stamp (ns since run start, never 0 for
+	// an outstanding query) or 0 when the slot is free. The sender
+	// writes stamps, the receiver swaps them out; both sides use
+	// atomics so the correlation is race-free without a lock.
+	inflight []int64
+
+	nextID  uint32
+	nameIdx int
+	sketch  *stats.QuantileSketch
+}
+
+// newWorker dials addr and prepares buffers for the chosen I/O path.
+func newWorker(addr string, cfg Config, batched bool, seed int64) (*worker, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("blast: dial %s: %w", addr, err)
+	}
+	udp := conn.(*net.UDPConn)
+	w := &worker{
+		conn:      udp,
+		inflight:  make([]int64, 1<<16),
+		sendBufs:  make([][]byte, cfg.Batch),
+		sendIDs:   make([]uint16, cfg.Batch),
+		recvBufs:  make([][]byte, cfg.Batch),
+		recvSizes: make([]int, cfg.Batch),
+		sketch:    stats.NewQuantileSketch(cfg.SketchCap, seed),
+	}
+	for i := range w.sendBufs {
+		w.sendBufs[i] = make([]byte, 0, maxQuery)
+	}
+	for i := range w.recvBufs {
+		w.recvBufs[i] = make([]byte, recvBufSize)
+	}
+	for _, name := range cfg.Names {
+		q := dnswire.NewQuery(0, name, cfg.QType)
+		q.RecursionDesired = false
+		if cfg.EDNSSize > 0 {
+			q.SetEDNS0(cfg.EDNSSize, cfg.DNSSECOK)
+		}
+		wire, err := q.Pack()
+		if err != nil || len(wire) > maxQuery {
+			conn.Close()
+			return nil, fmt.Errorf("blast: cannot encode query for %s: %v", name, err)
+		}
+		w.templates = append(w.templates, wire)
+	}
+	if batched {
+		w.io, err = newMmsgIO(udp, cfg.Batch)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	} else {
+		w.io = portableIO{conn: udp}
+	}
+	return w, nil
+}
+
+// sendLoop paces queries at rate QPS until sendUntil or cancellation.
+// Open loop: the schedule is wall-clock driven; when the worker falls
+// behind it bursts up to Batch per round to catch up, and never waits
+// for responses.
+func (w *worker) sendLoop(ctx context.Context, m *blastMetrics, base, sendUntil time.Time, rate float64) {
+	var sent int64
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		now := time.Now()
+		if !now.Before(sendUntil) {
+			return
+		}
+		due := int64(rate*now.Sub(base).Seconds()) - sent
+		if due <= 0 {
+			// Sleep toward the next token, bounded so cancellation
+			// and the phase end stay responsive.
+			next := base.Add(time.Duration(float64(sent+1) / rate * float64(time.Second)))
+			d := time.Until(next)
+			if until := time.Until(sendUntil); d > until {
+				d = until
+			}
+			if d > 10*time.Millisecond {
+				d = 10 * time.Millisecond
+			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+			continue
+		}
+		n := int(due)
+		if n > len(w.sendBufs) {
+			n = len(w.sendBufs)
+		}
+		for i := 0; i < n; i++ {
+			tpl := w.templates[w.nameIdx]
+			w.nameIdx++
+			if w.nameIdx == len(w.templates) {
+				w.nameIdx = 0
+			}
+			id := uint16(w.nextID)
+			w.nextID++
+			buf := append(w.sendBufs[i][:0], tpl...)
+			binary.BigEndian.PutUint16(buf, id)
+			w.sendBufs[i] = buf
+			w.sendIDs[i] = id
+		}
+		nsent, err := w.io.send(w.sendBufs[:n])
+		stamp := int64(time.Since(base))
+		if stamp == 0 {
+			stamp = 1 // 0 means "slot free"
+		}
+		for i := 0; i < nsent; i++ {
+			// An occupied slot is a query that was never answered:
+			// its reply window has long passed by the time 65536
+			// worker-local IDs wrapped around.
+			if old := atomic.SwapInt64(&w.inflight[w.sendIDs[i]], stamp); old != 0 {
+				m.timeouts.Inc()
+			}
+		}
+		m.sent.Add(int64(nsent))
+		sent += int64(nsent)
+		if err != nil {
+			m.sendErrs.Inc()
+			if nsent == 0 {
+				// A hard send error (e.g. ICMP-refused target) would
+				// otherwise hot-spin the pacer.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+// recvLoop drains the socket until its read deadline (the drain
+// deadline, or "now" on cancellation) fires.
+func (w *worker) recvLoop(m *blastMetrics, base time.Time, validate bool) {
+	for {
+		n, err := w.io.recv(w.recvBufs, w.recvSizes)
+		if n > 0 {
+			now := int64(time.Since(base))
+			for i := 0; i < n; i++ {
+				w.processResponse(w.recvBufs[i][:w.recvSizes[i]], m, now, validate)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// processResponse correlates one datagram against the in-flight table.
+// The fast path reads only the fixed header — ID, QR, TC, RCODE —
+// because full decoding costs allocations the megaQPS path cannot
+// spend; Validate mode adds the full decode for smoke runs.
+func (w *worker) processResponse(pkt []byte, m *blastMetrics, now int64, validate bool) {
+	if len(pkt) < 12 {
+		m.parseErrs.Inc()
+		return
+	}
+	flags := binary.BigEndian.Uint16(pkt[2:])
+	if flags&(1<<15) == 0 { // not a response
+		m.parseErrs.Inc()
+		return
+	}
+	if validate {
+		if _, err := dnswire.Unpack(pkt); err != nil {
+			m.parseErrs.Inc()
+			return
+		}
+	}
+	id := binary.BigEndian.Uint16(pkt)
+	stamp := atomic.SwapInt64(&w.inflight[id], 0)
+	if stamp == 0 {
+		m.unmatched.Inc()
+		return
+	}
+	m.answered.Inc()
+	latUs := float64(now-stamp) / 1e3
+	m.latency.Observe(latUs)
+	w.sketch.Observe(latUs)
+	if flags&(1<<9) != 0 {
+		m.truncated.Inc()
+	}
+	m.rcode(dnswire.RCode(flags & 0xF)).Inc()
+}
+
+// withDefaults fills zero-value knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.QType == 0 {
+		cfg.QType = dnswire.TypeTXT
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = time.Second
+	}
+	return cfg
+}
+
+// Run executes one open-loop load run and blocks until the drain
+// completes. On context cancellation it shuts down cleanly — senders
+// stop, receivers are unblocked, accounting still balances — and
+// returns the partial Result alongside ctx.Err().
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return Result{}, errors.New("blast: no target addresses")
+	}
+	if len(cfg.Names) == 0 {
+		return Result{}, errors.New("blast: empty query set")
+	}
+	if cfg.QPS <= 0 {
+		return Result{}, errors.New("blast: QPS must be positive")
+	}
+	batched := mmsgSupported
+	switch cfg.Mode {
+	case ModeBatched:
+		if !mmsgSupported {
+			return Result{}, errors.New("blast: batched mode unsupported on this platform")
+		}
+	case ModePortable:
+		batched = false
+	}
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := newBlastMetrics(reg)
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		w, err := newWorker(cfg.Addrs[i%len(cfg.Addrs)], cfg, batched, cfg.Seed+int64(i))
+		if err != nil {
+			for _, prev := range workers[:i] {
+				prev.conn.Close()
+			}
+			return Result{}, err
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.conn.Close()
+		}
+	}()
+
+	base := time.Now()
+	sendUntil := base.Add(cfg.Duration)
+	drainUntil := sendUntil.Add(cfg.Timeout + 100*time.Millisecond)
+	perWorker := cfg.QPS / float64(cfg.Workers)
+
+	var senders, receivers sync.WaitGroup
+	for _, w := range workers {
+		w.conn.SetReadDeadline(drainUntil)
+		senders.Add(1)
+		receivers.Add(1)
+		go func(w *worker) {
+			defer senders.Done()
+			w.sendLoop(ctx, m, base, sendUntil, perWorker)
+		}(w)
+		go func(w *worker) {
+			defer receivers.Done()
+			w.recvLoop(m, base, cfg.Validate)
+		}(w)
+	}
+
+	// The watchdog turns a context cancel into immediate read
+	// deadlines so receivers drop out of blocking reads.
+	watchDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-ctx.Done():
+			now := time.Now()
+			for _, w := range workers {
+				w.conn.SetReadDeadline(now)
+			}
+		case <-watchDone:
+		}
+	}()
+
+	var progress sync.WaitGroup
+	if cfg.OnProgress != nil {
+		progress.Add(1)
+		go func() {
+			defer progress.Done()
+			runProgress(reg, m, cfg, base, watchDone)
+		}()
+	}
+
+	senders.Wait()
+	sendSeconds := time.Since(base).Seconds()
+	if max := cfg.Duration.Seconds(); sendSeconds > max {
+		sendSeconds = max
+	}
+	// On cancellation the watchdog has already kicked the deadlines;
+	// otherwise receivers run until drainUntil.
+	receivers.Wait()
+	close(watchDone)
+	watch.Wait()
+	progress.Wait()
+
+	// Final sweep: anything still stamped never got an answer.
+	for _, w := range workers {
+		for id := range w.inflight {
+			if atomic.LoadInt64(&w.inflight[id]) != 0 {
+				m.timeouts.Inc()
+			}
+		}
+	}
+
+	res := assembleResult(cfg, m, batched, sendSeconds, workers)
+	return res, ctx.Err()
+}
+
+// assembleResult folds the counters and per-worker sketches into the
+// final accounting.
+func assembleResult(cfg Config, m *blastMetrics, batched bool, sendSeconds float64, workers []*worker) Result {
+	mode := ModePortable
+	if batched {
+		mode = ModeBatched
+	}
+	res := Result{
+		Mode:         mode.String(),
+		Offered:      cfg.QPS,
+		Workers:      cfg.Workers,
+		SendSeconds:  sendSeconds,
+		Sent:         m.sent.Value(),
+		Answered:     m.answered.Value(),
+		Timeouts:     m.timeouts.Value(),
+		Unmatched:    m.unmatched.Value(),
+		Truncated:    m.truncated.Value(),
+		ParseErrors:  m.parseErrs.Value(),
+		EncodeErrors: m.encodeErrs.Value(),
+		SendErrors:   m.sendErrs.Value(),
+		RCodes:       make(map[dnswire.RCode]int64),
+	}
+	for rc := range m.rcodes {
+		if v := m.rcodes[rc].Value(); v > 0 {
+			res.RCodes[dnswire.RCode(rc)] = v
+		}
+	}
+	var all []float64
+	for _, w := range workers {
+		all = append(all, w.sketch.Samples()...)
+	}
+	sort.Float64s(all)
+	res.Latency = stats.SummaryOfSorted(all)
+	return res
+}
+
+// runProgress emits dashboard snapshots until the run finishes.
+func runProgress(reg *obs.Registry, m *blastMetrics, cfg Config, base time.Time, done <-chan struct{}) {
+	ticker := time.NewTicker(cfg.ProgressInterval)
+	defer ticker.Stop()
+	var prevSent, prevAns int64
+	prevT := base
+	for {
+		select {
+		case <-done:
+			return
+		case t := <-ticker.C:
+			sent, ans := m.sent.Value(), m.answered.Value()
+			dt := t.Sub(prevT).Seconds()
+			if dt <= 0 {
+				dt = cfg.ProgressInterval.Seconds()
+			}
+			hist := reg.Snapshot().Histograms["blast_latency_us"]
+			cfg.OnProgress(Progress{
+				Elapsed:      t.Sub(base),
+				Sent:         sent,
+				Answered:     ans,
+				Timeouts:     m.timeouts.Value(),
+				Unmatched:    m.unmatched.Value(),
+				Errors:       m.parseErrs.Value() + m.encodeErrs.Value() + m.sendErrs.Value(),
+				SentRate:     float64(sent-prevSent) / dt,
+				AnsweredRate: float64(ans-prevAns) / dt,
+				P50us:        hist.Quantile(0.50),
+				P99us:        hist.Quantile(0.99),
+			})
+			prevSent, prevAns, prevT = sent, ans, t
+		}
+	}
+}
+
+// Table renders the final rcode/latency/loss accounting.
+func (r Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mode=%s workers=%d offered=%.0f qps\n", r.Mode, r.Workers, r.Offered)
+	fmt.Fprintf(&sb, "sent      %10d  (%.0f qps over %.2fs)\n", r.Sent, r.SentQPS(), r.SendSeconds)
+	fmt.Fprintf(&sb, "answered  %10d  (%.0f qps, %.2f%% loss)\n", r.Answered, r.AnsweredQPS(), 100*r.LossFrac())
+	fmt.Fprintf(&sb, "timeouts  %10d\n", r.Timeouts)
+	if r.Unmatched > 0 {
+		fmt.Fprintf(&sb, "unmatched %10d\n", r.Unmatched)
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&sb, "truncated %10d\n", r.Truncated)
+	}
+	if errs := r.ParseErrors + r.EncodeErrors + r.SendErrors; errs > 0 {
+		fmt.Fprintf(&sb, "errors    %10d  (parse=%d encode=%d send=%d)\n",
+			errs, r.ParseErrors, r.EncodeErrors, r.SendErrors)
+	}
+	rcs := make([]dnswire.RCode, 0, len(r.RCodes))
+	for rc := range r.RCodes {
+		rcs = append(rcs, rc)
+	}
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i] < rcs[j] })
+	for _, rc := range rcs {
+		fmt.Fprintf(&sb, "rcode %-9s %8d\n", rc.String(), r.RCodes[rc])
+	}
+	if r.Latency.N() > 0 {
+		fmt.Fprintf(&sb, "latency µs: p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f (n=%d)\n",
+			r.Latency.Percentile(50), r.Latency.Percentile(90), r.Latency.Percentile(99),
+			r.Latency.Percentile(99.9), r.Latency.Percentile(100), r.Latency.N())
+	}
+	return sb.String()
+}
+
+// SweepPoint is one offered-rate step of a throughput sweep.
+type SweepPoint struct {
+	Offered float64
+	Res     Result
+}
+
+// Sweep runs the config once per offered rate, low to high, each point
+// with a private registry so counters never bleed between steps. It
+// stops early on context cancellation and returns the points finished
+// so far.
+func Sweep(ctx context.Context, cfg Config, rates []float64, onPoint func(SweepPoint)) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, rate := range rates {
+		c := cfg
+		c.QPS = rate
+		c.Metrics = nil
+		res, err := Run(ctx, c)
+		if err != nil {
+			return points, err
+		}
+		p := SweepPoint{Offered: rate, Res: res}
+		points = append(points, p)
+		if onPoint != nil {
+			onPoint(p)
+		}
+	}
+	return points, nil
+}
+
+// SweepRates builds the default sweep ladder: powers of two up from
+// maxQPS/2^(steps-1) to maxQPS, so the curve brackets the knee.
+func SweepRates(maxQPS float64, steps int) []float64 {
+	if steps <= 0 {
+		steps = 6
+	}
+	rates := make([]float64, steps)
+	for i := steps - 1; i >= 0; i-- {
+		rates[i] = maxQPS
+		maxQPS /= 2
+	}
+	return rates
+}
+
+// SweepTable renders the throughput curve as a Markdown table, the
+// form BENCH.md records.
+func SweepTable(points []SweepPoint) string {
+	var sb strings.Builder
+	sb.WriteString("| offered qps | mode | sent qps | answered qps | loss % | p50 µs | p99 µs | p99.9 µs |\n")
+	sb.WriteString("|---:|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range points {
+		r := p.Res
+		fmt.Fprintf(&sb, "| %.0f | %s | %.0f | %.0f | %.2f | %.0f | %.0f | %.0f |\n",
+			p.Offered, r.Mode, r.SentQPS(), r.AnsweredQPS(), 100*r.LossFrac(),
+			r.Latency.Percentile(50), r.Latency.Percentile(99), r.Latency.Percentile(99.9))
+	}
+	return sb.String()
+}

@@ -1,0 +1,285 @@
+package blast
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/obs"
+)
+
+// newUDPHole binds a loopback UDP socket that is never read: a black
+// hole that accepts datagrams and answers nothing.
+func newUDPHole(t *testing.T) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	return pc.LocalAddr().String()
+}
+
+// soakConfig is the shared deterministic loopback setup: a modest rate
+// the container always sustains, full response validation, and an
+// NXDOMAIN tail so the rcode mix is non-trivial.
+func soakFleet(t *testing.T) *Fleet {
+	t.Helper()
+	fleet, err := SpawnFleet(FleetConfig{Names: 256, NXRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	return fleet
+}
+
+// TestSoakAccounting drives the in-process fleet over real loopback
+// sockets and checks the harness's books: every sent query is either
+// answered or a timeout (never both, never neither), the rcode tallies
+// agree with what the server engines report serving, and nothing is
+// flagged as malformed.
+func TestSoakAccounting(t *testing.T) {
+	fleet := soakFleet(t)
+	reg := obs.NewRegistry()
+	// Modest rate, generous timeout: on a loaded single-core CI
+	// machine a GC pause can hold the server past a tight deadline,
+	// and a late answer should count as answered, not as loss.
+	res, err := Run(context.Background(), Config{
+		Addrs:    fleet.Addrs(),
+		QPS:      2500,
+		Duration: 2 * time.Second,
+		Workers:  2,
+		Timeout:  3 * time.Second,
+		Names:    fleet.Names(),
+		Validate: true,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.Sent != res.Answered+res.Timeouts {
+		t.Fatalf("accounting: sent=%d != answered=%d + timeouts=%d",
+			res.Sent, res.Answered, res.Timeouts)
+	}
+	if res.ParseErrors != 0 || res.EncodeErrors != 0 || res.SendErrors != 0 {
+		t.Fatalf("errors on a clean loopback run: parse=%d encode=%d send=%d",
+			res.ParseErrors, res.EncodeErrors, res.SendErrors)
+	}
+	// Loopback at 5k qps should essentially never lose queries; a few
+	// stragglers are tolerated so the test is not flaky under -race.
+	if res.LossFrac() > 0.01 {
+		t.Fatalf("loss %.2f%% on loopback", 100*res.LossFrac())
+	}
+
+	// The harness's view must agree with the servers': every answered
+	// query was served, and the servers saw at most what was sent.
+	if served := int64(fleet.Stats().Queries); served < res.Answered || served > res.Sent {
+		t.Fatalf("fleet served %d; harness sent %d, answered %d", served, res.Sent, res.Answered)
+	}
+	var rcodeSum int64
+	for _, v := range res.RCodes {
+		rcodeSum += v
+	}
+	if rcodeSum != res.Answered {
+		t.Fatalf("rcode tallies sum to %d, answered %d", rcodeSum, res.Answered)
+	}
+	// The query set is 256 existing + 64 missing names walked
+	// round-robin, so both rcodes must show up in a 10k-query run.
+	if res.RCodes[dnswire.RCodeNoError] == 0 || res.RCodes[dnswire.RCodeNXDomain] == 0 {
+		t.Fatalf("rcode mix missing a class: %v", res.RCodes)
+	}
+
+	// The shared registry carries the same numbers.
+	snap := reg.Snapshot()
+	if got := snap.Counters["blast_sent_total"]; got != res.Sent {
+		t.Fatalf("registry sent=%d, result sent=%d", got, res.Sent)
+	}
+	if got := snap.Counters[obs.LabelName("blast_rcode_total", "rcode", "NXDOMAIN")]; got != res.RCodes[dnswire.RCodeNXDomain] {
+		t.Fatalf("registry NXDOMAIN=%d, result=%d", got, res.RCodes[dnswire.RCodeNXDomain])
+	}
+	if res.Latency.N() == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+// TestCancelShutsDownCleanly cancels a long run early and checks that
+// Run returns promptly, reports the cancellation, and the books still
+// balance over the partial run.
+func TestCancelShutsDownCleanly(t *testing.T) {
+	fleet := soakFleet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		Addrs:    fleet.Addrs(),
+		QPS:      2000,
+		Duration: 30 * time.Second, // never reached
+		Timeout:  5 * time.Second,
+		Workers:  2,
+		Names:    fleet.Names(),
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancel took %v to unwind", took)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent before cancel")
+	}
+	if res.Sent != res.Answered+res.Timeouts {
+		t.Fatalf("post-cancel accounting: sent=%d answered=%d timeouts=%d",
+			res.Sent, res.Answered, res.Timeouts)
+	}
+}
+
+// TestTimeoutsAreCounted aims the harness at a socket nobody answers:
+// every query must come back as a timeout, none as answered.
+func TestTimeoutsAreCounted(t *testing.T) {
+	// A bound-but-unread UDP socket swallows datagrams silently.
+	hole := newUDPHole(t)
+	res, err := Run(context.Background(), Config{
+		Addrs:    []string{hole},
+		QPS:      500,
+		Duration: 500 * time.Millisecond,
+		Timeout:  200 * time.Millisecond,
+		Workers:  1,
+		Names:    []dnswire.Name{dnswire.MustParseName("q.blast.test.")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.Answered != 0 {
+		t.Fatalf("black hole answered %d queries", res.Answered)
+	}
+	if res.Timeouts != res.Sent {
+		t.Fatalf("timeouts=%d, want all %d", res.Timeouts, res.Sent)
+	}
+}
+
+// TestMmsgMatchesPortable is the differential test: the batched and
+// single-packet I/O paths drive identical runs and must agree on the
+// invariants — exact accounting, zero errors, same rcode classes —
+// differing only in throughput. Skipped where mmsg is unavailable.
+func TestMmsgMatchesPortable(t *testing.T) {
+	if !BatchedSupported() {
+		t.Skip("no sendmmsg/recvmmsg on this platform")
+	}
+	fleet := soakFleet(t)
+	run := func(mode Mode) Result {
+		t.Helper()
+		res, err := Run(context.Background(), Config{
+			Addrs:    fleet.Addrs(),
+			QPS:      2000,
+			Duration: time.Second,
+			Workers:  2,
+			Timeout:  3 * time.Second,
+			Mode:     mode,
+			Names:    fleet.Names(),
+			Validate: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	batched := run(ModeBatched)
+	portable := run(ModePortable)
+
+	for _, r := range []Result{batched, portable} {
+		if r.Sent != r.Answered+r.Timeouts {
+			t.Fatalf("%s accounting: %+v", r.Mode, r)
+		}
+		if r.ParseErrors+r.EncodeErrors+r.SendErrors != 0 {
+			t.Fatalf("%s had errors: %+v", r.Mode, r)
+		}
+		if r.LossFrac() > 0.01 {
+			t.Fatalf("%s loss %.2f%%", r.Mode, 100*r.LossFrac())
+		}
+	}
+	if batched.Mode != "mmsg" || portable.Mode != "udp" {
+		t.Fatalf("modes: %s / %s", batched.Mode, portable.Mode)
+	}
+	// Same offered load, same query mix: the NXDOMAIN share must agree
+	// within a few percent (round-robin over the same name set).
+	bShare := float64(batched.RCodes[dnswire.RCodeNXDomain]) / float64(batched.Answered)
+	pShare := float64(portable.RCodes[dnswire.RCodeNXDomain]) / float64(portable.Answered)
+	if diff := bShare - pShare; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("NXDOMAIN share diverged: mmsg=%.3f udp=%.3f", bShare, pShare)
+	}
+}
+
+// TestSweepProducesMonotonicOfferedCurve checks the sweep plumbing:
+// ascending rates, one point per rate, a well-formed Markdown table.
+func TestSweepProducesMonotonicOfferedCurve(t *testing.T) {
+	fleet := soakFleet(t)
+	rates := SweepRates(2000, 3) // 500, 1000, 2000
+	if len(rates) != 3 || rates[0] != 500 || rates[2] != 2000 {
+		t.Fatalf("SweepRates = %v", rates)
+	}
+	points, err := Sweep(context.Background(), Config{
+		Addrs:    fleet.Addrs(),
+		QPS:      0, // overridden per point
+		Duration: 400 * time.Millisecond,
+		Workers:  2,
+		Names:    fleet.Names(),
+	}, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rates) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Offered != rates[i] {
+			t.Fatalf("point %d offered %f, want %f", i, p.Offered, rates[i])
+		}
+		if p.Res.Sent != p.Res.Answered+p.Res.Timeouts {
+			t.Fatalf("point %d accounting: %+v", i, p.Res)
+		}
+	}
+	table := SweepTable(points)
+	if want := "| offered qps |"; len(table) == 0 || table[:len(want)] != want {
+		t.Fatalf("table header: %q", table)
+	}
+}
+
+// TestConfigValidation covers the error paths callers hit first.
+func TestConfigValidation(t *testing.T) {
+	name := dnswire.MustParseName("q.blast.test.")
+	cases := []struct {
+		label string
+		cfg   Config
+	}{
+		{"no addrs", Config{QPS: 100, Names: []dnswire.Name{name}}},
+		{"no names", Config{QPS: 100, Addrs: []string{"127.0.0.1:1"}}},
+		{"zero qps", Config{Addrs: []string{"127.0.0.1:1"}, Names: []dnswire.Name{name}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), c.cfg); err == nil {
+			t.Errorf("%s: no error", c.label)
+		}
+	}
+	if _, err := ParseMode("tcp"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+	for _, s := range []string{"auto", "mmsg", "udp"} {
+		m, err := ParseMode(s)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", s, err)
+		} else if m.String() != s {
+			t.Errorf("round trip %q -> %q", s, m.String())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package blast
+
+import (
+	"fmt"
+	"strings"
+
+	"ritw/internal/authserver"
+	"ritw/internal/dnswire"
+	"ritw/internal/zone"
+)
+
+// Fleet is a set of in-process authoritative servers loaded with a
+// synthetic zone, the self-contained target for `ritw blast` when no
+// remote address is given: the harness measures the repo's own
+// serving path end to end over real loopback sockets.
+type Fleet struct {
+	servers []*authserver.Server
+	names   []dnswire.Name
+}
+
+// FleetConfig sizes the synthetic target.
+type FleetConfig struct {
+	// Servers is the number of authoritative instances (default 1).
+	Servers int
+	// Names is the number of distinct query names in the zone
+	// (default 1024) — enough spread that responses are not one hot
+	// cache line, matching how a resolver population fans queries out.
+	Names int
+	// NXRatio adds this fraction of query-set names that do NOT exist
+	// in the zone, so NXDOMAIN shows up in the rcode mix (0..1).
+	NXRatio float64
+	// UDPWorkers per server (default GOMAXPROCS).
+	UDPWorkers int
+	// ReusePort shards each server's UDP port (Linux).
+	ReusePort bool
+}
+
+// fleetOrigin is the synthetic zone apex.
+const fleetOrigin = "blast.test."
+
+// SpawnFleet builds the synthetic zone, starts the servers on
+// loopback, and returns the fleet. Callers must Close it.
+func SpawnFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Names <= 0 {
+		cfg.Names = 1024
+	}
+
+	var zt strings.Builder
+	fmt.Fprintf(&zt, "$ORIGIN %s\n$TTL 300\n", fleetOrigin)
+	zt.WriteString("@ IN SOA ns.blast.test. ops.blast.test. 1 7200 900 86400 300\n")
+	zt.WriteString("@ IN NS ns.blast.test.\n")
+	zt.WriteString("ns IN A 127.0.0.1\n")
+	for i := 0; i < cfg.Names; i++ {
+		fmt.Fprintf(&zt, "q%06d IN TXT \"payload-%06d\"\n", i, i)
+	}
+	z, err := zone.ParseString(zt.String(), dnswire.Root)
+	if err != nil {
+		return nil, fmt.Errorf("blast: synthetic zone: %w", err)
+	}
+
+	f := &Fleet{}
+	for i := 0; i < cfg.Servers; i++ {
+		srv := authserver.NewServer(authserver.NewEngine(authserver.Config{
+			Zones:    []*zone.Zone{z},
+			Identity: fmt.Sprintf("blast%d", i),
+		}))
+		srv.UDPWorkers = cfg.UDPWorkers
+		srv.UDPReusePort = cfg.ReusePort
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("blast: fleet server %d: %w", i, err)
+		}
+		f.servers = append(f.servers, srv)
+	}
+
+	for i := 0; i < cfg.Names; i++ {
+		f.names = append(f.names, dnswire.MustParseName(fmt.Sprintf("q%06d.%s", i, fleetOrigin)))
+	}
+	if cfg.NXRatio > 0 {
+		nx := int(float64(cfg.Names) * cfg.NXRatio)
+		for i := 0; i < nx; i++ {
+			f.names = append(f.names, dnswire.MustParseName(fmt.Sprintf("missing%06d.%s", i, fleetOrigin)))
+		}
+	}
+	return f, nil
+}
+
+// Addrs returns the servers' UDP addresses.
+func (f *Fleet) Addrs() []string {
+	addrs := make([]string, len(f.servers))
+	for i, s := range f.servers {
+		addrs[i] = s.Addr().String()
+	}
+	return addrs
+}
+
+// Names returns the query set (existing names first, then the
+// NXDOMAIN tail when NXRatio was set).
+func (f *Fleet) Names() []dnswire.Name { return f.names }
+
+// Stats sums the engines' query counters across the fleet.
+func (f *Fleet) Stats() authserver.Stats {
+	var total authserver.Stats
+	for _, s := range f.servers {
+		st := s.Engine.Stats()
+		total.Queries += st.Queries
+		total.Chaos += st.Chaos
+		total.Dropped += st.Dropped
+	}
+	return total
+}
+
+// Close shuts every server down.
+func (f *Fleet) Close() {
+	for _, s := range f.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package blast
+
+// The stdlib syscall package predates sendmmsg/recvmmsg and never
+// gained their numbers, so we carry them per-architecture (they are
+// ABI constants, frozen since Linux 3.0 / 2.6.33).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

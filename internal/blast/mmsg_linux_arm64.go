@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package blast
+
+// sendmmsg/recvmmsg numbers for the arm64 (generic unistd) syscall
+// table; see mmsg_linux_amd64.go for why these live here.
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

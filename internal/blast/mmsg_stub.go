@@ -1,0 +1,17 @@
+//go:build !linux || !(amd64 || arm64)
+
+package blast
+
+import (
+	"errors"
+	"net"
+)
+
+// Portable stub: platforms without the sendmmsg/recvmmsg fast path
+// fall back to single-packet net.UDPConn I/O (portableIO).
+
+const mmsgSupported = false
+
+func newMmsgIO(conn *net.UDPConn, batch int) (packetIO, error) {
+	return nil, errors.New("blast: batched I/O not supported on this platform")
+}

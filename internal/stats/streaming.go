@@ -150,6 +150,16 @@ func (q *QuantileSketch) Quantile(p float64) float64 {
 // Median returns the sketch's median, NaN before any sample.
 func (q *QuantileSketch) Median() float64 { return q.Quantile(50) }
 
+// Samples returns a copy of the retained samples, in observation order.
+// Callers use it to merge several sketches (concatenate and re-summarize):
+// the merge is exact while every input sketch is exact; past the cap the
+// concatenation is a union of uniform samples with per-sketch weights
+// proportional to retained/observed, so merge sketches of similar N or
+// keep them exact when the merged quantiles must be precise.
+func (q *QuantileSketch) Samples() []float64 {
+	return append([]float64(nil), q.samples...)
+}
+
 // Summary sorts the retained samples once and returns the sorted view,
 // for callers that probe several ranks.
 func (q *QuantileSketch) Summary() Summary {

@@ -208,3 +208,38 @@ func TestQuantileSketchRankErrorProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestQuantileSketchSamplesMerge(t *testing.T) {
+	// Merging exact sketches by concatenating Samples must reproduce
+	// the batch percentiles over the union bit-for-bit — the property
+	// the blast harness relies on to fold per-worker latency sketches
+	// into one run summary.
+	a, b := NewQuantileSketch(0, 1), NewQuantileSketch(0, 2)
+	var union []float64
+	for i := 0; i < 500; i++ {
+		x := float64((i*7919)%1000) / 3
+		a.Observe(x)
+		union = append(union, x)
+	}
+	for i := 0; i < 300; i++ {
+		x := float64((i*104729)%1000) / 7
+		b.Observe(x)
+		union = append(union, x)
+	}
+	merged := append(a.Samples(), b.Samples()...)
+	if len(merged) != len(union) {
+		t.Fatalf("merged %d samples, want %d", len(merged), len(union))
+	}
+	sort.Float64s(merged)
+	sum := SummaryOfSorted(merged)
+	for _, p := range []float64{0, 10, 50, 90, 99.9, 100} {
+		if got, want := sum.Percentile(p), Percentile(union, p); got != want {
+			t.Errorf("p%v: merged %v, batch %v", p, got, want)
+		}
+	}
+	// Samples returns a copy: mutating it must not corrupt the sketch.
+	a.Samples()[0] = -1e9
+	if a.Quantile(0) < 0 {
+		t.Error("Samples aliases the sketch's buffer")
+	}
+}
