@@ -200,6 +200,22 @@ func (r Result) LossFrac() float64 {
 // fixed header, question and OPT overhead stays far below this.
 const maxQuery = 512
 
+// idSlots is the per-worker in-flight table size: one slot per DNS
+// message ID. Correlation by ID is only sound while a worker cannot
+// issue all 65536 IDs within one timeout window — past that, live
+// slots get overwritten: the overwritten query is miscounted as a
+// timeout and its late response matches the new query's stamp as a
+// bogus near-zero latency sample. withDefaults scales the default
+// worker count to stay under the bound; Run rejects explicit configs
+// that violate it.
+const idSlots = 1 << 16
+
+// minWorkers is the smallest worker count keeping the IDs a worker
+// issues within one timeout window strictly below its table size.
+func minWorkers(qps float64, timeout time.Duration) int {
+	return int(qps*timeout.Seconds()/idSlots) + 1
+}
+
 // recvBufSize fits any EDNS response we advertise for.
 const recvBufSize = 4096
 
@@ -316,7 +332,7 @@ func newWorker(addr string, cfg Config, batched bool, seed int64) (*worker, erro
 	udp := conn.(*net.UDPConn)
 	w := &worker{
 		conn:      udp,
-		inflight:  make([]int64, 1<<16),
+		inflight:  make([]int64, idSlots),
 		sendBufs:  make([][]byte, cfg.Batch),
 		sendIDs:   make([]uint16, cfg.Batch),
 		recvBufs:  make([][]byte, cfg.Batch),
@@ -405,18 +421,32 @@ func (w *worker) sendLoop(ctx context.Context, m *blastMetrics, base, sendUntil 
 			w.sendBufs[i] = buf
 			w.sendIDs[i] = id
 		}
-		nsent, err := w.io.send(w.sendBufs[:n])
+		// Stamp slots before handing the buffers to the kernel: on
+		// loopback the receiver goroutine can process a response
+		// before a post-send stamp would land, miscounting the answer
+		// as unmatched and the query (later) as a timeout. The stamps
+		// run a syscall early, which only shifts latency samples by
+		// nanoseconds; slots for datagrams the kernel then refuses are
+		// repaired after send.
 		stamp := int64(time.Since(base))
 		if stamp == 0 {
 			stamp = 1 // 0 means "slot free"
 		}
-		for i := 0; i < nsent; i++ {
-			// An occupied slot is a query that was never answered:
-			// its reply window has long passed by the time 65536
-			// worker-local IDs wrapped around.
+		for i := 0; i < n; i++ {
+			// An occupied slot is a query that was never answered: Run
+			// bounds the per-worker rate so IDs cannot wrap within one
+			// timeout window, and this ID was issued idSlots queries
+			// ago — its reply window has long passed.
 			if old := atomic.SwapInt64(&w.inflight[w.sendIDs[i]], stamp); old != 0 {
 				m.timeouts.Inc()
 			}
+		}
+		nsent, err := w.io.send(w.sendBufs[:n])
+		for i := nsent; i < n; i++ {
+			// Never hit the wire: free the slot so the final sweep
+			// does not reap a phantom timeout (Sent counts only nsent;
+			// the pacer re-offers the deficit under fresh IDs).
+			atomic.StoreInt64(&w.inflight[w.sendIDs[i]], 0)
 		}
 		m.sent.Add(int64(nsent))
 		sent += int64(nsent)
@@ -486,14 +516,20 @@ func (w *worker) processResponse(pkt []byte, m *blastMetrics, now int64, validat
 
 // withDefaults fills zero-value knobs.
 func (cfg Config) withDefaults() Config {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+		// Enough shards that per-worker IDs cannot wrap within one
+		// timeout window (see idSlots); a 1M-QPS run on few cores gets
+		// extra sockets instead of corrupted accounting.
+		if mw := minWorkers(cfg.QPS, cfg.Timeout); cfg.Workers < mw {
+			cfg.Workers = mw
+		}
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 64
-	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = time.Second
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 3 * time.Second
@@ -521,6 +557,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	if cfg.QPS <= 0 {
 		return Result{}, errors.New("blast: QPS must be positive")
+	}
+	if outstanding := cfg.QPS / float64(cfg.Workers) * cfg.Timeout.Seconds(); outstanding >= idSlots {
+		return Result{}, fmt.Errorf(
+			"blast: %.0f qps over %d workers with %v timeout keeps ~%.0f queries in flight per worker, wrapping the %d-entry ID table; use >= %d workers or a shorter timeout",
+			cfg.QPS, cfg.Workers, cfg.Timeout, outstanding, idSlots, minWorkers(cfg.QPS, cfg.Timeout))
 	}
 	batched := mmsgSupported
 	switch cfg.Mode {

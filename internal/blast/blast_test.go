@@ -265,6 +265,11 @@ func TestConfigValidation(t *testing.T) {
 		{"no addrs", Config{QPS: 100, Names: []dnswire.Name{name}}},
 		{"no names", Config{QPS: 100, Addrs: []string{"127.0.0.1:1"}}},
 		{"zero qps", Config{Addrs: []string{"127.0.0.1:1"}, Names: []dnswire.Name{name}}},
+		// 200k qps on one worker with a 1s timeout wraps the 65536-entry
+		// per-worker ID table mid-flight: explicit configs must be
+		// rejected, not silently miscounted.
+		{"id wrap", Config{Addrs: []string{"127.0.0.1:1"}, Names: []dnswire.Name{name},
+			QPS: 200_000, Workers: 1, Timeout: time.Second}},
 	}
 	for _, c := range cases {
 		if _, err := Run(context.Background(), c.cfg); err == nil {
@@ -281,5 +286,22 @@ func TestConfigValidation(t *testing.T) {
 		} else if m.String() != s {
 			t.Errorf("round trip %q -> %q", s, m.String())
 		}
+	}
+}
+
+// TestWorkersAutoScaleUnderIDWrap checks that the default worker count
+// grows with the offered rate so per-worker IDs issued within one
+// timeout window never reach the table size — the bound Run enforces
+// on explicit configs.
+func TestWorkersAutoScaleUnderIDWrap(t *testing.T) {
+	cfg := Config{QPS: 1_000_000}.withDefaults()
+	if perWorker := cfg.QPS / float64(cfg.Workers) * cfg.Timeout.Seconds(); perWorker >= idSlots {
+		t.Fatalf("defaults leave %.0f IDs in flight per worker (workers=%d), want < %d",
+			perWorker, cfg.Workers, idSlots)
+	}
+	// An explicitly safe config is left alone.
+	cfg = Config{QPS: 1000, Workers: 3}.withDefaults()
+	if cfg.Workers != 3 {
+		t.Fatalf("explicit Workers overridden to %d", cfg.Workers)
 	}
 }

@@ -168,6 +168,13 @@ const (
 	// (10.0.0.1); poolSlots caps the slab at the rest of 10/8.
 	poolBase  = 0x0A000001
 	poolSlots = 1 << 24
+	// slabSlack bounds how far past the dense auto-allocated range an
+	// explicit registration may grow the flat slab. Without it a single
+	// AddHostAddr high in the pool (say 10.255.0.1) allocates a ~16M-
+	// entry slab for one live entry; past the slack the address goes to
+	// the extra maps instead, keeping slab size proportional to real
+	// density.
+	slabSlack = 4096
 )
 
 // poolIndex returns addr's slab offset when it lies in the allocation
@@ -204,31 +211,38 @@ func NewNetwork(sim *Simulator, model geo.PathModel, seed int64) *Network {
 // placement, resolver assignment) can share the deterministic stream.
 func (n *Network) RNG() *rand.Rand { return n.rng }
 
-// lookupHost resolves addr to its registered host, or nil.
+// lookupHost resolves addr to its registered host, or nil. Pool
+// addresses normally hit the slab; the map fallback catches sparse
+// pool addresses parked in hostExtra by the slabSlack guard (and costs
+// only unroutable packets an extra probe).
 func (n *Network) lookupHost(addr netip.Addr) *Host {
-	if i, ok := poolIndex(addr); ok {
-		if i < len(n.slab) {
-			return n.slab[i].h
+	if i, ok := poolIndex(addr); ok && i < len(n.slab) {
+		if h := n.slab[i].h; h != nil {
+			return h
 		}
-		return nil
 	}
 	return n.hostExtra[addr]
 }
 
 // serviceID resolves addr to its anycast service id.
 func (n *Network) serviceID(addr netip.Addr) (int32, bool) {
-	if i, ok := poolIndex(addr); ok {
-		if i < len(n.slab) && n.slab[i].svc != 0 {
-			return n.slab[i].svc - 1, true
-		}
-		return 0, false
+	if i, ok := poolIndex(addr); ok && i < len(n.slab) && n.slab[i].svc != 0 {
+		return n.slab[i].svc - 1, true
 	}
 	id, ok := n.svcExtra[addr]
 	return id, ok
 }
 
+// slabbable reports whether pool offset i belongs in the flat slab:
+// already covered, or close enough to the allocator's watermark that
+// growing to it keeps the slab dense. Far-flung explicit addresses go
+// to the extra maps instead (see slabSlack).
+func (n *Network) slabbable(i int) bool {
+	return i < len(n.slab) || i <= int(n.nextIPv4-poolBase)+slabSlack
+}
+
 // slabAt grows the slab to cover offset i and returns a pointer to its
-// entry.
+// entry. Only called for slabbable offsets.
 func (n *Network) slabAt(i int) *slabRef {
 	if i >= len(n.slab) {
 		grown := make([]slabRef, i+1)
@@ -272,7 +286,7 @@ func (n *Network) AddHostAddr(addr netip.Addr, loc geo.Coord) *Host {
 	}
 	h := &Host{Addr: addr, Loc: loc, id: int32(len(n.hosts)), net: n}
 	n.hosts = append(n.hosts, h)
-	if i, ok := poolIndex(addr); ok {
+	if i, ok := poolIndex(addr); ok && n.slabbable(i) {
 		n.slabAt(i).h = h
 	} else {
 		n.hostExtra[addr] = h
@@ -301,7 +315,7 @@ func (n *Network) AddAnycast(addr netip.Addr, members []*Host) {
 	id := int32(len(n.svcAddrs))
 	n.svcAddrs = append(n.svcAddrs, addr)
 	n.svcMembers = append(n.svcMembers, append([]*Host(nil), members...))
-	if i, ok := poolIndex(addr); ok {
+	if i, ok := poolIndex(addr); ok && n.slabbable(i) {
 		n.slabAt(i).svc = id + 1
 	} else {
 		n.svcExtra[addr] = id

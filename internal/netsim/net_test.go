@@ -442,3 +442,46 @@ func TestFaultModelShapesDelay(t *testing.T) {
 		t.Fatalf("inert fault model changed delivery: %v vs %v", inert, plain)
 	}
 }
+
+// TestSparseExplicitAddrSkipsSlab pins the slab density guard: one
+// explicit registration high in the 10/8 pool must not balloon the
+// flat slab to cover its offset — it parks in the extra maps instead
+// and stays fully routable.
+func TestSparseExplicitAddrSkipsSlab(t *testing.T) {
+	n := newTestNet(3)
+	near := n.AddHost(geo.MustSite("FRA").Coord)
+	far := netip.MustParseAddr("10.255.0.1")
+	h := n.AddHostAddr(far, geo.MustSite("AMS").Coord)
+	if len(n.slab) > slabSlack+2 {
+		t.Fatalf("slab grew to %d entries for one sparse host", len(n.slab))
+	}
+	if got, ok := n.Host(far); !ok || got != h {
+		t.Fatal("sparse host not resolvable")
+	}
+	if dup := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		n.AddHostAddr(far, geo.MustSite("AMS").Coord)
+		return
+	}(); !dup {
+		t.Fatal("duplicate sparse host not detected")
+	}
+
+	anyAddr := netip.MustParseAddr("10.254.0.1")
+	n.AddAnycast(anyAddr, []*Host{h})
+	if len(n.slab) > slabSlack+2 {
+		t.Fatalf("slab grew to %d entries after sparse anycast", len(n.slab))
+	}
+	if !n.IsAnycast(anyAddr) {
+		t.Fatal("sparse anycast not resolvable")
+	}
+
+	// Packets still route both ways through the map fallback.
+	var delivered int
+	h.Handle(func(_, _ netip.Addr, _ []byte) { delivered++ })
+	near.Send(far, []byte("x"))
+	near.Send(anyAddr, []byte("y"))
+	n.Sim.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d packets to sparse addresses, want 2", delivered)
+	}
+}

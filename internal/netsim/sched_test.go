@@ -92,6 +92,95 @@ func TestWheelMatchesHeapOrder(t *testing.T) {
 	}
 }
 
+// TestWheelCascadeSeqTiebreak pins the REVIEW-flagged inversion: two
+// events at the same instant, one pushed far in advance (parked in
+// level 1 and cascaded into its level-0 slot later) and one pushed
+// close-in (directly into that slot, before the cascade). The cascade
+// appends the older, lower-seq event *behind* the newer direct push,
+// so any slot-position tiebreak runs them inverted; the contract order
+// is ascending seq, identical to the heap.
+func TestWheelCascadeSeqTiebreak(t *testing.T) {
+	for _, k := range []SchedulerKind{SchedHeap, SchedWheel} {
+		s := NewScheduler(k)
+		var got []uint64
+		rec := func(seq uint64) func() { return func() { got = append(got, seq) } }
+		s.Push(300*time.Millisecond, 1, rec(1)) // 300 ticks out: level 1
+		s.Push(100*time.Millisecond, 2, rec(2))
+		at, fn, ok := s.PopLE(time.Hour)
+		if !ok || at != 100*time.Millisecond {
+			t.Fatalf("%v: first pop at=%v ok=%v", k, at, ok)
+		}
+		fn() // cursor now sits at tick 100
+		s.Push(300*time.Millisecond, 3, rec(3)) // same instant, close-in: level 0
+		for {
+			_, fn, ok := s.PopLE(time.Hour)
+			if !ok {
+				break
+			}
+			fn()
+		}
+		want := []uint64{2, 1, 3}
+		if len(got) != len(want) {
+			t.Fatalf("%v: ran %d events, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: order %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+// TestWheelSameInstantAcrossCursorDistances is the differential form:
+// every target instant collides a far-in-advance push (>=256 ticks, so
+// it rides a cascade) with a close-in push made 10ms before the
+// instant. Heap and wheel must execute the identical sequence.
+func TestWheelSameInstantAcrossCursorDistances(t *testing.T) {
+	run := func(k SchedulerKind) []schedRecord {
+		sim := NewSimulatorKind(k)
+		var order []schedRecord
+		// Each recording event carries a distinct identity assigned in
+		// (deterministic) creation order, so a same-instant swap shows
+		// up as a record mismatch rather than two identical records
+		// trading places.
+		var next uint64
+		mk := func() func() {
+			next++
+			id := next
+			return func() { order = append(order, schedRecord{at: sim.Now(), seq: id}) }
+		}
+		// Two leads: 10ms usually lands after the target's cascade
+		// boundary (slot filled by cascade first, direct push second),
+		// 60ms lands before it for targets just past a 256ms boundary
+		// (direct push first, cascade appends the older event behind
+		// it — the inversion-prone order).
+		for _, lead := range []time.Duration{10 * time.Millisecond, 60 * time.Millisecond} {
+			lead := lead
+			for j := 2; j <= 40; j++ {
+				target := time.Duration(j) * 50 * time.Millisecond
+				sim.Schedule(target, mk()) // from t=0: level 1+ once j >= 6
+				inner := mk()
+				sim.Schedule(target-lead, func() {
+					sim.Schedule(lead, inner) // same instant, pushed close-in
+				})
+			}
+		}
+		sim.Run()
+		return order
+	}
+	heapOrder := run(SchedHeap)
+	wheelOrder := run(SchedWheel)
+	if len(heapOrder) != len(wheelOrder) {
+		t.Fatalf("heap ran %d events, wheel %d", len(heapOrder), len(wheelOrder))
+	}
+	for i := range heapOrder {
+		if heapOrder[i] != wheelOrder[i] {
+			t.Fatalf("divergence at event %d: heap %+v wheel %+v",
+				i, heapOrder[i], wheelOrder[i])
+		}
+	}
+}
+
 // TestSchedulerPopLE checks the limit semantics both implementations
 // share: events after the limit stay queued, same-tick events after
 // the limit are not released early.

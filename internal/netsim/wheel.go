@@ -204,20 +204,30 @@ func (w *wheelScheduler) advanceOne() {
 	w.sortIntoRun(c, evs, slot)
 }
 
-// sortIntoRun orders the tick's events into w.run. Every path that
-// fills a slot (Push, cascade, overflow rescan) appends in ascending
-// seq order, so the slot index is already the seq tiebreak; that lets
-// the sort run on packed uint64 keys — sub-tick time offset (< 2^20
-// ns) in the high bits, slot index in the low 24 — instead of 24-byte
-// structs with pointer fields. Plain integer sort plus one gather: no
-// comparator calls, no write barriers. The consumed run becomes the
-// slot's empty backing array (no clearing needed — every pop nils the
-// popped event's closure), so steady state allocates nothing.
+// sortIntoRun orders the tick's events into w.run. When the slot's
+// events are already in ascending seq order — true for every slot
+// filled by Push alone, the steady-state case — the sort can run on
+// packed uint64 keys: sub-tick time offset (< 2^20 ns) in the high
+// bits, slot index in the low 24, the index standing in for the seq
+// tiebreak. Plain integer sort plus one gather: no comparator calls,
+// no write barriers. But cascade (and the overflow rescan) append
+// events *older* than the slot's direct pushes — an event parked in
+// level 1 since t=0 lands behind a fresher, higher-seq push to the
+// same tick — so the index is no longer the seq order and same-instant
+// events would run inverted vs the reference heap. Those slots, and
+// the unreachable >2^24-event case, take the exact (at, seq) struct
+// sort instead. The consumed run becomes the slot's empty backing
+// array (no clearing needed — every pop nils the popped event's
+// closure), so steady state allocates nothing.
 func (w *wheelScheduler) sortIntoRun(tick uint64, evs []event, slot uint64) {
-	if len(evs) >= 1<<24 {
-		// Index no longer fits the packed key; sort the structs
-		// directly. Unreachable at sane scales (16.7M events in one
-		// millisecond tick).
+	seqAscending := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i].seq < evs[i-1].seq {
+			seqAscending = false
+			break
+		}
+	}
+	if !seqAscending || len(evs) >= 1<<24 {
 		old := w.run
 		w.level[0][slot] = old[:0]
 		slices.SortFunc(evs, func(a, b event) int {
