@@ -24,7 +24,7 @@ func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
-	runGoldenSuite(t, 0, netsim.SchedHeap, *updateGolden)
+	runGoldenSuite(t, 0, 0, netsim.SchedHeap, *updateGolden)
 }
 
 // crosscheckShards reads the CI shard-count override (default def).
@@ -66,7 +66,40 @@ func TestGoldenOutputsSharded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
-	runGoldenSuite(t, crosscheckShards(t, 3), crosscheckSched(t, netsim.SchedHeap), false)
+	runGoldenSuite(t, crosscheckShards(t, 3), 0, crosscheckSched(t, netsim.SchedHeap), false)
+}
+
+// crosscheckWorkers reads the CI worker-count override (default def).
+func crosscheckWorkers(t *testing.T, def int) int {
+	t.Helper()
+	env := os.Getenv("RITW_CROSSCHECK_WORKERS")
+	if env == "" {
+		return def
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n < 1 {
+		t.Fatalf("bad RITW_CROSSCHECK_WORKERS=%q", env)
+	}
+	return n
+}
+
+// TestGoldenOutputsWorkers replays the full figure suite with every
+// run's lanes distributed over `ritw lane-worker` subprocesses (the
+// test binary re-execs itself; see TestMain) and demands the exact
+// bytes of the sequential goldens: the CLI-level pin of the lanewire
+// engine's byte-identity contract across process layouts.
+// RITW_CROSSCHECK_WORKERS elevates the worker count for the CI
+// multiprocess cross-check job.
+func TestGoldenOutputsWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite over subprocess workers")
+	}
+	workers := crosscheckWorkers(t, 2)
+	shards := crosscheckShards(t, 4)
+	if shards < workers {
+		shards = workers
+	}
+	runGoldenSuite(t, shards, workers, crosscheckSched(t, netsim.SchedHeap), false)
 }
 
 // TestGoldenOutputsWheel replays the suite on the timing-wheel
@@ -77,28 +110,29 @@ func TestGoldenOutputsWheel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full figure suite")
 	}
-	runGoldenSuite(t, 0, netsim.SchedWheel, false)
-	runGoldenSuite(t, crosscheckShards(t, 3), netsim.SchedWheel, false)
+	runGoldenSuite(t, 0, 0, netsim.SchedWheel, false)
+	runGoldenSuite(t, crosscheckShards(t, 3), 0, netsim.SchedWheel, false)
 }
 
 // runGoldenSuite executes every figure/table command at the pinned
 // seed and compares (or, with update, rewrites) the goldens. shards=0
 // runs the single sequential lane that defines the golden bytes; kind
-// selects the event scheduler (the goldens must not depend on it).
-func runGoldenSuite(t *testing.T, shards int, kind netsim.SchedulerKind, update bool) {
+// selects the event scheduler and workers the subprocess layout (the
+// goldens must depend on neither).
+func runGoldenSuite(t *testing.T, shards, workers int, kind netsim.SchedulerKind, update bool) {
 	t.Helper()
 	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
 	oldPlot, oldOut, oldParallel, oldShards := *plotDir, *outFile, *parallel, *shardsFlag
-	oldSched := schedKind
+	oldSched, oldWorkers := schedKind, *workersFlag
 	defer func() {
 		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
 		*plotDir, *outFile, *parallel, *shardsFlag = oldPlot, oldOut, oldParallel, oldShards
-		schedKind = oldSched
+		schedKind, *workersFlag = oldSched, oldWorkers
 		table1Cache = nil
 	}()
 	*seed, *probesFlag, *stream, *maxMem = 7, 150, true, 0
 	*plotDir, *outFile, *parallel, *shardsFlag = "", "", 4, shards
-	schedKind = kind
+	schedKind, *workersFlag = kind, workers
 	table1Cache = nil
 
 	cmds := []struct {

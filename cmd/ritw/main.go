@@ -26,8 +26,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -59,6 +61,11 @@ var (
 	shardsFlag = flag.Int("shards", 0, "split each simulation across N concurrent lanes; results are byte-identical at any shard count (0 = single lane)")
 	schedFlag  = flag.String("sched", "heap", "simulator event scheduler: heap (reference) or wheel (timing wheel, faster at large event depths); results are byte-identical either way")
 	metricsOut = flag.Bool("metrics", false, "dump the observability registry to stderr when the command finishes")
+
+	workersFlag = flag.Int("workers", 0, "distribute each run's lanes over N `ritw lane-worker` subprocesses; results are byte-identical at any process layout (0 = in-process; needs -shards >= N)")
+	snapEvery   = flag.Duration("snapshot-every", 0, "checkpoint batch runs every D of simulated time so they can be resumed (0 = off)")
+	snapDir     = flag.String("snapshot-dir", ".", "directory for -snapshot-every checkpoint files (ritw-<run key>.snap)")
+	resumeFlag  = flag.Bool("resume", false, "resume batch runs from their -snapshot-dir checkpoints instead of starting over (requires -snapshot-every)")
 )
 
 // schedKind is the parsed -sched value, fixed in main before any
@@ -94,13 +101,52 @@ func scaleProbes(scale core.Scale) int {
 	return scale.Probes()
 }
 
+// validateLayout rejects impossible -shards/-workers/-snapshot flag
+// combinations before any simulation starts. The measure layer
+// re-validates per run; failing here gives one clear message instead
+// of the same error once per batch job.
+func validateLayout(shards, workers int, every time.Duration, resume bool) error {
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
+	}
+	lanes := shards
+	if lanes < 1 {
+		lanes = 1
+	}
+	if workers > lanes {
+		return fmt.Errorf("-workers %d needs at least %d lanes but -shards gives %d: raise -shards so every worker owns a lane", workers, workers, lanes)
+	}
+	if every < 0 {
+		return fmt.Errorf("-snapshot-every must be >= 0, got %v", every)
+	}
+	if resume && every <= 0 {
+		return fmt.Errorf("-resume requires -snapshot-every: a resumed run re-verifies its checkpoint and keeps checkpointing at the same cadence")
+	}
+	return nil
+}
+
+// snapPath names the checkpoint file for one batch run key. Replicate
+// keys contain '/', which becomes '-' so every key maps to a single
+// file under -snapshot-dir.
+func snapPath(key string) string {
+	return filepath.Join(*snapDir, "ritw-"+strings.ReplaceAll(key, "/", "-")+".snap")
+}
+
 // batchOpts are the options every batch entry point shares; with
 // -progress they include the stderr reporter.
 func batchOpts(scale core.Scale) []core.Option {
 	opts := []core.Option{
 		core.WithSeed(*seed), core.WithScale(scale), core.WithParallelism(*parallel),
 		core.WithProbes(*probesFlag), core.WithShards(*shardsFlag),
-		core.WithScheduler(schedKind),
+		core.WithScheduler(schedKind), core.WithWorkers(*workersFlag),
+	}
+	if *snapEvery > 0 {
+		opts = append(opts, core.WithSnapshot(func(key string) *measure.SnapshotSpec {
+			return &measure.SnapshotSpec{Path: snapPath(key), Every: *snapEvery, Resume: *resumeFlag}
+		}))
 	}
 	if metricsReg != nil {
 		opts = append(opts, core.WithMetrics(metricsReg))
@@ -122,6 +168,13 @@ func reportProgress(p core.BatchProgress) {
 }
 
 func main() {
+	// A -workers parent re-execs this binary as `ritw lane-worker`
+	// children (plus a guard env var, so a stray argv can't trigger
+	// it). The dispatch runs before anything else: workers speak the
+	// lanewire protocol on stdin/stdout and never parse CLI flags.
+	if measure.MaybeRunLaneWorker() {
+		return
+	}
 	// blast owns its own flag set (load-harness knobs share nothing
 	// with the figure pipeline), so it dispatches before flag.Parse.
 	if len(os.Args) > 1 && os.Args[1] == "blast" {
@@ -139,6 +192,7 @@ func main() {
 	check(err)
 	schedKind, err = netsim.ParseSchedulerKind(*schedFlag)
 	check(err)
+	check(validateLayout(*shardsFlag, *workersFlag, *snapEvery, *resumeFlag))
 	if *metricsOut {
 		metricsReg = obs.NewRegistry()
 	}
@@ -326,16 +380,19 @@ func allSources(ctx context.Context, scale core.Scale) (map[string]*source, erro
 	srcs := make(map[string]*source)
 	if streaming() {
 		var (
-			mu    sync.Mutex
-			aggs  = make(map[string]*analysis.Aggregator)
-			spill *os.File
+			mu        sync.Mutex
+			aggs      = make(map[string]*analysis.Aggregator)
+			spill     *os.File
+			spillCSV  *measure.CSVSink
+			spillBase int64
+			spillSkip int64
 		)
 		if *outFile != "" {
-			f, err := os.Create(*outFile)
+			f, base, skip, err := openSpill(*outFile, *comboID)
 			if err != nil {
 				return nil, err
 			}
-			spill = f
+			spill, spillBase, spillSkip = f, base, skip
 		}
 		sinkFor := func(key string) measure.Sink {
 			combo, err := measure.CombinationByID(key)
@@ -349,11 +406,49 @@ func allSources(ctx context.Context, scale core.Scale) (map[string]*source, erro
 			if spill != nil && key == *comboID {
 				// -out spills the requested combination's records to CSV
 				// during the run instead of from a materialized dataset.
-				return measure.Tee(agg, measure.NewCSVSink(spill, key))
+				// A resumed run replays the whole simulation (figures need
+				// the aggregator to see every record) but skips the prefix
+				// the previous run already wrote to the CSV.
+				csv := measure.NewCSVSink(spill, key)
+				if spillBase > 0 {
+					csv.SkipHeader()
+				}
+				mu.Lock()
+				spillCSV = csv
+				mu.Unlock()
+				var rec measure.Sink = csv
+				if spillSkip > 0 {
+					rec = measure.SkipRecords(csv, spillSkip)
+				}
+				return measure.Tee(agg, rec)
 			}
 			return agg
 		}
 		opts = append(opts, core.WithSink(sinkFor), core.WithStreamOnly(true))
+		if *snapEvery > 0 && spill != nil {
+			// Override batchOpts' generic snapshot factory with one whose
+			// spec for the spilled combination records the CSV's durable
+			// offset at every checkpoint, so -resume can truncate a
+			// partially-written tail (openSpill does the truncation).
+			opts = append(opts, core.WithSnapshot(func(key string) *measure.SnapshotSpec {
+				spec := &measure.SnapshotSpec{Path: snapPath(key), Every: *snapEvery, Resume: *resumeFlag}
+				if key == *comboID {
+					spec.Sync = func() (int64, error) {
+						mu.Lock()
+						csv := spillCSV
+						mu.Unlock()
+						if csv == nil {
+							return -1, nil
+						}
+						if err := csv.Flush(); err != nil {
+							return -1, err
+						}
+						return spillBase + csv.Bytes(), nil
+					}
+				}
+				return spec
+			}))
+		}
 		dss, err := core.RunTable1Context(ctx, opts...)
 		if spill != nil {
 			if cerr := spill.Close(); err == nil {
@@ -379,6 +474,39 @@ func allSources(ctx context.Context, scale core.Scale) (map[string]*source, erro
 	return srcs, nil
 }
 
+// openSpill opens the -out CSV for the streaming spill. Under -resume
+// it reopens the existing file and truncates it to the offset the last
+// checkpoint durably covered (a crash can leave a written-but-
+// uncheckpointed tail), so the resumed run appends exactly the records
+// the checkpoint hadn't seen. base is where appending starts and skip
+// how many records the CSV already holds.
+func openSpill(path, key string) (f *os.File, base, skip int64, err error) {
+	if !*resumeFlag {
+		f, err = os.Create(path)
+		return f, 0, 0, err
+	}
+	snap, err := measure.LoadSnapshot(snapPath(key))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("-resume: %w", err)
+	}
+	if snap.OutBytes >= 0 {
+		base, skip = snap.OutBytes, snap.Records
+	}
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := f.Truncate(base); err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	if _, err := f.Seek(base, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return f, base, skip, nil
+}
+
 // maybeWriteOut honours -out for materialized runs; in stream mode the
 // CSV was already spilled during the run (see allSources).
 func maybeWriteOut(src *source) error {
@@ -389,8 +517,13 @@ func maybeWriteOut(src *source) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return src.ds.WriteCSV(f)
+	err = src.ds.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		// Close carries the final flush: a deferred Close would drop an
+		// ENOSPC here and report a truncated CSV as success.
+		err = cerr
+	}
+	return err
 }
 
 func cmdTable1(ctx context.Context, scale core.Scale) error {
@@ -650,6 +783,7 @@ func cmdIPv6(ctx context.Context, scale core.Scale) error {
 		cfg.Metrics = metricsReg
 		cfg.Shards = *shardsFlag
 		cfg.Scheduler = schedKind
+		cfg.Workers = *workersFlag
 		if streaming() {
 			label := "2B-ipv6-all"
 			if v6 {
@@ -734,6 +868,7 @@ func cmdOutage(ctx context.Context, scale core.Scale) error {
 	cfg.Outage = &measure.Outage{Site: "FRA", Start: start, End: end}
 	cfg.Shards = *shardsFlag
 	cfg.Scheduler = schedKind
+	cfg.Workers = *workersFlag
 	ds, err := measure.RunContext(ctx, cfg)
 	if err != nil {
 		return err

@@ -1,13 +1,29 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"ritw/internal/core"
+	"ritw/internal/measure"
 )
+
+// TestMain hands lane-worker re-execs to the worker loop: a -workers
+// run inside a test spawns os.Executable — the test binary — as
+// `<binary> lane-worker`, and those children must speak lanewire on
+// stdio instead of running the test suite.
+func TestMain(m *testing.M) {
+	if measure.MaybeRunLaneWorker() {
+		return
+	}
+	os.Exit(m.Run())
+}
 
 func TestParseScale(t *testing.T) {
 	cases := map[string]core.Scale{
@@ -48,6 +64,101 @@ func TestCommandTableCoversAll(t *testing.T) {
 		if cmds[name] == nil {
 			t.Errorf("ordering references unknown command %q", name)
 		}
+	}
+}
+
+func TestValidateLayout(t *testing.T) {
+	cases := []struct {
+		name    string
+		shards  int
+		workers int
+		every   time.Duration
+		resume  bool
+		wantErr string
+	}{
+		{"defaults", 0, 0, 0, false, ""},
+		{"workers fill shards", 4, 4, 0, false, ""},
+		{"snapshot resume", 8, 2, time.Minute, true, ""},
+		{"negative shards", -1, 0, 0, false, "-shards"},
+		{"negative workers", 4, -2, 0, false, "-workers"},
+		{"more workers than shards", 2, 3, 0, false, "lane"},
+		{"workers without shards", 0, 2, 0, false, "lane"},
+		{"negative cadence", 0, 0, -time.Second, false, "-snapshot-every"},
+		{"resume without cadence", 0, 0, 0, true, "-snapshot-every"},
+	}
+	for _, c := range cases {
+		err := validateLayout(c.shards, c.workers, c.every, c.resume)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestSpillSnapshotResume pins the CLI resume wiring end to end: a
+// streaming batch with -out and -snapshot-every leaves checkpoints; a
+// rerun with -resume loads them, truncates the spill CSV back to the
+// offset the last checkpoint durably covered (discarding the
+// uncheckpointed tail a crash can leave), replays, and ends with a
+// byte-identical dataset.
+func TestSpillSnapshotResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the table-1 batch twice")
+	}
+	oldSeed, oldProbes, oldStream, oldMaxMem := *seed, *probesFlag, *stream, *maxMem
+	oldPlot, oldOut, oldParallel, oldCombo := *plotDir, *outFile, *parallel, *comboID
+	oldEvery, oldDir, oldResume := *snapEvery, *snapDir, *resumeFlag
+	defer func() {
+		*seed, *probesFlag, *stream, *maxMem = oldSeed, oldProbes, oldStream, oldMaxMem
+		*plotDir, *outFile, *parallel, *comboID = oldPlot, oldOut, oldParallel, oldCombo
+		*snapEvery, *snapDir, *resumeFlag = oldEvery, oldDir, oldResume
+		table1Cache = nil
+	}()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spill.csv")
+	*seed, *probesFlag, *stream, *maxMem = 7, 120, true, 0
+	*plotDir, *outFile, *parallel, *comboID = "", out, 4, "2A"
+	*snapEvery, *snapDir, *resumeFlag = 10*time.Minute, dir, false
+
+	table1Cache = nil
+	if _, err := allSources(context.Background(), core.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	control, err := os.ReadFile(out)
+	if err != nil || len(control) == 0 {
+		t.Fatalf("no spill written: %v (%d bytes)", err, len(control))
+	}
+	if _, err := measure.LoadSnapshot(snapPath("2A")); err != nil {
+		t.Fatalf("no checkpoint for the spilled combo: %v", err)
+	}
+	// Simulate a crash that wrote past the last checkpoint: resume must
+	// cut this tail before appending.
+	f, err := os.OpenFile(out, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("garbage,tail,beyond,the,checkpoint\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	*resumeFlag = true
+	table1Cache = nil
+	if _, err := allSources(context.Background(), core.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(control, resumed) {
+		t.Fatalf("resumed spill differs from the original: %d vs %d bytes", len(resumed), len(control))
 	}
 }
 

@@ -71,6 +71,18 @@ type RunOpts struct {
 	// Like Shards it is a wall-clock knob only — both schedulers
 	// produce byte-identical datasets.
 	Scheduler netsim.SchedulerKind
+	// Workers distributes each run's lanes over that many `ritw
+	// lane-worker` subprocesses speaking the lanewire protocol (see
+	// measure.RunConfig.Workers). 0 keeps every lane in-process.
+	// Another wall-clock knob: datasets are byte-identical at any
+	// process layout.
+	Workers int
+	// SnapshotFor, if set, supplies a snapshot/resume spec per run,
+	// keyed like SinkFor (see measure.RunConfig.Snapshot and the key
+	// scheme on SinkFor). Returning nil leaves that run without
+	// checkpointing. Like SinkFor it is called once per run,
+	// concurrently across a batch.
+	SnapshotFor func(key string) *measure.SnapshotSpec
 }
 
 // Option mutates RunOpts; the With* constructors below are the public
@@ -163,6 +175,26 @@ func WithScheduler(k netsim.SchedulerKind) Option {
 	return func(o *RunOpts) { o.Scheduler = k }
 }
 
+// WithWorkers distributes each run's lanes over n `ritw lane-worker`
+// subprocesses (n <= 0 keeps lanes in-process). Like WithShards this
+// never changes results — only wall-clock time and the process layout.
+func WithWorkers(n int) Option {
+	return func(o *RunOpts) {
+		if n < 0 {
+			n = 0
+		}
+		o.Workers = n
+	}
+}
+
+// WithSnapshot checkpoints every run at instant boundaries using the
+// spec f returns for the run's batch key (nil skips that run). A spec
+// whose Resume flag is set continues an interrupted run from its last
+// checkpoint instead of starting over; see measure.SnapshotSpec.
+func WithSnapshot(f func(key string) *measure.SnapshotSpec) Option {
+	return func(o *RunOpts) { o.SnapshotFor = f }
+}
+
 // probes resolves the effective probe count.
 func (o RunOpts) probes() int {
 	if o.Probes > 0 {
@@ -200,5 +232,9 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) mea
 	cfg.Backoff = o.Backoff
 	cfg.Shards = o.Shards
 	cfg.Scheduler = o.Scheduler
+	cfg.Workers = o.Workers
+	if o.SnapshotFor != nil {
+		cfg.Snapshot = o.SnapshotFor(key)
+	}
 	return cfg
 }

@@ -1,0 +1,183 @@
+// Package lanewire is the framed binary protocol that shard-lane
+// worker processes use to stream measurement records back to the
+// parent run (DESIGN.md §8.7). A stream opens with a fixed magic and
+// version, then carries self-delimiting frames:
+//
+//	[type u8][lane u32 LE][len u32 LE][payload][crc32 u32 LE]
+//
+// The CRC (IEEE, over type+lane+len+payload) catches truncation and
+// corruption on the pipe; the version header catches a parent and a
+// worker built from different protocol revisions. Record batches are a
+// compact binary encoding (varints, exact float bits) because they are
+// the hot path; the low-rate control frames (job spec, lane-done,
+// worker-done, error) carry JSON payloads, which round-trip Go's
+// float64 and time.Duration values exactly.
+//
+// The protocol is transport-agnostic: today it runs over a worker's
+// stdin/stdout pipe, but nothing in the framing assumes a pipe, which
+// is what leaves the door open to socket-attached lanes on other
+// machines.
+package lanewire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// magic opens every lanewire stream; the trailing byte is the protocol
+// version rendered into the magic so a version-0 reader fails on the
+// first four bytes, not mid-frame.
+var magic = [4]byte{'R', 'L', 'W', '1'}
+
+// Version is the protocol revision; bump on any frame or record layout
+// change. The reader rejects mismatches outright — byte-identity
+// guarantees cannot survive a silent cross-version decode.
+const Version uint16 = 1
+
+// FrameType tags a frame's payload.
+type FrameType uint8
+
+const (
+	// FrameJob is the parent→worker job spec (JSON laneJob).
+	FrameJob FrameType = 1
+	// FrameBatch is a sorted run of records from one worker's
+	// pre-merged canonical stream (binary batch encoding).
+	FrameBatch FrameType = 2
+	// FrameLaneDone reports one finished lane: record tally, wall
+	// clock, fault report (JSON).
+	FrameLaneDone FrameType = 3
+	// FrameWorkerDone ends a worker's stream: obs snapshot (JSON).
+	FrameWorkerDone FrameType = 4
+	// FrameError aborts the stream with the worker's error text.
+	FrameError FrameType = 5
+)
+
+// maxPayload bounds a frame so a corrupted length cannot balloon the
+// reader's allocation: batches are ~tens of KiB, job specs smaller.
+const maxPayload = 64 << 20
+
+// Protocol error sentinels, matchable with errors.Is.
+var (
+	ErrBadMagic        = errors.New("lanewire: bad stream magic")
+	ErrVersionMismatch = errors.New("lanewire: protocol version mismatch")
+	ErrChecksum        = errors.New("lanewire: frame checksum mismatch")
+	ErrFrameTooLarge   = errors.New("lanewire: frame exceeds size limit")
+)
+
+// frameHeaderLen is type(1) + lane(4) + len(4).
+const frameHeaderLen = 9
+
+// Writer frames payloads onto w. It writes the stream header lazily on
+// the first frame. Not safe for concurrent use; callers serialize.
+type Writer struct {
+	w      io.Writer
+	buf    []byte
+	opened bool
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame emits one frame. lane tags record batches with their
+// source stream; control frames pass 0.
+func (w *Writer) WriteFrame(t FrameType, lane int, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	if !w.opened {
+		w.opened = true
+		var hdr [8]byte
+		copy(hdr[:4], magic[:])
+		binary.LittleEndian.PutUint16(hdr[4:6], Version)
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+	}
+	n := frameHeaderLen + len(payload) + 4
+	if cap(w.buf) < n {
+		w.buf = make([]byte, 0, n+n/2)
+	}
+	b := w.buf[:0]
+	b = append(b, byte(t))
+	b = binary.LittleEndian.AppendUint32(b, uint32(lane))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	w.buf = b
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Frame is one decoded frame. Payload aliases the reader's internal
+// buffer only until the next ReadFrame call on small frames — it is
+// always a fresh allocation here, so callers may retain it.
+type Frame struct {
+	Type    FrameType
+	Lane    int
+	Payload []byte
+}
+
+// Reader decodes a lanewire stream. It validates the magic and version
+// on the first frame and every frame's CRC thereafter.
+type Reader struct {
+	r      *bufio.Reader
+	opened bool
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// ReadFrame returns the next frame. A cleanly closed stream returns
+// io.EOF exactly at a frame boundary; truncation inside a frame
+// surfaces as io.ErrUnexpectedEOF.
+func (r *Reader) ReadFrame() (Frame, error) {
+	if !r.opened {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return Frame{}, fmt.Errorf("%w: truncated header", ErrBadMagic)
+			}
+			return Frame{}, err
+		}
+		if [4]byte(hdr[:4]) != magic {
+			return Frame{}, fmt.Errorf("%w: got %q", ErrBadMagic, hdr[:4])
+		}
+		if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+			return Frame{}, fmt.Errorf("%w: stream v%d, reader v%d", ErrVersionMismatch, v, Version)
+		}
+		r.opened = true
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[5:9])
+	if plen > maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, plen)
+	}
+	body := make([]byte, frameHeaderLen+int(plen)+4)
+	copy(body, hdr[:])
+	if _, err := io.ReadFull(r.r, body[frameHeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	crcAt := len(body) - 4
+	want := binary.LittleEndian.Uint32(body[crcAt:])
+	if got := crc32.ChecksumIEEE(body[:crcAt]); got != want {
+		return Frame{}, fmt.Errorf("%w: got %08x want %08x", ErrChecksum, got, want)
+	}
+	return Frame{
+		Type:    FrameType(body[0]),
+		Lane:    int(binary.LittleEndian.Uint32(body[1:5])),
+		Payload: body[frameHeaderLen:crcAt],
+	}, nil
+}

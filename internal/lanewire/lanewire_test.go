@@ -1,0 +1,144 @@
+package lanewire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/geo"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			At:      1500 * time.Millisecond,
+			IsQuery: true,
+			Q: Query{
+				ProbeID:   4711,
+				Resolver:  netip.MustParseAddr("10.0.3.9"),
+				VPKey:     "4711/10.0.3.9",
+				Continent: geo.Europe,
+				Seq:       12,
+				SentAt:    1400 * time.Millisecond,
+				RTTms:     23.456789012345, // exercises exact float round-trip
+				Site:      "FRA",
+				OK:        true,
+			},
+		},
+		{
+			At:      1500 * time.Millisecond,
+			IsQuery: true,
+			Q: Query{
+				ProbeID:  0,
+				Resolver: netip.MustParseAddr("2001:db8::53"), // 16-byte form survives
+				VPKey:    "0/2001:db8::53",
+				Seq:      0,
+				SentAt:   0,
+				RTTms:    math.Inf(1), // non-finite floats must round-trip too
+			},
+		},
+		{
+			At: 2 * time.Second,
+			A: Auth{
+				Site:  "LHR",
+				Src:   netip.MustParseAddr("10.0.0.7"),
+				QName: "p4711x12.example.",
+				At:    2 * time.Second,
+			},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	want := sampleRecords()
+	enc := AppendBatch(nil, want)
+	got, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := DecodeBatch(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated batch should fail to decode")
+	}
+	if _, err := DecodeBatch(append(enc, 0x00)); err == nil {
+		t.Error("trailing bytes should fail to decode")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := []struct {
+		t    FrameType
+		lane int
+		p    []byte
+	}{
+		{FrameJob, 0, []byte(`{"Version":1}`)},
+		{FrameBatch, 3, AppendBatch(nil, sampleRecords())},
+		{FrameBatch, 0, nil}, // empty payload is legal
+		{FrameWorkerDone, 0, []byte(`{}`)},
+	}
+	for _, f := range payloads {
+		if err := w.WriteFrame(f.t, f.lane, f.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range payloads {
+		fr, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Type != want.t || fr.Lane != want.lane || !bytes.Equal(fr.Payload, want.p) {
+			t.Fatalf("frame %d: got %+v want %+v", i, fr, want)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("clean end of stream should be io.EOF, got %v", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FrameBatch, 1, AppendBatch(nil, sampleRecords())); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload byte past the stream and frame headers: the CRC
+	// must catch it.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[8+frameHeaderLen+5] ^= 0x40
+	if _, err := NewReader(bytes.NewReader(corrupt)).ReadFrame(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted payload: got %v, want ErrChecksum", err)
+	}
+	// Truncation inside a frame is an unexpected EOF, not a clean end.
+	if _, err := NewReader(bytes.NewReader(raw[:len(raw)-2])).ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamHeaderValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FrameJob, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	ver := append([]byte(nil), buf.Bytes()...)
+	ver[4] = byte(Version + 1)
+	if _, err := NewReader(bytes.NewReader(ver)).ReadFrame(); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version mismatch: got %v", err)
+	}
+}

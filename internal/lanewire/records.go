@@ -1,0 +1,236 @@
+package lanewire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+
+	"ritw/internal/geo"
+)
+
+// Query mirrors measure.QueryRecord field for field. lanewire keeps
+// its own copy so measure can depend on this package without a cycle;
+// the conversion in measure is mechanical and lossless (every field
+// round-trips exactly, floats by bit pattern), which is what lets the
+// multi-process dataset stay byte-identical to the in-process one.
+type Query struct {
+	ProbeID   int
+	Resolver  netip.Addr
+	VPKey     string
+	Continent geo.Continent
+	Seq       int
+	SentAt    time.Duration
+	RTTms     float64
+	Site      string
+	OK        bool
+}
+
+// Auth mirrors measure.AuthRecord.
+type Auth struct {
+	Site  string
+	Src   netip.Addr
+	QName string
+	At    time.Duration
+}
+
+// Record is one element of the canonical stream: a client-side query
+// observation or an authoritative-side capture, stamped with its
+// emission instant (the merge key's most significant component).
+type Record struct {
+	At      time.Duration
+	IsQuery bool
+	Q       Query
+	A       Auth
+}
+
+// Batch encoding: uvarint count, then records back to back. Integers
+// that are non-negative by construction (IDs, sequence numbers,
+// virtual times) are uvarints; RTTms is its exact IEEE-754 bit
+// pattern; addresses are length-prefixed netip marshal form (which
+// preserves the 4-byte/16-byte distinction).
+
+// AppendBatch appends the encoding of recs to b and returns it.
+func AppendBatch(b []byte, recs []Record) []byte {
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	for i := range recs {
+		b = appendRecord(b, &recs[i])
+	}
+	return b
+}
+
+// AppendRecord appends one record's encoding to b — the unit the
+// snapshot layer CRCs, so checkpoint hashes and wire bytes agree.
+func AppendRecord(b []byte, r *Record) []byte { return appendRecord(b, r) }
+
+func appendRecord(b []byte, r *Record) []byte {
+	b = binary.AppendUvarint(b, uint64(r.At))
+	if r.IsQuery {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(r.Q.ProbeID))
+		b = appendAddr(b, r.Q.Resolver)
+		b = appendString(b, r.Q.VPKey)
+		b = append(b, byte(r.Q.Continent))
+		b = binary.AppendUvarint(b, uint64(r.Q.Seq))
+		b = binary.AppendUvarint(b, uint64(r.Q.SentAt))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Q.RTTms))
+		b = appendString(b, r.Q.Site)
+		if r.Q.OK {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		return b
+	}
+	b = append(b, 0)
+	b = appendString(b, r.A.Site)
+	b = appendAddr(b, r.A.Src)
+	b = appendString(b, r.A.QName)
+	b = binary.AppendUvarint(b, uint64(r.A.At))
+	return b
+}
+
+// DecodeBatch decodes a batch payload produced by AppendBatch.
+func DecodeBatch(p []byte) ([]Record, error) {
+	d := decoder{p: p}
+	n := d.uvarint()
+	if n > uint64(len(p)) { // each record is >= 1 byte
+		return nil, fmt.Errorf("lanewire: batch count %d exceeds payload", n)
+	}
+	recs := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, err := d.record()
+		if err != nil {
+			return nil, fmt.Errorf("lanewire: record %d: %w", i, err)
+		}
+		recs = append(recs, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.p) != 0 {
+		return nil, fmt.Errorf("lanewire: %d trailing bytes after batch", len(d.p))
+	}
+	return recs, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendAddr(b []byte, a netip.Addr) []byte {
+	raw, _ := a.MarshalBinary() // never fails for zoneless addrs
+	b = append(b, byte(len(raw)))
+	return append(b, raw...)
+}
+
+// decoder walks a payload with a sticky error.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("lanewire: %s", msg)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.p) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.p[0]
+	d.p = d.p[1:]
+	return b
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.p)) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.p[:n])
+	d.p = d.p[n:]
+	return s
+}
+
+func (d *decoder) addr() netip.Addr {
+	n := int(d.byte())
+	if d.err != nil {
+		return netip.Addr{}
+	}
+	if n > len(d.p) {
+		d.fail("truncated address")
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(d.p[:n]); err != nil {
+		d.fail("bad address: " + err.Error())
+		return netip.Addr{}
+	}
+	d.p = d.p[n:]
+	return a
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.p) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.p))
+	d.p = d.p[8:]
+	return v
+}
+
+func (d *decoder) record() (Record, error) {
+	var r Record
+	r.At = time.Duration(d.uvarint())
+	switch d.byte() {
+	case 1:
+		r.IsQuery = true
+		r.Q.ProbeID = int(d.uvarint())
+		r.Q.Resolver = d.addr()
+		r.Q.VPKey = d.string()
+		r.Q.Continent = geo.Continent(d.byte())
+		r.Q.Seq = int(d.uvarint())
+		r.Q.SentAt = time.Duration(d.uvarint())
+		r.Q.RTTms = d.float64()
+		r.Q.Site = d.string()
+		r.Q.OK = d.byte() == 1
+	case 0:
+		r.A.Site = d.string()
+		r.A.Src = d.addr()
+		r.A.QName = d.string()
+		r.A.At = time.Duration(d.uvarint())
+	default:
+		d.fail("unknown record kind")
+	}
+	return r, d.err
+}

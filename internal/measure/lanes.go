@@ -1,0 +1,120 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"ritw/internal/faults"
+	"ritw/internal/obs"
+)
+
+// LaneRunner executes the lanes of a planned run and streams each
+// lane's canonically-ordered batches to the caller's merger. Two
+// implementations exist: goroutineLanes (one goroutine per shard in
+// this process, the default) and processLanes (lanes distributed over
+// `ritw lane-worker` subprocesses speaking the lanewire protocol).
+// Both deliver sorted streams drawn from the same canonical total
+// order (emittedLess), so the merged dataset is byte-identical
+// whatever the process layout — the contract TestWorkersMatchInProcess
+// pins on top of TestShardedMatchesSequential.
+type LaneRunner interface {
+	// streams is how many sorted record streams the runner produces:
+	// one per lane for goroutine lanes, one per worker process for
+	// process lanes. Workers pre-merge their own lanes before shipping;
+	// merging sorted streams under a total order is associative, so the
+	// grouping never changes the final sequence. Pre-merging also keeps
+	// one pipe per worker, which avoids head-of-line deadlock between
+	// bounded per-lane buffers multiplexed on a single descriptor.
+	streams() int
+	// runLanes executes every lane, sending sorted batches into
+	// outs[i] and closing each channel when stream i ends. It returns
+	// per-lane fault reports (nil entries when the run has no schedule)
+	// and the run's primary error. ctx is the run's shared cancellable
+	// context and cancel its cause-carrying cancel: a failing lane
+	// calls cancel(err) — before its stream closes — so siblings stop
+	// promptly (first-error-wins, errgroup style) AND the parent merge
+	// sees ctx cancelled before any stream ends, which is what keeps
+	// post-failure records out of sinks and snapshots.
+	runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]*faults.Report, error)
+}
+
+// laneRunnerFor selects the execution backend from cfg.Workers
+// (validated in RunContext: 0 ≤ Workers ≤ shards).
+func laneRunnerFor(cfg RunConfig, pl *runPlan) (LaneRunner, error) {
+	if cfg.Workers > 0 {
+		return newProcessLanes(cfg.Workers, pl.nShards)
+	}
+	return &goroutineLanes{lanes: pl.nShards}, nil
+}
+
+// goroutineLanes is the in-process backend: one goroutine per shard.
+type goroutineLanes struct{ lanes int }
+
+func (g *goroutineLanes) streams() int { return g.lanes }
+
+func (g *goroutineLanes) runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]*faults.Report, error) {
+	reports := make([]*faults.Report, g.lanes)
+	errs := make([]error, g.lanes)
+	var wg sync.WaitGroup
+	for s := 0; s < g.lanes; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer close(outs[s])
+			start := time.Now()
+			var n int64
+			reports[s], n, errs[s] = runOneShard(ctx, cfg, pl, sched, s, outs[s], metrics)
+			observeLane(metrics, s, n, time.Since(start))
+			if errs[s] != nil {
+				// First failure aborts the siblings instead of letting
+				// them simulate to completion before the error surfaces.
+				// Cancelling before the deferred close also tells the
+				// merge to stop delivering before this stream ends.
+				cancel(errs[s])
+			}
+		}(s)
+	}
+	wg.Wait()
+	return reports, firstLaneError(ctx, errs)
+}
+
+// firstLaneError resolves a lane batch's primary error: the
+// cancellation cause when a lane (or the snapshotter) aborted the run,
+// otherwise the first recorded error (which covers plain parent-ctx
+// cancellation, whose cause is context.Canceled).
+func firstLaneError(ctx context.Context, errs []error) error {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeLane records one finished lane in the run's registry: a
+// per-lane record counter and wall-clock gauge, plus the lane total.
+// Both backends route through here exactly once per lane — in-process
+// lanes directly, worker lanes when the parent receives the lane-done
+// frame — so the parent registry reads the same whatever the layout.
+func observeLane(reg *obs.Registry, lane int, records int64, wall time.Duration) {
+	if reg == nil {
+		return
+	}
+	l := strconv.Itoa(lane)
+	reg.Counter("lane_runs_total").Inc()
+	reg.Counter(obs.LabelName("lane_records_total", "lane", l)).Add(records)
+	reg.Gauge(obs.LabelName("lane_wallclock_ms", "lane", l)).Set(float64(wall) / float64(time.Millisecond))
+}
+
+// testLaneFail, when set (tests only), lets a lane inject a failure at
+// a virtual instant: runOneShard asks it once per lane and schedules
+// the returned error at the returned time. The hook receives cfg so a
+// test can scope the injection to its own runs (the hook is process
+// global and tests run in parallel).
+var testLaneFail func(cfg RunConfig, lane int) (time.Duration, error)

@@ -49,6 +49,12 @@ type OpenResolverConfig struct {
 	// Scheduler selects the simulator's event scheduler, as in
 	// RunConfig: a wall-clock knob only, never a science knob.
 	Scheduler netsim.SchedulerKind
+	// OnAssign, if set, observes each open resolver's drawn policy at
+	// population-build time (before the simulation starts). Purely
+	// observational — it must not (and cannot) perturb the build's RNG
+	// draw order — so assignments can be audited without changing the
+	// dataset; the mix-accounting tests hang off it.
+	OnAssign func(resolver int, policy atlas.PolicyShare)
 }
 
 // DefaultOpenResolverConfig returns a paper-compatible scan setup.
@@ -156,6 +162,9 @@ func RunOpenResolversContext(ctx context.Context, cfg OpenResolverConfig) (*Data
 	for i := 0; i < cfg.NumResolvers; i++ {
 		region := pickRegion()
 		m := pickMix()
+		if cfg.OnAssign != nil {
+			cfg.OnAssign(i, m)
+		}
 		host := net.AddHost(region.Coord)
 		host.LastMileMs = geo.LastMileMs(rng) / 2 // open resolvers sit closer to the core
 		eng := resolver.NewEngine(resolver.Config{

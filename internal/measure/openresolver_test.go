@@ -86,6 +86,121 @@ func TestRunOpenResolversStickyMix(t *testing.T) {
 	}
 }
 
+// assignments runs the open-resolver build with an OnAssign observer
+// and returns the drawn policy kind per resolver index, plus the
+// dataset for callers that want both.
+func assignments(t *testing.T, cfg OpenResolverConfig) []resolver.PolicyKind {
+	t.Helper()
+	kinds := make([]resolver.PolicyKind, 0, cfg.NumResolvers)
+	cfg.OnAssign = func(i int, m atlas.PolicyShare) {
+		if i != len(kinds) {
+			t.Fatalf("OnAssign resolver %d out of order (want %d)", i, len(kinds))
+		}
+		kinds = append(kinds, m.Kind)
+	}
+	if _, err := RunOpenResolvers(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return kinds
+}
+
+func TestOpenResolverAssignDeterminism(t *testing.T) {
+	t.Parallel()
+	combo, _ := CombinationByID("2B")
+	base := DefaultOpenResolverConfig(combo, 47)
+	base.NumResolvers = 300
+	base.Duration = 2 * time.Minute // one round: the test is about the build, not the scan
+	base.Mix = []atlas.PolicyShare{
+		{Kind: resolver.KindUniform, Share: 0.5},
+		{Kind: resolver.KindSticky, Share: 0.3},
+		{Kind: resolver.KindWeightedRTT, Share: 0.2},
+	}
+	a := assignments(t, base)
+	b := assignments(t, base)
+	if len(a) != base.NumResolvers {
+		t.Fatalf("observed %d assignments, want %d", len(a), base.NumResolvers)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resolver %d: policy %v then %v under the same seed", i, a[i], b[i])
+		}
+	}
+	// The observer is non-invasive: the dataset with and without
+	// OnAssign must be identical record for record.
+	plain := base
+	plain.OnAssign = nil
+	dsPlain, err := RunOpenResolvers(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHook := base
+	withHook.OnAssign = func(int, atlas.PolicyShare) {}
+	dsHook, err := RunOpenResolvers(withHook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsPlain.Records) != len(dsHook.Records) {
+		t.Fatalf("OnAssign changed record count: %d vs %d", len(dsPlain.Records), len(dsHook.Records))
+	}
+	for i := range dsPlain.Records {
+		if dsPlain.Records[i] != dsHook.Records[i] {
+			t.Fatalf("OnAssign perturbed record %d:\n  %+v\n  %+v", i, dsPlain.Records[i], dsHook.Records[i])
+		}
+	}
+	// A different seed draws a different assignment sequence.
+	other := base
+	other.Seed = 48
+	c := assignments(t, other)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("seed 47 and 48 drew identical policy sequences")
+	}
+}
+
+func TestOpenResolverMixShares(t *testing.T) {
+	t.Parallel()
+	combo, _ := CombinationByID("2B")
+	cfg := DefaultOpenResolverConfig(combo, 51)
+	cfg.NumResolvers = 2000
+	cfg.Duration = 2 * time.Minute
+	cfg.Mix = []atlas.PolicyShare{
+		{Kind: resolver.KindUniform, Share: 0.6},
+		{Kind: resolver.KindSticky, Share: 0.4},
+	}
+	kinds := assignments(t, cfg)
+	counts := map[resolver.PolicyKind]int{}
+	for _, k := range kinds {
+		counts[k]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("drew %d distinct policies, want 2: %v", len(counts), counts)
+	}
+	for _, m := range cfg.Mix {
+		got := float64(counts[m.Kind]) / float64(len(kinds))
+		if got < m.Share-0.05 || got > m.Share+0.05 {
+			t.Errorf("policy %v share = %.3f, want %.2f ± 0.05", m.Kind, got, m.Share)
+		}
+	}
+	// Shares are honoured relative to the mix total, not only when the
+	// shares sum to 1 — 6:4 expressed as 3:2 draws the same way.
+	scaled := cfg
+	scaled.Mix = []atlas.PolicyShare{
+		{Kind: resolver.KindUniform, Share: 3},
+		{Kind: resolver.KindSticky, Share: 2},
+	}
+	kinds2 := assignments(t, scaled)
+	for i := range kinds {
+		if kinds[i] != kinds2[i] {
+			t.Fatalf("resolver %d: scaled mix drew %v, unit mix drew %v", i, kinds2[i], kinds[i])
+		}
+	}
+}
+
 func TestRunOpenResolversValidation(t *testing.T) {
 	if _, err := RunOpenResolvers(OpenResolverConfig{}); err == nil {
 		t.Error("empty config should fail")

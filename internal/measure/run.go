@@ -147,6 +147,21 @@ type RunConfig struct {
 	// byte-identical at any shard count, including 1. Shards trade
 	// memory (per-shard worlds) for wall-clock time; see DESIGN.md §8.4.
 	Shards int
+	// Workers moves lane execution out of process: the run re-execs its
+	// own binary as that many `ritw lane-worker` subprocesses, each
+	// simulating a round-robin subset of the lanes and streaming its
+	// pre-merged records back over the lanewire protocol (0 = in-process
+	// goroutine lanes). Like Shards this is purely a deployment knob:
+	// the dataset is byte-identical at any workers × shards layout,
+	// which TestWorkersMatchInProcess pins. Requires 0 ≤ Workers ≤
+	// effective shard count. See DESIGN.md §8.7.
+	Workers int
+	// Snapshot, if set, checkpoints the merge frontier to
+	// Snapshot.Path at instant boundaries and — with Snapshot.Resume —
+	// verifies and skips a previously-checkpointed prefix, so
+	// interrupted campaigns restart from the last checkpoint instead of
+	// from zero. See SnapshotSpec.
+	Snapshot *SnapshotSpec
 	// Scheduler selects the simulator's event scheduler for every lane
 	// (default SchedHeap, the reference binary heap; SchedWheel is the
 	// hierarchical timing wheel, faster at large event depths). Like
@@ -267,7 +282,16 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	if nShards < 1 {
 		nShards = 1
 	}
+	if cfg.Workers < 0 {
+		sink.Close()
+		return nil, fmt.Errorf("measure: workers must be >= 0, got %d", cfg.Workers)
+	}
+	if cfg.Workers > nShards {
+		sink.Close()
+		return nil, fmt.Errorf("measure: %d workers need at least as many shards, got %d (workers without a lane would idle)", cfg.Workers, nShards)
+	}
 	pl := planRun(cfg, pop, model, nShards)
+	pl.popCfg = popCfg
 	ds.SiteAddr = pl.siteAddr
 	ds.ActiveProbes = len(pl.active)
 

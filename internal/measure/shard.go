@@ -2,13 +2,13 @@ package measure
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/netip"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"ritw/internal/atlas"
@@ -62,6 +62,7 @@ type plannedProbe struct {
 type runPlan struct {
 	model        geo.PathModel
 	pop          *atlas.Population
+	popCfg       atlas.Config // resolved population config, for worker job specs
 	siteAddr     map[string]netip.Addr
 	resolverAddr []netip.Addr
 	publicAddr   netip.Addr
@@ -316,6 +317,7 @@ type shardEmitter struct {
 	sim   *netsim.Simulator
 	out   chan<- []emitted
 	at    time.Duration
+	count int64 // records pushed, for the lane_records_total counter
 	group []emitted
 	batch []emitted
 }
@@ -325,6 +327,7 @@ func (e *shardEmitter) push(rec emitted) {
 		e.closeGroup()
 	}
 	e.at = rec.at
+	e.count++
 	e.group = append(e.group, rec)
 }
 
@@ -361,41 +364,79 @@ func (e *shardEmitter) flush() {
 	}
 }
 
-// runShards executes the planned run across the plan's shards and
-// feeds the merged canonical record stream into emit/emitAuth on the
-// caller's goroutine. It returns the merged fault report (nil without
-// a schedule) and the first shard error.
+// runShards executes the planned run across the plan's shards — via
+// goroutine lanes or worker processes, per cfg.Workers — and feeds the
+// merged canonical record stream into emit/emitAuth on the caller's
+// goroutine. It returns the merged fault report (nil without a
+// schedule) and the run's primary error. When snapshotting is
+// configured it checkpoints the merge frontier at instant boundaries
+// and, on resume, verifies and skips the already-durable prefix.
 func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, emit func(QueryRecord), emitAuth func(AuthRecord), metrics *obs.Registry) (*faults.Report, error) {
-	chans := make([]chan []emitted, pl.nShards)
-	reports := make([]*faults.Report, pl.nShards)
-	errs := make([]error, pl.nShards)
-	var wg sync.WaitGroup
-	for s := 0; s < pl.nShards; s++ {
-		chans[s] = make(chan []emitted, 8)
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			defer close(chans[s])
-			reports[s], errs[s] = runOneShard(ctx, cfg, pl, sched, s, chans[s], metrics)
-		}(s)
+	runner, err := laneRunnerFor(cfg, pl)
+	if err != nil {
+		return nil, err
 	}
-	mergeStreams(chans, emit, emitAuth)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	sn, err := newSnapshotter(cfg, pl, sched)
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	if sn != nil {
+		sn.abort = cancel
+	}
+	chans := make([]chan []emitted, runner.streams())
+	outs := make([]chan<- []emitted, len(chans))
+	for i := range chans {
+		chans[i] = make(chan []emitted, 8)
+		outs[i] = chans[i]
+	}
+	var (
+		reports []*faults.Report
+		runErr  error
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		reports, runErr = runner.runLanes(rctx, cancel, cfg, pl, sched, outs, metrics)
+	}()
+	mergeStreams(chans, func(stream int, rec emitted) {
+		if rctx.Err() != nil {
+			// A lane failed (or the snapshotter aborted): drain the
+			// remaining batches without delivering. Past this point the
+			// merge no longer sees every stream's records, so anything
+			// it produced would not be a canonical prefix.
+			return
+		}
+		if sn != nil {
+			sn.observe(stream, rec)
+		}
+		if rec.query {
+			emit(rec.q)
+		} else {
+			emitAuth(rec.a)
+		}
+	})
+	<-done
+	if runErr != nil {
+		return nil, runErr
+	}
+	if sn != nil {
+		if err := sn.finish(); err != nil {
 			return nil, err
 		}
 	}
 	return faults.MergeReports(reports...), nil
 }
 
-// mergeStreams k-way merges the per-shard canonical streams. Each
-// stream arrives sorted by (time, record key); repeatedly taking the
-// smallest head yields the one global canonical order, whatever the
-// shard count. The merge naturally paces itself to the slowest shard
-// and the bounded channels backpressure fast shards, so memory stays
-// proportional to shards × channel depth, not to the record count.
-func mergeStreams(chans []chan []emitted, emit func(QueryRecord), emitAuth func(AuthRecord)) {
+// mergeStreams k-way merges the per-lane (or per-worker) canonical
+// streams into deliver. Each stream arrives sorted by (time, record
+// key); repeatedly taking the smallest head yields the one global
+// canonical order, whatever the stream count. The merge naturally
+// paces itself to the slowest stream and the bounded channels
+// backpressure fast ones, so memory stays proportional to streams ×
+// channel depth, not to the record count.
+func mergeStreams(chans []chan []emitted, deliver func(stream int, rec emitted)) {
 	type head struct {
 		group []emitted
 		idx   int
@@ -422,11 +463,7 @@ func mergeStreams(chans []chan []emitted, emit func(QueryRecord), emitAuth func(
 			return
 		}
 		rec := heads[best].group[heads[best].idx]
-		if rec.query {
-			emit(rec.q)
-		} else {
-			emitAuth(rec.a)
-		}
+		deliver(best, rec)
 		heads[best].idx++
 		if heads[best].idx == len(heads[best].group) {
 			if g, ok := <-chans[best]; ok {
@@ -443,8 +480,9 @@ func mergeStreams(chans []chan []emitted, emit func(QueryRecord), emitAuth func(
 // it to completion, streaming canonical batches into out. All
 // stochastic decisions are keyed (UseKeyedRand), so the shard computes
 // exactly the outcomes the sequential run would for its slice of the
-// population.
-func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (*faults.Report, error) {
+// population. It returns the lane's fault report (nil without a
+// schedule) and how many records it emitted.
+func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (*faults.Report, int64, error) {
 	sim := netsim.NewSimulatorKind(cfg.Scheduler)
 	net := netsim.NewNetwork(sim, pl.model, cfg.Seed+1)
 	net.LossRate = cfg.LossRate
@@ -466,7 +504,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 	}
 	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, siteAddr, em.auth, metrics)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	clock := simbind.SimClock{Sim: sim}
@@ -510,7 +548,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			Resolvers: pl.resolverAddr,
 		}, cfg.Seed+7)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		inj.UseKeyedRand(uint64(cfg.Seed + 7))
 		if metrics != nil {
@@ -533,7 +571,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 		if ap.catchIdx >= 0 {
 			member, ok := net.Host(pl.resolverAddr[ap.catchIdx])
 			if !ok {
-				return nil, fmt.Errorf("measure: shard %d missing catchment member for probe %d", s, ap.probe.ID)
+				return nil, 0, fmt.Errorf("measure: shard %d missing catchment member for probe %d", s, ap.probe.ID)
 			}
 			net.PinCatchment(ap.addr, pl.publicAddr, member)
 		}
@@ -618,12 +656,27 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 		sim.Schedule(phase, tick)
 	}
 
-	if err := sim.RunUntilContext(ctx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
-		return nil, err
+	// Test-only seam: a lane failure injected at a virtual instant, for
+	// the sibling-cancellation regression test. Scheduling it last keeps
+	// it off every production path (the hook is nil outside tests).
+	runCtx := ctx
+	if hook := testLaneFail; hook != nil {
+		if at, ferr := hook(cfg, s); ferr != nil {
+			var fail context.CancelCauseFunc
+			runCtx, fail = context.WithCancelCause(ctx)
+			defer fail(nil)
+			sim.Schedule(at, func() { fail(ferr) })
+		}
+	}
+	if err := sim.RunUntilContext(runCtx, cfg.Duration+cfg.ClientTimeout+time.Second); err != nil {
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			err = cause
+		}
+		return nil, em.count, err
 	}
 	em.flush()
 	if inj != nil {
-		return inj.Report(), nil
+		return inj.Report(), em.count, nil
 	}
-	return nil, nil
+	return nil, em.count, nil
 }

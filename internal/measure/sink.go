@@ -174,7 +174,31 @@ func (s *CSVSink) OnQuery(r QueryRecord) {
 func (s *CSVSink) OnAuth(AuthRecord) {}
 
 // Bytes returns how many bytes have been spilled to the writer so far.
+// The CSV encoder buffers internally, so call Flush first when the
+// offset must account for every record delivered (the snapshot Sync
+// hook does).
 func (s *CSVSink) Bytes() int64 { return s.cnt.n }
+
+// Flush pushes buffered rows to the underlying writer, surfacing (and
+// deferring) any write error. Snapshot checkpoints call it so
+// Snapshot.OutBytes covers exactly the records delivered so far.
+func (s *CSVSink) Flush() error {
+	if s.err == nil && s.cw != nil {
+		s.cw.Flush()
+		s.err = s.cw.Error()
+	}
+	return s.err
+}
+
+// SkipHeader marks the header as already written — the resume path,
+// where the output file retains the previous run's header and rewriting
+// it would corrupt the byte-identity of the appended stream.
+func (s *CSVSink) SkipHeader() {
+	if !s.header {
+		s.header = true
+		s.cw = csv.NewWriter(s.cnt)
+	}
+}
 
 // Close writes the header even for an empty run, flushes, and returns
 // the first deferred error.
@@ -276,6 +300,14 @@ func (s *JSONLSink) OnMeta(m Meta) {
 // Bytes returns how many bytes have been spilled to the writer so far.
 func (s *JSONLSink) Bytes() int64 {
 	return s.cnt.n + int64(s.bw.Buffered())
+}
+
+// Flush pushes buffered lines downstream, deferring any write error.
+func (s *JSONLSink) Flush() error {
+	if s.err == nil {
+		s.err = s.bw.Flush()
+	}
+	return s.err
 }
 
 // Close flushes and returns the first deferred error.

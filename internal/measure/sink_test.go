@@ -2,6 +2,9 @@ package measure
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -245,3 +248,81 @@ func TestOpenResolverStreaming(t *testing.T) {
 		}
 	}
 }
+
+// errDiskFull simulates the filesystem giving out mid-run.
+var errDiskFull = errors.New("disk full")
+
+// brimWriter accepts the first cap bytes and then fails every write,
+// the shape ENOSPC takes: early records land, late ones (including the
+// final buffered flush at Close) do not.
+type brimWriter struct {
+	cap int
+	n   int
+}
+
+func (w *brimWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.cap {
+		room := w.cap - w.n
+		if room < 0 {
+			room = 0
+		}
+		w.n = w.cap
+		return room, errDiskFull
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestSinkWriteErrorsSurfaceAtClose pins the full-disk contract for
+// the file-backed sinks: record callbacks cannot return errors, so a
+// failed write must stick inside the sink and come back out of Close —
+// which is how a truncated CSV turns into a non-zero ritw exit instead
+// of a silently short dataset.
+func TestSinkWriteErrorsSurfaceAtClose(t *testing.T) {
+	t.Parallel()
+	sinks := []struct {
+		name string
+		make func(w io.Writer) Sink
+	}{
+		{"csv", func(w io.Writer) Sink { return NewCSVSink(w, "2A") }},
+		{"jsonl", func(w io.Writer) Sink { return NewJSONLSink(w, "2A") }},
+	}
+	for _, tc := range sinks {
+		// Unit level: feed records straight into the sink until the
+		// writer brims; Close must report the sticky error.
+		sink := tc.make(&brimWriter{cap: 256})
+		for i := 0; i < 200; i++ {
+			sink.OnQuery(QueryRecord{VPKey: "vp", Site: "AMS", Seq: i, OK: true})
+		}
+		if err := sink.Close(); !errors.Is(err, errDiskFull) {
+			t.Errorf("%s: Close() = %v, want the swallowed write error", tc.name, err)
+		}
+		// Run level: the same failure must surface as the run's error.
+		cfg := smallCfg(t, "2A", 60, 33)
+		cfg.Duration = 10 * time.Minute
+		cfg.Sink = tc.make(&brimWriter{cap: 512})
+		cfg.StreamOnly = true
+		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "closing sink") {
+			t.Errorf("%s: full-disk run error = %v, want a closing-sink failure", tc.name, err)
+		}
+	}
+}
+
+// TestSinkWriteErrorAtCloseOnly drives the buffered-tail case: the
+// writer has room for every record but fails on the final flush, so
+// the only chance to see the error is Close's return value.
+func TestSinkWriteErrorAtCloseOnly(t *testing.T) {
+	t.Parallel()
+	sink := NewJSONLSink(failOnFlush{}, "2A")
+	sink.OnQuery(QueryRecord{VPKey: "vp", Site: "AMS", OK: true})
+	if err := sink.Close(); !errors.Is(err, errDiskFull) {
+		t.Errorf("Close() = %v, want the flush error", err)
+	}
+}
+
+// failOnFlush absorbs nothing: every write fails, but the JSONL sink's
+// bufio layer defers the first real write until its buffer fills or
+// Close flushes.
+type failOnFlush struct{}
+
+func (failOnFlush) Write(p []byte) (int, error) { return 0, errDiskFull }

@@ -1,0 +1,425 @@
+package measure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMain lets this test binary double as a lane worker: the
+// multi-process tests re-exec os.Executable(), which under `go test`
+// is the test binary itself.
+func TestMain(m *testing.M) {
+	if MaybeRunLaneWorker() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestWorkersMatchInProcess extends the shard byte-identity contract
+// across process layouts: at the same seed, the same run distributed
+// over out-of-process lane workers must emit the byte-for-byte
+// identical CSV stream — and deep-equal materialized datasets — as the
+// in-process goroutine lanes, at every workers × shards combination.
+func TestWorkersMatchInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker subprocesses")
+	}
+	t.Parallel()
+	for _, shards := range []int{4, 7} {
+		for _, seed := range []int64{5, 21} {
+			shards, seed := shards, seed
+			t.Run(fmt.Sprintf("shards%d/seed%d", shards, seed), func(t *testing.T) {
+				t.Parallel()
+				baseCfg := shardCfg(t, "3B", 150, seed)
+				baseCfg.Shards = shards
+				wantCSV, wantDS := runToCSV(t, baseCfg)
+				if len(wantDS.Records) == 0 {
+					t.Fatal("in-process run produced no records")
+				}
+				for _, workers := range []int{2, 4} {
+					gotCfg := baseCfg
+					gotCfg.Workers = workers
+					gotCSV, gotDS := runToCSV(t, gotCfg)
+					if !bytes.Equal(gotCSV, wantCSV) {
+						t.Fatalf("workers=%d: CSV stream differs from in-process (%d vs %d bytes)\n%s",
+							workers, len(gotCSV), len(wantCSV), firstDiff(gotCSV, wantCSV))
+					}
+					if !reflect.DeepEqual(gotDS.Records, wantDS.Records) {
+						t.Fatalf("workers=%d: materialized query records differ", workers)
+					}
+					if !reflect.DeepEqual(gotDS.AuthRecords, wantDS.AuthRecords) {
+						t.Fatalf("workers=%d: auth records differ", workers)
+					}
+					if gotDS.ActiveProbes != wantDS.ActiveProbes {
+						t.Fatalf("workers=%d: active probes %d vs %d",
+							workers, gotDS.ActiveProbes, wantDS.ActiveProbes)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersMatchInProcessWithFaults repeats the layout byte-identity
+// check under a schedule exercising every fault family, and requires
+// the lane reports shipped back over the wire to merge into the exact
+// in-process report.
+func TestWorkersMatchInProcessWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	t.Parallel()
+	cfg := shardCfg(t, "3B", 150, 11)
+	cfg.Shards = 4
+	cfg.Faults = fiveKindSchedule()
+	wantCSV, wantDS := runToCSV(t, cfg)
+	if wantDS.Faults == nil || wantDS.Faults.Drops == 0 {
+		t.Fatal("fault schedule had no effect; the variant tests nothing")
+	}
+	gotCfg := cfg
+	gotCfg.Workers = 3
+	gotCSV, gotDS := runToCSV(t, gotCfg)
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Fatalf("workers=3: CSV stream differs under faults\n%s", firstDiff(gotCSV, wantCSV))
+	}
+	if !reflect.DeepEqual(gotDS.Faults, wantDS.Faults) {
+		t.Fatalf("workers=3: merged fault report differs:\n%+v\nwant\n%+v",
+			gotDS.Faults, wantDS.Faults)
+	}
+}
+
+// TestWorkersValidation pins the layout sanity checks: negative worker
+// counts and more workers than lanes are config errors, not silent
+// truncations.
+func TestWorkersValidation(t *testing.T) {
+	t.Parallel()
+	cfg := shardCfg(t, "2A", 40, 1)
+	cfg.Duration = 4 * time.Minute
+	cfg.Workers = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("workers=-1 should be rejected")
+	}
+	cfg.Workers = 5
+	cfg.Shards = 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("workers=5 with shards=3 should be rejected")
+	}
+	cfg.Workers = 2
+	cfg.Shards = 0 // one effective lane
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("workers=2 with one lane should be rejected")
+	}
+}
+
+// countSink counts delivered records; the cancellation tests use it to
+// show how far a failed run got.
+type countSink struct{ queries, auths int64 }
+
+func (c *countSink) OnQuery(QueryRecord) { c.queries++ }
+func (c *countSink) OnAuth(AuthRecord)   { c.auths++ }
+func (c *countSink) Close() error        { return nil }
+
+// TestLaneFailureCancelsSiblings injects a failure into one lane three
+// virtual minutes into a half-hour run and requires (a) the run to
+// surface exactly that error and (b) the sibling lanes to have been
+// cancelled promptly rather than simulating to completion — measured
+// by how many records reached the sink.
+func TestLaneFailureCancelsSiblings(t *testing.T) {
+	// Not parallel: uses the process-global testLaneFail hook.
+	const magicSeed = 424242
+	errBoom := errors.New("injected lane failure")
+	testLaneFail = func(cfg RunConfig, lane int) (time.Duration, error) {
+		if cfg.Seed == magicSeed && lane == 2 {
+			return 3 * time.Minute, errBoom
+		}
+		return 0, nil
+	}
+	defer func() { testLaneFail = nil }()
+
+	control := shardCfg(t, "2A", 120, 3)
+	control.Duration = 30 * time.Minute
+	control.Shards = 4
+	var full countSink
+	if _, err := RunStream(control, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.queries == 0 {
+		t.Fatal("control run produced no records")
+	}
+
+	failed := control
+	failed.Seed = magicSeed
+	var partial countSink
+	_, err := RunStream(failed, &partial)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("run error = %v, want the injected lane failure", err)
+	}
+	// The failure hit at 3 of 30 virtual minutes. Generously allowing
+	// for merge lookahead, a promptly-cancelled run delivers well under
+	// half of the control's records; lanes left to finish would deliver
+	// all of them.
+	if partial.queries*2 >= full.queries {
+		t.Fatalf("failed run delivered %d of %d records: siblings were not cancelled promptly",
+			partial.queries, full.queries)
+	}
+}
+
+// TestWorkerCrashPartialReport kills a worker right after its first
+// lane-done frame and requires the failure to surface as a WorkerError
+// carrying the finished lanes' merged fault report — the partial
+// evidence a long campaign keeps.
+func TestWorkerCrashPartialReport(t *testing.T) {
+	// Not parallel: testWorkerCrash is process-global and would leak
+	// into concurrently-running worker tests.
+	cfg := shardCfg(t, "3B", 150, 11)
+	cfg.Shards = 4
+	cfg.Workers = 2
+	cfg.Faults = fiveKindSchedule()
+	testWorkerCrash = func(worker int) (batches, laneDones int) {
+		if worker == 1 {
+			return 0, 1 // exit(3) right after the first lane-done frame
+		}
+		return 0, 0
+	}
+	defer func() { testWorkerCrash = nil }()
+
+	_, err := Run(cfg)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("run error = %v, want a WorkerError", err)
+	}
+	if we.Worker != 1 {
+		t.Fatalf("failed worker = %d, want 1", we.Worker)
+	}
+	if len(we.Done) < 1 {
+		t.Fatal("WorkerError should carry at least the lane that finished before the crash")
+	}
+	if we.Partial == nil {
+		t.Fatal("WorkerError.Partial should carry the finished lanes' fault reports")
+	}
+}
+
+// snapshotRun executes cfg streaming CSV into path, with checkpointing
+// into snapPath every `every` of virtual time. With resume it loads the
+// snapshot first, truncates the output to the checkpointed offset and
+// skips the already-durable prefix — the exact wiring ritw uses.
+func snapshotRun(t *testing.T, cfg RunConfig, path, snapPath string, every time.Duration, resume bool) error {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var base int64
+	var skip int64
+	if resume {
+		snap, err := LoadSnapshot(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.OutBytes < 0 {
+			t.Fatal("snapshot has no output offset to resume from")
+		}
+		base, skip = snap.OutBytes, snap.Records
+		if err := f.Truncate(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Seek(base, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	csv := NewCSVSink(f, cfg.Combo.ID)
+	if base > 0 {
+		csv.SkipHeader()
+	}
+	cfg.Snapshot = &SnapshotSpec{
+		Path:   snapPath,
+		Every:  every,
+		Resume: resume,
+		Sync: func() (int64, error) {
+			if err := csv.Flush(); err != nil {
+				return 0, err
+			}
+			return base + csv.Bytes(), nil
+		},
+	}
+	_, runErr := RunStream(cfg, SkipRecords(csv, skip))
+	return runErr
+}
+
+// TestWorkerKillResume is the crash-recovery acceptance test: a run
+// whose worker is killed mid-flight leaves a checkpoint from which a
+// resumed run completes the output file byte-identically to a run that
+// was never interrupted.
+func TestWorkerKillResume(t *testing.T) {
+	// Not parallel: uses the process-global testWorkerCrash hook.
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	cfg := shardCfg(t, "2B", 140, 9)
+	cfg.Shards = 4
+	cfg.Workers = 2
+
+	dir := t.TempDir()
+	control := filepath.Join(dir, "control.csv")
+	if err := snapshotRun(t, cfg, control, filepath.Join(dir, "control.snap"), time.Minute, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "resumed.csv")
+	snap := filepath.Join(dir, "resumed.snap")
+	testWorkerCrash = func(worker int) (batches, laneDones int) {
+		if worker == 1 {
+			return 3, 0 // die after shipping 3 batch frames
+		}
+		return 0, 0
+	}
+	err = snapshotRun(t, cfg, out, snap, time.Minute, false)
+	testWorkerCrash = nil
+	if err == nil {
+		t.Fatal("crashing run should fail")
+	}
+	loaded, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatalf("interrupted run left no usable checkpoint: %v", err)
+	}
+	if loaded.Records == 0 || loaded.OutBytes <= 0 {
+		t.Fatalf("checkpoint should cover progress, got %+v", loaded)
+	}
+
+	if err := snapshotRun(t, cfg, out, snap, time.Minute, true); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed output differs from uninterrupted control (%d vs %d bytes)\n%s",
+			len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// TestSnapshotExtendAcrossLayouts pins the deterministic resume path
+// end to end: a short run finishes cleanly (leaving its final
+// checkpoint), then a resumed run extends it to a longer duration —
+// under a different shard layout — and must produce a file
+// byte-identical to an uninterrupted long run. This exercises the
+// CRC-verified prefix replay, SkipRecords, SkipHeader and the
+// checkpoint's layout portability (shards, workers and duration are
+// deliberately outside the fingerprint).
+func TestSnapshotExtendAcrossLayouts(t *testing.T) {
+	t.Parallel()
+	long := shardCfg(t, "2A", 120, 13)
+	long.Shards = 4
+	short := long
+	short.Duration = 10 * time.Minute
+
+	dir := t.TempDir()
+	control := filepath.Join(dir, "control.csv")
+	if err := snapshotRun(t, long, control, filepath.Join(dir, "control.snap"), time.Minute, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "extended.csv")
+	snap := filepath.Join(dir, "extended.snap")
+	if err := snapshotRun(t, short, out, snap, time.Minute, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Records == 0 || loaded.OutBytes <= 0 {
+		t.Fatalf("short run's final checkpoint should cover its records, got %+v", loaded)
+	}
+	// Extend under a different layout: 2 shards instead of 4.
+	extended := long
+	extended.Shards = 2
+	if err := snapshotRun(t, extended, out, snap, time.Minute, true); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("extended output differs from uninterrupted control\n%s", firstDiff(got, want))
+	}
+}
+
+// TestSnapshotFingerprintMismatch pins that resuming under a config
+// producing a different record stream is refused up front.
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	t.Parallel()
+	cfg := shardCfg(t, "2A", 60, 17)
+	cfg.Duration = 6 * time.Minute
+	dir := t.TempDir()
+	out := filepath.Join(dir, "run.csv")
+	snap := filepath.Join(dir, "run.snap")
+	if err := snapshotRun(t, cfg, out, snap, time.Minute, false); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 18
+	other.Population.Seed = 18
+	err := snapshotRun(t, other, out, snap, time.Minute, true)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("fingerprint")) {
+		t.Fatalf("resume under a different seed = %v, want a fingerprint mismatch", err)
+	}
+	// A longer run at the same seed, however, resumes fine: Duration is
+	// deliberately outside the fingerprint (causality makes the shorter
+	// run's stream a prefix of the longer one's).
+	longer := cfg
+	longer.Duration = 8 * time.Minute
+	if err := snapshotRun(t, longer, out, snap, time.Minute, true); err != nil {
+		t.Fatalf("extending a finished run should resume cleanly, got %v", err)
+	}
+}
+
+// BenchmarkWorkerLayout runs one pinned measurement in-process and
+// across lane-worker subprocesses. Byte-identity makes the time ratio
+// pure orchestration cost: re-exec, lanewire framing, pipe transport
+// and the parent-side merge of worker streams.
+func BenchmarkWorkerLayout(b *testing.B) {
+	for _, workers := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchLayoutCfg(b, workers)
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchLayoutCfg(b *testing.B, workers int) RunConfig {
+	b.Helper()
+	combo, err := CombinationByID("3B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultRunConfig(combo, 7)
+	cfg.Population.NumProbes = 300
+	cfg.Shards = 4
+	cfg.Workers = workers
+	cfg.StreamOnly = true
+	cfg.Sink = Discard
+	return cfg
+}

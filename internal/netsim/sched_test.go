@@ -110,7 +110,7 @@ func TestWheelCascadeSeqTiebreak(t *testing.T) {
 		if !ok || at != 100*time.Millisecond {
 			t.Fatalf("%v: first pop at=%v ok=%v", k, at, ok)
 		}
-		fn() // cursor now sits at tick 100
+		fn()                                    // cursor now sits at tick 100
 		s.Push(300*time.Millisecond, 3, rec(3)) // same instant, close-in: level 0
 		for {
 			_, fn, ok := s.PopLE(time.Hour)
