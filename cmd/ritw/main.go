@@ -183,7 +183,7 @@ func main() {
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|all>")
+		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|attacks|all>")
 		fmt.Fprintln(os.Stderr, "       ritw blast [flags]   (open-loop load harness; see ritw blast -h)")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -219,12 +219,13 @@ func main() {
 		"outage":    cmdOutage,
 		"openres":   cmdOpenResolver,
 		"scenarios": cmdScenarios,
+		"attacks":   cmdAttacks,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
 			"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
-			"outage", "openres", "scenarios"}
+			"outage", "openres", "scenarios", "attacks"}
 		for _, n := range order {
 			fmt.Printf("==== %s ====\n", n)
 			check(cmds[n](ctx, scale))

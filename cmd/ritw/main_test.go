@@ -52,11 +52,11 @@ func TestCommandTableCoversAll(t *testing.T) {
 		"fig6": cmdFig6, "fig7root": cmdFig7Root, "fig7nl": cmdFig7NL,
 		"middlebox": cmdMiddlebox, "ipv6": cmdIPv6, "hardening": cmdHardening,
 		"planner": cmdPlanner, "outage": cmdOutage, "openres": cmdOpenResolver,
-		"scenarios": cmdScenarios,
+		"scenarios": cmdScenarios, "attacks": cmdAttacks,
 	}
 	order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
 		"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
-		"outage", "openres", "scenarios"}
+		"outage", "openres", "scenarios", "attacks"}
 	if len(order) != len(cmds) {
 		t.Fatalf("all-order has %d entries, command table %d", len(order), len(cmds))
 	}

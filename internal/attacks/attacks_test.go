@@ -1,0 +1,280 @@
+package attacks
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/obs"
+)
+
+func testSchedule() *Schedule {
+	return &Schedule{
+		NXNS: []NXNS{{
+			Start: 10 * time.Minute, End: 20 * time.Minute,
+			Interval: 10 * time.Second, Fraction: 0.3, Fanout: 10,
+		}},
+		Floods: []Flood{{
+			Start: 5 * time.Minute, End: 25 * time.Minute,
+			Interval: 5 * time.Second, Fraction: 0.4, Names: 20,
+		}},
+		Reflections: []Reflection{{
+			Start: 12 * time.Minute, End: 18 * time.Minute,
+			Interval: 2 * time.Second, Fraction: 0.5,
+		}},
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (*Schedule)(nil).Validate(); err != nil {
+		t.Errorf("nil schedule: %v", err)
+	}
+	if err := testSchedule().Validate(); err != nil {
+		t.Errorf("good schedule: %v", err)
+	}
+	bad := []*Schedule{
+		{NXNS: []NXNS{{Start: 10, End: 5, Interval: 1, Fraction: 0.5, Fanout: 2}}},
+		{NXNS: []NXNS{{Start: 0, End: 10, Interval: 0, Fraction: 0.5, Fanout: 2}}},
+		{NXNS: []NXNS{{Start: 0, End: 10, Interval: 1, Fraction: 1.5, Fanout: 2}}},
+		{NXNS: []NXNS{{Start: 0, End: 10, Interval: 1, Fraction: 0.5, Fanout: 0}}},
+		{Floods: []Flood{{Start: 0, End: 10, Interval: 1, Fraction: 0.5, Names: -1}}},
+		{Reflections: []Reflection{{Start: 0, End: 10, Interval: 1, Fraction: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d passed validation", i)
+		}
+	}
+}
+
+func TestCompileGating(t *testing.T) {
+	for _, s := range []*Schedule{nil, {}} {
+		p, err := Compile(s, 42)
+		if err != nil || p != nil {
+			t.Errorf("Compile(%v) = %v, %v, want nil plan", s, p, err)
+		}
+	}
+	if _, err := Compile(&Schedule{NXNS: []NXNS{{}}}, 42); err == nil {
+		t.Error("invalid schedule should not compile")
+	}
+}
+
+// TestPlanKeyedDraws pins the determinism contract: membership and
+// phase are pure functions of (seed, campaign, entity) — stable across
+// calls, changed by the seed, and phases land inside the interval.
+func TestPlanKeyedDraws(t *testing.T) {
+	s := testSchedule()
+	p1, err := Compile(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Compile(s, 42)
+	p3, _ := Compile(s, 43)
+
+	sameMembership, diffMembership := true, false
+	bots := 0
+	for probe := 0; probe < 400; probe++ {
+		if p1.NXNSBot(0, probe) != p2.NXNSBot(0, probe) || p1.FloodBot(0, probe) != p2.FloodBot(0, probe) {
+			sameMembership = false
+		}
+		if p1.NXNSBot(0, probe) != p3.NXNSBot(0, probe) {
+			diffMembership = true
+		}
+		if p1.NXNSBot(0, probe) {
+			bots++
+		}
+	}
+	if !sameMembership {
+		t.Error("same seed drew different bot sets")
+	}
+	if !diffMembership {
+		t.Error("different seeds drew identical bot sets")
+	}
+	// Fraction 0.3 of 400: loose 2-sided bound against a broken hash.
+	if bots < 60 || bots > 180 {
+		t.Errorf("nxns fraction 0.3 enrolled %d of 400 probes", bots)
+	}
+
+	addr := netip.MustParseAddr("10.0.0.9")
+	if p1.Reflector(0, addr) != p2.Reflector(0, addr) {
+		t.Error("same seed drew different reflector sets")
+	}
+	iv := s.NXNS[0].Interval
+	ph := p1.Phase(KindNXNS, 0, "p7", iv)
+	if ph < 0 || ph >= iv {
+		t.Errorf("phase %v outside [0, %v)", ph, iv)
+	}
+	if ph != p2.Phase(KindNXNS, 0, "p7", iv) {
+		t.Error("same seed drew different phases")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		qname string
+		kind  string
+		idx   int
+		ok    bool
+	}{
+		{"nf3vnx2b17q5.ourtestdomain.nl.", KindNXNS, 2, true},
+		{"wt1b44n9.ourtestdomain.nl.", KindFlood, 1, true},
+		{"rf0.ourtestdomain.nl.", KindReflect, 0, true},
+		{"rf12", KindReflect, 12, true},
+		{"p41x7.ourtestdomain.nl.", "", 0, false}, // benign probe label
+		{"nfxvjunk.example.", "", 0, false},
+		{"nf1vwrong.example.", "", 0, false}, // nonce not nx-prefixed
+		{"wtb3n1.example.", "", 0, false},    // missing campaign index
+		{"rf3x.example.", "", 0, false},      // trailing junk
+		{"", "", 0, false},
+	}
+	for _, c := range cases {
+		kind, idx, ok := Classify(c.qname)
+		if kind != c.kind || idx != c.idx || ok != c.ok {
+			t.Errorf("Classify(%q) = %q, %d, %v, want %q, %d, %v",
+				c.qname, kind, idx, ok, c.kind, c.idx, c.ok)
+		}
+	}
+}
+
+// TestResponderCraftsGluelessReferral pins the attacker name server:
+// fanout NS records in the authority section, every target under the
+// victim zone, echoing the query nonce (so fetches are never
+// cache-satisfied), and classified back to the right campaign.
+func TestResponderCraftsGluelessReferral(t *testing.T) {
+	victim := dnswire.MustParseName("ourtestdomain.nl")
+	r := &ReferralResponder{Zone: EvilZone, Victim: victim, Fanouts: []int{4, 9}}
+
+	qname, err := EvilZone.Child(NXNSQueryLabel(1, 33, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := dnswire.NewQuery(99, qname, dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Respond(wire)
+	if out == nil {
+		t.Fatal("no referral for an in-zone query")
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Response || resp.Header.ID != 99 {
+		t.Errorf("bad response header: %+v", resp.Header)
+	}
+	if len(resp.Answers) != 0 || len(resp.Authority) != 9 {
+		t.Fatalf("want 9 glueless NS in authority, got %d answers, %d authority",
+			len(resp.Answers), len(resp.Authority))
+	}
+	seen := map[string]bool{}
+	for _, rr := range resp.Authority {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			t.Fatalf("authority RR is %T, want NS", rr.Data)
+		}
+		if !ns.Host.IsSubdomainOf(victim) {
+			t.Errorf("target %s not under the victim zone", ns.Host.Key())
+		}
+		if seen[ns.Host.Key()] {
+			t.Errorf("duplicate target %s", ns.Host.Key())
+		}
+		seen[ns.Host.Key()] = true
+		kind, idx, ok := Classify(ns.Host.Key())
+		if !ok || kind != KindNXNS || idx != 1 {
+			t.Errorf("target %s classified as %q#%d ok=%v", ns.Host.Key(), kind, idx, ok)
+		}
+	}
+
+	// Junk, responses and out-of-zone queries get nothing.
+	if r.Respond([]byte{1, 2, 3}) != nil {
+		t.Error("garbage got a referral")
+	}
+	if r.Respond(out) != nil {
+		t.Error("a response got a referral")
+	}
+	foreign, _ := dnswire.NewQuery(1, victim, dnswire.TypeA).Pack()
+	if r.Respond(foreign) != nil {
+		t.Error("out-of-zone query got a referral")
+	}
+	// Unattributable in-zone queries get a minimal fanout-1 referral.
+	odd, err := EvilZone.Child("whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oddWire, _ := dnswire.NewQuery(2, odd, dnswire.TypeA).Pack()
+	oddResp, err := dnswire.Unpack(r.Respond(oddWire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oddResp.Authority) != 1 {
+		t.Errorf("junk nonce fanout = %d, want 1", len(oddResp.Authority))
+	}
+}
+
+// TestTrackerAndMerge pins the ledger arithmetic: per-campaign
+// attribution, canonical entry order, positional merge across lanes,
+// and the obs counters.
+func TestTrackerAndMerge(t *testing.T) {
+	s := testSchedule()
+	reg := obs.NewRegistry()
+	plan, err := Compile(s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lane := func(bots, attacksN, victims int) *Report {
+		tr := NewTracker(plan, reg)
+		for i := 0; i < bots; i++ {
+			tr.AddBot(KindNXNS, 0)
+		}
+		for i := 0; i < attacksN; i++ {
+			tr.Attack(KindNXNS, 0, 30)
+		}
+		for i := 0; i < victims; i++ {
+			tr.Victim(KindFlood, 0, 100)
+		}
+		return tr.Report()
+	}
+	r1 := lane(2, 10, 5)
+	r2 := lane(1, 4, 3)
+
+	if len(r1.Entries) != 3 {
+		t.Fatalf("want 3 canonical entries, got %d", len(r1.Entries))
+	}
+	if r1.Entries[0].Kind != KindNXNS || r1.Entries[1].Kind != KindFlood || r1.Entries[2].Kind != KindReflect {
+		t.Errorf("entry order: %+v", r1.Entries)
+	}
+
+	merged := MergeReports(r1, nil, r2)
+	nx, fl := merged.Entries[0], merged.Entries[1]
+	if nx.Bots != 3 || nx.AttackQueries != 14 || nx.AttackBytes != 14*30 {
+		t.Errorf("merged nxns = %+v", nx)
+	}
+	if fl.VictimQueries != 8 || fl.VictimBytes != 800 {
+		t.Errorf("merged flood = %+v", fl)
+	}
+	if got := nx.AmpQueries(); got != 0 {
+		t.Errorf("nxns amp with no victim packets = %v", got)
+	}
+	if got := fl.AmpQueries(); got != 0 {
+		t.Errorf("flood amp with no attack packets = %v", got)
+	}
+
+	if MergeReports(nil, nil) != nil {
+		t.Error("all-nil merge should stay nil")
+	}
+	if !reflect.DeepEqual(MergeReports(r1), r1) {
+		t.Error("single-report merge should be identity")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counter("attacks_attacker_packets_total") != 14 {
+		t.Errorf("attacker counter = %d", snap.Counter("attacks_attacker_packets_total"))
+	}
+	if snap.Counter("attacks_victim_packets_total") != 8 {
+		t.Errorf("victim counter = %d", snap.Counter("attacks_victim_packets_total"))
+	}
+}

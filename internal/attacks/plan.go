@@ -1,0 +1,90 @@
+package attacks
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// Attack kind tags, used in Report entries, metrics and query-name
+// classification.
+const (
+	KindNXNS    = "nxns"
+	KindFlood   = "flood"
+	KindReflect = "reflect"
+)
+
+// Plan is a compiled, seed-pinned attack schedule. Every stochastic
+// choice — bot membership, per-bot phase, reflector membership — is a
+// pure function of (seed, campaign, entity), never of execution order,
+// so any shard computes the same answer for the entities it owns and
+// the merged traffic is layout-independent.
+type Plan struct {
+	Seed     int64
+	Schedule *Schedule
+}
+
+// Compile validates the schedule and binds it to the run's attack seed
+// stream. A nil or empty schedule compiles to a nil plan.
+func Compile(s *Schedule, seed int64) (*Plan, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{Seed: seed, Schedule: s}, nil
+}
+
+// mix64 is the splitmix64 finalizer: a few multiplies away from a
+// uniform 64-bit value, the same stream-splitting idiom the fault
+// injector and keyed network randomness use.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// key hashes (seed, kind, campaign index, domain, entity) to a uniform
+// uint64. domain separates independent draws about the same entity
+// (membership vs phase).
+func (p *Plan) key(kind string, idx int, domain string, entity string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d/%s/%s", p.Seed, kind, idx, domain, entity)
+	return mix64(h.Sum64())
+}
+
+func (p *Plan) member(kind string, idx int, entity string, frac float64) bool {
+	if frac >= 1 {
+		return true
+	}
+	return float64(p.key(kind, idx, "member", entity))/float64(math.MaxUint64) < frac
+}
+
+// NXNSBot reports whether probe probeID is a bot of NXNS campaign idx.
+func (p *Plan) NXNSBot(idx, probeID int) bool {
+	return p.member(KindNXNS, idx, fmt.Sprintf("p%d", probeID), p.Schedule.NXNS[idx].Fraction)
+}
+
+// FloodBot reports whether probe probeID is a bot of flood campaign idx.
+func (p *Plan) FloodBot(idx, probeID int) bool {
+	return p.member(KindFlood, idx, fmt.Sprintf("p%d", probeID), p.Schedule.Floods[idx].Fraction)
+}
+
+// Reflector reports whether the resolver at addr is abused by
+// reflection campaign idx. Keying on the address (not a shard-local
+// index) keeps the reflector set identical across shard layouts.
+func (p *Plan) Reflector(idx int, addr netip.Addr) bool {
+	return p.member(KindReflect, idx, addr.String(), p.Schedule.Reflections[idx].Fraction)
+}
+
+// Phase returns the entity's fixed offset in [0, interval) for the
+// campaign's pacing loop. Nanosecond-granular keyed phases keep
+// same-instant collisions between attack and measurement traffic out
+// of the schedule, which is what lets attack runs keep the exact
+// (time, seq) determinism contract.
+func (p *Plan) Phase(kind string, idx int, entity string, interval time.Duration) time.Duration {
+	return time.Duration(p.key(kind, idx, "phase", entity) % uint64(interval))
+}

@@ -1,0 +1,146 @@
+package attacks
+
+import (
+	"fmt"
+
+	"ritw/internal/obs"
+)
+
+// EntryReport is one campaign's traffic ledger: packets the attacker
+// spent versus packets (and bytes) the victim absorbed. The
+// amplification factor is the ratio.
+type EntryReport struct {
+	Kind          string
+	Index         int
+	Bots          int64 // selected bots (NXNS/flood) or reflectors
+	AttackQueries int64 // attacker packets in
+	AttackBytes   int64
+	VictimQueries int64 // victim-side packets out
+	VictimBytes   int64
+}
+
+// AmpQueries is the packet amplification factor (0 when no attacker
+// packets were sent).
+func (e EntryReport) AmpQueries() float64 {
+	if e.AttackQueries == 0 {
+		return 0
+	}
+	return float64(e.VictimQueries) / float64(e.AttackQueries)
+}
+
+// AmpBytes is the bandwidth amplification factor.
+func (e EntryReport) AmpBytes() float64 {
+	if e.AttackBytes == 0 {
+		return 0
+	}
+	return float64(e.VictimBytes) / float64(e.AttackBytes)
+}
+
+// Report is the per-run attack ledger, one entry per campaign in
+// canonical schedule order (NXNS, floods, reflections).
+type Report struct {
+	Entries []EntryReport
+}
+
+// MergeReports sums per-lane reports element-wise. Lanes compiled from
+// the same schedule produce entries in the same canonical order, so
+// alignment is positional. All-nil input merges to nil.
+func MergeReports(reports ...*Report) *Report {
+	var out *Report
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &Report{Entries: make([]EntryReport, len(r.Entries))}
+			copy(out.Entries, r.Entries)
+			continue
+		}
+		for i := range r.Entries {
+			if i >= len(out.Entries) {
+				out.Entries = append(out.Entries, r.Entries[i])
+				continue
+			}
+			out.Entries[i].Bots += r.Entries[i].Bots
+			out.Entries[i].AttackQueries += r.Entries[i].AttackQueries
+			out.Entries[i].AttackBytes += r.Entries[i].AttackBytes
+			out.Entries[i].VictimQueries += r.Entries[i].VictimQueries
+			out.Entries[i].VictimBytes += r.Entries[i].VictimBytes
+		}
+	}
+	return out
+}
+
+// Tracker accumulates one lane's attack ledger. It is single-threaded
+// like everything else inside a lane; cross-lane aggregation happens
+// via Report/MergeReports.
+type Tracker struct {
+	entries []EntryReport
+	index   map[string]int
+
+	mAttack *obs.Counter
+	mVictim *obs.Counter
+	mBots   *obs.Counter
+}
+
+// NewTracker builds a tracker with one slot per campaign of the
+// compiled plan, and registers the attacks_* counters.
+func NewTracker(p *Plan, metrics *obs.Registry) *Tracker {
+	t := &Tracker{
+		index:   make(map[string]int),
+		mAttack: metrics.Counter("attacks_attacker_packets_total"),
+		mVictim: metrics.Counter("attacks_victim_packets_total"),
+		mBots:   metrics.Counter("attacks_bots_total"),
+	}
+	for _, w := range p.Schedule.EventWindows() {
+		t.index[entryKey(w.Kind, w.Index)] = len(t.entries)
+		t.entries = append(t.entries, EntryReport{Kind: w.Kind, Index: w.Index})
+	}
+	return t
+}
+
+func entryKey(kind string, idx int) string { return fmt.Sprintf("%s/%d", kind, idx) }
+
+func (t *Tracker) slot(kind string, idx int) *EntryReport {
+	i, ok := t.index[entryKey(kind, idx)]
+	if !ok {
+		return nil
+	}
+	return &t.entries[i]
+}
+
+// AddBot records one selected bot (or reflector) for the campaign.
+func (t *Tracker) AddBot(kind string, idx int) {
+	if e := t.slot(kind, idx); e != nil {
+		e.Bots++
+		t.mBots.Inc()
+	}
+}
+
+// Attack records one attacker-origin packet of the given size.
+func (t *Tracker) Attack(kind string, idx, bytes int) {
+	if e := t.slot(kind, idx); e != nil {
+		e.AttackQueries++
+		e.AttackBytes += int64(bytes)
+		t.mAttack.Inc()
+	}
+}
+
+// Victim records one victim-side packet of the given size.
+func (t *Tracker) Victim(kind string, idx, bytes int) {
+	if e := t.slot(kind, idx); e != nil {
+		e.VictimQueries++
+		e.VictimBytes += int64(bytes)
+		t.mVictim.Inc()
+	}
+}
+
+// Report snapshots the lane's ledger.
+func (t *Tracker) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	out := &Report{Entries: make([]EntryReport, len(t.entries))}
+	copy(out.Entries, t.entries)
+	return out
+}

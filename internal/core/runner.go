@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ritw/internal/attacks"
 	"ritw/internal/faults"
 	"ritw/internal/measure"
 	"ritw/internal/obs"
@@ -291,6 +292,13 @@ type Scenario struct {
 	// scenario only (nil = the batch default from WithBackoff, or
 	// resolver.DefaultBackoff).
 	Backoff *resolver.BackoffConfig
+	// Attacks is the scenario's adversarial traffic schedule (nil = no
+	// attacks). Attack campaigns compile on their own keyed stream, so
+	// adding one leaves the benign traffic byte-identical.
+	Attacks *attacks.Schedule
+	// Defense configures the resolvers' attack mitigations (MaxFetch
+	// budget, negative-cache toggle) for this scenario.
+	Defense attacks.Defenses
 }
 
 // Scenarios executes the fault scenarios concurrently and returns
@@ -311,10 +319,15 @@ func (r *Runner) Scenarios(ctx context.Context, scenarios []Scenario, opts ...Op
 		}
 		cfg := o.runConfig(combo, 0, sc.Name)
 		cfg.Faults = sc.Faults
+		cfg.Attacks = sc.Attacks
+		cfg.Defense = sc.Defense
 		if sc.Backoff != nil {
 			cfg.Backoff = sc.Backoff
 		}
 		if err := sc.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+		}
+		if err := sc.Attacks.Validate(); err != nil {
 			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
 		}
 		jobs[i] = Job{Name: "scenario " + sc.Name, Run: func(ctx context.Context) (*measure.Dataset, error) {

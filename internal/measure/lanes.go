@@ -7,9 +7,18 @@ import (
 	"sync"
 	"time"
 
+	"ritw/internal/attacks"
 	"ritw/internal/faults"
 	"ritw/internal/obs"
 )
+
+// laneReport bundles the per-lane side reports a lane produces besides
+// its record stream: the fault-injection ledger and the attack-traffic
+// ledger. Either is nil when the run has no corresponding schedule.
+type laneReport struct {
+	Faults  *faults.Report
+	Attacks *attacks.Report
+}
 
 // LaneRunner executes the lanes of a planned run and streams each
 // lane's canonically-ordered batches to the caller's merger. Two
@@ -31,14 +40,14 @@ type LaneRunner interface {
 	streams() int
 	// runLanes executes every lane, sending sorted batches into
 	// outs[i] and closing each channel when stream i ends. It returns
-	// per-lane fault reports (nil entries when the run has no schedule)
-	// and the run's primary error. ctx is the run's shared cancellable
+	// per-lane reports (zero-valued entries when the run has no fault
+	// or attack schedule) and the run's primary error. ctx is the run's shared cancellable
 	// context and cancel its cause-carrying cancel: a failing lane
 	// calls cancel(err) — before its stream closes — so siblings stop
 	// promptly (first-error-wins, errgroup style) AND the parent merge
 	// sees ctx cancelled before any stream ends, which is what keeps
 	// post-failure records out of sinks and snapshots.
-	runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]*faults.Report, error)
+	runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]laneReport, error)
 }
 
 // laneRunnerFor selects the execution backend from cfg.Workers
@@ -55,8 +64,8 @@ type goroutineLanes struct{ lanes int }
 
 func (g *goroutineLanes) streams() int { return g.lanes }
 
-func (g *goroutineLanes) runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]*faults.Report, error) {
-	reports := make([]*faults.Report, g.lanes)
+func (g *goroutineLanes) runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]laneReport, error) {
+	reports := make([]laneReport, g.lanes)
 	errs := make([]error, g.lanes)
 	var wg sync.WaitGroup
 	for s := 0; s < g.lanes; s++ {

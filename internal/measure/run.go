@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ritw/internal/atlas"
+	"ritw/internal/attacks"
 	"ritw/internal/authserver"
 	"ritw/internal/dnswire"
 	"ritw/internal/faults"
@@ -73,6 +74,10 @@ type Dataset struct {
 	// no fault schedule): fault-dropped packets per site per bucket,
 	// totals, and the schedule's down/up transitions.
 	Faults *faults.Report
+	// Attacks is the attack ledger (nil when the run had no attack
+	// schedule): per-campaign attacker packets in versus victim packets
+	// out, merged across lanes — the amplification evidence.
+	Attacks *attacks.Report
 }
 
 // RunConfig parameterizes one measurement run.
@@ -115,6 +120,17 @@ type RunConfig struct {
 	// Seed+7 stream, so a fault-free schedule leaves the dataset
 	// byte-identical to a run without one).
 	Faults *faults.Schedule
+	// Attacks, if set, is the adversarial traffic schedule: NXNS
+	// delegation amplification, water-torture floods and spoofed-source
+	// reflection, compiled onto the run's own Seed+11 keyed stream. An
+	// empty (or nil) schedule leaves the dataset byte-identical to a
+	// run without one, and an attacked run keeps the full determinism
+	// contract at any shard/worker/scheduler layout.
+	Attacks *attacks.Schedule
+	// Defense is the resolver-side defense matrix (MaxFetch referral
+	// budget, negative-cache toggle) applied to every resolver in the
+	// population. The zero value is the RFC-faithful default.
+	Defense attacks.Defenses
 	// Backoff overrides the resolver population's hold-down policy
 	// (nil keeps resolver.DefaultBackoff; see BackoffConfig.Disabled
 	// for the pre-hardening full-rate retry behaviour).
@@ -277,6 +293,10 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 		sink.Close()
 		return nil, err
 	}
+	if err := cfg.Attacks.Validate(); err != nil {
+		sink.Close()
+		return nil, err
+	}
 
 	nShards := cfg.Shards
 	if nShards < 1 {
@@ -295,12 +315,13 @@ func RunContext(ctx context.Context, cfg RunConfig) (*Dataset, error) {
 	ds.SiteAddr = pl.siteAddr
 	ds.ActiveProbes = len(pl.active)
 
-	rep, err := runShards(ctx, cfg, pl, sched, emit, emitAuth, cfg.Metrics)
+	rep, atkRep, err := runShards(ctx, cfg, pl, sched, emit, emitAuth, cfg.Metrics)
 	if err != nil {
 		sink.Close()
 		return nil, err
 	}
 	ds.Faults = rep
+	ds.Attacks = atkRep
 	return ds, finishSink(sink, ds.meta())
 }
 

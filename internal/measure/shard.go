@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ritw/internal/atlas"
+	"ritw/internal/attacks"
 	"ritw/internal/dnswire"
 	"ritw/internal/faults"
 	"ritw/internal/geo"
@@ -67,6 +68,14 @@ type runPlan struct {
 	resolverAddr []netip.Addr
 	publicAddr   netip.Addr
 	active       []plannedProbe
+
+	// Attack infrastructure addresses, allocated after every benign
+	// address and only when the run has the corresponding campaigns —
+	// so an attack-free plan is address-for-address identical to one
+	// from a build that never knew about attacks.
+	attackerNS netip.Addr // NXNS attacker name server
+	reflectSrc netip.Addr // reflection sender
+	reflectDst netip.Addr // reflection victim
 
 	nShards          int
 	probesByShard    [][]int // indices into active
@@ -143,6 +152,16 @@ func planRun(cfg RunConfig, pop *atlas.Population, model geo.PathModel, nShards 
 			}
 		}
 		pl.active = append(pl.active, ap)
+	}
+
+	if cfg.Attacks != nil {
+		if len(cfg.Attacks.NXNS) > 0 {
+			pl.attackerNS = alloc()
+		}
+		if len(cfg.Attacks.Reflections) > 0 {
+			pl.reflectSrc = alloc()
+			pl.reflectDst = alloc()
+		}
 	}
 
 	pl.partition()
@@ -367,18 +386,19 @@ func (e *shardEmitter) flush() {
 // runShards executes the planned run across the plan's shards — via
 // goroutine lanes or worker processes, per cfg.Workers — and feeds the
 // merged canonical record stream into emit/emitAuth on the caller's
-// goroutine. It returns the merged fault report (nil without a
-// schedule) and the run's primary error. When snapshotting is
-// configured it checkpoints the merge frontier at instant boundaries
-// and, on resume, verifies and skips the already-durable prefix.
-func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, emit func(QueryRecord), emitAuth func(AuthRecord), metrics *obs.Registry) (*faults.Report, error) {
+// goroutine. It returns the merged fault and attack reports (nil
+// without the respective schedule) and the run's primary error. When
+// snapshotting is configured it checkpoints the merge frontier at
+// instant boundaries and, on resume, verifies and skips the
+// already-durable prefix.
+func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, emit func(QueryRecord), emitAuth func(AuthRecord), metrics *obs.Registry) (*faults.Report, *attacks.Report, error) {
 	runner, err := laneRunnerFor(cfg, pl)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sn, err := newSnapshotter(cfg, pl, sched)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -392,7 +412,7 @@ func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Sc
 		outs[i] = chans[i]
 	}
 	var (
-		reports []*faults.Report
+		reports []laneReport
 		runErr  error
 		done    = make(chan struct{})
 	)
@@ -419,14 +439,22 @@ func runShards(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Sc
 	})
 	<-done
 	if runErr != nil {
-		return nil, runErr
+		if sn != nil {
+			sn.failureCheckpoint()
+		}
+		return nil, nil, runErr
 	}
 	if sn != nil {
 		if err := sn.finish(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return faults.MergeReports(reports...), nil
+	fr := make([]*faults.Report, len(reports))
+	ar := make([]*attacks.Report, len(reports))
+	for i, r := range reports {
+		fr[i], ar[i] = r.Faults, r.Attacks
+	}
+	return faults.MergeReports(fr...), attacks.MergeReports(ar...), nil
 }
 
 // mergeStreams k-way merges the per-lane (or per-worker) canonical
@@ -480,9 +508,9 @@ func mergeStreams(chans []chan []emitted, deliver func(stream int, rec emitted))
 // it to completion, streaming canonical batches into out. All
 // stochastic decisions are keyed (UseKeyedRand), so the shard computes
 // exactly the outcomes the sequential run would for its slice of the
-// population. It returns the lane's fault report (nil without a
-// schedule) and how many records it emitted.
-func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (*faults.Report, int64, error) {
+// population. It returns the lane's fault and attack reports (nil
+// without the respective schedule) and how many records it emitted.
+func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.Schedule, s int, out chan<- []emitted, metrics *obs.Registry) (laneReport, int64, error) {
 	sim := netsim.NewSimulatorKind(cfg.Scheduler)
 	net := netsim.NewNetwork(sim, pl.model, cfg.Seed+1)
 	net.LossRate = cfg.LossRate
@@ -491,6 +519,19 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 		net.SetMetrics(metrics)
 	}
 	em := &shardEmitter{sim: sim, out: out}
+
+	// Attack campaigns compile on their own keyed stream (Seed+11),
+	// exactly like faults on Seed+7: bot membership, reflector subsets
+	// and phases are pure functions of stable entity keys, so every
+	// shard layout agrees on who attacks when.
+	var tracker *attacks.Tracker
+	atkPlan, err := attacks.Compile(cfg.Attacks, cfg.Seed+11)
+	if err != nil {
+		return laneReport{}, 0, err
+	}
+	if atkPlan != nil {
+		tracker = attacks.NewTracker(atkPlan, metrics)
+	}
 
 	// Authoritative sites: replicated into every shard. Their engines
 	// keep only per-source state (and measurement runs leave RRL off),
@@ -502,13 +543,43 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 	for code, addr := range pl.siteAddr {
 		siteAddr[code] = addr
 	}
-	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, siteAddr, em.auth, metrics)
+	emitAuth := em.auth
+	if tracker != nil {
+		// Attribute victim-side authoritative load to its campaign by
+		// query-name grammar. Reflection is excluded: its victim traffic
+		// is the reflected responses, counted at the victim host below.
+		emitAuth = func(a AuthRecord) {
+			if kind, idx, ok := attacks.Classify(a.QName); ok && kind != attacks.KindReflect {
+				tracker.Victim(kind, idx, 0)
+			}
+			em.auth(a)
+		}
+	}
+	authAddrs, _, err := buildAuthSites(sim, net, cfg.Combo, siteAddr, emitAuth, metrics)
 	if err != nil {
-		return nil, 0, err
+		return laneReport{}, 0, err
 	}
 
 	clock := simbind.SimClock{Sim: sim}
 	zones := []resolver.ZoneServers{{Zone: TestDomain, Servers: authAddrs}}
+	if atkPlan != nil && len(cfg.Attacks.NXNS) > 0 {
+		// The attacker's name server: replicated per shard like the auth
+		// sites, answering every bot query with a crafted glueless
+		// referral into the victim zone. Its zone is delegated in the
+		// resolver config so bot queries route to it.
+		fanouts := make([]int, len(cfg.Attacks.NXNS))
+		for i, e := range cfg.Attacks.NXNS {
+			fanouts[i] = e.Fanout
+		}
+		responder := &attacks.ReferralResponder{Zone: attacks.EvilZone, Victim: TestDomain, Fanouts: fanouts}
+		evil := net.AddHostAddr(pl.attackerNS, geo.Coord{})
+		evil.Handle(func(src, _ netip.Addr, payload []byte) {
+			if resp := responder.Respond(payload); resp != nil {
+				evil.Send(src, resp)
+			}
+		})
+		zones = append(zones, resolver.ZoneServers{Zone: attacks.EvilZone, Servers: []netip.Addr{pl.attackerNS}})
+	}
 	var publicMembers []*netsim.Host
 	for _, ri := range pl.resolversByShard[s] {
 		spec := pl.pop.Resolvers[ri]
@@ -518,15 +589,17 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			infra.SetBackoff(*cfg.Backoff)
 		}
 		eng := resolver.NewEngine(resolver.Config{
-			Policy:    resolver.NewPolicy(spec.Kind),
-			Infra:     infra,
-			Cache:     resolver.NewRecordCache(),
-			Zones:     zones,
-			Transport: simbind.HostTransport{Host: host},
-			Clock:     clock,
-			RNG:       rand.New(rand.NewSource(cfg.Seed + 1000 + int64(ri))),
-			Timeout:   800 * time.Millisecond,
-			Metrics:   metrics,
+			Policy:          resolver.NewPolicy(spec.Kind),
+			Infra:           infra,
+			Cache:           resolver.NewRecordCache(),
+			Zones:           zones,
+			Transport:       simbind.HostTransport{Host: host},
+			Clock:           clock,
+			RNG:             rand.New(rand.NewSource(cfg.Seed + 1000 + int64(ri))),
+			Timeout:         800 * time.Millisecond,
+			MaxFetch:        cfg.Defense.MaxFetch,
+			DisableNegCache: cfg.Defense.NoNegativeCache,
+			Metrics:         metrics,
 		})
 		simbind.BindResolver(host, eng)
 		if spec.Public {
@@ -548,7 +621,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			Resolvers: pl.resolverAddr,
 		}, cfg.Seed+7)
 		if err != nil {
-			return nil, 0, err
+			return laneReport{}, 0, err
 		}
 		inj.UseKeyedRand(uint64(cfg.Seed + 7))
 		if metrics != nil {
@@ -571,7 +644,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 		if ap.catchIdx >= 0 {
 			member, ok := net.Host(pl.resolverAddr[ap.catchIdx])
 			if !ok {
-				return nil, 0, fmt.Errorf("measure: shard %d missing catchment member for probe %d", s, ap.probe.ID)
+				return laneReport{}, 0, fmt.Errorf("measure: shard %d missing catchment member for probe %d", s, ap.probe.ID)
 			}
 			net.PinCatchment(ap.addr, pl.publicAddr, member)
 		}
@@ -654,6 +727,57 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			sim.Schedule(cfg.Interval, tick)
 		}
 		sim.Schedule(phase, tick)
+
+		if atkPlan != nil {
+			scheduleAttackBots(sim, cfg, pl, atkPlan, tracker, host, ap.probe)
+		}
+	}
+
+	if atkPlan != nil && len(cfg.Attacks.Reflections) > 0 {
+		// Spoofed-source reflection: the sender host forges the victim's
+		// address on queries to open resolvers, which reflect their
+		// (cached, larger) responses at the victim. Reflector membership
+		// is keyed by resolver address, so each shard drives exactly the
+		// reflectors it owns and the union over any layout is identical.
+		refl := net.AddHostAddr(pl.reflectSrc, geo.Coord{})
+		victim := net.AddHostAddr(pl.reflectDst, geo.Coord{})
+		victim.Handle(func(_, _ netip.Addr, payload []byte) {
+			msg, err := dnswire.Unpack(payload)
+			if err != nil || !msg.Response {
+				return
+			}
+			q, ok := msg.Question()
+			if !ok {
+				return
+			}
+			if kind, idx, cok := attacks.Classify(q.Name.Key()); cok && kind == attacks.KindReflect {
+				tracker.Victim(kind, idx, len(payload))
+			}
+		})
+		for i := range cfg.Attacks.Reflections {
+			e := cfg.Attacks.Reflections[i]
+			qname, qerr := TestDomain.Child(attacks.ReflectLabel(i))
+			if qerr != nil {
+				continue
+			}
+			for _, ri := range pl.resolversByShard[s] {
+				raddr := pl.resolverAddr[ri]
+				if !atkPlan.Reflector(i, raddr) {
+					continue
+				}
+				tracker.AddBot(attacks.KindReflect, i)
+				phase := atkPlan.Phase(attacks.KindReflect, i, raddr.String(), e.Interval)
+				scheduleBotTicks(sim, cfg, e.Start, e.End, e.Interval, phase, func(seq int) {
+					q := dnswire.NewQuery(attackQueryID(seq), qname, dnswire.TypeTXT)
+					wire, err := q.Pack()
+					if err != nil {
+						return
+					}
+					tracker.Attack(attacks.KindReflect, i, len(wire))
+					refl.SendSpoofed(pl.reflectDst, raddr, wire)
+				})
+			}
+		}
 	}
 
 	// Test-only seam: a lane failure injected at a virtual instant, for
@@ -672,11 +796,96 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
 			err = cause
 		}
-		return nil, em.count, err
+		return laneReport{}, em.count, err
 	}
 	em.flush()
+	lr := laneReport{Attacks: tracker.Report()}
 	if inj != nil {
-		return inj.Report(), em.count, nil
+		lr.Faults = inj.Report()
 	}
-	return nil, em.count, nil
+	return lr, em.count, nil
+}
+
+// attackQueryID maps an attack-tick sequence number into the upper
+// half of the DNS ID space. Probe measurement queries use IDs equal to
+// their (small) sequence numbers, so attack replies arriving at a
+// shared bot host never match a pending measurement record.
+func attackQueryID(seq int) uint16 { return 0x8000 | uint16(seq&0x7fff) }
+
+// scheduleBotTicks drives one bot's fixed-cadence loop inside the
+// campaign window [start, end): first fire at start+phase, then every
+// interval, stopping at the window's end or the run's end.
+func scheduleBotTicks(sim *netsim.Simulator, cfg RunConfig, start, end, interval, phase time.Duration, fire func(seq int)) {
+	seq := 0
+	var tick func()
+	tick = func() {
+		if sim.Now() >= end || sim.Now() >= cfg.Duration {
+			return
+		}
+		fire(seq)
+		seq++
+		sim.Schedule(interval, tick)
+	}
+	sim.Schedule(start+phase, tick)
+}
+
+// scheduleAttackBots enrolls one probe's host into every NXNS and
+// water-torture campaign that keyed-selected it. Bots send through the
+// probe's first resolver choice (deterministic, not the measurement
+// RNG) with high-half query IDs; replies fall through the probe's
+// pending lookup and are discarded, so bot traffic never perturbs the
+// probe's own measurement records.
+func scheduleAttackBots(sim *netsim.Simulator, cfg RunConfig, pl *runPlan, atkPlan *attacks.Plan, tracker *attacks.Tracker, host *netsim.Host, probe atlas.Probe) {
+	ridx := probe.Resolvers[0]
+	raddr := pl.publicAddr
+	if !atlas.PublicMarker(ridx) {
+		raddr = pl.resolverAddr[ridx]
+	}
+	if !raddr.IsValid() {
+		return
+	}
+	entity := "p" + strconv.Itoa(probe.ID)
+	send := func(kind string, idx int, qname dnswire.Name, typ dnswire.Type, seq int) {
+		q := dnswire.NewQuery(attackQueryID(seq), qname, typ)
+		wire, err := q.Pack()
+		if err != nil {
+			return
+		}
+		tracker.Attack(kind, idx, len(wire))
+		host.Send(raddr, wire)
+	}
+	for i := range cfg.Attacks.NXNS {
+		e := cfg.Attacks.NXNS[i]
+		if !atkPlan.NXNSBot(i, probe.ID) {
+			continue
+		}
+		tracker.AddBot(attacks.KindNXNS, i)
+		phase := atkPlan.Phase(attacks.KindNXNS, i, entity, e.Interval)
+		scheduleBotTicks(sim, cfg, e.Start, e.End, e.Interval, phase, func(seq int) {
+			qname, err := attacks.EvilZone.Child(attacks.NXNSQueryLabel(i, probe.ID, seq))
+			if err != nil {
+				return
+			}
+			send(attacks.KindNXNS, i, qname, dnswire.TypeA, seq)
+		})
+	}
+	for i := range cfg.Attacks.Floods {
+		e := cfg.Attacks.Floods[i]
+		if !atkPlan.FloodBot(i, probe.ID) {
+			continue
+		}
+		tracker.AddBot(attacks.KindFlood, i)
+		phase := atkPlan.Phase(attacks.KindFlood, i, entity, e.Interval)
+		scheduleBotTicks(sim, cfg, e.Start, e.End, e.Interval, phase, func(seq int) {
+			pool := seq
+			if e.Names > 0 {
+				pool = seq % e.Names
+			}
+			qname, err := TestDomain.Child(attacks.FloodLabel(i, probe.ID, pool))
+			if err != nil {
+				return
+			}
+			send(attacks.KindFlood, i, qname, dnswire.TypeA, seq)
+		})
+	}
 }

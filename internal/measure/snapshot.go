@@ -229,6 +229,23 @@ func (sn *snapshotter) checkpoint() error {
 	return writeSnapshot(sn.spec.Path, snap)
 }
 
+// failureCheckpoint persists the delivered prefix when the run fails
+// mid-flight: everything the merge handed to the sink before the
+// cancellation is a canonical prefix (deliveries stop the instant a
+// stream fails), so it is safe to resume from even when no periodic
+// boundary was crossed. Best-effort — the run's primary error stands
+// regardless — and never on a still-inside-verified-prefix resume,
+// where rewriting would regress the checkpoint it was loaded from.
+func (sn *snapshotter) failureCheckpoint() {
+	if sn.err != nil || sn.n == 0 {
+		return
+	}
+	if v := sn.verify; v != nil && sn.n < v.Records {
+		return
+	}
+	_ = sn.checkpoint()
+}
+
 // finish runs after a successful merge: it validates that a resumed
 // run actually covered the snapshot's prefix and writes the final
 // checkpoint.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ritw/internal/atlas"
+	"ritw/internal/attacks"
 	"ritw/internal/faults"
 	"ritw/internal/geo"
 	"ritw/internal/lanewire"
@@ -83,6 +84,11 @@ type laneJob struct {
 	Faults        *faults.Schedule
 	Backoff       *resolver.BackoffConfig
 	Scheduler     uint8
+	// Attacks/Defense are pointers with omitempty so attack-free jobs
+	// serialize exactly as they did before attacks existed — which keeps
+	// runFingerprint, and therefore old snapshots, valid.
+	Attacks *attacks.Schedule `json:",omitempty"`
+	Defense *attacks.Defenses `json:",omitempty"`
 }
 
 // laneJobFor captures the resolved run parameters. Faults is the
@@ -90,7 +96,7 @@ type laneJob struct {
 // Population comes from the plan, so worker and parent cannot drift on
 // defaulting.
 func laneJobFor(cfg RunConfig, pl *runPlan, sched *faults.Schedule) laneJob {
-	return laneJob{
+	j := laneJob{
 		Version:       laneJobVersion,
 		Shards:        pl.nShards,
 		Combo:         cfg.Combo,
@@ -107,11 +113,19 @@ func laneJobFor(cfg RunConfig, pl *runPlan, sched *faults.Schedule) laneJob {
 		Backoff:       cfg.Backoff,
 		Scheduler:     uint8(cfg.Scheduler),
 	}
+	if !cfg.Attacks.Empty() {
+		j.Attacks = cfg.Attacks
+	}
+	if cfg.Defense != (attacks.Defenses{}) {
+		d := cfg.Defense
+		j.Defense = &d
+	}
+	return j
 }
 
 // runConfig rebuilds the worker-side RunConfig from the job.
 func (j *laneJob) runConfig() RunConfig {
-	return RunConfig{
+	cfg := RunConfig{
 		Combo:         j.Combo,
 		Interval:      j.Interval,
 		Duration:      j.Duration,
@@ -124,6 +138,11 @@ func (j *laneJob) runConfig() RunConfig {
 		Backoff:       j.Backoff,
 		Scheduler:     netsim.SchedulerKind(j.Scheduler),
 	}
+	cfg.Attacks = j.Attacks
+	if j.Defense != nil {
+		cfg.Defense = *j.Defense
+	}
+	return cfg
 }
 
 // runFingerprint hashes the stream-shaping parameters for snapshot
@@ -156,6 +175,7 @@ type laneDoneMsg struct {
 	Records int64
 	WallNs  int64
 	Report  *faults.Report
+	Attacks *attacks.Report `json:",omitempty"`
 }
 
 // workerDoneMsg ends a worker's stream (FrameWorkerDone payload).
@@ -215,13 +235,13 @@ func newProcessLanes(workers, lanes int) (*processLanes, error) {
 
 func (p *processLanes) streams() int { return p.workers }
 
-func (p *processLanes) runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]*faults.Report, error) {
+func (p *processLanes) runLanes(ctx context.Context, cancel context.CancelCauseFunc, cfg RunConfig, pl *runPlan, sched *faults.Schedule, outs []chan<- []emitted, metrics *obs.Registry) ([]laneReport, error) {
 	base := laneJobFor(cfg, pl, sched)
 	assign := make([][]int, p.workers)
 	for l := 0; l < p.lanes; l++ {
 		assign[l%p.workers] = append(assign[l%p.workers], l)
 	}
-	reports := make([]*faults.Report, p.lanes)
+	reports := make([]laneReport, p.lanes)
 	errs := make([]error, p.workers)
 	var wg sync.WaitGroup
 	for w := range assign {
@@ -246,7 +266,7 @@ func (p *processLanes) runLanes(ctx context.Context, cancel context.CancelCauseF
 // runWorker spawns one subprocess, feeds it its job, and pumps its
 // stream: batches to the merger, lane-dones into reports/metrics, the
 // final registry snapshot into metrics.
-func (p *processLanes) runWorker(ctx context.Context, job laneJob, w int, lanes []int, out chan<- []emitted, reports []*faults.Report, metrics *obs.Registry) error {
+func (p *processLanes) runWorker(ctx context.Context, job laneJob, w int, lanes []int, out chan<- []emitted, reports []laneReport, metrics *obs.Registry) error {
 	job.Worker = w
 	job.Lanes = lanes
 	job.Obs = metrics != nil
@@ -310,7 +330,7 @@ read:
 				loopErr = fmt.Errorf("lane-done for unknown lane %d", ld.Lane)
 				break read
 			}
-			reports[ld.Lane] = ld.Report
+			reports[ld.Lane] = laneReport{Faults: ld.Report, Attacks: ld.Attacks}
 			if ld.Report != nil {
 				partials = append(partials, ld.Report)
 			}
@@ -508,7 +528,8 @@ func RunLaneWorker(in io.Reader, out io.Writer) error {
 				Lane:    lane,
 				Records: n,
 				WallNs:  int64(time.Since(start)),
-				Report:  report,
+				Report:  report.Faults,
+				Attacks: report.Attacks,
 			})
 			if merr != nil {
 				errs[i] = merr

@@ -263,7 +263,9 @@ func TestWorkerKillResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker subprocesses")
 	}
-	cfg := shardCfg(t, "2B", 140, 9)
+	// Large enough that the worker ships many batch frames, so the
+	// injected crash (3 batches in) lands solidly mid-stream.
+	cfg := shardCfg(t, "2B", 600, 9)
 	cfg.Shards = 4
 	cfg.Workers = 2
 
@@ -277,15 +279,23 @@ func TestWorkerKillResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The crashing run uses a single worker: with two, whether the
+	// parent merged (and therefore checkpointed) anything before the
+	// crash depends on a wall-clock race between the dying worker's
+	// first batches and the sibling's — the k-way merge cannot deliver
+	// a record until every stream has produced one. One self-paced
+	// worker makes the pre-crash delivery deterministic; resuming under
+	// the two-worker layout is then extra coverage for the checkpoint's
+	// layout portability (layout is deliberately outside the
+	// fingerprint).
+	crash := cfg
+	crash.Workers = 1
 	out := filepath.Join(dir, "resumed.csv")
 	snap := filepath.Join(dir, "resumed.snap")
 	testWorkerCrash = func(worker int) (batches, laneDones int) {
-		if worker == 1 {
-			return 3, 0 // die after shipping 3 batch frames
-		}
-		return 0, 0
+		return 3, 0 // die after shipping 3 batch frames
 	}
-	err = snapshotRun(t, cfg, out, snap, time.Minute, false)
+	err = snapshotRun(t, crash, out, snap, time.Minute, false)
 	testWorkerCrash = nil
 	if err == nil {
 		t.Fatal("crashing run should fail")

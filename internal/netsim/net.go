@@ -65,6 +65,18 @@ func (h *Host) SendAs(src, dst netip.Addr, payload []byte) {
 	h.net.send(h, src, dst, payload)
 }
 
+// SendSpoofed transmits with an arbitrary forged source address — the
+// deliberate escape hatch from SendAs's configuration check, for
+// modeling spoofed-source reflection attacks (BCP 38 does not exist
+// here). Packet fate (loss, delay, catchment) is keyed on the sending
+// and receiving hosts exactly like Send, so a spoofed source never
+// perturbs a randomness stream; only the receiver's view of "who sent
+// this" changes.
+func (h *Host) SendSpoofed(src, dst netip.Addr, payload []byte) {
+	h.net.spoofed.Inc()
+	h.net.send(h, src, dst, payload)
+}
+
 // slabRef is one entry of the address slab: the pool offset of an
 // address resolves to the host registered there, the anycast service
 // registered there (svc = service id + 1; 0 = none), or neither.
@@ -126,6 +138,7 @@ type Network struct {
 	sent       *obs.Counter
 	dropped    *obs.Counter
 	faultDrops *obs.Counter
+	spoofed    *obs.Counter
 }
 
 // FaultModel is consulted on every packet after routing and the static
@@ -154,6 +167,7 @@ func (n *Network) SetMetrics(r *obs.Registry) {
 	n.sent = r.Counter("netsim_packets_sent_total")
 	n.dropped = r.Counter("netsim_packets_dropped_total")
 	n.faultDrops = r.Counter("netsim_fault_drops_total")
+	n.spoofed = r.Counter("attacks_spoofed_packets_total")
 	n.Sim.SetMetrics(r)
 }
 

@@ -75,6 +75,14 @@ type Config struct {
 	Timeout time.Duration
 	// MaxRetries bounds upstream attempts per client query (default 3).
 	MaxRetries int
+	// MaxFetch caps the glueless NS-target fetches a single client
+	// query may spawn while chasing referrals — the NXNSAttack
+	// "MaxFetch" defense. 0 means undefended: only the hard safety cap
+	// (maxReferralFetch) applies.
+	MaxFetch int
+	// DisableNegCache turns off RFC 2308 negative caching while
+	// keeping positive caching, for defense-matrix contrasts.
+	DisableNegCache bool
 	// Metrics, if set, registers the engine's counters there. Several
 	// engines may share one registry: the counters are additive, so the
 	// registry then reports population-wide totals.
@@ -98,6 +106,15 @@ type Stats struct {
 	// HoldDownSkips counts servers excluded from selection because
 	// they were inside a backoff hold-down window.
 	HoldDownSkips int
+	// NegCacheHits counts cache hits served from negative entries
+	// (RFC 2308): the water-torture absorption path.
+	NegCacheHits int
+	// ReferralFetches counts glueless NS-target fetches spawned while
+	// chasing referrals — the NXNSAttack amplification vector.
+	ReferralFetches int
+	// FetchExhausted counts queries whose referral chase hit the fetch
+	// budget (MaxFetch or the hard safety cap).
+	FetchExhausted int
 }
 
 // engineMetrics caches the obs counters so the serving path touches
@@ -111,6 +128,9 @@ type engineMetrics struct {
 	servfails     *obs.Counter
 	failovers     *obs.Counter
 	holdSkips     *obs.Counter
+	negHits       *obs.Counter
+	refFetches    *obs.Counter
+	refExhausted  *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -123,6 +143,9 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		servfails:     r.Counter("resolver_servfail_total"),
 		failovers:     r.Counter("resolver_error_failovers_total"),
 		holdSkips:     r.Counter("resolver_holddown_skips_total"),
+		negHits:       r.Counter("resolver_negcache_hits_total"),
+		refFetches:    r.Counter("attacks_referral_fetches_total"),
+		refExhausted:  r.Counter("attacks_fetch_budget_exhausted_total"),
 	}
 }
 
@@ -168,7 +191,26 @@ type pendingQuery struct {
 	attempts   int
 	failovers  int
 	done       bool
+
+	// Referral-chase bookkeeping. A client query whose upstream answer
+	// is a referral becomes the *root* of a chase: each glueless NS
+	// target spawns a child pendingQuery (root set, no client to reply
+	// to), and the root replies to its client only after every child
+	// resolves. The budget lives on the root, so nested referrals —
+	// the NXNSAttack loop — are charged to the one client query that
+	// started them and terminate deterministically.
+	root    *pendingQuery   // non-nil on chase children
+	kids    int             // outstanding children (root only)
+	fetches int             // NS-target fetches charged (root only)
+	fetched map[string]bool // NS targets already handled (root only)
 }
+
+// maxReferralFetch is the hard safety cap on NS-target fetches per
+// client query when no MaxFetch defense is configured. It bounds the
+// undefended engine the way real pre-patch resolvers were bounded by
+// message size — large enough to exhibit paper-class amplification,
+// small enough that a crafted referral chain cannot run away.
+const maxReferralFetch = 64
 
 func (pq *pendingQuery) triedCount() int {
 	return bits.OnesCount64(pq.triedMask) + len(pq.triedMap)
@@ -298,6 +340,12 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 		if rcode, answers, hit := e.cfg.Cache.Get(question.Name, question.Type, question.Class, now); hit {
 			e.stats.CacheHits++
 			e.m.cacheHits.Inc()
+			if len(answers) == 0 {
+				// Positive entries always carry records, so an empty
+				// hit is an RFC 2308 negative entry doing its job.
+				e.stats.NegCacheHits++
+				e.m.negHits.Inc()
+			}
 			e.traceLocal(client, question, obs.OutcomeCacheHit, rcode)
 			e.replyAnswer(client, q, rcode, answers)
 			return
@@ -396,8 +444,7 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	wire, err := upq.Pack()
 	if err != nil {
 		delete(e.pending, id)
-		e.stats.ServFails++
-		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		e.failLocked(pq)
 		return
 	}
 	e.stats.UpstreamQueries++
@@ -436,14 +483,38 @@ func (e *Engine) onTimeout(id uint16, pq *pendingQuery, attempt int) {
 	e.m.timeouts.Inc()
 	e.cfg.Infra.TimeoutID(pq.upstreamID, e.cfg.Clock.Now())
 	if pq.attempts >= e.cfg.MaxRetries {
-		pq.done = true
-		e.stats.ServFails++
-		e.m.servfails.Inc()
-		e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
-		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		e.failLocked(pq)
 		return
 	}
 	e.sendUpstreamLocked(pq)
+}
+
+// failLocked terminates a pending query with SERVFAIL semantics: a
+// client-facing query replies to its client; a chase child silently
+// settles with its root. Callers hold e.mu.
+func (e *Engine) failLocked(pq *pendingQuery) {
+	pq.done = true
+	if pq.root != nil {
+		e.childDoneLocked(pq.root)
+		return
+	}
+	e.stats.ServFails++
+	e.m.servfails.Inc()
+	e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
+	e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+}
+
+// childDoneLocked settles one finished child against its root and
+// completes the root once the last child resolves. The chase never
+// yields a usable answer for the root's question — crafted glueless
+// delegations are dead ends by construction — so the root's client
+// sees SERVFAIL, exactly like a real resolver that burned its fetch
+// budget on an NXNS referral. Callers hold e.mu.
+func (e *Engine) childDoneLocked(root *pendingQuery) {
+	root.kids--
+	if root.kids == 0 && !root.done {
+		e.failLocked(root)
+	}
 }
 
 func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
@@ -486,11 +557,16 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 			e.sendUpstreamLocked(pq)
 			return
 		}
-		pq.done = true
-		e.stats.ServFails++
-		e.m.servfails.Inc()
-		e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
-		e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+		e.failLocked(pq)
+		return
+	}
+
+	// A NoError response with no answers but NS records in the
+	// authority section is a referral: chase the glueless targets
+	// before answering. Benign NODATA responses carry only a SOA there
+	// and fall through to negative caching.
+	if resp.RCode == dnswire.RCodeNoError && len(resp.Answers) == 0 &&
+		e.chaseReferralLocked(pq, resp, now) {
 		return
 	}
 	pq.done = true
@@ -500,12 +576,114 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 		case resp.RCode == dnswire.RCodeNoError && len(resp.Answers) > 0:
 			e.cfg.Cache.PutPositive(pq.question.Name, pq.question.Type, pq.question.Class, resp.Answers, now)
 		case resp.RCode == dnswire.RCodeNXDomain || resp.RCode == dnswire.RCodeNoError:
-			e.cfg.Cache.PutNegative(pq.question.Name, pq.question.Type, pq.question.Class,
-				resp.RCode, negativeTTL(resp), now)
+			if !e.cfg.DisableNegCache {
+				e.cfg.Cache.PutNegative(pq.question.Name, pq.question.Type, pq.question.Class,
+					resp.RCode, negativeTTL(resp), now)
+			}
 		}
+	}
+	if pq.root != nil {
+		// A chase child resolved (its answer, if any, is cached above);
+		// settle it against the root instead of replying to a client.
+		e.childDoneLocked(pq.root)
+		return
 	}
 	e.traceDone(pq, obs.OutcomeAnswered, resp.RCode)
 	e.replyAnswer(pq.clientAddr, pq.clientMsg, resp.RCode, resp.Answers)
+}
+
+// chaseReferralLocked inspects an answerless NoError response for NS
+// records and, if present, fans out A-record fetches for the glueless
+// targets. It returns false when the response carries no NS records
+// (not a referral — the caller proceeds with normal NODATA handling).
+//
+// Termination is structural: targets are deduplicated per root, every
+// fetch is charged to the root's budget (Config.MaxFetch, or the hard
+// maxReferralFetch cap when undefended), and nested referrals spawn
+// into the same root. A malicious referral chain can therefore cost at
+// most budget upstream transactions, each itself bounded by
+// MaxRetries, before the root's client gets SERVFAIL. Callers hold
+// e.mu.
+func (e *Engine) chaseReferralLocked(pq *pendingQuery, resp *dnswire.Message, now time.Duration) bool {
+	hasNS := false
+	for _, rr := range resp.Authority {
+		if _, ok := rr.Data.(dnswire.NS); ok {
+			hasNS = true
+			break
+		}
+	}
+	if !hasNS {
+		return false
+	}
+	root := pq
+	if pq.root != nil {
+		root = pq.root
+	}
+	budget := e.cfg.MaxFetch
+	if budget <= 0 {
+		budget = maxReferralFetch
+	}
+	exhausted := false
+	for _, rr := range resp.Authority {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		key := ns.Host.Key()
+		if root.fetched[key] {
+			continue
+		}
+		zone := e.zoneFor(ns.Host)
+		if zone < 0 || len(e.cfg.Zones[zone].Servers) == 0 {
+			continue // unresolvable target: a free dead end
+		}
+		if e.cfg.Cache != nil {
+			if _, _, hit := e.cfg.Cache.Get(ns.Host, dnswire.TypeA, dnswire.ClassINET, now); hit {
+				// A cached target costs no fetch — which is why only
+				// cache-busting nonce targets achieve amplification.
+				if root.fetched == nil {
+					root.fetched = make(map[string]bool)
+				}
+				root.fetched[key] = true
+				continue
+			}
+		}
+		if root.fetches >= budget {
+			exhausted = true
+			break
+		}
+		if root.fetched == nil {
+			root.fetched = make(map[string]bool)
+		}
+		root.fetched[key] = true
+		root.fetches++
+		e.stats.ReferralFetches++
+		e.m.refFetches.Inc()
+		child := &pendingQuery{
+			question:  dnswire.Question{Name: ns.Host, Type: dnswire.TypeA, Class: dnswire.ClassINET},
+			servers:   e.cfg.Zones[zone].Servers,
+			serverIDs: e.zoneIDs[zone],
+			startedAt: now,
+			root:      root,
+		}
+		root.kids++
+		e.sendUpstreamLocked(child)
+	}
+	if exhausted {
+		e.stats.FetchExhausted++
+		e.m.refExhausted.Inc()
+	}
+	if pq.root != nil {
+		// The referral consumed a child: settle it (after any nested
+		// spawns above, so the root cannot complete prematurely).
+		pq.done = true
+		e.childDoneLocked(pq.root)
+	} else if root.kids == 0 {
+		// Nothing fetchable at all (budget spent or all dead ends):
+		// the client query fails right here.
+		e.failLocked(root)
+	}
+	return true
 }
 
 // traceDone emits a trace for a query that went upstream. Callers hold

@@ -1,0 +1,208 @@
+package resolver
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// FuzzReferralChain drives the referral-chasing path with an
+// adversarial authoritative whose every move — answer, crafted
+// referral, dead end, NXNSAttack-style fan-out, drop — is chosen by
+// the fuzzer. The invariants are the NXNSAttack defense contract: the
+// engine terminates (no referral loop outlives the drain), the pending
+// table empties, the client gets exactly one reply (answer or
+// SERVFAIL), and the glueless fetches charged to the query never
+// exceed the MaxFetch budget (or the hard safety cap when undefended).
+//
+// The checked-in corpus under testdata/fuzz/FuzzReferralChain seeds
+// the interesting shapes: deep nested referrals, wide fan-outs beyond
+// the budget, duplicate targets (dedup must make them free),
+// unresolvable targets, and referrals answered only after timeouts.
+func FuzzReferralChain(f *testing.F) {
+	// answer, then a small referral fan-out, then answers
+	f.Add([]byte{0, 1, 4, 0, 0, 0, 0}, uint8(0))
+	// wide fan-out far beyond MaxFetch=2, all fetches then dropped
+	f.Add([]byte{1, 40, 3, 3, 3, 3}, uint8(2))
+	// nested referrals: each fetch answered by another referral
+	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3, 1, 3}, uint8(4))
+	// duplicate + unresolvable targets interleaved with dead ends
+	f.Add([]byte{1, 6, 2, 2, 1, 6, 0, 0}, uint8(3))
+	// timeouts all the way down
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, maxFetch uint8) {
+		tr := &fakeTransport{}
+		clk := &fakeClock{}
+		evilZone := dnswire.MustParseName("evil.example")
+		e := NewEngine(Config{
+			Policy: NewPolicy(KindBINDLike),
+			Infra:  NewInfraCache(10*time.Minute, DecayKeep),
+			Cache:  NewRecordCache(),
+			Zones: []ZoneServers{
+				{Zone: testZone, Servers: []netip.Addr{srvA, srvB}},
+				{Zone: evilZone, Servers: []netip.Addr{srvC}},
+			},
+			Transport:  tr,
+			Clock:      clk,
+			RNG:        rand.New(rand.NewSource(1)),
+			Timeout:    300 * time.Millisecond,
+			MaxRetries: 1,
+			MaxFetch:   int(maxFetch),
+		})
+
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+
+		qname, err := evilZone.Child("trigger")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := dnswire.NewQuery(1, qname, dnswire.TypeA).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.HandlePacket(clientAddr, wire)
+
+		// referral builds a glueless NS referral for the packed upstream
+		// query: fanout targets, mostly fresh nonces under testZone, with
+		// the occasional repeat (dedup makes it free), nested evil-zone
+		// target (spawns into the same root), and unresolvable name (a
+		// dead end the engine must not fetch).
+		nonce := 0
+		referral := func(upstream []byte, fanout int) []byte {
+			q, err := dnswire.Unpack(upstream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := dnswire.NewResponse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < fanout; j++ {
+				var host dnswire.Name
+				switch next() % 8 {
+				case 6: // repeat of a prior target
+					host, err = testZone.Child("n0")
+				case 7:
+					switch j % 3 {
+					case 0: // nested referral bait under the evil zone
+						host, err = evilZone.Child(fmt.Sprintf("d%d", nonce))
+					default: // target in a zone the engine cannot resolve
+						host, err = dnswire.MustParseName("nowhere.invalid").Child(fmt.Sprintf("x%d", nonce))
+					}
+					nonce++
+				default: // fresh cache-busting nonce under the victim zone
+					host, err = testZone.Child(fmt.Sprintf("n%d", nonce))
+					nonce++
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Authority = append(resp.Authority, dnswire.RR{
+					Name: q.Questions[0].Name, Class: dnswire.ClassINET, TTL: 300,
+					Data: dnswire.NS{Host: host},
+				})
+			}
+			wire, err := resp.Pack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return wire
+		}
+
+		clientReplies := 0
+		respond := func(p sentPacket, op byte) {
+			switch op % 4 {
+			case 0: // honest answer
+				e.HandlePacket(p.dst, authAnswerRaw(t, p.payload, "v"))
+			case 1: // crafted referral, fanout from the next byte
+				e.HandlePacket(p.dst, referral(p.payload, int(next())%48+1))
+			case 2: // answerless NoError without NS: plain NODATA
+				q, err := dnswire.Unpack(p.payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := dnswire.NewResponse(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wire, err := resp.Pack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.HandlePacket(p.dst, wire)
+			case 3: // drop: the retry/timeout path resolves it
+			}
+		}
+
+		// Adversarial phase: every in-flight upstream query gets a
+		// fuzzer-chosen fate; time advances so drops cost timeouts, not
+		// livelock. The round bound is generous — a terminating engine
+		// settles in a handful of rounds per budget unit — so hitting it
+		// with work still pending means the chase loops.
+		for round := 0; round < 400; round++ {
+			pkts := tr.take()
+			if len(pkts) == 0 {
+				e.mu.Lock()
+				left := len(e.pending)
+				e.mu.Unlock()
+				if left == 0 {
+					break
+				}
+			}
+			for _, p := range pkts {
+				if p.dst == clientAddr {
+					clientReplies++
+					continue
+				}
+				respond(p, next())
+			}
+			clk.advance(200 * time.Millisecond)
+		}
+
+		// Drain phase: answer everything honestly and let every timer
+		// fire. A referral chain that can outlive this is unbounded.
+		for round := 0; round < 30; round++ {
+			for _, p := range tr.take() {
+				if p.dst == clientAddr {
+					clientReplies++
+					continue
+				}
+				e.HandlePacket(p.dst, authAnswerRaw(t, p.payload, "v"))
+			}
+			clk.advance(time.Second)
+		}
+		for _, p := range tr.take() {
+			if p.dst == clientAddr {
+				clientReplies++
+			}
+		}
+
+		e.mu.Lock()
+		pendingLeft := len(e.pending)
+		e.mu.Unlock()
+		if pendingLeft != 0 {
+			t.Fatalf("pending table did not drain: %d left (referral chase loops?)", pendingLeft)
+		}
+		if clientReplies != 1 {
+			t.Fatalf("client got %d replies for 1 query", clientReplies)
+		}
+		budget := int(maxFetch)
+		if budget <= 0 {
+			budget = maxReferralFetch
+		}
+		if st := e.Stats(); st.ReferralFetches > budget {
+			t.Fatalf("charged %d glueless fetches for one client query, budget %d", st.ReferralFetches, budget)
+		}
+	})
+}

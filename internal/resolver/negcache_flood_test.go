@@ -1,0 +1,149 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+)
+
+// floodEngine builds an engine for the water-torture regression tests,
+// optionally with RFC 2308 negative caching disabled.
+func floodEngine(noNegCache bool) (*Engine, *fakeTransport, *fakeClock) {
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:          NewPolicy(KindUniform),
+		Infra:           NewInfraCache(10*time.Minute, HardExpire),
+		Cache:           NewRecordCache(),
+		Zones:           []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport:       tr,
+		Clock:           clk,
+		RNG:             rand.New(rand.NewSource(42)),
+		Timeout:         500 * time.Millisecond,
+		DisableNegCache: noNegCache,
+	})
+	return e, tr, clk
+}
+
+// nxAnswer builds an authoritative NXDOMAIN for the packed upstream
+// query, SOA minimum (the RFC 2308 negative TTL) as given.
+func nxAnswer(t *testing.T, upstream []byte, negTTL uint32) []byte {
+	t.Helper()
+	q, err := dnswire.Unpack(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.NewResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Authoritative = true
+	resp.RCode = dnswire.RCodeNXDomain
+	resp.Authority = []dnswire.RR{{
+		Name: testZone, Class: dnswire.ClassINET, TTL: negTTL,
+		Data: dnswire.SOA{MName: testZone, RName: testZone, Minimum: negTTL},
+	}}
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// floodRound sends one query per name, answers whatever went upstream
+// with NXDOMAIN (negTTL 30s), and returns how many queries hit the
+// authoritatives and how many NXDOMAIN replies the client got.
+func floodRound(t *testing.T, e *Engine, tr *fakeTransport, names []string, idBase uint16) (upstream, replies int) {
+	t.Helper()
+	for i, name := range names {
+		e.HandlePacket(clientAddr, clientQuery(t, idBase+uint16(i), name))
+		for _, p := range tr.take() {
+			if p.dst == clientAddr {
+				resp, err := dnswire.Unpack(p.payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.RCode != dnswire.RCodeNXDomain {
+					t.Fatalf("client rcode = %v, want NXDOMAIN", resp.RCode)
+				}
+				replies++
+				continue
+			}
+			upstream++
+			e.HandlePacket(p.dst, nxAnswer(t, p.payload, 30))
+			// The NXDOMAIN reply to the client comes out on the next take.
+			for _, r := range tr.take() {
+				if r.dst != clientAddr {
+					t.Fatalf("unexpected upstream retry after authoritative NXDOMAIN: %v", r.dst)
+				}
+				replies++
+			}
+		}
+	}
+	return upstream, replies
+}
+
+// TestEngineNXDomainFloodNegativeCache is the water-torture regression
+// pin at the engine level: a flood that repeats names must cost the
+// authoritatives one query per name per negative TTL — every repeat
+// within the TTL is served from the RFC 2308 negative cache, counted
+// in Stats.NegCacheHits — and the TTL expiring re-admits exactly one
+// upstream query per name.
+func TestEngineNXDomainFloodNegativeCache(t *testing.T) {
+	e, tr, clk := floodEngine(false)
+	names := []string{"wt0", "wt1", "wt2", "wt3", "wt4"}
+
+	up, replies := floodRound(t, e, tr, names, 100)
+	if up != len(names) || replies != len(names) {
+		t.Fatalf("first round: %d upstream, %d replies, want %d each", up, replies, len(names))
+	}
+
+	// Nine more rounds inside the 30s negative TTL: zero upstream.
+	for round := 0; round < 9; round++ {
+		clk.advance(2 * time.Second)
+		up, replies = floodRound(t, e, tr, names, uint16(200+10*round))
+		if up != 0 {
+			t.Fatalf("round %d: %d queries leaked upstream within the negative TTL", round, up)
+		}
+		if replies != len(names) {
+			t.Fatalf("round %d: %d replies, want %d", round, replies, len(names))
+		}
+	}
+	if st := e.Stats(); st.NegCacheHits != 9*len(names) {
+		t.Errorf("NegCacheHits = %d, want %d", st.NegCacheHits, 9*len(names))
+	}
+
+	// Past the TTL: exactly one fresh upstream query per name.
+	clk.advance(31 * time.Second)
+	up, replies = floodRound(t, e, tr, names, 400)
+	if up != len(names) || replies != len(names) {
+		t.Errorf("post-TTL round: %d upstream, %d replies, want %d each", up, replies, len(names))
+	}
+}
+
+// TestEngineNXDomainFloodNoNegCache pins the undefended contrast:
+// with negative caching disabled every repeat goes back upstream, so
+// the authoritatives absorb the full flood — the measurement the
+// defense matrix's flood-nonegcache row is built on.
+func TestEngineNXDomainFloodNoNegCache(t *testing.T) {
+	e, tr, clk := floodEngine(true)
+	names := []string{"wt0", "wt1", "wt2", "wt3", "wt4"}
+	total := 0
+	for round := 0; round < 10; round++ {
+		up, replies := floodRound(t, e, tr, names, uint16(100+10*round))
+		if up != len(names) || replies != len(names) {
+			t.Fatalf("round %d: %d upstream, %d replies, want %d each", round, up, replies, len(names))
+		}
+		total += up
+		clk.advance(2 * time.Second)
+	}
+	if total != 10*len(names) {
+		t.Errorf("undefended flood reached upstream %d times, want %d", total, 10*len(names))
+	}
+	if st := e.Stats(); st.NegCacheHits != 0 {
+		t.Errorf("NegCacheHits = %d with the cache disabled", st.NegCacheHits)
+	}
+}
