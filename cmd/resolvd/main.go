@@ -29,7 +29,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5301", "listen address (UDP)")
 	policyName := flag.String("policy", "bindlike",
-		"selection policy: bindlike, unboundlike, weightedrtt, uniform, roundrobin, sticky")
+		"selection policy: bindlike, unboundlike, weightedrtt, uniform, roundrobin, sticky, probetopn")
+	singleflight := flag.Bool("singleflight", false, "coalesce concurrent identical client queries into one upstream query")
+	qnameMin := flag.Bool("qname-minimize", false, "RFC 9156 qname minimization: walk down the delegation one label at a time")
 	infraTTL := flag.Duration("infra-ttl", 10*time.Minute, "infrastructure-cache TTL (0 = never expire)")
 	decayKeep := flag.Bool("decay-keep", true, "keep stale latency estimates instead of forgetting them")
 	timeout := flag.Duration("timeout", 800*time.Millisecond, "upstream query timeout")
@@ -90,15 +92,17 @@ func main() {
 		}()
 	}
 	eng := resolver.NewEngine(resolver.Config{
-		Policy:    resolver.NewPolicy(kind),
-		Infra:     infra,
-		Cache:     resolver.NewRecordCache(),
-		Zones:     zones,
-		Transport: srv,
-		Clock:     &resolver.RealClock{},
-		RNG:       rand.New(rand.NewSource(*seed)),
-		Timeout:   *timeout,
-		Metrics:   reg,
+		Policy:        resolver.NewPolicy(kind),
+		Infra:         infra,
+		Cache:         resolver.NewRecordCache(),
+		Zones:         zones,
+		Transport:     srv,
+		Clock:         &resolver.RealClock{},
+		RNG:           rand.New(rand.NewSource(*seed)),
+		Timeout:       *timeout,
+		Metrics:       reg,
+		Singleflight:  *singleflight,
+		QnameMinimize: *qnameMin,
 	})
 	go srv.Serve(eng)
 	log.Printf("resolving with policy %s on %s (%d zones)", kind, srv.Addr(), len(zones))
@@ -117,6 +121,7 @@ func parsePolicy(name string) (resolver.PolicyKind, error) {
 	kinds := []resolver.PolicyKind{
 		resolver.KindBINDLike, resolver.KindUnboundLike, resolver.KindWeightedRTT,
 		resolver.KindUniform, resolver.KindRoundRobin, resolver.KindSticky,
+		resolver.KindProbeTopN,
 	}
 	for _, k := range kinds {
 		if k.String() == name {

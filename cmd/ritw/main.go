@@ -143,6 +143,9 @@ func batchOpts(scale core.Scale) []core.Option {
 		core.WithProbes(*probesFlag), core.WithShards(*shardsFlag),
 		core.WithScheduler(schedKind), core.WithWorkers(*workersFlag),
 	}
+	if len(mixShares) > 0 {
+		opts = append(opts, core.WithMix(mixShares))
+	}
 	if *snapEvery > 0 {
 		opts = append(opts, core.WithSnapshot(func(key string) *measure.SnapshotSpec {
 			return &measure.SnapshotSpec{Path: snapPath(key), Every: *snapEvery, Resume: *resumeFlag}
@@ -183,7 +186,7 @@ func main() {
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|attacks|all>")
+		fmt.Fprintln(os.Stderr, "usage: ritw [flags] <table1|fig2|fig3|fig4|table2|fig5|fig6|fig7root|fig7nl|middlebox|ipv6|hardening|planner|outage|openres|scenarios|attacks|mix|all>")
 		fmt.Fprintln(os.Stderr, "       ritw blast [flags]   (open-loop load harness; see ritw blast -h)")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -193,6 +196,10 @@ func main() {
 	schedKind, err = netsim.ParseSchedulerKind(*schedFlag)
 	check(err)
 	check(validateLayout(*shardsFlag, *workersFlag, *snapEvery, *resumeFlag))
+	if *mixFlag != "" {
+		mixShares, err = parseMixSpec(*mixFlag)
+		check(err)
+	}
 	if *metricsOut {
 		metricsReg = obs.NewRegistry()
 	}
@@ -220,12 +227,13 @@ func main() {
 		"openres":   cmdOpenResolver,
 		"scenarios": cmdScenarios,
 		"attacks":   cmdAttacks,
+		"mix":       cmdMix,
 	}
 	name := flag.Arg(0)
 	if name == "all" {
 		order := []string{"table1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6",
 			"fig7root", "fig7nl", "middlebox", "ipv6", "hardening", "planner",
-			"outage", "openres", "scenarios", "attacks"}
+			"outage", "openres", "scenarios", "attacks", "mix"}
 		for _, n := range order {
 			fmt.Printf("==== %s ====\n", n)
 			check(cmds[n](ctx, scale))

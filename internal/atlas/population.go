@@ -28,6 +28,13 @@ type PolicyShare struct {
 	InfraTTL time.Duration
 	// Retention selects hard expiry vs decay-and-keep on TTL lapse.
 	Retention resolver.Retention
+	// Singleflight enables engine-level upstream dedup for resolvers of
+	// this kind, and QnameMinimize the RFC 9156 query pattern — the
+	// modern-recursive behaviours (secDNS, Unbound defaults). Both are
+	// omitempty so mixes without them serialize exactly as before (the
+	// lanewire job fingerprint and old snapshots stay valid).
+	Singleflight  bool `json:",omitempty"`
+	QnameMinimize bool `json:",omitempty"`
 }
 
 // DefaultMix is the calibrated resolver market-share mixture. Shares
@@ -43,6 +50,25 @@ func DefaultMix() []PolicyShare {
 	}
 }
 
+// PaperMix is the fleet mixture calibrated for the entity-keyed
+// re-draw (measure.RunConfig.Mix): at the reference scale the
+// mixture's weak/strong preference shares land inside the paper's
+// Figure-4 bands (59-69% weak, 10-37% strong). It differs from
+// DefaultMix because the re-draw assigns kinds by resolver name, not
+// by the population generator's sequential draw, so the split of
+// qualified VPs across kinds shifts and the shares need their own
+// calibration (EXPERIMENTS.md records both).
+func PaperMix() []PolicyShare {
+	return []PolicyShare{
+		{Kind: resolver.KindBINDLike, Share: 0.38, InfraTTL: 10 * time.Minute, Retention: resolver.DecayKeep},
+		{Kind: resolver.KindUnboundLike, Share: 0.14, InfraTTL: 15 * time.Minute, Retention: resolver.DecayKeep},
+		{Kind: resolver.KindWeightedRTT, Share: 0.22, InfraTTL: 10 * time.Minute, Retention: resolver.DecayKeep},
+		{Kind: resolver.KindUniform, Share: 0.07, InfraTTL: 10 * time.Minute, Retention: resolver.HardExpire},
+		{Kind: resolver.KindRoundRobin, Share: 0.06, InfraTTL: 10 * time.Minute, Retention: resolver.HardExpire},
+		{Kind: resolver.KindSticky, Share: 0.13, InfraTTL: 0, Retention: resolver.HardExpire},
+	}
+}
+
 // ResolverSpec describes one recursive resolver instance to create.
 type ResolverSpec struct {
 	// Name is a stable identifier ("r0042" or "public3-fra").
@@ -52,6 +78,10 @@ type ResolverSpec struct {
 	// InfraTTL and Retention configure the infrastructure cache.
 	InfraTTL  time.Duration
 	Retention resolver.Retention
+	// Singleflight and QnameMinimize enable the corresponding engine
+	// behaviours (see PolicyShare).
+	Singleflight  bool `json:",omitempty"`
+	QnameMinimize bool `json:",omitempty"`
 	// Loc is where the resolver runs.
 	Loc geo.Coord
 	// ASN is the autonomous system the resolver lives in.
@@ -175,13 +205,15 @@ func Generate(cfg Config) (*Population, error) {
 		m := pickPublicKind(mix, rng, mixTotal)
 		pop.PublicSites = append(pop.PublicSites, len(pop.Resolvers))
 		pop.Resolvers = append(pop.Resolvers, ResolverSpec{
-			Name:      fmt.Sprintf("public-%d-%s", i, code),
-			Kind:      m.Kind,
-			InfraTTL:  m.InfraTTL,
-			Retention: m.Retention,
-			Loc:       site.Coord,
-			ASN:       15169, // the classic public-DNS AS
-			Public:    true,
+			Name:          fmt.Sprintf("public-%d-%s", i, code),
+			Kind:          m.Kind,
+			InfraTTL:      m.InfraTTL,
+			Retention:     m.Retention,
+			Singleflight:  m.Singleflight,
+			QnameMinimize: m.QnameMinimize,
+			Loc:           site.Coord,
+			ASN:           15169, // the classic public-DNS AS
+			Public:        true,
 		})
 	}
 
@@ -226,12 +258,14 @@ func Generate(cfg Config) (*Population, error) {
 				loc := scatter(rng, site.Coord, 150)
 				info.resolvers = append(info.resolvers, len(pop.Resolvers))
 				pop.Resolvers = append(pop.Resolvers, ResolverSpec{
-					Name:      fmt.Sprintf("r%05d", len(pop.Resolvers)),
-					Kind:      m.Kind,
-					InfraTTL:  m.InfraTTL,
-					Retention: m.Retention,
-					Loc:       loc,
-					ASN:       info.asn,
+					Name:          fmt.Sprintf("r%05d", len(pop.Resolvers)),
+					Kind:          m.Kind,
+					InfraTTL:      m.InfraTTL,
+					Retention:     m.Retention,
+					Singleflight:  m.Singleflight,
+					QnameMinimize: m.QnameMinimize,
+					Loc:           loc,
+					ASN:           info.asn,
 				})
 			}
 			asPools[site.Code] = append(pool, info)
@@ -282,6 +316,50 @@ const publicMarker = -1
 // PublicMarker reports whether a probe resolver index refers to the
 // public anycast DNS service rather than a concrete resolver.
 func PublicMarker(idx int) bool { return idx == publicMarker }
+
+// ShareAt maps a keyed draw onto the mixture's cumulative share
+// distribution: the key's top 53 bits become a uniform in [0, 1),
+// scaled by the (unnormalized) share total, and the first share whose
+// cumulative mass covers it wins. noSticky redirects a Sticky draw to
+// the next eligible share in mixture order, mirroring pickPublicKind's
+// exclusion for anycast public-DNS sites. The outcome is a pure
+// function of (mix, key) — no RNG state — which is what lets the
+// measurement planner re-assign policies entity-keyed without
+// perturbing any other seeded stream.
+func ShareAt(mix []PolicyShare, key uint64, noSticky bool) PolicyShare {
+	fallback := PolicyShare{Kind: resolver.KindBINDLike, InfraTTL: 10 * time.Minute, Retention: resolver.DecayKeep}
+	var total float64
+	for _, m := range mix {
+		if m.Share > 0 {
+			total += m.Share
+		}
+	}
+	if total <= 0 {
+		return fallback
+	}
+	x := float64(key>>11) / (1 << 53) * total
+	idx := -1
+	for i, m := range mix {
+		if m.Share <= 0 {
+			continue
+		}
+		x -= m.Share
+		idx = i
+		if x <= 0 {
+			break
+		}
+	}
+	if !noSticky || mix[idx].Kind != resolver.KindSticky {
+		return mix[idx]
+	}
+	for step := 1; step <= len(mix); step++ {
+		m := mix[(idx+step)%len(mix)]
+		if m.Share > 0 && m.Kind != resolver.KindSticky {
+			return m
+		}
+	}
+	return fallback
+}
 
 // pickPublicKind draws a behaviour for a public-DNS site, excluding
 // Sticky (hyperscale resolvers do measure latency).

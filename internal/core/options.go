@@ -61,6 +61,10 @@ type RunOpts struct {
 	// Backoff overrides the resolver population's hold-down policy for
 	// every run (nil keeps resolver.DefaultBackoff).
 	Backoff *resolver.BackoffConfig
+	// Mix, if non-empty, re-draws every resolver's behaviour from this
+	// share table on the run's entity-keyed mix stream (see
+	// measure.RunConfig.Mix). nil keeps the population's own kinds.
+	Mix []atlas.PolicyShare
 	// Shards splits each run's VP population into that many concurrent
 	// simulation lanes (see measure.RunConfig.Shards). Results are
 	// byte-identical at any shard count; shards only change wall-clock
@@ -160,6 +164,14 @@ func WithBackoff(b *resolver.BackoffConfig) Option {
 	return func(o *RunOpts) { o.Backoff = b }
 }
 
+// WithMix re-draws every resolver's behaviour (kind, infra cache,
+// singleflight, qname minimization) from the share table, entity-keyed
+// so datasets stay byte-identical at any shard/worker/scheduler layout
+// (see measure.RunConfig.Mix). nil keeps the population's own kinds.
+func WithMix(mix []atlas.PolicyShare) Option {
+	return func(o *RunOpts) { o.Mix = mix }
+}
+
 // WithShards runs each simulation split across n concurrent lanes
 // (n <= 1 keeps the single lane). Datasets are byte-identical at any
 // shard count; only wall-clock time changes.
@@ -230,6 +242,7 @@ func (o RunOpts) runConfig(combo measure.Combination, off int64, key string) mea
 	cfg.StreamOnly = o.StreamOnly
 	cfg.Faults = o.Faults
 	cfg.Backoff = o.Backoff
+	cfg.Mix = o.Mix
 	cfg.Shards = o.Shards
 	cfg.Scheduler = o.Scheduler
 	cfg.Workers = o.Workers

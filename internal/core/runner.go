@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ritw/internal/atlas"
 	"ritw/internal/attacks"
 	"ritw/internal/faults"
 	"ritw/internal/measure"
@@ -299,6 +300,65 @@ type Scenario struct {
 	// Defense configures the resolvers' attack mitigations (MaxFetch
 	// budget, negative-cache toggle) for this scenario.
 	Defense attacks.Defenses
+	// Mix re-draws every resolver's behaviour from this share table for
+	// this scenario only (see measure.RunConfig.Mix). The re-draw is
+	// entity-keyed and consumes no population randomness, so scenarios
+	// differing only in Mix share identical topologies and traffic
+	// schedules — differences in outcome are the fleet's alone.
+	Mix []atlas.PolicyShare
+	// PublicDNSShare, when positive, overrides the population's
+	// public-resolver share for this scenario — the centralization
+	// battery's knob (30–70% of VPs behind shared anycast resolvers).
+	// Unlike Mix this regenerates the population, so it changes the
+	// topology; compare such scenarios by their aggregate shapes, not
+	// record-for-record.
+	PublicDNSShare float64
+}
+
+// scenarioConfig resolves the exact measure.RunConfig a scenario batch
+// executes for sc: the shared options surface, then the scenario's own
+// overrides on top.
+func (o RunOpts) scenarioConfig(sc Scenario) (measure.RunConfig, error) {
+	comboID := sc.ComboID
+	if comboID == "" {
+		comboID = "2B"
+	}
+	combo, err := measure.CombinationByID(comboID)
+	if err != nil {
+		return measure.RunConfig{}, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+	}
+	cfg := o.runConfig(combo, 0, sc.Name)
+	cfg.Faults = sc.Faults
+	cfg.Attacks = sc.Attacks
+	cfg.Defense = sc.Defense
+	if sc.Backoff != nil {
+		cfg.Backoff = sc.Backoff
+	}
+	if len(sc.Mix) > 0 {
+		cfg.Mix = sc.Mix
+	}
+	if sc.PublicDNSShare > 0 {
+		cfg.Population.PublicDNSShare = sc.PublicDNSShare
+	}
+	if err := sc.Faults.Validate(); err != nil {
+		return measure.RunConfig{}, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+	}
+	if err := sc.Attacks.Validate(); err != nil {
+		return measure.RunConfig{}, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+	}
+	return cfg, nil
+}
+
+// ScenarioRunConfig exposes the resolved per-scenario RunConfig so
+// callers can replay a scenario's plan stage without running it —
+// notably measure.PolicyAssignment, which per-policy analyses need to
+// classify a mixed run's vantage points. Sink-related options are
+// ignored: the returned config never owns a sink.
+func ScenarioRunConfig(sc Scenario, opts ...Option) (measure.RunConfig, error) {
+	o := NewRunOpts(opts...)
+	o.SinkFor = nil
+	o.StreamOnly = false
+	return o.scenarioConfig(sc)
 }
 
 // Scenarios executes the fault scenarios concurrently and returns
@@ -309,26 +369,9 @@ func (r *Runner) Scenarios(ctx context.Context, scenarios []Scenario, opts ...Op
 	o.Metrics = reg
 	jobs := make([]Job, len(scenarios))
 	for i, sc := range scenarios {
-		comboID := sc.ComboID
-		if comboID == "" {
-			comboID = "2B"
-		}
-		combo, err := measure.CombinationByID(comboID)
+		cfg, err := o.scenarioConfig(sc)
 		if err != nil {
-			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
-		}
-		cfg := o.runConfig(combo, 0, sc.Name)
-		cfg.Faults = sc.Faults
-		cfg.Attacks = sc.Attacks
-		cfg.Defense = sc.Defense
-		if sc.Backoff != nil {
-			cfg.Backoff = sc.Backoff
-		}
-		if err := sc.Faults.Validate(); err != nil {
-			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
-		}
-		if err := sc.Attacks.Validate(); err != nil {
-			return nil, fmt.Errorf("core: scenario %s: %w", sc.Name, err)
+			return nil, err
 		}
 		jobs[i] = Job{Name: "scenario " + sc.Name, Run: func(ctx context.Context) (*measure.Dataset, error) {
 			return measure.RunContext(ctx, cfg)

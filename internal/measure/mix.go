@@ -1,0 +1,54 @@
+package measure
+
+import (
+	"fmt"
+
+	"ritw/internal/atlas"
+	"ritw/internal/geo"
+)
+
+// PolicyAssignment computes the vantage-point → policy-label mapping a
+// run under cfg uses: for every VPKey a churn-surviving probe can
+// render, the PolicyKind string of the recursive behind it (for
+// public-DNS VPs, the behaviour of the anycast catchment site actually
+// serving the probe). It replays the run's plan stage — population
+// synthesis, churn, address plan, keyed catchments, and the
+// entity-keyed cfg.Mix re-draw — without simulating anything, so the
+// mapping is exact for any layout and cheap enough to call per run.
+// Per-policy analyses (analysis.MixBreakout) use it to split a mixed
+// dataset's records by fleet segment.
+func PolicyAssignment(cfg RunConfig) (map[string]string, error) {
+	if len(cfg.Combo.Sites) == 0 {
+		return nil, fmt.Errorf("measure: combination has no sites")
+	}
+	popCfg := cfg.Population
+	if popCfg.NumProbes == 0 {
+		popCfg = atlas.DefaultConfig(cfg.Seed)
+	}
+	pop, err := atlas.Generate(popCfg)
+	if err != nil {
+		return nil, err
+	}
+	model := geo.DefaultPathModel()
+	if cfg.PathModel != nil {
+		model = *cfg.PathModel
+	}
+	pl := planRun(cfg, pop, model, 1)
+	assign := make(map[string]string)
+	for _, ap := range pl.active {
+		for i, ri := range ap.probe.Resolvers {
+			key := ap.vpKeys[i]
+			if key == "" {
+				continue
+			}
+			if atlas.PublicMarker(ri) {
+				ri = ap.catchIdx
+			}
+			if ri < 0 {
+				continue
+			}
+			assign[key] = pl.specs[ri].Kind.String()
+		}
+	}
+	return assign, nil
+}

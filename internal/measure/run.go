@@ -135,6 +135,19 @@ type RunConfig struct {
 	// (nil keeps resolver.DefaultBackoff; see BackoffConfig.Disabled
 	// for the pre-hardening full-rate retry behaviour).
 	Backoff *resolver.BackoffConfig
+	// Mix, if non-empty, overrides every resolver's behaviour for this
+	// run: kind, infra-cache TTL/retention, and the singleflight /
+	// qname-minimization engine toggles all re-draw from this share
+	// table on an entity-keyed stream (Seed+13, keyed by the resolver's
+	// stable population name — see netsim.MixKey and atlas.ShareAt).
+	// The assignment is a pure function of (Seed, Mix, name): it never
+	// consumes population or network randomness, so the topology,
+	// address plan and every other seeded stream are untouched, and it
+	// is layout-independent — mixed-fleet datasets stay byte-identical
+	// at any Shards/Workers/Scheduler combination. Public anycast sites
+	// skip Sticky draws, mirroring the population synthesizer. nil
+	// keeps the population's own per-resolver kinds (atlas.Config.Mix).
+	Mix []atlas.PolicyShare
 	// Metrics, if set, aggregates obs counters from the simulator, the
 	// authoritative engines and the resolver population. Counters are
 	// additive, so concurrent runs may share one registry; per-address

@@ -68,6 +68,11 @@ type runPlan struct {
 	resolverAddr []netip.Addr
 	publicAddr   netip.Addr
 	active       []plannedProbe
+	// specs is the effective per-resolver behaviour: the population's
+	// own specs, unless cfg.Mix re-drew them entity-keyed (see
+	// applyMix). Shards build engines from these, never from
+	// pop.Resolvers directly.
+	specs []atlas.ResolverSpec
 
 	// Attack infrastructure addresses, allocated after every benign
 	// address and only when the run has the corresponding campaigns —
@@ -164,8 +169,36 @@ func planRun(cfg RunConfig, pop *atlas.Population, model geo.PathModel, nShards 
 		}
 	}
 
+	pl.specs = applyMix(cfg, pop)
 	pl.partition()
 	return pl
+}
+
+// applyMix resolves the effective per-resolver specs: the population's
+// own, unless the run carries a policy mix — then every resolver
+// re-draws its behaviour from the mix on an entity-keyed stream
+// (Seed+13, keyed by the resolver's stable name). The draw is a pure
+// function of (seed, mix, name): it consumes no RNG state, so the
+// population synthesis, the address plan, churn and catchments are all
+// untouched, and because planRun executes identically in the parent
+// and in every lane worker, all process layouts agree on the
+// assignment. Public anycast sites skip Sticky draws, mirroring
+// atlas.pickPublicKind.
+func applyMix(cfg RunConfig, pop *atlas.Population) []atlas.ResolverSpec {
+	if len(cfg.Mix) == 0 {
+		return pop.Resolvers
+	}
+	specs := make([]atlas.ResolverSpec, len(pop.Resolvers))
+	copy(specs, pop.Resolvers)
+	for i := range specs {
+		m := atlas.ShareAt(cfg.Mix, netsim.MixKey(uint64(cfg.Seed+13), specs[i].Name), specs[i].Public)
+		specs[i].Kind = m.Kind
+		specs[i].InfraTTL = m.InfraTTL
+		specs[i].Retention = m.Retention
+		specs[i].Singleflight = m.Singleflight
+		specs[i].QnameMinimize = m.QnameMinimize
+	}
+	return specs
 }
 
 // partition groups resolvers into closure components (two resolvers
@@ -582,7 +615,7 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 	}
 	var publicMembers []*netsim.Host
 	for _, ri := range pl.resolversByShard[s] {
-		spec := pl.pop.Resolvers[ri]
+		spec := pl.specs[ri]
 		host := net.AddHostAddr(pl.resolverAddr[ri], spec.Loc)
 		infra := resolver.NewInfraCache(spec.InfraTTL, spec.Retention)
 		if cfg.Backoff != nil {
@@ -599,6 +632,8 @@ func runOneShard(ctx context.Context, cfg RunConfig, pl *runPlan, sched *faults.
 			Timeout:         800 * time.Millisecond,
 			MaxFetch:        cfg.Defense.MaxFetch,
 			DisableNegCache: cfg.Defense.NoNegativeCache,
+			Singleflight:    spec.Singleflight,
+			QnameMinimize:   spec.QnameMinimize,
 			Metrics:         metrics,
 		})
 		simbind.BindResolver(host, eng)

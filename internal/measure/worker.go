@@ -89,6 +89,9 @@ type laneJob struct {
 	// runFingerprint, and therefore old snapshots, valid.
 	Attacks *attacks.Schedule `json:",omitempty"`
 	Defense *attacks.Defenses `json:",omitempty"`
+	// Mix is omitempty for the same reason: mix-free jobs serialize
+	// exactly as they did before fleet mixes existed.
+	Mix []atlas.PolicyShare `json:",omitempty"`
 }
 
 // laneJobFor captures the resolved run parameters. Faults is the
@@ -120,6 +123,9 @@ func laneJobFor(cfg RunConfig, pl *runPlan, sched *faults.Schedule) laneJob {
 		d := cfg.Defense
 		j.Defense = &d
 	}
+	if len(cfg.Mix) > 0 {
+		j.Mix = cfg.Mix
+	}
 	return j
 }
 
@@ -142,6 +148,7 @@ func (j *laneJob) runConfig() RunConfig {
 	if j.Defense != nil {
 		cfg.Defense = *j.Defense
 	}
+	cfg.Mix = j.Mix
 	return cfg
 }
 

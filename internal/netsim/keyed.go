@@ -39,6 +39,7 @@ const (
 	saltPacket    = 0x9e3779b97f4a7c15
 	saltStretch   = 0xc2b2ae3d27d4eb4f
 	saltCatchment = 0x165667b19e3779f9
+	saltMix       = 0x27d4eb2f165667c5
 )
 
 // mix64 is the splitmix64 finalizer: full-avalanche bit mixing, the
@@ -95,6 +96,23 @@ func StretchKey(seed uint64, a, b netip.Addr) uint64 {
 // decision of traffic from src to the anycast service address.
 func CatchmentKey(seed uint64, src, service netip.Addr) uint64 {
 	return mix64(seed ^ saltCatchment ^ pairBits(src, service))
+}
+
+// MixKey derives the keyed-stream seed for the policy-mix assignment
+// of the named entity (a resolver's stable population name) under the
+// given run seed. Keying by name — never by index, address, or shard —
+// makes the assignment a pure function of (seed, name): it survives
+// any re-partitioning of the population across shards, workers, or
+// schedulers, which is what keeps mixed-fleet datasets byte-identical
+// at every layout.
+func MixKey(seed uint64, entity string) uint64 {
+	// FNV-64a over the name, finalized through the mix stream's salt.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= 1099511628211
+	}
+	return mix64(seed ^ saltMix ^ h)
 }
 
 // sm64 is a splitmix64 generator implementing rand.Source64, so the

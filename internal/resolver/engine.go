@@ -83,6 +83,19 @@ type Config struct {
 	// DisableNegCache turns off RFC 2308 negative caching while
 	// keeping positive caching, for defense-matrix contrasts.
 	DisableNegCache bool
+	// Singleflight coalesces identical in-flight client questions onto
+	// one upstream transaction (the secDNS recursive's dedup): while a
+	// question is being resolved, duplicate client queries wait for the
+	// leader's answer instead of going upstream themselves. Off by
+	// default — coalescing changes upstream query counts, so it is a
+	// modelled fleet behaviour, not a transparent optimization.
+	Singleflight bool
+	// QnameMinimize resolves client questions with the RFC 9156 label
+	// walk (see MinimizationSteps): intermediate steps reveal one label
+	// past the zone cut per upstream query before the full name is
+	// sent. NXDOMAIN on an intermediate step short-circuits (RFC 8020).
+	// Off by default for the same reason as Singleflight.
+	QnameMinimize bool
 	// Metrics, if set, registers the engine's counters there. Several
 	// engines may share one registry: the counters are additive, so the
 	// registry then reports population-wide totals.
@@ -115,6 +128,16 @@ type Stats struct {
 	// FetchExhausted counts queries whose referral chase hit the fetch
 	// budget (MaxFetch or the hard safety cap).
 	FetchExhausted int
+	// SingleflightLeaders counts client queries that went upstream as
+	// the singleflight leader for their question (only ever non-zero
+	// with Config.Singleflight on).
+	SingleflightLeaders int
+	// SingleflightHits counts client queries coalesced onto an
+	// in-flight leader instead of going upstream.
+	SingleflightHits int
+	// MinimizeSteps counts intermediate qname-minimization queries sent
+	// upstream (the full-name query is not counted).
+	MinimizeSteps int
 }
 
 // engineMetrics caches the obs counters so the serving path touches
@@ -131,6 +154,9 @@ type engineMetrics struct {
 	negHits       *obs.Counter
 	refFetches    *obs.Counter
 	refExhausted  *obs.Counter
+	sfLeaders     *obs.Counter
+	sfHits        *obs.Counter
+	qminSteps     *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -146,6 +172,9 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		negHits:       r.Counter("resolver_negcache_hits_total"),
 		refFetches:    r.Counter("attacks_referral_fetches_total"),
 		refExhausted:  r.Counter("attacks_fetch_budget_exhausted_total"),
+		sfLeaders:     r.Counter("resolver_singleflight_leaders_total"),
+		sfHits:        r.Counter("resolver_singleflight_hits_total"),
+		qminSteps:     r.Counter("resolver_qmin_steps_total"),
 	}
 }
 
@@ -160,6 +189,10 @@ type Engine struct {
 	nextID  uint16
 	stats   Stats
 	m       engineMetrics
+
+	// sf maps in-flight client questions to their singleflight leader
+	// (nil unless Config.Singleflight).
+	sf map[sfKey]*pendingQuery
 
 	// zoneIDs holds each zone's server list pre-interned in the infra
 	// cache (parallel to cfg.Zones), so the per-query path works with
@@ -203,6 +236,43 @@ type pendingQuery struct {
 	kids    int             // outstanding children (root only)
 	fetches int             // NS-target fetches charged (root only)
 	fetched map[string]bool // NS targets already handled (root only)
+
+	// Singleflight bookkeeping: a leader replies to every coalesced
+	// follower when it completes.
+	sfLeader  bool
+	sfKey     sfKey
+	followers []sfFollower
+
+	// Qname-minimization walk (RFC 9156): minSteps[minIdx] is the name
+	// currently in flight; the final step is the full question. nil
+	// when minimization is off or the walk is a single step.
+	minSteps []dnswire.Name
+	minIdx   int
+}
+
+// sfKey identifies a client question for singleflight coalescing.
+type sfKey struct {
+	name  string
+	qtype dnswire.Type
+	class dnswire.Class
+}
+
+// sfFollower is one coalesced duplicate client query awaiting the
+// singleflight leader's answer.
+type sfFollower struct {
+	client netip.Addr
+	msg    *dnswire.Message
+}
+
+// upQuestion returns the question currently going upstream: the active
+// minimization step, or the client question itself.
+func (pq *pendingQuery) upQuestion() dnswire.Question {
+	if pq.minSteps != nil && pq.minIdx < len(pq.minSteps)-1 {
+		// Intermediate steps probe with QTYPE=A per RFC 9156 §2.3:
+		// most compatible with servers that mishandle rare qtypes.
+		return dnswire.Question{Name: pq.minSteps[pq.minIdx], Type: dnswire.TypeA, Class: dnswire.ClassINET}
+	}
+	return pq.question
 }
 
 // maxReferralFetch is the hard safety cap on NS-target fetches per
@@ -260,13 +330,17 @@ func NewEngine(cfg Config) *Engine {
 		}
 		zoneIDs[zi] = ids
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		pending: make(map[uint16]*pendingQuery),
 		nextID:  uint16(cfg.RNG.Intn(1 << 16)),
 		m:       newEngineMetrics(cfg.Metrics),
 		zoneIDs: zoneIDs,
 	}
+	if cfg.Singleflight {
+		e.sf = make(map[sfKey]*pendingQuery)
+	}
+	return e
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -359,6 +433,17 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 		e.replyRCode(client, q, dnswire.RCodeServFail)
 		return
 	}
+	if e.cfg.Singleflight {
+		key := sfKey{question.Name.Key(), question.Type, question.Class}
+		if leader, ok := e.sf[key]; ok && !leader.done {
+			// Identical question already in flight: wait for its answer
+			// instead of spending another upstream transaction.
+			leader.followers = append(leader.followers, sfFollower{client, q})
+			e.stats.SingleflightHits++
+			e.m.sfHits.Inc()
+			return
+		}
+	}
 	pq := &pendingQuery{
 		clientAddr: client,
 		clientMsg:  q,
@@ -366,6 +451,18 @@ func (e *Engine) handleClientQuery(client netip.Addr, q *dnswire.Message) {
 		servers:    e.cfg.Zones[zone].Servers,
 		serverIDs:  e.zoneIDs[zone],
 		startedAt:  now,
+	}
+	if e.cfg.Singleflight {
+		pq.sfLeader = true
+		pq.sfKey = sfKey{question.Name.Key(), question.Type, question.Class}
+		e.sf[pq.sfKey] = pq
+		e.stats.SingleflightLeaders++
+		e.m.sfLeaders.Inc()
+	}
+	if e.cfg.QnameMinimize {
+		if steps := MinimizationSteps(e.cfg.Zones[zone].Zone, question.Name, 0); len(steps) > 1 {
+			pq.minSteps = steps
+		}
 	}
 	e.sendUpstreamLocked(pq)
 }
@@ -438,7 +535,13 @@ func (e *Engine) sendUpstreamLocked(pq *pendingQuery) {
 	id := e.allocateIDLocked()
 	e.pending[id] = pq
 
-	upq := dnswire.NewQuery(id, pq.question.Name, pq.question.Type)
+	upQ := pq.upQuestion()
+	if pq.minSteps != nil && pq.minIdx < len(pq.minSteps)-1 && pq.attempts == 1 {
+		// First attempt of an intermediate minimization step.
+		e.stats.MinimizeSteps++
+		e.m.qminSteps.Inc()
+	}
+	upq := dnswire.NewQuery(id, upQ.Name, upQ.Type)
 	upq.RecursionDesired = false
 	upq.SetEDNS0(dnswire.DefaultEDNSSize, false)
 	wire, err := upq.Pack()
@@ -502,6 +605,23 @@ func (e *Engine) failLocked(pq *pendingQuery) {
 	e.m.servfails.Inc()
 	e.traceDone(pq, obs.OutcomeServFail, dnswire.RCodeServFail)
 	e.replyRCode(pq.clientAddr, pq.clientMsg, dnswire.RCodeServFail)
+	e.settleSingleflightLocked(pq, dnswire.RCodeServFail, nil)
+}
+
+// settleSingleflightLocked removes a completed leader from the
+// singleflight table and replies to every coalesced follower with the
+// leader's outcome. Callers hold e.mu.
+func (e *Engine) settleSingleflightLocked(pq *pendingQuery, rcode dnswire.RCode, answers []dnswire.RR) {
+	if !pq.sfLeader {
+		return
+	}
+	if e.sf[pq.sfKey] == pq {
+		delete(e.sf, pq.sfKey)
+	}
+	for _, f := range pq.followers {
+		e.replyAnswer(f.client, f.msg, rcode, answers)
+	}
+	pq.followers = nil
 }
 
 // childDoneLocked settles one finished child against its root and
@@ -533,8 +653,11 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 	// attacker who wins the ID guess could still have an unrelated
 	// answer cached under the pending name. Upstream queries always go
 	// out IN-class (dnswire.NewQuery), so that is what must come back.
-	if q, ok := resp.Question(); !ok || !q.Name.Equal(pq.question.Name) ||
-		q.Type != pq.question.Type || q.Class != dnswire.ClassINET {
+	// Under qname minimization the question in flight is the current
+	// step, not the client question.
+	upQ := pq.upQuestion()
+	if q, ok := resp.Question(); !ok || !q.Name.Equal(upQ.Name) ||
+		q.Type != upQ.Type || q.Class != dnswire.ClassINET {
 		return
 	}
 	delete(e.pending, resp.ID)
@@ -558,6 +681,23 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 			return
 		}
 		e.failLocked(pq)
+		return
+	}
+
+	if pq.minSteps != nil && pq.minIdx < len(pq.minSteps)-1 &&
+		resp.RCode != dnswire.RCodeNXDomain {
+		// An intermediate minimization step resolved (NoError, with or
+		// without data): reveal the next label. Each step is its own
+		// upstream transaction, so the retry budget and tried-set reset.
+		// NXDOMAIN instead falls through to the final handling below —
+		// nothing can exist under a name that does not exist (RFC
+		// 8020), so the walk short-circuits with the client's answer.
+		pq.minIdx++
+		pq.attempts = 0
+		pq.failovers = 0
+		pq.triedMask = 0
+		pq.triedMap = nil
+		e.sendUpstreamLocked(pq)
 		return
 	}
 
@@ -590,6 +730,7 @@ func (e *Engine) handleUpstreamResponse(src netip.Addr, resp *dnswire.Message) {
 	}
 	e.traceDone(pq, obs.OutcomeAnswered, resp.RCode)
 	e.replyAnswer(pq.clientAddr, pq.clientMsg, resp.RCode, resp.Answers)
+	e.settleSingleflightLocked(pq, resp.RCode, resp.Answers)
 }
 
 // chaseReferralLocked inspects an answerless NoError response for NS

@@ -1,0 +1,50 @@
+package resolver
+
+import "ritw/internal/dnswire"
+
+// DefaultMaxMinimize is the cap on qname-minimization iterations, RFC
+// 9156's MAX_MINIMISE_COUNT: names with more labels below the zone cut
+// than this reveal the remainder in the final full-name query instead
+// of walking forever — the defense against crafted deeply-nested names.
+const DefaultMaxMinimize = 10
+
+// MinimizationSteps computes the query-name sequence a qname-minimizing
+// resolver (RFC 7816 / RFC 9156) sends toward the authoritatives of
+// zone when resolving qname. The walk reveals one label beyond the zone
+// cut per step and always ends with the full qname:
+//
+//	zone=example.  qname=a.b.c.example.  →  c.example., b.c.example., a.b.c.example.
+//
+// Edge cases are pinned by FuzzQnameMinimization: when qname is not
+// below zone, equals it, or is the root, the walk degenerates to the
+// single full-name query (never zero steps, never a loop); when more
+// than maxSteps labels would be revealed, the first maxSteps-1 steps
+// reveal one label each and the final step jumps to qname, so empty
+// non-terminals and adversarial label counts terminate in bounded
+// queries. maxSteps <= 0 selects DefaultMaxMinimize.
+func MinimizationSteps(zone, qname dnswire.Name, maxSteps int) []dnswire.Name {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxMinimize
+	}
+	extra := qname.NumLabels() - zone.NumLabels()
+	if !qname.IsSubdomainOf(zone) || extra <= 0 {
+		return []dnswire.Name{qname}
+	}
+	n := extra
+	if n > maxSteps {
+		n = maxSteps
+	}
+	// suffix[k] is qname with its k most-specific labels removed; the
+	// intermediate steps are the suffixes revealing one label at a time
+	// past the cut, most-hidden first.
+	steps := make([]dnswire.Name, n)
+	steps[n-1] = qname
+	suffix := qname
+	for k := 1; k <= extra-1; k++ {
+		suffix = suffix.Parent()
+		if i := extra - 1 - k; i < n-1 {
+			steps[i] = suffix
+		}
+	}
+	return steps
+}

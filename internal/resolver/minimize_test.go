@@ -1,0 +1,129 @@
+package resolver
+
+import (
+	"testing"
+
+	"ritw/internal/dnswire"
+)
+
+// TestMinimizationStepsExamples pins the documented walk shapes.
+func TestMinimizationStepsExamples(t *testing.T) {
+	t.Parallel()
+	steps := func(zone, qname string, max int) []string {
+		out := MinimizationSteps(dnswire.MustParseName(zone), dnswire.MustParseName(qname), max)
+		s := make([]string, len(out))
+		for i, n := range out {
+			s[i] = n.String()
+		}
+		return s
+	}
+	eq := func(got, want []string) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	if got := steps("example.", "a.b.c.example.", 0); !eq(got, []string{"c.example.", "b.c.example.", "a.b.c.example."}) {
+		t.Errorf("doc example walk = %v", got)
+	}
+	// Not below the zone, equal to it, or the root: one full-name query.
+	for _, tc := range [][2]string{
+		{"other.nl.", "a.example.nl."},
+		{"example.nl.", "example.nl."},
+		{"example.nl.", "."},
+	} {
+		if got := steps(tc[0], tc[1], 0); !eq(got, []string{tc[1]}) {
+			t.Errorf("degenerate (%s, %s) = %v, want single full-name step", tc[0], tc[1], got)
+		}
+	}
+	// Capped walk: maxSteps-1 single-label reveals, then the jump to the
+	// full name.
+	if got := steps("nl.", "a.b.c.d.e.f.nl.", 3); !eq(got, []string{"f.nl.", "e.f.nl.", "a.b.c.d.e.f.nl."}) {
+		t.Errorf("capped walk = %v", got)
+	}
+}
+
+// FuzzQnameMinimization fuzzes the RFC 9156 label walk with arbitrary
+// zone/qname pairs and step caps. The invariants are the termination
+// contract the engine's minimization path depends on: the walk is
+// never empty, always ends with the full qname, never exceeds its
+// step cap, reveals strictly more labels at every step (so re-querying
+// the same name forever is structurally impossible — the defense
+// against odd label counts, root/ENT zones, and crafted deep names),
+// and every intermediate name is a suffix of qname strictly below the
+// zone cut.
+func FuzzQnameMinimization(f *testing.F) {
+	f.Add("example.nl", "a.b.c.example.nl", 10)
+	f.Add(".", "x.y", 0)
+	f.Add("example.nl", "example.nl", 3)
+	f.Add("nl", "a.a.a.a.a.a.a.a.a.a.a.a.a.a.nl", 10) // deeper than the cap
+	f.Add("other.nl", "a.example.nl", 5)              // not below the zone
+	f.Add("example.nl", ".", 4)                       // root qname
+	f.Add("a.example.nl", "b.a.example.nl", 1)        // one-label walk, cap 1
+	f.Add("example.nl", "ent.example.nl", -3)         // negative cap -> default
+	f.Fuzz(func(t *testing.T, zoneS, qnameS string, maxSteps int) {
+		zone, err := dnswire.ParseName(zoneS)
+		if err != nil {
+			t.Skip()
+		}
+		qname, err := dnswire.ParseName(qnameS)
+		if err != nil {
+			t.Skip()
+		}
+		steps := MinimizationSteps(zone, qname, maxSteps)
+
+		if len(steps) == 0 {
+			t.Fatal("empty walk")
+		}
+		if last := steps[len(steps)-1]; last.Key() != qname.Key() {
+			t.Fatalf("walk ends at %v, want full qname %v", last, qname)
+		}
+		effMax := maxSteps
+		if effMax <= 0 {
+			effMax = DefaultMaxMinimize
+		}
+		if len(steps) > effMax {
+			t.Fatalf("%d steps exceed cap %d", len(steps), effMax)
+		}
+		extra := qname.NumLabels() - zone.NumLabels()
+		if !qname.IsSubdomainOf(zone) || extra <= 0 {
+			if len(steps) != 1 {
+				t.Fatalf("degenerate case must be the single full-name query, got %v", steps)
+			}
+			return
+		}
+		if len(steps) > extra {
+			t.Fatalf("%d steps reveal more than the %d labels below the cut", len(steps), extra)
+		}
+		for i, s := range steps {
+			if !qname.IsSubdomainOf(s) {
+				t.Fatalf("step %d (%v) is not a suffix of %v", i, s, qname)
+			}
+			if !s.IsSubdomainOf(zone) || s.NumLabels() <= zone.NumLabels() {
+				t.Fatalf("step %d (%v) is not strictly below zone %v", i, s, zone)
+			}
+			if i > 0 && s.NumLabels() <= steps[i-1].NumLabels() {
+				t.Fatalf("step %d (%v) does not reveal more labels than %v — the walk could loop",
+					i, s, steps[i-1])
+			}
+		}
+		if len(steps) > 1 && steps[0].NumLabels() != zone.NumLabels()+1 {
+			t.Fatalf("walk starts at %v (%d labels), want one label past the %d-label cut",
+				steps[0], steps[0].NumLabels(), zone.NumLabels())
+		}
+		// Intermediate steps reveal exactly one label each; only the
+		// final jump to qname may reveal several (the cap defense).
+		for i := 1; i < len(steps)-1; i++ {
+			if steps[i].NumLabels() != steps[i-1].NumLabels()+1 {
+				t.Fatalf("intermediate step %d jumps from %d to %d labels",
+					i, steps[i-1].NumLabels(), steps[i].NumLabels())
+			}
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -26,9 +28,9 @@ type Policy interface {
 // dataset labels.
 type PolicyKind uint8
 
-// The six modelled resolver behaviours. Yu et al. [33] found about
+// The modelled resolver behaviours. Yu et al. [33] found about
 // half of implementations select by latency while the rest alternate;
-// these six span that space.
+// these span that space.
 const (
 	// KindBINDLike: lowest SRTT wins; unchosen servers decay so they
 	// are retried occasionally (BIND 9's ADB behaviour).
@@ -43,11 +45,36 @@ const (
 	KindUniform
 	// KindRoundRobin: strict rotation (Windows DNS style).
 	KindRoundRobin
-	// KindSticky: pins the first server that answered and never
-	// re-evaluates (simple forwarders and CPE resolvers with no
-	// infrastructure cache).
+	// KindSticky: pins the first server that answered and keeps it
+	// until it is held down or dead (simple forwarders and CPE
+	// resolvers with no infrastructure cache).
 	KindSticky
+	// KindProbeTopN: EWMA-ranked selection among the best N servers
+	// with periodic probe rotation to refresh the ranking (the secDNS
+	// recursive's probeTopN/probeInterval behaviour).
+	KindProbeTopN
 )
+
+// Kinds lists every built-in policy kind, in enum order. Tests and
+// population mixes that want "one of each" iterate this instead of
+// hard-coding the enum bounds.
+func Kinds() []PolicyKind {
+	return []PolicyKind{
+		KindBINDLike, KindUnboundLike, KindWeightedRTT,
+		KindUniform, KindRoundRobin, KindSticky, KindProbeTopN,
+	}
+}
+
+// ParseKind maps a policy label (as produced by PolicyKind.String) back
+// to its kind, for -mix style flag parsing.
+func ParseKind(s string) (PolicyKind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(s, k.String()) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("resolver: unknown policy kind %q", s)
+}
 
 // String returns the policy kind's label.
 func (k PolicyKind) String() string {
@@ -64,6 +91,8 @@ func (k PolicyKind) String() string {
 		return "roundrobin"
 	case KindSticky:
 		return "sticky"
+	case KindProbeTopN:
+		return "probetopn"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", uint8(k))
 	}
@@ -89,6 +118,10 @@ func NewPolicy(kind PolicyKind) Policy {
 		return &RoundRobin{}
 	case KindSticky:
 		return &Sticky{}
+	case KindProbeTopN:
+		// secDNS recursive defaults: rank by EWMA RTT, try the best 5,
+		// refresh the ranking with a rotated probe every hour.
+		return &ProbeTopN{TopN: 5, ProbeInterval: time.Hour}
 	default:
 		panic(fmt.Sprintf("resolver: unknown policy kind %d", kind))
 	}
@@ -280,10 +313,14 @@ func (p *RoundRobin) Select(_ time.Duration, servers []netip.Addr, _ *InfraCache
 }
 
 // Sticky pins one randomly-chosen server and keeps using it as long as
-// it answers; it only moves on after a timeout is recorded against the
-// pinned server. This models forwarders and embedded resolvers that,
-// as the paper notes, "may omit the infrastructure cache". Sticky
-// resolvers are the ones that never probe all authoritatives.
+// it answers; it moves on after a timeout is recorded against the
+// pinned server, and when the pin is held down or looks dead it fails
+// over to a *different* server rather than re-rolling over the full
+// list (a re-roll can land on the dead pin again, keeping a dark
+// authoritative dark for this resolver forever). This models
+// forwarders and embedded resolvers that, as the paper notes, "may
+// omit the infrastructure cache". Sticky resolvers are the ones that
+// never probe all authoritatives.
 type Sticky struct {
 	pinned   netip.Addr
 	havePin  bool
@@ -295,9 +332,16 @@ func (*Sticky) Name() string { return KindSticky.String() }
 
 // Select implements Policy.
 func (p *Sticky) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	dead := false
 	if p.havePin {
 		st := infra.State(p.pinned, now)
-		if st.Timeouts <= p.timeouts {
+		// A pin inside a hold-down window, or one whose consecutive
+		// timeouts reached the hold-down threshold, is treated as dead
+		// even between hold windows: a sticky resolver that waits for
+		// the next timeout to reconsider never actually reconsiders,
+		// because the engine stops offering the held server.
+		dead = st.HeldDown || st.ConsecTimeouts >= infra.Backoff().Threshold
+		if st.Timeouts <= p.timeouts && !dead {
 			// Still healthy; verify the pin is still configured.
 			for _, s := range servers {
 				if s == p.pinned {
@@ -307,7 +351,105 @@ func (p *Sticky) Select(now time.Duration, servers []netip.Addr, infra *InfraCac
 		}
 		p.timeouts = st.Timeouts
 	}
+	if dead && len(servers) > 1 {
+		// Fail over away from the dead pin.
+		alt := make([]netip.Addr, 0, len(servers))
+		for _, s := range servers {
+			if s != p.pinned {
+				alt = append(alt, s)
+			}
+		}
+		if len(alt) > 0 {
+			p.pinned = alt[rng.Intn(len(alt))]
+			p.havePin = true
+			return p.pinned
+		}
+	}
 	p.pinned = servers[rng.Intn(len(servers))]
 	p.havePin = true
 	return p.pinned
+}
+
+// ProbeTopN ranks every candidate by its EWMA smoothed RTT and sends
+// the query to the best-ranked server, with two refresh mechanisms
+// modelled on the secDNS recursive's probeTopN/probeInterval knobs:
+// unknown servers rank best (a tiny random estimate) so a cold cache
+// measures everything quickly, and once per ProbeInterval one of the
+// lower-ranked candidates in the top-N set is probed instead of the
+// leader so the ranking cannot fossilize. Failure backoff rides the
+// infra cache: timeouts double a server's SRTT and hold-down pushes it
+// to the bottom of the ranking, so a failing leader loses its rank
+// after a couple of misses without any policy-local bookkeeping.
+type ProbeTopN struct {
+	// TopN is the size of the ranked candidate set rotation probes are
+	// drawn from (secDNS default 5, range 1–13).
+	TopN int
+	// ProbeInterval is how often the ranking is refreshed by probing a
+	// non-leader candidate (secDNS default 1h).
+	ProbeInterval time.Duration
+
+	lastProbe time.Duration
+	started   bool
+	scratch   []probeCand
+}
+
+// probeCand is one ranked candidate in ProbeTopN's scratch ranking.
+type probeCand struct {
+	addr netip.Addr
+	srtt float64
+}
+
+// Name implements Policy.
+func (*ProbeTopN) Name() string { return KindProbeTopN.String() }
+
+// Select implements Policy.
+func (p *ProbeTopN) Select(now time.Duration, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) netip.Addr {
+	n := p.TopN
+	if n <= 0 {
+		n = 5
+	}
+	interval := p.ProbeInterval
+	if interval <= 0 {
+		interval = time.Hour
+	}
+	ranked := p.scratch[:0]
+	for _, s := range servers {
+		st := infra.State(s, now)
+		c := probeCand{addr: s}
+		switch {
+		case !st.Known:
+			// Unmeasured servers are maximally attractive: a fraction
+			// of a millisecond beats any real estimate.
+			c.srtt = rng.Float64()
+		default:
+			c.srtt = st.SRTT
+			if st.Stale {
+				// A stale estimate is weaker evidence; rank it behind
+				// equally-fast fresh ones.
+				c.srtt += st.RTTVar
+			}
+			if st.HeldDown {
+				// Failure backoff: a held-down server ranks last no
+				// matter how fast it once was.
+				c.srtt += 1e6
+			}
+		}
+		ranked = append(ranked, c)
+	}
+	p.scratch = ranked
+	sort.SliceStable(ranked, func(a, b int) bool { return ranked[a].srtt < ranked[b].srtt })
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	if !p.started {
+		p.started = true
+		p.lastProbe = now
+	}
+	if now-p.lastProbe >= interval && len(ranked) > 1 {
+		// Probe rotation: refresh a lower-ranked candidate's estimate
+		// so the top-N ordering tracks reality.
+		p.lastProbe = now
+		return ranked[1+rng.Intn(len(ranked)-1)].addr
+	}
+	return ranked[0].addr
 }

@@ -1,0 +1,176 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// The paper's Figure-4 preference thresholds (mirrored from
+// internal/analysis: a VP prefers a site weakly when it receives 60%
+// of the queries and strongly above 90%). The resolver package cannot
+// import analysis (it sits below measure), so the property sweep pins
+// the numeric values here.
+const (
+	propWeak   = 0.60
+	propStrong = 0.90
+)
+
+// prefClass is the expected preference classification for one policy
+// kind at one RTT gap: how the per-VP top-server share compares to the
+// paper's weak/strong thresholds.
+type prefClass int
+
+const (
+	classAny    prefClass = iota // boundary region: no assertion
+	classNone                    // top share < 60%: no preference
+	classWeak                    // 60% <= top share < 90%
+	classStrong                  // top share >= 90%
+	classAtLeastWeak
+)
+
+// expectedClass documents where each policy's preference crosses the
+// paper thresholds as the two-server RTT gap grows. Boundary gaps
+// (where the expected share sits within noise of a threshold) assert
+// nothing; everywhere else the classification is required at every
+// seed.
+func expectedClass(kind PolicyKind, gap float64) prefClass {
+	switch kind {
+	case KindUniform, KindRoundRobin:
+		// A 50/50 split at any gap: never even weak preference.
+		return classNone
+	case KindSticky:
+		// The pin takes ~100% regardless of latency.
+		return classStrong
+	case KindProbeTopN:
+		// The EWMA leader takes everything but the hourly probe.
+		if gap >= 2 {
+			return classStrong
+		}
+		return classAny
+	case KindWeightedRTT:
+		// Inverse-RTT weighting: top share ≈ gap/(1+gap), so the strong
+		// threshold is crossed only near ~10x gaps (9/10 = 0.90).
+		switch {
+		case gap <= 1.2:
+			return classNone
+		case gap >= 2 && gap <= 5:
+			return classWeak
+		case gap >= 15:
+			return classStrong
+		default:
+			return classAny
+		}
+	case KindBINDLike:
+		// Lowest-SRTT-wins with decay: at least weak from small gaps,
+		// strong once the decay cannot erode the gap between retries.
+		switch {
+		case gap >= 15:
+			return classStrong
+		case gap >= 2:
+			return classAtLeastWeak
+		default:
+			return classAny
+		}
+	case KindUnboundLike:
+		// Uniform within the 400ms band: no preference until the slow
+		// server falls out of the band (40ms·gap > 40+400 ⇒ gap > 11),
+		// then total preference.
+		switch {
+		case gap <= 8:
+			return classNone
+		case gap >= 15:
+			return classStrong
+		default:
+			return classAny
+		}
+	}
+	return classAny
+}
+
+func classify(share float64) prefClass {
+	switch {
+	case share >= propStrong:
+		return classStrong
+	case share >= propWeak:
+		return classWeak
+	default:
+		return classNone
+	}
+}
+
+// TestPolicyPreferenceSweep is the property sweep behind the fleet-mix
+// calibration: every policy kind, driven with response feedback over
+// seeded two-server RTT gaps from 1x to 20x, must cross the paper's
+// weak/strong preference thresholds exactly where its algorithm says
+// it should — WeightedRTT turns strong only near ~10x gaps, Uniform
+// and RoundRobin never reach even weak preference, Sticky and
+// ProbeTopN are strong almost everywhere, and UnboundLike snaps from
+// none to strong when the slow server leaves the selection band.
+func TestPolicyPreferenceSweep(t *testing.T) {
+	t.Parallel()
+	const n = 2000
+	const baseRTT = 40.0
+	gaps := []float64{1, 2, 3, 5, 8, 15, 20}
+	servers := []netip.Addr{srvA, srvB}
+	for _, kind := range Kinds() {
+		for _, gap := range gaps {
+			want := expectedClass(kind, gap)
+			if want == classAny {
+				continue
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/gap%gx/seed%d", kind, gap, seed)
+				counts := tallyFB(NewPolicy(kind), servers,
+					map[netip.Addr]float64{srvA: baseRTT, srvB: baseRTT * gap},
+					n, seed)
+				top := counts[srvA]
+				if counts[srvB] > top {
+					top = counts[srvB]
+				}
+				share := float64(top) / n
+				got := classify(share)
+				ok := got == want ||
+					(want == classAtLeastWeak && got != classNone)
+				if !ok {
+					t.Errorf("%s: top share %.3f classified %v, want %v (counts %v)",
+						name, share, got, want, counts)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedRTTStrongOnlyNearTenfold pins the headline crossing from
+// the sweep explicitly: WeightedRTT preference is below strong at a 5x
+// gap and above it at a 15x gap, so the strong threshold is crossed in
+// the ~10x region the paper's 2C combination probes (FRA ~40ms vs SYD
+// ~355ms ≈ 9x).
+func TestWeightedRTTStrongOnlyNearTenfold(t *testing.T) {
+	t.Parallel()
+	const n = 4000
+	servers := []netip.Addr{srvA, srvB}
+	shareAt := func(gap float64, seed int64) float64 {
+		counts := tallyFB(NewPolicy(KindWeightedRTT), servers,
+			map[netip.Addr]float64{srvA: 40, srvB: 40 * gap}, n, seed)
+		top := counts[srvA]
+		if counts[srvB] > top {
+			top = counts[srvB]
+		}
+		return float64(top) / n
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		below := shareAt(5, seed)
+		above := shareAt(15, seed)
+		if below >= propStrong {
+			t.Errorf("seed %d: 5x gap share %.3f already strong", seed, below)
+		}
+		if above < propStrong {
+			t.Errorf("seed %d: 15x gap share %.3f not strong", seed, above)
+		}
+		if above <= below {
+			t.Errorf("seed %d: preference did not sharpen with the gap: %.3f -> %.3f",
+				seed, below, above)
+		}
+	}
+}

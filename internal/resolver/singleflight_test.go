@@ -1,0 +1,210 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ritw/internal/dnswire"
+	"ritw/internal/obs"
+)
+
+// burstResult captures everything a duplicate-burst run produces that
+// the differential test compares across the singleflight setting.
+type burstResult struct {
+	answers  map[uint16]string // client response ID -> TXT payload
+	upstream int               // upstream packets sent for the burst
+	stats    Stats
+	counters map[string]int64
+}
+
+// runDuplicateBurst fires n identical in-flight client queries at a
+// fresh engine, answers every upstream packet, and collects the client
+// responses plus the engine's accounting.
+func runDuplicateBurst(t *testing.T, singleflight bool, n int) burstResult {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:       NewPolicy(KindUniform),
+		Infra:        NewInfraCache(10*time.Minute, HardExpire),
+		Cache:        NewRecordCache(),
+		Zones:        []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport:    tr,
+		Clock:        clk,
+		RNG:          rand.New(rand.NewSource(42)),
+		Timeout:      500 * time.Millisecond,
+		Singleflight: singleflight,
+		Metrics:      reg,
+	})
+
+	for id := uint16(1); id <= uint16(n); id++ {
+		e.HandlePacket(clientAddr, clientQuery(t, id, "dup"))
+	}
+	up := tr.take()
+	clk.advance(30 * time.Millisecond)
+	for _, p := range up {
+		e.HandlePacket(p.dst, authAnswer(t, p.payload, "site=DUB", 5))
+	}
+
+	res := burstResult{
+		answers:  make(map[uint16]string),
+		upstream: len(up),
+		stats:    e.Stats(),
+	}
+	for _, p := range tr.take() {
+		if p.dst != clientAddr {
+			t.Fatalf("unexpected post-answer upstream packet to %v", p.dst)
+		}
+		resp, err := dnswire.Unpack(p.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("client %d got %d answers", resp.ID, len(resp.Answers))
+		}
+		res.answers[resp.ID] = resp.Answers[0].Data.(dnswire.TXT).Joined()
+	}
+	snap := reg.Snapshot()
+	res.counters = map[string]int64{
+		"resolver_singleflight_leaders_total": snap.Counter("resolver_singleflight_leaders_total"),
+		"resolver_singleflight_hits_total":    snap.Counter("resolver_singleflight_hits_total"),
+	}
+	return res
+}
+
+// TestSingleflightDifferential is the fleet-mix satellite's
+// differential contract: with singleflight on versus off, a burst of
+// duplicate in-flight client queries must produce identical per-client
+// answers while sending strictly fewer upstream queries, and the
+// resolver_singleflight_* counters must account for the coalescing
+// exactly on both sides.
+func TestSingleflightDifferential(t *testing.T) {
+	t.Parallel()
+	const burst = 5
+	off := runDuplicateBurst(t, false, burst)
+	on := runDuplicateBurst(t, true, burst)
+
+	if len(off.answers) != burst || len(on.answers) != burst {
+		t.Fatalf("client answers: %d off, %d on, want %d each",
+			len(off.answers), len(on.answers), burst)
+	}
+	if !reflect.DeepEqual(on.answers, off.answers) {
+		t.Errorf("answers diverged:\noff %v\non  %v", off.answers, on.answers)
+	}
+	if on.upstream >= off.upstream {
+		t.Errorf("singleflight sent %d upstream queries, want strictly fewer than %d",
+			on.upstream, off.upstream)
+	}
+	if off.upstream != burst {
+		t.Errorf("without singleflight every duplicate goes upstream: %d, want %d",
+			off.upstream, burst)
+	}
+	if on.upstream != 1 {
+		t.Errorf("with singleflight one leader goes upstream: %d, want 1", on.upstream)
+	}
+
+	if off.stats.SingleflightLeaders != 0 || off.stats.SingleflightHits != 0 {
+		t.Errorf("singleflight off must not count: %+v", off.stats)
+	}
+	if off.counters["resolver_singleflight_leaders_total"] != 0 ||
+		off.counters["resolver_singleflight_hits_total"] != 0 {
+		t.Errorf("singleflight off counters non-zero: %v", off.counters)
+	}
+	if on.stats.SingleflightLeaders != 1 || on.stats.SingleflightHits != burst-1 {
+		t.Errorf("singleflight accounting: leaders %d hits %d, want 1 and %d",
+			on.stats.SingleflightLeaders, on.stats.SingleflightHits, burst-1)
+	}
+	if on.counters["resolver_singleflight_leaders_total"] != 1 ||
+		on.counters["resolver_singleflight_hits_total"] != int64(burst-1) {
+		t.Errorf("singleflight counters: %v, want leaders 1 hits %d",
+			on.counters, burst-1)
+	}
+
+	if on.stats.UpstreamQueries >= off.stats.UpstreamQueries {
+		t.Errorf("stats upstream: %d on vs %d off, want strictly fewer",
+			on.stats.UpstreamQueries, off.stats.UpstreamQueries)
+	}
+}
+
+// TestSingleflightDistinctQuestionsDoNotCoalesce guards the key: only
+// identical (name, type, class) questions share a leader — distinct
+// names in flight together still each go upstream.
+func TestSingleflightDistinctQuestionsDoNotCoalesce(t *testing.T) {
+	t.Parallel()
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:       NewPolicy(KindUniform),
+		Infra:        NewInfraCache(10*time.Minute, HardExpire),
+		Cache:        NewRecordCache(),
+		Zones:        []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport:    tr,
+		Clock:        clk,
+		RNG:          rand.New(rand.NewSource(7)),
+		Timeout:      500 * time.Millisecond,
+		Singleflight: true,
+	})
+	e.HandlePacket(clientAddr, clientQuery(t, 1, "alpha"))
+	e.HandlePacket(clientAddr, clientQuery(t, 2, "beta"))
+	e.HandlePacket(clientAddr, clientQuery(t, 3, "alpha"))
+	up := tr.take()
+	if len(up) != 2 {
+		t.Fatalf("distinct questions should both go upstream: %d packets", len(up))
+	}
+	st := e.Stats()
+	if st.SingleflightLeaders != 2 || st.SingleflightHits != 1 {
+		t.Errorf("accounting: %+v, want 2 leaders and 1 hit", st)
+	}
+	for _, p := range up {
+		e.HandlePacket(p.dst, authAnswer(t, p.payload, "v", 5))
+	}
+	if out := tr.take(); len(out) != 3 {
+		t.Errorf("all three clients must be answered, got %d", len(out))
+	}
+}
+
+// TestSingleflightServFailPropagates confirms followers share the
+// leader's failure as well as its success: when the leader exhausts
+// every server, every coalesced client gets the SERVFAIL.
+func TestSingleflightServFailPropagates(t *testing.T) {
+	t.Parallel()
+	tr := &fakeTransport{}
+	clk := &fakeClock{}
+	e := NewEngine(Config{
+		Policy:       NewPolicy(KindUniform),
+		Infra:        NewInfraCache(10*time.Minute, HardExpire),
+		Cache:        NewRecordCache(),
+		Zones:        []ZoneServers{{Zone: testZone, Servers: []netip.Addr{srvA, srvB}}},
+		Transport:    tr,
+		Clock:        clk,
+		RNG:          rand.New(rand.NewSource(11)),
+		Timeout:      200 * time.Millisecond,
+		MaxRetries:   1,
+		Singleflight: true,
+	})
+	e.HandlePacket(clientAddr, clientQuery(t, 21, "dead"))
+	e.HandlePacket(clientAddr, clientQuery(t, 22, "dead"))
+	// Never answer; let retries and timeouts exhaust the leader.
+	clk.advance(5 * time.Second)
+	var got []uint16
+	for _, p := range tr.take() {
+		if p.dst != clientAddr {
+			continue
+		}
+		resp, err := dnswire.Unpack(p.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.RCode != dnswire.RCodeServFail {
+			t.Errorf("client %d got rcode %v, want SERVFAIL", resp.ID, resp.RCode)
+		}
+		got = append(got, resp.ID)
+	}
+	if len(got) != 2 {
+		t.Fatalf("both coalesced clients must hear the failure, got %v", got)
+	}
+}

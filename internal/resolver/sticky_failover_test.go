@@ -1,0 +1,117 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// pinSticky drives a fresh Sticky policy until it has pinned, and
+// returns the policy and its pin.
+func pinSticky(t *testing.T, servers []netip.Addr, infra *InfraCache, rng *rand.Rand) (Policy, netip.Addr) {
+	t.Helper()
+	p := NewPolicy(KindSticky)
+	pin := p.Select(0, servers, infra, rng)
+	if got := p.Select(0, servers, infra, rng); got != pin {
+		t.Fatalf("sticky did not pin: %v then %v", pin, got)
+	}
+	return p, pin
+}
+
+// TestStickyFailsOverFromHeldDownPin is the regression pin for the
+// Sticky liveness fix: when the pinned server enters a backoff
+// hold-down window, the policy must fail over to a different server
+// instead of riding the dead pin — before the fix it waited for the
+// next recorded timeout, which never comes once the engine stops
+// offering the held server.
+func TestStickyFailsOverFromHeldDownPin(t *testing.T) {
+	t.Parallel()
+	servers := []netip.Addr{srvA, srvB, srvC}
+	infra := NewInfraCache(0, HardExpire) // default backoff: threshold 2
+	rng := rand.New(rand.NewSource(3))
+	p, pin := pinSticky(t, servers, infra, rng)
+
+	infra.Timeout(pin, 0)
+	infra.Timeout(pin, 0)
+	if st := infra.State(pin, 0); !st.HeldDown {
+		t.Fatalf("two consecutive timeouts should hold the pin down: %+v", st)
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Select(0, servers, infra, rng); got == pin {
+			t.Fatalf("select %d returned the held-down pin %v", i, pin)
+		}
+	}
+}
+
+// TestStickyFailsOverFromDeadPinBetweenHoldWindows covers the second
+// half of the fix: a pin whose consecutive-timeout count reached the
+// hold-down threshold is dead even after the hold window itself has
+// expired — the policy must not re-adopt it just because the window
+// lapsed without a successful answer.
+func TestStickyFailsOverFromDeadPinBetweenHoldWindows(t *testing.T) {
+	t.Parallel()
+	servers := []netip.Addr{srvA, srvB}
+	infra := NewInfraCache(0, HardExpire)
+	infra.SetBackoff(BackoffConfig{Base: 2 * time.Second, Max: time.Minute, Threshold: 2})
+	rng := rand.New(rand.NewSource(5))
+	p, pin := pinSticky(t, servers, infra, rng)
+
+	infra.Timeout(pin, 0)
+	infra.Timeout(pin, 0)
+	after := 10 * time.Second // well past the 2s hold window
+	st := infra.State(pin, after)
+	if st.HeldDown {
+		t.Fatalf("hold window should have expired: %+v", st)
+	}
+	if st.ConsecTimeouts < infra.Backoff().Threshold {
+		t.Fatalf("pin should still look dead: %+v", st)
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Select(after, servers, infra, rng); got == pin {
+			t.Fatalf("select %d re-adopted the dead pin %v between hold windows", i, pin)
+		}
+	}
+}
+
+// TestStickyFailoverSticksToNewPin: after failing over, the policy
+// pins the replacement — it does not re-roll every select while the
+// old pin stays dead.
+func TestStickyFailoverSticksToNewPin(t *testing.T) {
+	t.Parallel()
+	servers := []netip.Addr{srvA, srvB, srvC}
+	infra := NewInfraCache(0, HardExpire)
+	rng := rand.New(rand.NewSource(9))
+	p, pin := pinSticky(t, servers, infra, rng)
+	infra.Timeout(pin, 0)
+	infra.Timeout(pin, 0)
+
+	newPin := p.Select(0, servers, infra, rng)
+	if newPin == pin {
+		t.Fatalf("failover landed on the dead pin %v", pin)
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Select(0, servers, infra, rng); got != newPin {
+			t.Fatalf("select %d moved from new pin %v to %v without failure", i, newPin, got)
+		}
+	}
+}
+
+// TestStickyKeepsOnlyServerWhenDead: with a single configured server
+// there is nowhere to fail over to — the policy must keep answering
+// with it rather than panicking or returning a zero address.
+func TestStickyKeepsOnlyServerWhenDead(t *testing.T) {
+	t.Parallel()
+	servers := []netip.Addr{srvA}
+	infra := NewInfraCache(0, HardExpire)
+	rng := rand.New(rand.NewSource(2))
+	p := NewPolicy(KindSticky)
+	if got := p.Select(0, servers, infra, rng); got != srvA {
+		t.Fatalf("pinned %v, want %v", got, srvA)
+	}
+	infra.Timeout(srvA, 0)
+	infra.Timeout(srvA, 0)
+	if got := p.Select(0, servers, infra, rng); got != srvA {
+		t.Fatalf("only server: got %v, want %v", got, srvA)
+	}
+}
